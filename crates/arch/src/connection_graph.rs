@@ -1,0 +1,564 @@
+//! The synthesis result: a planar connection graph plus the routed paths.
+
+use std::collections::{BTreeSet, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+use crate::grid::{ConnectionGrid, GridEdgeId, NodeId};
+use crate::placement::Placement;
+use crate::reservation::Interval;
+use crate::routing::RoutedPath;
+use crate::transport::{TransportKind, TransportTask};
+
+/// One transportation task together with the path that realizes it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutedTransport {
+    /// The transportation task from the schedule.
+    pub task: TransportTask,
+    /// The routed path (nodes, edges, occupation window).
+    pub path: RoutedPath,
+    /// The channel segment caching the sample (store/fetch tasks only).
+    pub cache_edge: Option<GridEdgeId>,
+}
+
+/// The devices, switches and kept channel segments of a synthesized chip —
+/// the "connection graph" of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionGraph {
+    grid: ConnectionGrid,
+    placement: Placement,
+    used_edges: BTreeSet<GridEdgeId>,
+}
+
+impl ConnectionGraph {
+    /// Builds a connection graph from the grid, the placement and the edges
+    /// kept after synthesis.
+    #[must_use]
+    pub fn new(
+        grid: ConnectionGrid,
+        placement: Placement,
+        used_edges: impl IntoIterator<Item = GridEdgeId>,
+    ) -> Self {
+        ConnectionGraph {
+            grid,
+            placement,
+            used_edges: used_edges.into_iter().collect(),
+        }
+    }
+
+    /// The underlying connection grid.
+    #[must_use]
+    pub fn grid(&self) -> &ConnectionGrid {
+        &self.grid
+    }
+
+    /// The device placement.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Channel segments kept in the chip (used by at least one path).
+    #[must_use]
+    pub fn used_edges(&self) -> &BTreeSet<GridEdgeId> {
+        &self.used_edges
+    }
+
+    /// Number of kept channel segments (`n_e` in Table 2).
+    #[must_use]
+    pub fn used_edge_count(&self) -> usize {
+        self.used_edges.len()
+    }
+
+    /// Switch nodes: grid nodes that are not devices and touch at least one
+    /// kept segment.
+    #[must_use]
+    pub fn switch_nodes(&self) -> Vec<NodeId> {
+        self.grid
+            .nodes()
+            .filter(|&n| {
+                self.placement.device_at(n).is_none()
+                    && self
+                        .grid
+                        .incident_edges(n)
+                        .iter()
+                        .any(|e| self.used_edges.contains(e))
+            })
+            .collect()
+    }
+
+    /// Valve count of the synthesized chip (`n_v` in Table 2).
+    ///
+    /// Every kept channel segment incident to a switch node needs one valve
+    /// at that switch port so the switch can block or admit flow on that
+    /// side (Fig. 5(a) of the paper shows the four-valve switch of a full
+    /// crossing). Valves inside mixers are not counted, matching the paper.
+    #[must_use]
+    pub fn valve_count(&self) -> usize {
+        self.switch_nodes()
+            .iter()
+            .map(|&n| {
+                self.grid
+                    .incident_edges(n)
+                    .iter()
+                    .filter(|e| self.used_edges.contains(e))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Valve count of the *full* connection grid (all segments kept), the
+    /// denominator of the Fig. 8 valve ratio.
+    #[must_use]
+    pub fn full_grid_valve_count(&self) -> usize {
+        self.grid
+            .nodes()
+            .filter(|&n| self.placement.device_at(n).is_none())
+            .map(|n| self.grid.incident_edges(n).len())
+            .sum()
+    }
+
+    /// Ratio of kept segments to all grid segments (Fig. 8, "Edge").
+    #[must_use]
+    pub fn edge_ratio(&self) -> f64 {
+        if self.grid.num_edges() == 0 {
+            0.0
+        } else {
+            self.used_edge_count() as f64 / self.grid.num_edges() as f64
+        }
+    }
+
+    /// Ratio of chip valves to full-grid valves (Fig. 8, "Valve").
+    #[must_use]
+    pub fn valve_ratio(&self) -> f64 {
+        let full = self.full_grid_valve_count();
+        if full == 0 {
+            0.0
+        } else {
+            self.valve_count() as f64 / full as f64
+        }
+    }
+}
+
+/// The complete result of architectural synthesis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Architecture {
+    connection_graph: ConnectionGraph,
+    routes: Vec<RoutedTransport>,
+}
+
+impl Architecture {
+    /// Builds an architecture from its connection graph and routed paths.
+    #[must_use]
+    pub fn new(connection_graph: ConnectionGraph, routes: Vec<RoutedTransport>) -> Self {
+        Architecture {
+            connection_graph,
+            routes,
+        }
+    }
+
+    /// The planar connection graph (devices, switches, kept segments).
+    #[must_use]
+    pub fn connection_graph(&self) -> &ConnectionGraph {
+        &self.connection_graph
+    }
+
+    /// The underlying grid.
+    #[must_use]
+    pub fn grid(&self) -> &ConnectionGrid {
+        self.connection_graph.grid()
+    }
+
+    /// The device placement.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        self.connection_graph.placement()
+    }
+
+    /// All routed transportation paths, in routing order.
+    #[must_use]
+    pub fn routes(&self) -> &[RoutedTransport] {
+        &self.routes
+    }
+
+    /// Number of kept channel segments (`n_e`).
+    #[must_use]
+    pub fn used_edge_count(&self) -> usize {
+        self.connection_graph.used_edge_count()
+    }
+
+    /// Number of valves (`n_v`).
+    #[must_use]
+    pub fn valve_count(&self) -> usize {
+        self.connection_graph.valve_count()
+    }
+
+    /// Paths that cache a sample, i.e. the chip's distributed storage events.
+    #[must_use]
+    pub fn storage_routes(&self) -> Vec<&RoutedTransport> {
+        self.routes
+            .iter()
+            .filter(|r| r.task.kind == TransportKind::Store)
+            .collect()
+    }
+
+    /// Total transport postponement: the summed time by which routed
+    /// transports finish after their schedule-derived deadlines.
+    ///
+    /// Zero for conflict-free syntheses; positive when the schedule demanded
+    /// more simultaneous movements at a device than its ports allow and the
+    /// router had to serialize them (the execution of the affected consumer
+    /// operations is delayed by at most this much).
+    #[must_use]
+    pub fn transport_postponement(&self) -> biochip_assay::Seconds {
+        self.routes
+            .iter()
+            .map(|r| r.path.window.end.saturating_sub(r.task.deadline))
+            .sum()
+    }
+
+    /// Largest single-transport postponement (see
+    /// [`transport_postponement`](Self::transport_postponement)).
+    #[must_use]
+    pub fn max_transport_postponement(&self) -> biochip_assay::Seconds {
+        self.routes
+            .iter()
+            .map(|r| r.path.window.end.saturating_sub(r.task.deadline))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks the paper's structural invariants on the synthesized chip.
+    ///
+    /// * every path is connected (consecutive nodes joined by the listed
+    ///   edge) and starts/ends at the right device or cache segment,
+    /// * paths with overlapping occupation windows share no edge and no
+    ///   interior node,
+    /// * a segment caching a sample is not used by any path whose window
+    ///   overlaps the storage interval,
+    /// * the kept-edge set is exactly the union of all path edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::Inconsistent`] describing the first violation.
+    pub fn verify(&self) -> Result<(), ArchError> {
+        let grid = self.grid();
+        let placement = self.placement();
+
+        // Path-local invariants.
+        for route in &self.routes {
+            let path = &route.path;
+            if path.nodes.is_empty() {
+                return Err(ArchError::Inconsistent {
+                    reason: format!("empty path for {}", route.task.describe()),
+                });
+            }
+            if path.edges.len() + 1 != path.nodes.len() {
+                return Err(ArchError::Inconsistent {
+                    reason: format!("path length mismatch for {}", route.task.describe()),
+                });
+            }
+            for (i, &edge) in path.edges.iter().enumerate() {
+                let (a, b) = grid.endpoints(edge);
+                let (from, to) = (path.nodes[i], path.nodes[i + 1]);
+                if !((a == from && b == to) || (a == to && b == from)) {
+                    return Err(ArchError::Inconsistent {
+                        reason: format!(
+                            "edge {edge} does not connect {from} and {to} in {}",
+                            route.task.describe()
+                        ),
+                    });
+                }
+            }
+            match route.task.kind {
+                TransportKind::Direct => {
+                    let expected_from = placement.node_of(route.task.from_device);
+                    let expected_to = placement.node_of(route.task.to_device);
+                    if path.nodes.first() != Some(&expected_from)
+                        || path.nodes.last() != Some(&expected_to)
+                    {
+                        return Err(ArchError::Inconsistent {
+                            reason: format!(
+                                "direct path endpoints are wrong for {}",
+                                route.task.describe()
+                            ),
+                        });
+                    }
+                }
+                TransportKind::Store => {
+                    let expected_from = placement.node_of(route.task.from_device);
+                    if path.nodes.first() != Some(&expected_from) {
+                        return Err(ArchError::Inconsistent {
+                            reason: format!(
+                                "store path does not start at the producer for {}",
+                                route.task.describe()
+                            ),
+                        });
+                    }
+                    if route.cache_edge.is_none()
+                        || path.edges.last().copied() != route.cache_edge
+                    {
+                        return Err(ArchError::Inconsistent {
+                            reason: format!(
+                                "store path does not end in its cache segment for {}",
+                                route.task.describe()
+                            ),
+                        });
+                    }
+                }
+                TransportKind::Fetch => {
+                    let expected_to = placement.node_of(route.task.to_device);
+                    if path.nodes.last() != Some(&expected_to) {
+                        return Err(ArchError::Inconsistent {
+                            reason: format!(
+                                "fetch path does not end at the consumer for {}",
+                                route.task.describe()
+                            ),
+                        });
+                    }
+                    if route.cache_edge.is_none()
+                        || path.edges.first().copied() != route.cache_edge
+                    {
+                        return Err(ArchError::Inconsistent {
+                            reason: format!(
+                                "fetch path does not start from its cache segment for {}",
+                                route.task.describe()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Pairwise conflicts between concurrently occupied paths.
+        for (i, a) in self.routes.iter().enumerate() {
+            for b in self.routes.iter().skip(i + 1) {
+                if !a.path.window.overlaps(&b.path.window) {
+                    continue;
+                }
+                for edge in &a.path.edges {
+                    if b.path.edges.contains(edge) {
+                        return Err(ArchError::Inconsistent {
+                            reason: format!(
+                                "edge {edge} shared by concurrent paths ({} / {})",
+                                a.task.describe(),
+                                b.task.describe()
+                            ),
+                        });
+                    }
+                }
+                let interior_a: HashSet<NodeId> = interior_nodes(&a.path);
+                for node in interior_nodes(&b.path) {
+                    if interior_a.contains(&node) {
+                        return Err(ArchError::Inconsistent {
+                            reason: format!(
+                                "node {node} shared by concurrent paths ({} / {})",
+                                a.task.describe(),
+                                b.task.describe()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Storage exclusivity: no path may use a cached segment while the
+        // sample rests in it.
+        for store in &self.routes {
+            let (Some(cache), Some((from, until))) =
+                (store.cache_edge, store.task.storage_interval)
+            else {
+                continue;
+            };
+            if store.task.kind != TransportKind::Store {
+                continue;
+            }
+            let storage = Interval::new(from, until);
+            for other in &self.routes {
+                if std::ptr::eq(store, other) {
+                    continue;
+                }
+                if other.path.window.overlaps(&storage) && other.path.edges.contains(&cache) {
+                    return Err(ArchError::Inconsistent {
+                        reason: format!(
+                            "segment {cache} is used by {} while caching sample {}",
+                            other.task.describe(),
+                            store.task.sample
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Kept edges = union of path edges.
+        let mut union: BTreeSet<GridEdgeId> = BTreeSet::new();
+        for route in &self.routes {
+            union.extend(route.path.edges.iter().copied());
+        }
+        if &union != self.connection_graph.used_edges() {
+            return Err(ArchError::Inconsistent {
+                reason: "kept-edge set does not match the union of path edges".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Nodes of a path excluding its two endpoints.
+fn interior_nodes(path: &RoutedPath) -> HashSet<NodeId> {
+    if path.nodes.len() <= 2 {
+        return HashSet::new();
+    }
+    path.nodes[1..path.nodes.len() - 1].iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridCoord;
+    use biochip_assay::OpId;
+    use biochip_schedule::DeviceId;
+
+    fn simple_setup() -> (ConnectionGrid, Placement) {
+        let grid = ConnectionGrid::new(1, 3);
+        let placement = Placement::from_nodes(vec![NodeId(0), NodeId(2)]);
+        (grid, placement)
+    }
+
+    fn direct_route(grid: &ConnectionGrid) -> RoutedTransport {
+        let e01 = grid.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let e12 = grid.edge_between(NodeId(1), NodeId(2)).unwrap();
+        RoutedTransport {
+            task: TransportTask {
+                sample: 0,
+                producer: OpId(0),
+                consumer: OpId(1),
+                from_device: DeviceId(0),
+                to_device: DeviceId(1),
+                kind: TransportKind::Direct,
+                window_start: 0,
+                window_end: 5,
+                storage_interval: None,
+                earliest_start: 0,
+                deadline: 5,
+            },
+            path: RoutedPath {
+                nodes: vec![NodeId(0), NodeId(1), NodeId(2)],
+                edges: vec![e01, e12],
+                window: Interval::new(0, 5),
+            },
+            cache_edge: None,
+        }
+    }
+
+    #[test]
+    fn counts_and_ratios() {
+        let (grid, placement) = simple_setup();
+        let route = direct_route(&grid);
+        let cg = ConnectionGraph::new(grid.clone(), placement, route.path.edges.clone());
+        assert_eq!(cg.used_edge_count(), 2);
+        // Node 1 is the only switch; both kept edges touch it -> 2 valves.
+        assert_eq!(cg.switch_nodes(), vec![NodeId(1)]);
+        assert_eq!(cg.valve_count(), 2);
+        assert_eq!(cg.full_grid_valve_count(), 2);
+        assert!((cg.edge_ratio() - 1.0).abs() < 1e-9);
+        assert!((cg.valve_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn verify_accepts_consistent_architecture() {
+        let (grid, placement) = simple_setup();
+        let route = direct_route(&grid);
+        let cg = ConnectionGraph::new(grid, placement, route.path.edges.clone());
+        let arch = Architecture::new(cg, vec![route]);
+        assert!(arch.verify().is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_endpoint() {
+        let (grid, placement) = simple_setup();
+        let mut route = direct_route(&grid);
+        route.path.nodes.reverse();
+        route.path.edges.reverse();
+        let cg = ConnectionGraph::new(grid, placement, route.path.edges.clone());
+        let arch = Architecture::new(cg, vec![route]);
+        assert!(matches!(arch.verify(), Err(ArchError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn verify_rejects_conflicting_paths() {
+        let (grid, placement) = simple_setup();
+        let a = direct_route(&grid);
+        let mut b = direct_route(&grid);
+        b.task.sample = 1;
+        // Same window, same edges: conflict.
+        let edges = a.path.edges.clone();
+        let cg = ConnectionGraph::new(grid, placement, edges);
+        let arch = Architecture::new(cg, vec![a, b]);
+        assert!(matches!(arch.verify(), Err(ArchError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn verify_rejects_mismatched_used_edges() {
+        let (grid, placement) = simple_setup();
+        let route = direct_route(&grid);
+        // Claim only one of the two edges is kept.
+        let cg = ConnectionGraph::new(grid, placement, vec![route.path.edges[0]]);
+        let arch = Architecture::new(cg, vec![route]);
+        assert!(matches!(arch.verify(), Err(ArchError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn verify_rejects_disconnected_path() {
+        let grid = ConnectionGrid::square(3);
+        let placement = Placement::from_nodes(vec![
+            grid.node_at(GridCoord { row: 0, col: 0 }),
+            grid.node_at(GridCoord { row: 2, col: 2 }),
+        ]);
+        let e = grid
+            .edge_between(
+                grid.node_at(GridCoord { row: 0, col: 0 }),
+                grid.node_at(GridCoord { row: 0, col: 1 }),
+            )
+            .unwrap();
+        let route = RoutedTransport {
+            task: TransportTask {
+                sample: 0,
+                producer: OpId(0),
+                consumer: OpId(1),
+                from_device: DeviceId(0),
+                to_device: DeviceId(1),
+                kind: TransportKind::Direct,
+                window_start: 0,
+                window_end: 5,
+                storage_interval: None,
+                earliest_start: 0,
+                deadline: 5,
+            },
+            path: RoutedPath {
+                // Jumps from (0,1) to (2,2) without an edge in between.
+                nodes: vec![
+                    grid.node_at(GridCoord { row: 0, col: 0 }),
+                    grid.node_at(GridCoord { row: 0, col: 1 }),
+                    grid.node_at(GridCoord { row: 2, col: 2 }),
+                ],
+                edges: vec![e, e],
+                window: Interval::new(0, 5),
+            },
+            cache_edge: None,
+        };
+        let cg = ConnectionGraph::new(grid, placement, vec![e]);
+        let arch = Architecture::new(cg, vec![route]);
+        assert!(matches!(arch.verify(), Err(ArchError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn storage_routes_filter() {
+        let (grid, placement) = simple_setup();
+        let route = direct_route(&grid);
+        let cg = ConnectionGraph::new(grid, placement, route.path.edges.clone());
+        let arch = Architecture::new(cg, vec![route]);
+        assert!(arch.storage_routes().is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for architectural synthesis.
+
+use std::fmt;
+
+use biochip_schedule::DeviceId;
+
+/// Errors produced during architectural synthesis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// The schedule does not satisfy the scheduling constraints.
+    InvalidSchedule {
+        /// Explanation from the schedule validator.
+        reason: String,
+    },
+    /// The connection grid has fewer nodes than there are devices to place.
+    GridTooSmall {
+        /// Number of devices to place.
+        devices: usize,
+        /// Number of grid nodes available.
+        nodes: usize,
+    },
+    /// No conflict-free path could be found for a transportation task.
+    RoutingFailed {
+        /// Producer-side device of the failed task.
+        from: DeviceId,
+        /// Consumer-side device of the failed task.
+        to: DeviceId,
+        /// Human-readable description of the task (kind and time window).
+        task: String,
+    },
+    /// No free channel segment could be found to cache a fluid sample.
+    NoStorageSegment {
+        /// Description of the storage interval that could not be placed.
+        task: String,
+    },
+    /// An internal consistency check failed (reported by
+    /// [`Architecture::verify`](crate::Architecture::verify)).
+    Inconsistent {
+        /// Explanation of the violated invariant.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidSchedule { reason } => {
+                write!(f, "schedule is not valid for synthesis: {reason}")
+            }
+            ArchError::GridTooSmall { devices, nodes } => write!(
+                f,
+                "connection grid with {nodes} nodes cannot hold {devices} devices"
+            ),
+            ArchError::RoutingFailed { from, to, task } => {
+                write!(f, "no conflict-free path from {from} to {to} for {task}")
+            }
+            ArchError::NoStorageSegment { task } => {
+                write!(f, "no free channel segment to cache sample for {task}")
+            }
+            ArchError::Inconsistent { reason } => {
+                write!(f, "architecture consistency check failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ArchError::GridTooSmall {
+            devices: 5,
+            nodes: 4,
+        };
+        assert!(e.to_string().contains("5 devices"));
+        let e = ArchError::RoutingFailed {
+            from: DeviceId(0),
+            to: DeviceId(1),
+            task: "direct [10, 15)".to_owned(),
+        };
+        assert!(e.to_string().contains("d0"));
+        assert!(e.to_string().contains("direct"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ArchError>();
+    }
+}

@@ -1,0 +1,392 @@
+//! ILP-based path construction on the connection grid (eqs. 8–13).
+//!
+//! The paper formulates architectural synthesis as an ILP: 0-1 variables
+//! select which grid edges every transportation path covers, concurrent paths
+//! may not share edges or nodes, and the number of edges used at least once
+//! is minimized. This module provides that exact formulation for small
+//! instances — it is used to validate the scalable heuristic
+//! [`Router`](crate::Router) and to reproduce the paper's "resource usage is
+//! confined to a few edges" observation exactly. Instead of the paper's
+//! degree-counting constraints (eq. 9) it uses an equivalent single-commodity
+//! flow formulation per path, which avoids the big-M constructions and keeps
+//! the model small enough for the in-repo branch & bound solver.
+
+use biochip_ilp::{Model, SolverOptions, VarId};
+
+use crate::error::ArchError;
+use crate::grid::{ConnectionGrid, NodeId};
+use crate::placement::Placement;
+use crate::reservation::Interval;
+use crate::routing::RoutedPath;
+
+/// A set of transportation requests to be routed simultaneously by the ILP.
+#[derive(Debug, Clone)]
+pub struct IlpRoutingProblem<'a> {
+    /// The connection grid.
+    pub grid: &'a ConnectionGrid,
+    /// Device placement (device nodes may only be path endpoints).
+    pub placement: &'a Placement,
+    /// Requests as `(source node, target node, occupation window)`.
+    pub requests: Vec<(NodeId, NodeId, Interval)>,
+}
+
+/// Routes all requests exactly, minimizing the number of distinct edges used
+/// (the paper's objective, eq. 12), with per-arc tie-breaking so that paths
+/// contain no superfluous cycles.
+///
+/// # Errors
+///
+/// Returns [`ArchError::RoutingFailed`]-style errors wrapped as
+/// [`ArchError::Inconsistent`] if the model is infeasible (no conflict-free
+/// set of paths exists) and propagates solver failures.
+pub fn route_with_ilp(
+    problem: &IlpRoutingProblem<'_>,
+    options: &SolverOptions,
+) -> Result<Vec<RoutedPath>, ArchError> {
+    let grid = problem.grid;
+    let num_requests = problem.requests.len();
+    if num_requests == 0 {
+        return Ok(Vec::new());
+    }
+
+    let mut model = Model::new("arch-routing");
+
+    // Arc variables: x[r][e][dir], dir 0 = low->high endpoint, 1 = reverse.
+    let mut arc: Vec<Vec<[VarId; 2]>> = Vec::with_capacity(num_requests);
+    for (r, _) in problem.requests.iter().enumerate() {
+        let mut per_edge = Vec::with_capacity(grid.num_edges());
+        for e in grid.edges() {
+            let forward = model.add_binary(format!("x_r{r}_e{}_f", e.index()));
+            let backward = model.add_binary(format!("x_r{r}_e{}_b", e.index()));
+            per_edge.push([forward, backward]);
+        }
+        arc.push(per_edge);
+    }
+
+    // Kept-edge indicators s_e >= every arc over e (eq. 11).
+    let mut kept: Vec<VarId> = Vec::with_capacity(grid.num_edges());
+    for e in grid.edges() {
+        let s = model.add_binary(format!("s_e{}", e.index()));
+        for (r, _) in problem.requests.iter().enumerate() {
+            for dir in 0..2 {
+                model.add_ge(
+                    format!("keep_e{}_r{r}_{dir}", e.index()),
+                    [(s, 1.0), (arc[r][e.index()][dir], -1.0)],
+                    0.0,
+                );
+            }
+        }
+        kept.push(s);
+    }
+
+    // Flow conservation per request and node; foreign device nodes are
+    // excluded entirely (their arcs are forced to zero).
+    for (r, &(source, target, _)) in problem.requests.iter().enumerate() {
+        for node in grid.nodes() {
+            let is_foreign_device = problem.placement.device_at(node).is_some()
+                && node != source
+                && node != target;
+            // out(node) - in(node).
+            let mut balance: Vec<(VarId, f64)> = Vec::new();
+            let mut incident_arcs: Vec<(VarId, f64)> = Vec::new();
+            for &e in grid.incident_edges(node) {
+                let (low, high) = grid.endpoints(e);
+                let [forward, backward] = arc[r][e.index()];
+                let (out_var, in_var) = if node == low {
+                    (forward, backward)
+                } else {
+                    debug_assert_eq!(node, high);
+                    (backward, forward)
+                };
+                balance.push((out_var, 1.0));
+                balance.push((in_var, -1.0));
+                incident_arcs.push((out_var, 1.0));
+                incident_arcs.push((in_var, 1.0));
+            }
+            if is_foreign_device {
+                model.add_eq(format!("blocked_r{r}_n{}", node.index()), incident_arcs, 0.0);
+                continue;
+            }
+            let rhs = if node == source {
+                1.0
+            } else if node == target {
+                -1.0
+            } else {
+                0.0
+            };
+            model.add_eq(format!("flow_r{r}_n{}", node.index()), balance, rhs);
+            // Intermediate nodes are visited at most once per path (prevents
+            // a path from crossing itself at a switch).
+            if node != source && node != target {
+                let inbound: Vec<(VarId, f64)> = grid
+                    .incident_edges(node)
+                    .iter()
+                    .map(|&e| {
+                        let (low, _) = grid.endpoints(e);
+                        let [forward, backward] = arc[r][e.index()];
+                        if node == low {
+                            (backward, 1.0)
+                        } else {
+                            (forward, 1.0)
+                        }
+                    })
+                    .collect();
+                model.add_le(format!("visit_r{r}_n{}", node.index()), inbound, 1.0);
+            }
+        }
+    }
+
+    // Time multiplexing (eq. 10): requests with overlapping windows may not
+    // share an edge, nor meet at an intermediate node.
+    for r1 in 0..num_requests {
+        for r2 in (r1 + 1)..num_requests {
+            let w1 = problem.requests[r1].2;
+            let w2 = problem.requests[r2].2;
+            if !w1.overlaps(&w2) {
+                continue;
+            }
+            for e in grid.edges() {
+                model.add_le(
+                    format!("share_e{}_r{r1}_r{r2}", e.index()),
+                    [
+                        (arc[r1][e.index()][0], 1.0),
+                        (arc[r1][e.index()][1], 1.0),
+                        (arc[r2][e.index()][0], 1.0),
+                        (arc[r2][e.index()][1], 1.0),
+                    ],
+                    1.0,
+                );
+            }
+            let endpoints = [
+                problem.requests[r1].0,
+                problem.requests[r1].1,
+                problem.requests[r2].0,
+                problem.requests[r2].1,
+            ];
+            for node in grid.nodes() {
+                if endpoints.contains(&node) {
+                    continue;
+                }
+                // At most one of the two paths may enter this node.
+                let mut entering: Vec<(VarId, f64)> = Vec::new();
+                for &r in &[r1, r2] {
+                    for &e in grid.incident_edges(node) {
+                        let (low, _) = grid.endpoints(e);
+                        let [forward, backward] = arc[r][e.index()];
+                        entering.push(if node == low {
+                            (backward, 1.0)
+                        } else {
+                            (forward, 1.0)
+                        });
+                    }
+                }
+                model.add_le(
+                    format!("meet_n{}_r{r1}_r{r2}", node.index()),
+                    entering,
+                    1.0,
+                );
+            }
+        }
+    }
+
+    // Objective (eq. 12): minimize kept edges, with a small per-arc term so
+    // optimal paths contain no gratuitous detours.
+    let mut objective: Vec<(VarId, f64)> = kept.iter().map(|&s| (s, 100.0)).collect();
+    for per_edge in &arc {
+        for arcs in per_edge {
+            objective.push((arcs[0], 1.0));
+            objective.push((arcs[1], 1.0));
+        }
+    }
+    model.minimize(objective);
+
+    let result = biochip_ilp::solve(&model, options).map_err(|e| ArchError::Inconsistent {
+        reason: format!("architectural ILP failed: {e}"),
+    })?;
+    let Some(solution) = result.solution else {
+        return Err(ArchError::Inconsistent {
+            reason: "architectural ILP found no conflict-free routing".to_owned(),
+        });
+    };
+
+    // Walk each path from its source following selected arcs.
+    let mut paths = Vec::with_capacity(num_requests);
+    for (r, &(source, target, window)) in problem.requests.iter().enumerate() {
+        let mut nodes = vec![source];
+        let mut edges = Vec::new();
+        let mut current = source;
+        let mut guard = 0;
+        while current != target {
+            guard += 1;
+            if guard > grid.num_edges() + 1 {
+                return Err(ArchError::Inconsistent {
+                    reason: format!("request {r}: selected arcs do not form a path"),
+                });
+            }
+            let mut advanced = false;
+            for &e in grid.incident_edges(current) {
+                let (low, _) = grid.endpoints(e);
+                let [forward, backward] = arc[r][e.index()];
+                let out_var = if current == low { forward } else { backward };
+                if solution.is_set(out_var) && edges.last() != Some(&e) {
+                    let next = grid.other_endpoint(e, current);
+                    nodes.push(next);
+                    edges.push(e);
+                    current = next;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return Err(ArchError::Inconsistent {
+                    reason: format!("request {r}: path stops before reaching its target"),
+                });
+            }
+        }
+        paths.push(RoutedPath {
+            nodes,
+            edges,
+            window,
+        });
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridCoord;
+    use std::time::Duration;
+
+    fn options() -> SolverOptions {
+        SolverOptions::default()
+            .with_time_limit(Duration::from_secs(30))
+            .with_node_limit(200_000)
+    }
+
+    #[test]
+    fn single_request_gets_a_shortest_path() {
+        let grid = ConnectionGrid::square(3);
+        let a = grid.node_at(GridCoord { row: 0, col: 0 });
+        let b = grid.node_at(GridCoord { row: 2, col: 2 });
+        let placement = Placement::from_nodes(vec![a, b]);
+        let problem = IlpRoutingProblem {
+            grid: &grid,
+            placement: &placement,
+            requests: vec![(a, b, Interval::new(0, 5))],
+        };
+        let paths = route_with_ilp(&problem, &options()).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].edges.len(), 4, "Manhattan distance is 4");
+        assert_eq!(paths[0].nodes.first(), Some(&a));
+        assert_eq!(paths[0].nodes.last(), Some(&b));
+    }
+
+    #[test]
+    fn sequential_requests_share_edges_concurrent_do_not() {
+        let grid = ConnectionGrid::new(2, 3);
+        let a = grid.node_at(GridCoord { row: 0, col: 0 });
+        let b = grid.node_at(GridCoord { row: 0, col: 2 });
+        let placement = Placement::from_nodes(vec![a, b]);
+
+        // Two transports in disjoint windows: minimizing kept edges makes
+        // them share one route of length 2.
+        let problem = IlpRoutingProblem {
+            grid: &grid,
+            placement: &placement,
+            requests: vec![
+                (a, b, Interval::new(0, 5)),
+                (a, b, Interval::new(10, 15)),
+            ],
+        };
+        let paths = route_with_ilp(&problem, &options()).unwrap();
+        let mut used: std::collections::BTreeSet<crate::grid::GridEdgeId> =
+            std::collections::BTreeSet::new();
+        for p in &paths {
+            used.extend(p.edges.iter().copied());
+        }
+        assert_eq!(used.len(), 2, "sequential paths reuse the same segments");
+
+        // The same two transports with overlapping windows need disjoint
+        // paths, so more edges are kept.
+        let problem = IlpRoutingProblem {
+            grid: &grid,
+            placement: &placement,
+            requests: vec![(a, b, Interval::new(0, 5)), (a, b, Interval::new(0, 5))],
+        };
+        let paths = route_with_ilp(&problem, &options()).unwrap();
+        for e in &paths[0].edges {
+            assert!(!paths[1].edges.contains(e), "concurrent paths share {e}");
+        }
+    }
+
+    #[test]
+    fn concurrent_paths_cannot_cross_at_a_node() {
+        let grid = ConnectionGrid::square(3);
+        // Devices at the four edge-midpoints; both transports have to pass
+        // through the centre switch because the corners dead-end into the
+        // other devices.
+        let north = grid.node_at(GridCoord { row: 0, col: 1 });
+        let south = grid.node_at(GridCoord { row: 2, col: 1 });
+        let west = grid.node_at(GridCoord { row: 1, col: 0 });
+        let east = grid.node_at(GridCoord { row: 1, col: 2 });
+        let placement = Placement::from_nodes(vec![north, south, west, east]);
+        let centre = grid.node_at(GridCoord { row: 1, col: 1 });
+
+        // Concurrent windows: sharing the centre switch is forbidden, so no
+        // conflict-free routing exists at all.
+        let concurrent = IlpRoutingProblem {
+            grid: &grid,
+            placement: &placement,
+            requests: vec![
+                (north, south, Interval::new(0, 5)),
+                (west, east, Interval::new(0, 5)),
+            ],
+        };
+        assert!(route_with_ilp(&concurrent, &options()).is_err());
+
+        // With disjoint windows both paths are routed, each through the
+        // centre (time multiplexing of the same switch).
+        let sequential = IlpRoutingProblem {
+            grid: &grid,
+            placement: &placement,
+            requests: vec![
+                (north, south, Interval::new(0, 5)),
+                (west, east, Interval::new(10, 15)),
+            ],
+        };
+        let paths = route_with_ilp(&sequential, &options()).unwrap();
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert!(p.nodes.contains(&centre));
+        }
+    }
+
+    #[test]
+    fn infeasible_routing_is_reported() {
+        // Two concurrent transports between the two ends of a 1x2 grid: only
+        // one edge exists, so the second path cannot be routed.
+        let grid = ConnectionGrid::new(1, 2);
+        let a = NodeId(0);
+        let b = NodeId(1);
+        let placement = Placement::from_nodes(vec![a, b]);
+        let problem = IlpRoutingProblem {
+            grid: &grid,
+            placement: &placement,
+            requests: vec![(a, b, Interval::new(0, 5)), (b, a, Interval::new(0, 5))],
+        };
+        assert!(route_with_ilp(&problem, &options()).is_err());
+    }
+
+    #[test]
+    fn empty_request_list_is_trivial() {
+        let grid = ConnectionGrid::square(2);
+        let placement = Placement::from_nodes(vec![NodeId(0)]);
+        let problem = IlpRoutingProblem {
+            grid: &grid,
+            placement: &placement,
+            requests: vec![],
+        };
+        assert!(route_with_ilp(&problem, &options()).unwrap().is_empty());
+    }
+}

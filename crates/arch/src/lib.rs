@@ -1,0 +1,64 @@
+//! Architectural synthesis with distributed channel storage.
+//!
+//! This crate implements Section 3.2 of the paper. Starting from a schedule
+//! (operations bound to devices with start/end times), it
+//!
+//! 1. extracts every **transportation task** between devices, splitting long
+//!    waits into *store → cache-in-channel → fetch* triples
+//!    ([`transport`]),
+//! 2. places the devices on a square **connection grid**
+//!    ([`ConnectionGrid`], [`placement`]),
+//! 3. routes every transportation path over grid edges connected by
+//!    switches, with **time multiplexing**: paths whose time windows overlap
+//!    may not share an edge or an intersection node, and a channel segment
+//!    caching a fluid sample is blocked for its entire storage interval
+//!    (its two end nodes stay usable, as in the paper) ([`routing`]),
+//! 4. keeps only the edges actually used, yielding the planar
+//!    [`ConnectionGraph`] and its valve count ([`synthesis`]),
+//! 5. and provides the **dedicated storage unit** baseline against which the
+//!    paper compares (valve cost of a multiplexer-addressed cell bank and its
+//!    port-bandwidth limit) ([`dedicated`]).
+//!
+//! # Example
+//!
+//! ```
+//! use biochip_assay::library;
+//! use biochip_schedule::{ListScheduler, ScheduleProblem, Scheduler};
+//! use biochip_arch::{ArchitectureSynthesizer, SynthesisOptions};
+//!
+//! let problem = ScheduleProblem::new(library::pcr()).with_mixers(2);
+//! let schedule = ListScheduler::default().schedule(&problem)?;
+//! let synthesizer = ArchitectureSynthesizer::new(SynthesisOptions::default());
+//! let architecture = synthesizer.synthesize(&problem, &schedule)?;
+//! assert!(architecture.used_edge_count() > 0);
+//! assert!(architecture.verify().is_ok());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod connection_graph;
+mod dedicated;
+mod error;
+mod grid;
+mod ilp_route;
+mod placement;
+mod reservation;
+mod routing;
+mod synthesis;
+mod transport;
+
+pub use connection_graph::{Architecture, ConnectionGraph, RoutedTransport};
+pub use dedicated::{dedicated_storage_valves, DedicatedStorageUnit};
+pub use error::ArchError;
+pub use grid::{ConnectionGrid, GridCoord, GridEdgeId, NodeId};
+pub use ilp_route::{route_with_ilp, IlpRoutingProblem};
+pub use placement::{place_devices, Placement, PlacementOptions};
+pub use reservation::{Interval, ReservationTable};
+pub use routing::{Router, RoutingOptions};
+pub use synthesis::{ArchitectureSynthesizer, SynthesisOptions};
+pub use transport::{extract_transport_tasks, TransportKind, TransportTask};
+
+/// Re-exported scheduling types used in this crate's public API.
+pub use biochip_schedule::{DeviceId, Schedule, ScheduleProblem};

@@ -1,0 +1,198 @@
+//! Time-interval reservations of grid edges and nodes.
+//!
+//! Architectural synthesis must guarantee that transportation paths whose
+//! time windows overlap never share a channel segment or an intersection
+//! node, and that a segment caching a fluid sample is not used for transport
+//! during its storage interval. The [`ReservationTable`] records who occupies
+//! what and when.
+
+use serde::{Deserialize, Serialize};
+
+use biochip_assay::Seconds;
+
+use crate::grid::{ConnectionGrid, GridEdgeId, NodeId};
+
+/// A half-open time interval `[start, end)` in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive start.
+    pub start: Seconds,
+    /// Exclusive end.
+    pub end: Seconds,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[must_use]
+    pub fn new(start: Seconds, end: Seconds) -> Self {
+        assert!(end >= start, "interval must not end before it starts");
+        Interval { start, end }
+    }
+
+    /// Whether two intervals overlap (empty intervals never overlap).
+    #[must_use]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+
+    /// Length of the interval.
+    #[must_use]
+    pub fn len(&self) -> Seconds {
+        self.end - self.start
+    }
+
+    /// Whether the interval is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Occupancy of every grid edge and node over time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReservationTable {
+    edge_busy: Vec<Vec<Interval>>,
+    node_busy: Vec<Vec<Interval>>,
+}
+
+impl ReservationTable {
+    /// Creates an empty table for the given grid.
+    #[must_use]
+    pub fn new(grid: &ConnectionGrid) -> Self {
+        ReservationTable {
+            edge_busy: vec![Vec::new(); grid.num_edges()],
+            node_busy: vec![Vec::new(); grid.num_nodes()],
+        }
+    }
+
+    /// Whether an edge is free during the whole interval.
+    #[must_use]
+    pub fn edge_free(&self, edge: GridEdgeId, interval: Interval) -> bool {
+        self.edge_busy[edge.index()]
+            .iter()
+            .all(|busy| !busy.overlaps(&interval))
+    }
+
+    /// Whether a node is free during the whole interval.
+    #[must_use]
+    pub fn node_free(&self, node: NodeId, interval: Interval) -> bool {
+        self.node_busy[node.index()]
+            .iter()
+            .all(|busy| !busy.overlaps(&interval))
+    }
+
+    /// Marks an edge busy during the interval.
+    pub fn reserve_edge(&mut self, edge: GridEdgeId, interval: Interval) {
+        if !interval.is_empty() {
+            self.edge_busy[edge.index()].push(interval);
+        }
+    }
+
+    /// Marks a node busy during the interval.
+    pub fn reserve_node(&mut self, node: NodeId, interval: Interval) {
+        if !interval.is_empty() {
+            self.node_busy[node.index()].push(interval);
+        }
+    }
+
+    /// All reservations of an edge (for inspection and verification).
+    #[must_use]
+    pub fn edge_reservations(&self, edge: GridEdgeId) -> &[Interval] {
+        &self.edge_busy[edge.index()]
+    }
+
+    /// All reservations of a node.
+    #[must_use]
+    pub fn node_reservations(&self, node: NodeId) -> &[Interval] {
+        &self.node_busy[node.index()]
+    }
+
+    /// Total number of edge reservations (used in statistics).
+    #[must_use]
+    pub fn total_edge_reservations(&self) -> usize {
+        self.edge_busy.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn interval_overlap_rules() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(10, 20);
+        let c = Interval::new(5, 15);
+        let empty = Interval::new(7, 7);
+        assert!(!a.overlaps(&b), "touching intervals do not overlap");
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert!(!a.overlaps(&empty));
+        assert_eq!(a.len(), 10);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "end before it starts")]
+    fn inverted_interval_panics() {
+        let _ = Interval::new(5, 1);
+    }
+
+    #[test]
+    fn edge_and_node_reservations() {
+        let grid = ConnectionGrid::square(3);
+        let mut table = ReservationTable::new(&grid);
+        let e = GridEdgeId(0);
+        let n = NodeId(0);
+        assert!(table.edge_free(e, Interval::new(0, 100)));
+        table.reserve_edge(e, Interval::new(10, 20));
+        table.reserve_node(n, Interval::new(10, 20));
+        assert!(!table.edge_free(e, Interval::new(15, 25)));
+        assert!(table.edge_free(e, Interval::new(20, 25)));
+        assert!(!table.node_free(n, Interval::new(0, 11)));
+        assert!(table.node_free(n, Interval::new(20, 30)));
+        assert_eq!(table.edge_reservations(e).len(), 1);
+        assert_eq!(table.total_edge_reservations(), 1);
+    }
+
+    #[test]
+    fn empty_reservations_are_ignored() {
+        let grid = ConnectionGrid::square(2);
+        let mut table = ReservationTable::new(&grid);
+        table.reserve_edge(GridEdgeId(0), Interval::new(5, 5));
+        assert!(table.edge_free(GridEdgeId(0), Interval::new(0, 10)));
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_is_symmetric(s1 in 0u64..100, l1 in 0u64..50, s2 in 0u64..100, l2 in 0u64..50) {
+            let a = Interval::new(s1, s1 + l1);
+            let b = Interval::new(s2, s2 + l2);
+            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        }
+
+        #[test]
+        fn free_iff_no_overlapping_reservation(
+            reservations in proptest::collection::vec((0u64..50, 1u64..10), 0..8),
+            query_start in 0u64..60,
+            query_len in 1u64..10,
+        ) {
+            let grid = ConnectionGrid::square(2);
+            let mut table = ReservationTable::new(&grid);
+            let e = GridEdgeId(0);
+            for (s, l) in &reservations {
+                table.reserve_edge(e, Interval::new(*s, s + l));
+            }
+            let query = Interval::new(query_start, query_start + query_len);
+            let expected = reservations
+                .iter()
+                .all(|(s, l)| !Interval::new(*s, s + l).overlaps(&query));
+            prop_assert_eq!(table.edge_free(e, query), expected);
+        }
+    }
+}

@@ -1,0 +1,702 @@
+//! Time-multiplexed routing of transportation paths on the connection grid.
+//!
+//! Every transportation task is routed as a path of channel segments
+//! connected by switches. Paths whose occupation windows overlap in time may
+//! not share an edge or an intersection node (the paper's conflict rule), a
+//! segment caching a sample is blocked for its storage interval (but its end
+//! nodes remain passable), and device nodes can only appear as the endpoints
+//! of a path. Routing minimizes the number of *distinct* edges ever used by
+//! pricing not-yet-used edges higher than already-used ones, which directly
+//! drives down the `n_e`/`n_v` columns of Table 2.
+//!
+//! Tasks carry slack (`earliest_start ..= deadline`); when the preferred
+//! window is congested — for example several samples leaving the same device
+//! at once, which cannot all use its handful of ports simultaneously — the
+//! router staggers the transport inside its slack instead of failing.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::connection_graph::RoutedTransport;
+use crate::error::ArchError;
+use crate::grid::{ConnectionGrid, GridEdgeId, NodeId};
+use crate::placement::Placement;
+use crate::reservation::{Interval, ReservationTable};
+use crate::transport::{TransportKind, TransportTask};
+
+/// Options controlling the router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingOptions {
+    /// Cost of traversing an edge that some earlier path already used.
+    pub used_edge_cost: u64,
+    /// Cost of traversing an edge that no path has used yet (pricing new
+    /// edges higher minimizes the number of kept segments).
+    pub new_edge_cost: u64,
+    /// Whether cache segments may touch a device node when no pure
+    /// switch-to-switch segment is free (needed on very small grids).
+    pub allow_device_adjacent_storage: bool,
+    /// Maximum number of alternative start times tried inside a task's slack
+    /// when its preferred window is congested.
+    pub max_window_candidates: usize,
+    /// Last-resort postponement: how far beyond its deadline a transport may
+    /// be shifted when no conflict-free window exists inside its slack.
+    ///
+    /// A schedule can demand more simultaneous movements at one device than
+    /// the device has ports (e.g. three departing samples plus two arriving
+    /// inputs around the same instant); a real chip controller serializes
+    /// them. The resulting postponement is reported by
+    /// [`Architecture::transport_postponement`](crate::Architecture::transport_postponement)
+    /// so that the execution-time impact stays visible.
+    pub max_deadline_overrun: biochip_assay::Seconds,
+}
+
+impl Default for RoutingOptions {
+    fn default() -> Self {
+        RoutingOptions {
+            used_edge_cost: 1,
+            new_edge_cost: 4,
+            allow_device_adjacent_storage: true,
+            max_window_candidates: 16,
+            max_deadline_overrun: 0,
+        }
+    }
+}
+
+/// One routed transportation path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutedPath {
+    /// Nodes visited, in order (first = source, last = destination).
+    pub nodes: Vec<NodeId>,
+    /// Edges traversed, in order (`nodes.len() - 1` entries).
+    pub edges: Vec<GridEdgeId>,
+    /// Time window during which the path is occupied.
+    pub window: Interval,
+}
+
+/// The incremental routing engine.
+///
+/// Tasks must be routed in the order returned by
+/// [`extract_transport_tasks`](crate::extract_transport_tasks) (ascending
+/// window start); each successful route immediately reserves its resources.
+#[derive(Debug, Clone)]
+pub struct Router<'a> {
+    grid: &'a ConnectionGrid,
+    placement: &'a Placement,
+    options: RoutingOptions,
+    reservations: ReservationTable,
+    used_edges: HashSet<GridEdgeId>,
+    /// Cache segment and exit node chosen for each stored sample.
+    cache_of_sample: HashMap<usize, (GridEdgeId, NodeId)>,
+}
+
+impl<'a> Router<'a> {
+    /// Creates a router over the given grid and placement.
+    #[must_use]
+    pub fn new(grid: &'a ConnectionGrid, placement: &'a Placement, options: RoutingOptions) -> Self {
+        Router {
+            grid,
+            placement,
+            options,
+            reservations: ReservationTable::new(grid),
+            used_edges: HashSet::new(),
+            cache_of_sample: HashMap::new(),
+        }
+    }
+
+    /// Edges used by at least one routed path so far.
+    #[must_use]
+    pub fn used_edges(&self) -> &HashSet<GridEdgeId> {
+        &self.used_edges
+    }
+
+    /// The reservation table built up so far.
+    #[must_use]
+    pub fn reservations(&self) -> &ReservationTable {
+        &self.reservations
+    }
+
+    /// Routes one transportation task, reserving its resources.
+    ///
+    /// The returned [`RoutedTransport`] carries the task with its *actual*
+    /// window (which may have been shifted inside the task's slack) and, for
+    /// store tasks, the chosen cache segment and updated storage interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::RoutingFailed`] when no conflict-free path exists
+    /// inside the task's slack and [`ArchError::NoStorageSegment`] when no
+    /// channel segment can cache the sample for its storage interval.
+    pub fn route(&mut self, task: &TransportTask) -> Result<RoutedTransport, ArchError> {
+        match task.kind {
+            TransportKind::Direct => self.route_direct(task),
+            TransportKind::Store => self.route_store(task),
+            TransportKind::Fetch => self.route_fetch(task),
+        }
+    }
+
+    /// Candidate occupation windows inside the task's slack, preferred window
+    /// first, followed by postponed windows up to the configured deadline
+    /// overrun (last resort).
+    fn candidate_windows(&self, task: &TransportTask) -> Vec<Interval> {
+        let len = task.window_len().max(1);
+        let mut starts = vec![task.window_start];
+        if task.deadline >= task.earliest_start + len {
+            let latest = task.deadline - len;
+            starts.push(task.earliest_start);
+            starts.push(latest);
+            let mut s = task.earliest_start;
+            while s <= latest && starts.len() < self.options.max_window_candidates {
+                starts.push(s);
+                s += len;
+            }
+        }
+        if self.options.max_deadline_overrun > 0 {
+            let base = task.deadline.saturating_sub(len).max(task.earliest_start);
+            let mut overrun = len;
+            while overrun <= self.options.max_deadline_overrun
+                && starts.len() < 2 * self.options.max_window_candidates
+            {
+                starts.push(base + overrun);
+                overrun += len;
+            }
+        }
+        let mut seen = HashSet::new();
+        starts
+            .into_iter()
+            .filter(|s| seen.insert(*s))
+            .take(2 * self.options.max_window_candidates.max(1))
+            .map(|s| Interval::new(s, s + len))
+            .collect()
+    }
+
+    fn route_direct(&mut self, task: &TransportTask) -> Result<RoutedTransport, ArchError> {
+        let from = self.placement.node_of(task.from_device);
+        let to = self.placement.node_of(task.to_device);
+        for window in self.candidate_windows(task) {
+            if let Some(path) = self.shortest_path(from, to, window, None) {
+                self.commit(&path, window);
+                let mut routed_task = task.clone();
+                routed_task.window_start = window.start;
+                routed_task.window_end = window.end;
+                return Ok(RoutedTransport {
+                    task: routed_task,
+                    path,
+                    cache_edge: None,
+                });
+            }
+        }
+        Err(ArchError::RoutingFailed {
+            from: task.from_device,
+            to: task.to_device,
+            task: task.describe(),
+        })
+    }
+
+    /// Routes a store task: producer device → a free channel segment that
+    /// will cache the sample.
+    fn route_store(&mut self, task: &TransportTask) -> Result<RoutedTransport, ArchError> {
+        let from = self.placement.node_of(task.from_device);
+        let to = self.placement.node_of(task.to_device);
+        let stored_until = task
+            .storage_interval
+            .map(|(_, until)| until)
+            .unwrap_or(task.deadline);
+
+        for store_window in self.candidate_windows(task) {
+            if store_window.end > stored_until {
+                // The sample must be resting in its segment before the fetch
+                // departs; postponing the store past that point is useless.
+                continue;
+            }
+            let storage = Interval::new(store_window.end.min(stored_until), stored_until);
+            let fetch_window = Interval::new(stored_until, stored_until + task.window_len());
+
+            // Candidate cache segments: free for the whole store/storage/
+            // fetch horizon, preferably pure switch-to-switch segments, close
+            // to both endpoints, preferring already-used edges.
+            let mut candidates: Vec<(u64, GridEdgeId)> = Vec::new();
+            for edge in self.grid.edges() {
+                let (x, y) = self.grid.endpoints(edge);
+                let touches_device = self.placement.device_at(x).is_some()
+                    || self.placement.device_at(y).is_some();
+                if touches_device && !self.options.allow_device_adjacent_storage {
+                    continue;
+                }
+                if !(self.reservations.edge_free(edge, store_window)
+                    && self.reservations.edge_free(edge, storage)
+                    && self.reservations.edge_free(edge, fetch_window))
+                {
+                    continue;
+                }
+                let edge_price = if self.used_edges.contains(&edge) {
+                    self.options.used_edge_cost
+                } else {
+                    self.options.new_edge_cost
+                };
+                let distance = (self.grid.distance(from, x).min(self.grid.distance(from, y))
+                    + self.grid.distance(to, x).min(self.grid.distance(to, y)))
+                    as u64;
+                let device_penalty = if touches_device { 100 } else { 0 };
+                candidates.push((distance * 4 + edge_price + device_penalty, edge));
+            }
+            candidates.sort_unstable();
+
+            for (_, edge) in candidates {
+                let (x, y) = self.grid.endpoints(edge);
+                // Try entering the segment from either endpoint.
+                for (entry, exit) in [(x, y), (y, x)] {
+                    // The sample slides into the segment towards `exit`, so
+                    // the far end must be a free switch node; the entry may
+                    // be a device node only if it is the producer itself.
+                    if self.placement.device_at(exit).is_some()
+                        || !self.reservations.node_free(exit, store_window)
+                    {
+                        continue;
+                    }
+                    if self.placement.device_at(entry).is_some() && entry != from {
+                        continue;
+                    }
+                    let Some(mut path) =
+                        self.shortest_path(from, entry, store_window, Some(edge))
+                    else {
+                        continue;
+                    };
+                    path.nodes.push(exit);
+                    path.edges.push(edge);
+                    self.commit(&path, store_window);
+                    // Block the segment from the moment the sample arrives
+                    // until the end of its planned fetch window, so no later
+                    // task can claim the segment for the very instant the
+                    // sample has to leave it. The segment's end nodes stay
+                    // passable for other paths (the paper's exception).
+                    let planned_fetch_end = stored_until + task.window_len().max(1);
+                    self.reservations
+                        .reserve_edge(edge, Interval::new(storage.start, planned_fetch_end));
+                    self.cache_of_sample.insert(task.sample, (edge, exit));
+                    let mut routed_task = task.clone();
+                    routed_task.window_start = store_window.start;
+                    routed_task.window_end = store_window.end;
+                    routed_task.storage_interval = Some((storage.start, storage.end));
+                    return Ok(RoutedTransport {
+                        task: routed_task,
+                        path,
+                        cache_edge: Some(edge),
+                    });
+                }
+            }
+        }
+        Err(ArchError::NoStorageSegment {
+            task: task.describe(),
+        })
+    }
+
+    /// Routes a fetch task: the sample's cache segment → consumer device.
+    fn route_fetch(&mut self, task: &TransportTask) -> Result<RoutedTransport, ArchError> {
+        let to = self.placement.node_of(task.to_device);
+        let (cache_edge, exit) = self.cache_of_sample.get(&task.sample).copied().ok_or_else(|| {
+            ArchError::Inconsistent {
+                reason: format!("fetch of sample {} before it was stored", task.sample),
+            }
+        })?;
+        let (x, y) = self.grid.endpoints(cache_edge);
+        for window in self.candidate_windows(task) {
+            // The cache segment is already reserved for the sample through
+            // the end of its planned fetch window. When the fetch is
+            // postponed beyond that plan, the segment must additionally stay
+            // free (the sample keeps resting in it) until the actual
+            // departure completes.
+            let beyond_plan = Interval::new(task.window_end.min(window.end), window.end);
+            if !self.reservations.edge_free(cache_edge, beyond_plan) {
+                continue;
+            }
+            // Leave through the recorded exit node first, falling back to
+            // the other end of the segment.
+            for leave in [exit, if exit == x { y } else { x }] {
+                let Some(path) = self.shortest_path(leave, to, window, Some(cache_edge)) else {
+                    continue;
+                };
+                // The sample first traverses its cache segment, then the path.
+                let entry = self.grid.other_endpoint(cache_edge, leave);
+                let mut nodes = vec![entry];
+                nodes.extend(path.nodes.iter().copied());
+                let mut edges = vec![cache_edge];
+                edges.extend(path.edges.iter().copied());
+                let full = RoutedPath {
+                    nodes,
+                    edges,
+                    window,
+                };
+                self.commit(&full, window);
+                // Keep the segment blocked while the sample rests in it past
+                // the originally planned fetch time.
+                self.reservations.reserve_edge(cache_edge, beyond_plan);
+                self.cache_of_sample.remove(&task.sample);
+                let mut routed_task = task.clone();
+                routed_task.window_start = window.start;
+                routed_task.window_end = window.end;
+                return Ok(RoutedTransport {
+                    task: routed_task,
+                    path: full,
+                    cache_edge: Some(cache_edge),
+                });
+            }
+        }
+        Err(ArchError::RoutingFailed {
+            from: task.from_device,
+            to: task.to_device,
+            task: task.describe(),
+        })
+    }
+
+    /// Reserves every switch node and edge of a path for the window and
+    /// records the edges as used.
+    ///
+    /// Device nodes are *not* reserved: several samples may arrive at or
+    /// leave the same device in overlapping windows (for example the two
+    /// inputs of a mixing operation), entering through different channels.
+    /// Channel-level conflicts are still excluded because the edges and
+    /// switch nodes of concurrent paths may not overlap.
+    fn commit(&mut self, path: &RoutedPath, window: Interval) {
+        for &node in &path.nodes {
+            if self.placement.device_at(node).is_some() {
+                continue;
+            }
+            self.reservations.reserve_node(node, window);
+        }
+        for &edge in &path.edges {
+            self.reservations.reserve_edge(edge, window);
+            self.used_edges.insert(edge);
+        }
+    }
+
+    /// Dijkstra shortest path from `from` to `to` during `window`, avoiding
+    /// reserved edges/nodes and foreign device nodes. `skip_edge` is excluded
+    /// from the search (used to keep a cache segment for the sample itself).
+    fn shortest_path(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        window: Interval,
+        skip_edge: Option<GridEdgeId>,
+    ) -> Option<RoutedPath> {
+        if from == to {
+            return Some(RoutedPath {
+                nodes: vec![from],
+                edges: Vec::new(),
+                window,
+            });
+        }
+        let endpoint_blocked = |node: NodeId| {
+            self.placement.device_at(node).is_none() && !self.reservations.node_free(node, window)
+        };
+        if endpoint_blocked(from) || endpoint_blocked(to) {
+            return None;
+        }
+
+        #[derive(PartialEq, Eq)]
+        struct Entry {
+            cost: u64,
+            node: NodeId,
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other
+                    .cost
+                    .cmp(&self.cost)
+                    .then_with(|| other.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut dist: HashMap<NodeId, u64> = HashMap::new();
+        let mut prev: HashMap<NodeId, (NodeId, GridEdgeId)> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(from, 0);
+        heap.push(Entry { cost: 0, node: from });
+
+        while let Some(Entry { cost, node }) = heap.pop() {
+            if node == to {
+                break;
+            }
+            if cost > dist.get(&node).copied().unwrap_or(u64::MAX) {
+                continue;
+            }
+            for &edge in self.grid.incident_edges(node) {
+                if Some(edge) == skip_edge {
+                    continue;
+                }
+                let next = self.grid.other_endpoint(edge, node);
+                // Device nodes may only be path endpoints.
+                if next != to && self.placement.device_at(next).is_some() {
+                    continue;
+                }
+                if !self.reservations.edge_free(edge, window)
+                    || (self.placement.device_at(next).is_none()
+                        && !self.reservations.node_free(next, window))
+                {
+                    continue;
+                }
+                let edge_cost = if self.used_edges.contains(&edge) {
+                    self.options.used_edge_cost
+                } else {
+                    self.options.new_edge_cost
+                };
+                let next_cost = cost + edge_cost;
+                if next_cost < dist.get(&next).copied().unwrap_or(u64::MAX) {
+                    dist.insert(next, next_cost);
+                    prev.insert(next, (node, edge));
+                    heap.push(Entry {
+                        cost: next_cost,
+                        node: next,
+                    });
+                }
+            }
+        }
+
+        if !prev.contains_key(&to) {
+            return None;
+        }
+        let mut nodes = vec![to];
+        let mut edges = Vec::new();
+        let mut cursor = to;
+        while cursor != from {
+            let (parent, edge) = prev[&cursor];
+            nodes.push(parent);
+            edges.push(edge);
+            cursor = parent;
+        }
+        nodes.reverse();
+        edges.reverse();
+        Some(RoutedPath {
+            nodes,
+            edges,
+            window,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{place_devices, PlacementOptions};
+    use biochip_assay::OpId;
+    use biochip_schedule::DeviceId;
+
+    fn make_placement(grid: &ConnectionGrid, devices: usize) -> Placement {
+        place_devices(grid, devices, &[], &PlacementOptions::default()).unwrap()
+    }
+
+    fn direct_task(from: usize, to: usize, start: u64, end: u64) -> TransportTask {
+        TransportTask {
+            sample: 99,
+            producer: OpId(0),
+            consumer: OpId(1),
+            from_device: DeviceId(from),
+            to_device: DeviceId(to),
+            kind: TransportKind::Direct,
+            window_start: start,
+            window_end: end,
+            storage_interval: None,
+            earliest_start: start,
+            deadline: end,
+        }
+    }
+
+    fn store_task(sample: usize, from: usize, to: usize) -> TransportTask {
+        TransportTask {
+            sample,
+            producer: OpId(0),
+            consumer: OpId(1),
+            from_device: DeviceId(from),
+            to_device: DeviceId(to),
+            kind: TransportKind::Store,
+            window_start: 10,
+            window_end: 15,
+            storage_interval: Some((15, 55)),
+            earliest_start: 10,
+            deadline: 30,
+        }
+    }
+
+    fn fetch_task(sample: usize, from: usize, to: usize) -> TransportTask {
+        TransportTask {
+            sample,
+            producer: OpId(0),
+            consumer: OpId(1),
+            from_device: DeviceId(from),
+            to_device: DeviceId(to),
+            kind: TransportKind::Fetch,
+            window_start: 55,
+            window_end: 60,
+            storage_interval: None,
+            earliest_start: 55,
+            deadline: 60,
+        }
+    }
+
+    #[test]
+    fn direct_path_connects_the_two_devices() {
+        let grid = ConnectionGrid::square(4);
+        let placement = make_placement(&grid, 2);
+        let mut router = Router::new(&grid, &placement, RoutingOptions::default());
+        let routed = router.route(&direct_task(0, 1, 0, 5)).unwrap();
+        assert!(routed.cache_edge.is_none());
+        assert_eq!(
+            routed.path.nodes.first().copied(),
+            Some(placement.node_of(DeviceId(0)))
+        );
+        assert_eq!(
+            routed.path.nodes.last().copied(),
+            Some(placement.node_of(DeviceId(1)))
+        );
+        assert_eq!(routed.path.edges.len(), routed.path.nodes.len() - 1);
+        assert!(!router.used_edges().is_empty());
+    }
+
+    #[test]
+    fn overlapping_paths_do_not_share_resources() {
+        let grid = ConnectionGrid::square(4);
+        let placement = make_placement(&grid, 3);
+        let mut router = Router::new(&grid, &placement, RoutingOptions::default());
+        let r1 = router.route(&direct_task(0, 1, 0, 5)).unwrap();
+        let r2 = router.route(&direct_task(2, 1, 0, 5)).unwrap();
+        // Both may end at the same destination device, but when their actual
+        // windows overlap they share no edge and no switch node.
+        if r1.path.window.overlaps(&r2.path.window) {
+            for e in &r1.path.edges {
+                assert!(!r2.path.edges.contains(e), "edge {e} shared by concurrent paths");
+            }
+            let interior1: Vec<NodeId> = r1.path.nodes[1..r1.path.nodes.len() - 1].to_vec();
+            for n in &r2.path.nodes[1..r2.path.nodes.len() - 1] {
+                assert!(!interior1.contains(n), "switch {n} shared by concurrent paths");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_paths_may_reuse_edges() {
+        let grid = ConnectionGrid::square(4);
+        let placement = make_placement(&grid, 2);
+        let mut router = Router::new(&grid, &placement, RoutingOptions::default());
+        let r1 = router.route(&direct_task(0, 1, 0, 5)).unwrap();
+        let r2 = router.route(&direct_task(0, 1, 10, 15)).unwrap();
+        // With used-edge pricing the second path reuses the first one's edges.
+        assert_eq!(r1.path.edges, r2.path.edges);
+        assert_eq!(router.used_edges().len(), r1.path.edges.len());
+    }
+
+    #[test]
+    fn congested_window_is_staggered_inside_the_slack() {
+        // Two samples leave device 0 towards device 1 in the same preferred
+        // window; the second transport has slack until t = 20 and is shifted
+        // instead of failing.
+        let grid = ConnectionGrid::square(3);
+        let placement = make_placement(&grid, 2);
+        let mut router = Router::new(&grid, &placement, RoutingOptions::default());
+        let first = router.route(&direct_task(0, 1, 0, 5)).unwrap();
+        let mut second = direct_task(0, 1, 0, 5);
+        second.deadline = 20;
+        let second = router.route(&second).unwrap();
+        if second.path.edges == first.path.edges {
+            assert!(
+                !second.path.window.overlaps(&first.path.window),
+                "same segments may only be reused in a later window"
+            );
+        }
+    }
+
+    #[test]
+    fn store_then_fetch_uses_the_same_cache_segment() {
+        let grid = ConnectionGrid::square(4);
+        let placement = make_placement(&grid, 2);
+        let mut router = Router::new(&grid, &placement, RoutingOptions::default());
+        let stored = router.route(&store_task(3, 0, 1)).unwrap();
+        let cache = stored.cache_edge.expect("store chooses a cache segment");
+        assert_eq!(stored.path.edges.last().copied(), Some(cache));
+        // The segment is blocked during the storage interval.
+        let (from, until) = stored.task.storage_interval.unwrap();
+        assert!(until > from);
+        assert!(!router
+            .reservations()
+            .edge_free(cache, Interval::new(from + 1, from + 2)));
+        let fetched = router.route(&fetch_task(3, 0, 1)).unwrap();
+        assert_eq!(fetched.cache_edge, Some(cache));
+        assert_eq!(fetched.path.edges.first().copied(), Some(cache));
+        assert_eq!(
+            fetched.path.nodes.last().copied(),
+            Some(placement.node_of(DeviceId(1)))
+        );
+    }
+
+    #[test]
+    fn fetch_before_store_is_an_error() {
+        let grid = ConnectionGrid::square(4);
+        let placement = make_placement(&grid, 2);
+        let mut router = Router::new(&grid, &placement, RoutingOptions::default());
+        let err = router.route(&fetch_task(7, 0, 1)).unwrap_err();
+        assert!(matches!(err, ArchError::Inconsistent { .. }));
+    }
+
+    #[test]
+    fn stored_segment_is_not_used_by_other_paths() {
+        let grid = ConnectionGrid::square(4);
+        let placement = make_placement(&grid, 2);
+        let mut router = Router::new(&grid, &placement, RoutingOptions::default());
+        let stored = router.route(&store_task(0, 0, 1)).unwrap();
+        let cache = stored.cache_edge.unwrap();
+        // A direct transport during the storage interval must avoid the
+        // cached segment.
+        let routed = router.route(&direct_task(0, 1, 20, 25)).unwrap();
+        assert!(!routed.path.edges.contains(&cache));
+    }
+
+    #[test]
+    fn routing_on_a_congested_tiny_grid_fails_gracefully() {
+        // 1x2 grid: a single edge between two devices; two concurrent
+        // transports with zero slack cannot both be routed.
+        let grid = ConnectionGrid::new(1, 2);
+        let placement = make_placement(&grid, 2);
+        let mut router = Router::new(&grid, &placement, RoutingOptions::default());
+        router.route(&direct_task(0, 1, 0, 5)).unwrap();
+        let err = router.route(&direct_task(1, 0, 0, 5)).unwrap_err();
+        assert!(matches!(err, ArchError::RoutingFailed { .. }));
+    }
+
+    #[test]
+    fn paths_do_not_cross_foreign_devices() {
+        let grid = ConnectionGrid::new(1, 5);
+        // Three devices on a line: 0 at one end, 1 at the other, 2 between
+        // them. Any path 0 -> 1 would have to cross device 2: impossible.
+        let placement = Placement::from_nodes(vec![NodeId(0), NodeId(4), NodeId(2)]);
+        let mut router = Router::new(&grid, &placement, RoutingOptions::default());
+        let err = router.route(&direct_task(0, 1, 0, 5)).unwrap_err();
+        assert!(matches!(err, ArchError::RoutingFailed { .. }));
+        // 0 -> 2 (the middle device) is fine: it is the path's endpoint.
+        router.route(&direct_task(0, 2, 10, 15)).unwrap();
+    }
+
+    #[test]
+    fn candidate_windows_start_with_the_preferred_one() {
+        let grid = ConnectionGrid::square(3);
+        let placement = make_placement(&grid, 2);
+        let router = Router::new(&grid, &placement, RoutingOptions::default());
+        let mut task = direct_task(0, 1, 10, 15);
+        task.earliest_start = 0;
+        task.deadline = 40;
+        let windows = router.candidate_windows(&task);
+        assert_eq!(windows[0], Interval::new(10, 15));
+        assert!(windows.len() > 1);
+        for w in &windows {
+            assert!(w.end <= 40 + 5);
+            assert_eq!(w.len(), 5);
+        }
+        // No slack: only the preferred window.
+        let tight = direct_task(0, 1, 10, 15);
+        assert_eq!(router.candidate_windows(&tight), vec![Interval::new(10, 15)]);
+    }
+}

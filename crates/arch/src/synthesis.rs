@@ -1,0 +1,301 @@
+//! Top-level architectural synthesis: schedule → placed, routed chip.
+
+use serde::{Deserialize, Serialize};
+
+use biochip_schedule::{Schedule, ScheduleProblem};
+
+use crate::connection_graph::{Architecture, ConnectionGraph};
+use crate::error::ArchError;
+use crate::grid::ConnectionGrid;
+use crate::placement::{place_devices, PlacementOptions};
+use crate::routing::{Router, RoutingOptions};
+use crate::transport::extract_transport_tasks;
+
+/// Options of the architectural synthesizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisOptions {
+    /// Connection-grid side length; `None` chooses a size from the device
+    /// count (the paper uses 4×4 for up to four devices and 5×5 for five).
+    pub grid_size: Option<usize>,
+    /// Largest grid side length the synthesizer may grow to when routing on
+    /// the initial grid fails.
+    pub max_grid_size: usize,
+    /// Allow postponing individual transports past their deadline (reported
+    /// via [`Architecture::transport_postponement`]) as a last resort when
+    /// even the largest grid cannot route them on time — e.g. when a
+    /// schedule demands more simultaneous movements at one device than the
+    /// device has ports.
+    pub allow_postponement: bool,
+    /// Placement options.
+    pub placement: PlacementOptions,
+    /// Routing options.
+    pub routing: RoutingOptions,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            grid_size: None,
+            max_grid_size: 12,
+            allow_postponement: true,
+            placement: PlacementOptions::default(),
+            routing: RoutingOptions::default(),
+        }
+    }
+}
+
+impl SynthesisOptions {
+    /// Fixes the grid side length (disabling the automatic choice).
+    #[must_use]
+    pub fn with_grid_size(mut self, size: usize) -> Self {
+        self.grid_size = Some(size.max(1));
+        self
+    }
+}
+
+/// The architectural synthesis engine (Section 3.2 of the paper).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ArchitectureSynthesizer {
+    options: SynthesisOptions,
+}
+
+impl ArchitectureSynthesizer {
+    /// Creates a synthesizer with the given options.
+    #[must_use]
+    pub fn new(options: SynthesisOptions) -> Self {
+        ArchitectureSynthesizer { options }
+    }
+
+    /// The configured options.
+    #[must_use]
+    pub fn options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
+    /// Synthesizes the chip architecture for a scheduled assay.
+    ///
+    /// The schedule is validated, transportation tasks are extracted, devices
+    /// are placed on the connection grid, and every task is routed with time
+    /// multiplexing. When routing fails on the chosen grid the grid is grown
+    /// by one row/column (up to [`SynthesisOptions::max_grid_size`]) and the
+    /// whole placement/routing pass is repeated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidSchedule`] for schedules that violate the
+    /// scheduling constraints, [`ArchError::GridTooSmall`] when the devices
+    /// cannot even be placed, and the last routing error when no grid up to
+    /// the maximum size admits a conflict-free routing.
+    pub fn synthesize(
+        &self,
+        problem: &ScheduleProblem,
+        schedule: &Schedule,
+    ) -> Result<Architecture, ArchError> {
+        schedule
+            .validate(problem)
+            .map_err(|e| ArchError::InvalidSchedule {
+                reason: e.to_string(),
+            })?;
+        let tasks = extract_transport_tasks(problem, schedule);
+        let num_devices = problem.devices().len();
+
+        let initial = self
+            .options
+            .grid_size
+            .unwrap_or_else(|| default_grid_size(num_devices));
+        let max = self.options.max_grid_size.max(initial);
+
+        let mut last_error = ArchError::GridTooSmall {
+            devices: num_devices,
+            nodes: 0,
+        };
+        for size in initial..=max {
+            let grid = ConnectionGrid::square(size);
+            match self.try_grid(&grid, problem, &tasks, &self.options.routing) {
+                Ok(architecture) => return Ok(architecture),
+                Err(e) => last_error = e,
+            }
+        }
+        if self.options.allow_postponement {
+            // Last resort: permit postponing transports whose deadlines
+            // cannot all be met (more simultaneous movements at a device
+            // than it has ports). The overrun is reported, not hidden.
+            let mut relaxed = self.options.routing.clone();
+            relaxed.max_deadline_overrun = 8 * problem.transport_time().max(1);
+            for size in initial..=max {
+                let grid = ConnectionGrid::square(size);
+                match self.try_grid(&grid, problem, &tasks, &relaxed) {
+                    Ok(architecture) => return Ok(architecture),
+                    Err(e) => last_error = e,
+                }
+            }
+        }
+        Err(last_error)
+    }
+
+    /// One placement + routing attempt on a fixed grid.
+    fn try_grid(
+        &self,
+        grid: &ConnectionGrid,
+        problem: &ScheduleProblem,
+        tasks: &[crate::transport::TransportTask],
+        routing: &RoutingOptions,
+    ) -> Result<Architecture, ArchError> {
+        let placement = place_devices(
+            grid,
+            problem.devices().len(),
+            tasks,
+            &self.options.placement,
+        )?;
+        let mut router = Router::new(grid, &placement, routing.clone());
+        let mut routes = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            routes.push(router.route(task)?);
+        }
+        let used = router.used_edges().iter().copied().collect::<Vec<_>>();
+        let connection_graph = ConnectionGraph::new(grid.clone(), placement, used);
+        let architecture = Architecture::new(connection_graph, routes);
+        architecture.verify()?;
+        Ok(architecture)
+    }
+}
+
+/// Grid side length used when the caller does not fix one: devices are spread
+/// on every other node, so a side of `2·ceil(sqrt(D))` leaves enough switch
+/// nodes and segments around each device, with the paper's 4×4 as a floor.
+#[must_use]
+fn default_grid_size(num_devices: usize) -> usize {
+    let side = (num_devices as f64).sqrt().ceil() as usize;
+    (2 * side).max(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::TransportKind;
+    use biochip_assay::library;
+    use biochip_schedule::{ListScheduler, Scheduler, SchedulingStrategy};
+
+    fn schedule_for(
+        graph: biochip_assay::SequencingGraph,
+        mixers: usize,
+        detectors: usize,
+    ) -> (ScheduleProblem, Schedule) {
+        let problem = ScheduleProblem::new(graph)
+            .with_mixers(mixers)
+            .with_detectors(detectors)
+            .with_transport_time(5);
+        let schedule = ListScheduler::new(SchedulingStrategy::StorageAware)
+            .schedule(&problem)
+            .unwrap();
+        (problem, schedule)
+    }
+
+    #[test]
+    fn pcr_architecture_is_consistent() {
+        let (problem, schedule) = schedule_for(library::pcr(), 2, 0);
+        let arch = ArchitectureSynthesizer::default()
+            .synthesize(&problem, &schedule)
+            .unwrap();
+        arch.verify().unwrap();
+        assert!(arch.used_edge_count() > 0);
+        assert!(arch.valve_count() > 0);
+        assert_eq!(arch.routes().len(), extract_transport_tasks(&problem, &schedule).len());
+    }
+
+    #[test]
+    fn synthesis_keeps_only_a_fraction_of_grid_edges() {
+        let (problem, schedule) = schedule_for(library::pcr(), 2, 0);
+        let arch = ArchitectureSynthesizer::default()
+            .synthesize(&problem, &schedule)
+            .unwrap();
+        // Fig. 8: the used-edge ratio is well below 1.
+        assert!(arch.connection_graph().edge_ratio() < 1.0);
+        assert!(arch.connection_graph().valve_ratio() < 1.0);
+    }
+
+    #[test]
+    fn stored_samples_get_cache_segments() {
+        // One mixer and one detector force cross-device transports; with the
+        // detector busy, samples must wait in channel storage.
+        let (problem, schedule) = schedule_for(library::ivd(), 2, 1);
+        let arch = ArchitectureSynthesizer::default()
+            .synthesize(&problem, &schedule)
+            .unwrap();
+        let stores = arch.storage_routes();
+        let schedule_stores = schedule.storage_requirements(&problem).len();
+        assert_eq!(stores.len(), schedule_stores);
+        for store in stores {
+            assert!(store.cache_edge.is_some());
+        }
+    }
+
+    #[test]
+    fn invalid_schedule_is_rejected() {
+        let (problem, _) = schedule_for(library::pcr(), 2, 0);
+        let empty = Schedule::with_capacity(problem.graph().num_operations());
+        let err = ArchitectureSynthesizer::default()
+            .synthesize(&problem, &empty)
+            .unwrap_err();
+        assert!(matches!(err, ArchError::InvalidSchedule { .. }));
+    }
+
+    #[test]
+    fn fixed_grid_size_is_respected() {
+        let (problem, schedule) = schedule_for(library::pcr(), 2, 0);
+        let options = SynthesisOptions::default().with_grid_size(6);
+        let arch = ArchitectureSynthesizer::new(options)
+            .synthesize(&problem, &schedule)
+            .unwrap();
+        assert_eq!(arch.grid().dimensions(), "6x6");
+    }
+
+    #[test]
+    fn default_grid_sizes() {
+        assert_eq!(default_grid_size(1), 4);
+        assert_eq!(default_grid_size(4), 4);
+        assert_eq!(default_grid_size(5), 6);
+        assert_eq!(default_grid_size(9), 6);
+    }
+
+    #[test]
+    fn all_benchmarks_synthesize() {
+        for (name, graph) in library::paper_benchmarks() {
+            let (problem, schedule) = schedule_for(graph, 4, 2);
+            let arch = ArchitectureSynthesizer::default()
+                .synthesize(&problem, &schedule)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            arch.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+            // Every extracted task was routed.
+            assert_eq!(
+                arch.routes().len(),
+                extract_transport_tasks(&problem, &schedule).len(),
+                "{name}"
+            );
+            // Store and fetch counts match.
+            let stores = arch
+                .routes()
+                .iter()
+                .filter(|r| r.task.kind == TransportKind::Store)
+                .count();
+            let fetches = arch
+                .routes()
+                .iter()
+                .filter(|r| r.task.kind == TransportKind::Fetch)
+                .count();
+            assert_eq!(stores, fetches, "{name}");
+        }
+    }
+
+    #[test]
+    fn architectures_are_deterministic() {
+        let (problem, schedule) = schedule_for(library::pcr(), 2, 0);
+        let a = ArchitectureSynthesizer::default()
+            .synthesize(&problem, &schedule)
+            .unwrap();
+        let b = ArchitectureSynthesizer::default()
+            .synthesize(&problem, &schedule)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,271 @@
+//! Structural analyses of sequencing graphs used by the scheduler and the
+//! architectural synthesis.
+
+use std::collections::HashMap;
+
+use crate::graph::{OpId, SequencingGraph};
+use crate::ops::DeviceClass;
+use crate::Seconds;
+
+/// Per-level statistics of a sequencing graph (operations grouped by their
+/// as-soon-as-possible level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelProfile {
+    /// `levels[k]` = ids of device operations whose ASAP level is `k`.
+    pub levels: Vec<Vec<OpId>>,
+}
+
+impl LevelProfile {
+    /// Maximum number of device operations on any level — an upper bound on
+    /// how many devices can ever be busy simultaneously.
+    #[must_use]
+    pub fn max_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Number of levels (equals the device-operation depth of the graph).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Computes the ASAP level of every device operation (inputs/outputs are
+/// level-less and omitted).
+///
+/// Level 0 contains the device operations all of whose parents are inputs (or
+/// that have no parents at all).
+#[must_use]
+pub fn level_profile(graph: &SequencingGraph) -> LevelProfile {
+    let Ok(order) = graph.topological_order() else {
+        return LevelProfile { levels: Vec::new() };
+    };
+    let mut level: Vec<usize> = vec![0; graph.num_operations()];
+    let mut max_level = 0usize;
+    for &id in &order {
+        let own = usize::from(graph.operation(id).needs_device());
+        let base = graph
+            .parents(id)
+            .iter()
+            .map(|p| level[p.index()])
+            .max()
+            .unwrap_or(0);
+        level[id.index()] = base + own;
+        if graph.operation(id).needs_device() {
+            max_level = max_level.max(level[id.index()]);
+        }
+    }
+    let mut levels = vec![Vec::new(); max_level];
+    for id in graph.ids() {
+        if graph.operation(id).needs_device() {
+            levels[level[id.index()] - 1].push(id);
+        }
+    }
+    LevelProfile { levels }
+}
+
+/// Number of device operations per device class.
+#[must_use]
+pub fn device_demand(graph: &SequencingGraph) -> HashMap<DeviceClass, usize> {
+    let mut demand = HashMap::new();
+    for (_, op) in graph.iter() {
+        if op.needs_device() {
+            *demand.entry(op.kind.device_class()).or_insert(0) += 1;
+        }
+    }
+    demand
+}
+
+/// Total execution time (sum of durations) per device class.
+#[must_use]
+pub fn work_per_class(graph: &SequencingGraph) -> HashMap<DeviceClass, Seconds> {
+    let mut work = HashMap::new();
+    for (_, op) in graph.iter() {
+        if op.needs_device() {
+            *work.entry(op.kind.device_class()).or_insert(0) += op.duration;
+        }
+    }
+    work
+}
+
+/// A lower bound on the assay execution time given `devices_per_class`
+/// devices of each class: the maximum of the critical path and, per class,
+/// `ceil(total work / device count)`.
+///
+/// Classes missing from `devices_per_class` are assumed to have exactly one
+/// device.
+#[must_use]
+pub fn makespan_lower_bound(
+    graph: &SequencingGraph,
+    devices_per_class: &HashMap<DeviceClass, usize>,
+) -> Seconds {
+    let mut bound = graph.critical_path();
+    for (class, work) in work_per_class(graph) {
+        let count = devices_per_class.get(&class).copied().unwrap_or(1).max(1) as u64;
+        bound = bound.max(work.div_ceil(count));
+    }
+    bound
+}
+
+/// A lower bound on the number of fluid samples that must be stored
+/// simultaneously, assuming operations execute level by level.
+///
+/// For each level boundary the bound counts dependency edges that cross the
+/// boundary by more than one level (the producing level finishes before the
+/// consuming level starts, so the sample has to wait somewhere). This matches
+/// the paper's observation that the schedule determines storage demand; the
+/// level-synchronous assumption makes it a heuristic estimate rather than an
+/// exact optimum.
+#[must_use]
+pub fn storage_pressure_estimate(graph: &SequencingGraph) -> usize {
+    let profile = level_profile(graph);
+    if profile.depth() == 0 {
+        return 0;
+    }
+    // Level (1-based) of every device op; inputs get level 0.
+    let mut level_of: Vec<usize> = vec![0; graph.num_operations()];
+    for (k, level) in profile.levels.iter().enumerate() {
+        for &id in level {
+            level_of[id.index()] = k + 1;
+        }
+    }
+    let mut max_pressure = 0usize;
+    for boundary in 1..profile.depth() {
+        let crossing = graph
+            .edges()
+            .iter()
+            .filter(|e| {
+                graph.operation(e.parent).needs_device()
+                    && graph.operation(e.child).needs_device()
+                    && level_of[e.parent.index()] <= boundary
+                    && level_of[e.child.index()] > boundary + 1
+            })
+            .count();
+        max_pressure = max_pressure.max(crossing);
+    }
+    max_pressure
+}
+
+/// Summary statistics of an assay used in experiment reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssaySummary {
+    /// Assay name.
+    pub name: String,
+    /// Number of device operations (the `|O|` column of Table 2).
+    pub device_operations: usize,
+    /// Number of dependency edges.
+    pub edges: usize,
+    /// Device-operation depth.
+    pub depth: usize,
+    /// Maximum level width.
+    pub max_width: usize,
+    /// Critical path length in seconds.
+    pub critical_path: Seconds,
+    /// Total device work in seconds.
+    pub total_work: Seconds,
+    /// Level-synchronous storage pressure estimate.
+    pub storage_pressure: usize,
+}
+
+/// Computes an [`AssaySummary`] for the given graph.
+#[must_use]
+pub fn summarize(graph: &SequencingGraph) -> AssaySummary {
+    let profile = level_profile(graph);
+    AssaySummary {
+        name: graph.name().to_owned(),
+        device_operations: graph.device_operations().len(),
+        edges: graph.num_edges(),
+        depth: graph.depth(),
+        max_width: profile.max_width(),
+        critical_path: graph.critical_path(),
+        total_work: graph.total_work(),
+        storage_pressure: storage_pressure_estimate(graph),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::ops::OperationKind;
+
+    #[test]
+    fn pcr_level_profile() {
+        let pcr = library::pcr();
+        let profile = level_profile(&pcr);
+        assert_eq!(profile.depth(), 3);
+        assert_eq!(profile.levels[0].len(), 4);
+        assert_eq!(profile.levels[1].len(), 2);
+        assert_eq!(profile.levels[2].len(), 1);
+        assert_eq!(profile.max_width(), 4);
+    }
+
+    #[test]
+    fn device_demand_counts_classes() {
+        let ivd = library::ivd();
+        let demand = device_demand(&ivd);
+        assert_eq!(demand.get(&DeviceClass::Mixer), Some(&6));
+        assert_eq!(demand.get(&DeviceClass::Detector), Some(&6));
+        assert_eq!(demand.get(&DeviceClass::Port), None);
+    }
+
+    #[test]
+    fn makespan_lower_bound_respects_both_terms() {
+        let pcr = library::pcr();
+        // With one mixer the bound is the total work (420 s); with many
+        // mixers the bound is the critical path (180 s).
+        let mut one = HashMap::new();
+        one.insert(DeviceClass::Mixer, 1);
+        assert_eq!(makespan_lower_bound(&pcr, &one), 420);
+        let mut many = HashMap::new();
+        many.insert(DeviceClass::Mixer, 8);
+        assert_eq!(makespan_lower_bound(&pcr, &many), 180);
+    }
+
+    #[test]
+    fn missing_class_defaults_to_one_device() {
+        let pcr = library::pcr();
+        let bound = makespan_lower_bound(&pcr, &HashMap::new());
+        assert_eq!(bound, 420);
+    }
+
+    #[test]
+    fn storage_pressure_zero_for_chain() {
+        let mut g = SequencingGraph::new("chain");
+        let a = g.add_operation_with_duration("a", OperationKind::Mix, 10);
+        let b = g.add_operation_with_duration("b", OperationKind::Mix, 10);
+        let c = g.add_operation_with_duration("c", OperationKind::Mix, 10);
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, c).unwrap();
+        assert_eq!(storage_pressure_estimate(&g), 0);
+    }
+
+    #[test]
+    fn storage_pressure_detects_long_edges() {
+        // a -> b -> c -> d and a long edge a -> d: the sample from `a` must
+        // wait while b and c execute.
+        let mut g = SequencingGraph::new("skip");
+        let a = g.add_operation_with_duration("a", OperationKind::Mix, 10);
+        let b = g.add_operation_with_duration("b", OperationKind::Mix, 10);
+        let c = g.add_operation_with_duration("c", OperationKind::Mix, 10);
+        let d = g.add_operation_with_duration("d", OperationKind::Mix, 10);
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, c).unwrap();
+        g.add_dependency(c, d).unwrap();
+        g.add_dependency(a, d).unwrap();
+        assert!(storage_pressure_estimate(&g) >= 1);
+    }
+
+    #[test]
+    fn summaries_of_benchmarks() {
+        for (name, g) in library::paper_benchmarks() {
+            let s = summarize(&g);
+            assert_eq!(s.name, g.name());
+            assert!(s.device_operations > 0, "{name}");
+            assert!(s.critical_path > 0, "{name}");
+            assert!(s.total_work >= s.critical_path, "{name}");
+            assert!(s.depth >= 1, "{name}");
+            assert!(s.max_width >= 1, "{name}");
+        }
+    }
+}

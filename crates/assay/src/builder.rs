@@ -1,0 +1,190 @@
+//! Ergonomic builder for sequencing graphs.
+
+use crate::error::GraphError;
+use crate::graph::{OpId, SequencingGraph};
+use crate::ops::{Operation, OperationKind};
+use crate::Seconds;
+
+/// Builder for [`SequencingGraph`] with name-based edge insertion and eager
+/// duplicate checking.
+///
+/// # Example
+///
+/// ```
+/// use biochip_assay::{AssayBuilder, OperationKind};
+///
+/// let assay = AssayBuilder::new("mini")
+///     .operation("m1", OperationKind::Mix, 30)?
+///     .operation("m2", OperationKind::Mix, 30)?
+///     .operation("m3", OperationKind::Mix, 30)?
+///     .dependency("m1", "m3")?
+///     .dependency("m2", "m3")?
+///     .build()?;
+/// assert_eq!(assay.num_operations(), 3);
+/// # Ok::<(), biochip_assay::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AssayBuilder {
+    graph: SequencingGraph,
+}
+
+impl AssayBuilder {
+    /// Starts building an assay with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        AssayBuilder {
+            graph: SequencingGraph::new(name),
+        }
+    }
+
+    /// Adds an operation with an explicit duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateName`] if an operation with the same
+    /// name was already added.
+    pub fn operation(
+        mut self,
+        name: impl Into<String>,
+        kind: OperationKind,
+        duration: Seconds,
+    ) -> Result<Self, GraphError> {
+        let name = name.into();
+        if self.graph.id_by_name(&name).is_some() {
+            return Err(GraphError::DuplicateName { name });
+        }
+        self.graph.add_operation(Operation::new(name, kind, duration));
+        Ok(self)
+    }
+
+    /// Adds an operation with the kind's default duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateName`] if the name already exists.
+    pub fn operation_default(
+        self,
+        name: impl Into<String>,
+        kind: OperationKind,
+    ) -> Result<Self, GraphError> {
+        let duration = kind.default_duration();
+        self.operation(name, kind, duration)
+    }
+
+    /// Adds a dependency edge between two named operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownName`] if either name is unknown, or any
+    /// error of [`SequencingGraph::add_dependency`].
+    pub fn dependency(mut self, parent: &str, child: &str) -> Result<Self, GraphError> {
+        let p = self
+            .graph
+            .id_by_name(parent)
+            .ok_or_else(|| GraphError::UnknownName {
+                name: parent.to_owned(),
+            })?;
+        let c = self
+            .graph
+            .id_by_name(child)
+            .ok_or_else(|| GraphError::UnknownName {
+                name: child.to_owned(),
+            })?;
+        self.graph.add_dependency(p, c)?;
+        Ok(self)
+    }
+
+    /// Returns the id of a previously added operation, if any.
+    #[must_use]
+    pub fn id_of(&self, name: &str) -> Option<OpId> {
+        self.graph.id_by_name(name)
+    }
+
+    /// Finishes building, validating the resulting graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns any validation error of [`SequencingGraph::validate`].
+    pub fn build(self) -> Result<SequencingGraph, GraphError> {
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+
+    /// Finishes building without validation (useful for intentionally
+    /// constructing invalid graphs in tests).
+    #[must_use]
+    pub fn build_unchecked(self) -> SequencingGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_happy_path() {
+        let g = AssayBuilder::new("t")
+            .operation("a", OperationKind::Mix, 10)
+            .unwrap()
+            .operation("b", OperationKind::Mix, 20)
+            .unwrap()
+            .dependency("a", "b")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(g.num_operations(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_names_eagerly() {
+        let err = AssayBuilder::new("t")
+            .operation("a", OperationKind::Mix, 10)
+            .unwrap()
+            .operation("a", OperationKind::Mix, 10)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_unknown_edge_names() {
+        let err = AssayBuilder::new("t")
+            .operation("a", OperationKind::Mix, 10)
+            .unwrap()
+            .dependency("a", "zzz")
+            .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownName { .. }));
+    }
+
+    #[test]
+    fn build_validates_cycles() {
+        let err = AssayBuilder::new("t")
+            .operation("a", OperationKind::Mix, 10)
+            .unwrap()
+            .operation("b", OperationKind::Mix, 10)
+            .unwrap()
+            .dependency("a", "b")
+            .unwrap()
+            .dependency("b", "a")
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::CycleDetected);
+    }
+
+    #[test]
+    fn build_unchecked_skips_validation() {
+        let g = AssayBuilder::new("t").build_unchecked();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn id_of_returns_ids() {
+        let b = AssayBuilder::new("t")
+            .operation("a", OperationKind::Mix, 10)
+            .unwrap();
+        assert!(b.id_of("a").is_some());
+        assert!(b.id_of("x").is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type for sequencing-graph construction and validation.
+
+use std::fmt;
+
+use crate::graph::OpId;
+
+/// Errors produced while constructing or validating a [`SequencingGraph`].
+///
+/// [`SequencingGraph`]: crate::SequencingGraph
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An operation id was used that does not exist in the graph.
+    UnknownOperation {
+        /// The offending id.
+        id: OpId,
+    },
+    /// An operation name was referenced that does not exist in the graph.
+    UnknownName {
+        /// The offending name.
+        name: String,
+    },
+    /// Two operations with the same name were added.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The same dependency edge was added twice.
+    DuplicateEdge {
+        /// Parent operation.
+        parent: OpId,
+        /// Child operation.
+        child: OpId,
+    },
+    /// An edge would connect an operation to itself.
+    SelfLoop {
+        /// The operation in question.
+        id: OpId,
+    },
+    /// The dependency relation contains a cycle, so the graph is not a DAG.
+    CycleDetected,
+    /// A non-input operation has no parents, or an input operation has parents.
+    InvalidRole {
+        /// The operation in question.
+        id: OpId,
+        /// Explanation of the violated rule.
+        reason: String,
+    },
+    /// The graph is empty.
+    Empty,
+    /// A line of the text format could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownOperation { id } => {
+                write!(f, "unknown operation id {id}")
+            }
+            GraphError::UnknownName { name } => {
+                write!(f, "unknown operation name `{name}`")
+            }
+            GraphError::DuplicateName { name } => {
+                write!(f, "duplicate operation name `{name}`")
+            }
+            GraphError::DuplicateEdge { parent, child } => {
+                write!(f, "duplicate dependency edge {parent} -> {child}")
+            }
+            GraphError::SelfLoop { id } => {
+                write!(f, "operation {id} cannot depend on itself")
+            }
+            GraphError::CycleDetected => {
+                write!(f, "sequencing graph contains a dependency cycle")
+            }
+            GraphError::InvalidRole { id, reason } => {
+                write!(f, "operation {id} has an invalid role: {reason}")
+            }
+            GraphError::Empty => write!(f, "sequencing graph contains no operations"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = GraphError::DuplicateName {
+            name: "o1".to_owned(),
+        };
+        assert!(err.to_string().contains("o1"));
+
+        let err = GraphError::Parse {
+            line: 4,
+            message: "bad token".to_owned(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("line 4"));
+        assert!(text.contains("bad token"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! Sequencing graphs and benchmark bioassays for flow-based microfluidic biochips.
+//!
+//! A biochemical assay is described by a *sequencing graph*: a directed acyclic
+//! graph whose nodes are fluidic operations (mixing, dilution, detection, ...)
+//! and whose edges express data dependencies — a parent operation produces an
+//! intermediate fluid sample that a child operation consumes. This crate
+//! provides:
+//!
+//! * [`SequencingGraph`] — the core data structure with validation and
+//!   analysis helpers (topological order, critical path, width, ...),
+//! * [`AssayBuilder`] — an ergonomic builder,
+//! * [`library`] — the real-world benchmark assays used in the paper
+//!   (PCR mixing stage, in-vitro diagnostics, colorimetric protein assay),
+//! * [`random`] — a seeded random assay generator reproducing the RA30/RA70/
+//!   RA100 stress cases,
+//! * [`text`] — a tiny line-oriented interchange format,
+//! * [`analysis`] — structural analyses used by the scheduler.
+//!
+//! # Example
+//!
+//! ```
+//! use biochip_assay::library;
+//!
+//! let pcr = library::pcr();
+//! // 7 mixing operations plus 8 input dispensing operations.
+//! assert_eq!(pcr.device_operations().len(), 7);
+//! assert!(pcr.validate().is_ok());
+//! // The PCR mixing tree is three levels deep.
+//! assert_eq!(pcr.depth(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod ops;
+
+pub mod analysis;
+pub mod library;
+pub mod random;
+pub mod text;
+
+pub use builder::AssayBuilder;
+pub use error::GraphError;
+pub use graph::{DependencyEdge, OpId, SequencingGraph};
+pub use ops::{DeviceClass, Operation, OperationKind, ParseKindError};
+
+/// Time unit used throughout the workspace: one second of assay execution.
+///
+/// All durations, start times and storage lifetimes are expressed in whole
+/// seconds, mirroring the second-granularity numbers reported in the paper.
+pub type Seconds = u64;

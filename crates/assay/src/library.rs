@@ -1,0 +1,327 @@
+//! Benchmark bioassays used in the paper's evaluation.
+//!
+//! The paper evaluates on three real-world assays — the mixing stage of the
+//! polymerase chain reaction (PCR, 7 operations), an in-vitro diagnostics
+//! panel (IVD, 12 operations) and a colorimetric protein assay (CPA, 55
+//! operations) — plus three randomly generated assays (see
+//! [`random`](crate::random)). The paper gives the PCR topology explicitly
+//! (Fig. 2(a)); for IVD and CPA only the operation counts are reported, so the
+//! generators here follow the canonical structures from the digital/flow-based
+//! biochip literature (sample × reagent mix-and-detect panels for IVD, a
+//! serial-dilution ladder with per-step detection for CPA) with exactly the
+//! reported operation counts.
+
+use crate::builder::AssayBuilder;
+use crate::graph::SequencingGraph;
+use crate::ops::OperationKind;
+use crate::Seconds;
+
+/// Default duration of a mixing operation, in seconds.
+pub const MIX_SECONDS: Seconds = 60;
+/// Default duration of a dilution operation, in seconds.
+pub const DILUTE_SECONDS: Seconds = 30;
+/// Default duration of a detection operation, in seconds.
+pub const DETECT_SECONDS: Seconds = 30;
+
+/// The mixing stage of the polymerase chain reaction (Fig. 2(a) of the paper).
+///
+/// Eight input reagents are combined by seven mixing operations arranged as a
+/// complete binary tree: `o1..o4` mix the inputs pairwise, `o5`/`o6` mix their
+/// results and `o7` produces the final product.
+///
+/// # Example
+///
+/// ```
+/// let pcr = biochip_assay::library::pcr();
+/// assert_eq!(pcr.num_operations(), 7 + 8); // 7 mixes + 8 inputs
+/// assert_eq!(pcr.device_operations().len(), 7);
+/// ```
+#[must_use]
+pub fn pcr() -> SequencingGraph {
+    let mut b = AssayBuilder::new("PCR");
+    for i in 1..=8 {
+        b = b
+            .operation(format!("i{i}"), OperationKind::Input, 0)
+            .expect("unique input name");
+    }
+    for o in 1..=7 {
+        b = b
+            .operation(format!("o{o}"), OperationKind::Mix, MIX_SECONDS)
+            .expect("unique op name");
+    }
+    let deps = [
+        ("i1", "o1"),
+        ("i2", "o1"),
+        ("i3", "o2"),
+        ("i4", "o2"),
+        ("i5", "o3"),
+        ("i6", "o3"),
+        ("i7", "o4"),
+        ("i8", "o4"),
+        ("o1", "o5"),
+        ("o2", "o5"),
+        ("o3", "o6"),
+        ("o4", "o6"),
+        ("o5", "o7"),
+        ("o6", "o7"),
+    ];
+    for (p, c) in deps {
+        b = b.dependency(p, c).expect("valid dependency");
+    }
+    b.build().expect("PCR benchmark is valid")
+}
+
+/// In-vitro diagnostics panel with 12 device operations.
+///
+/// Three physiological samples are each mixed with two reagents and every
+/// mixture is measured by a detection operation: `3 × 2` mixes plus `3 × 2`
+/// detections = 12 operations, matching `|O| = 12` in Table 2.
+#[must_use]
+pub fn ivd() -> SequencingGraph {
+    ivd_with(3, 2)
+}
+
+/// Generalized in-vitro diagnostics panel: `samples × reagents` mixes, each
+/// followed by a detection.
+///
+/// The total number of device operations is `2 * samples * reagents`.
+///
+/// # Panics
+///
+/// Panics if `samples` or `reagents` is zero.
+#[must_use]
+pub fn ivd_with(samples: usize, reagents: usize) -> SequencingGraph {
+    assert!(samples > 0, "ivd_with requires at least one sample");
+    assert!(reagents > 0, "ivd_with requires at least one reagent");
+    let mut b = AssayBuilder::new("IVD");
+    for s in 1..=samples {
+        b = b
+            .operation(format!("S{s}"), OperationKind::Input, 0)
+            .expect("unique sample name");
+    }
+    for r in 1..=reagents {
+        b = b
+            .operation(format!("R{r}"), OperationKind::Input, 0)
+            .expect("unique reagent name");
+    }
+    for s in 1..=samples {
+        for r in 1..=reagents {
+            let mix = format!("mix_s{s}r{r}");
+            let det = format!("det_s{s}r{r}");
+            b = b
+                .operation(&mix, OperationKind::Mix, MIX_SECONDS)
+                .expect("unique mix name")
+                .operation(&det, OperationKind::Detect, DETECT_SECONDS)
+                .expect("unique detect name")
+                .dependency(&format!("S{s}"), &mix)
+                .expect("sample edge")
+                .dependency(&format!("R{r}"), &mix)
+                .expect("reagent edge")
+                .dependency(&mix, &det)
+                .expect("detect edge");
+        }
+    }
+    b.build().expect("IVD benchmark is valid")
+}
+
+/// Colorimetric protein assay with 55 device operations.
+///
+/// One initial mix of the protein sample with buffer feeds a serial-dilution
+/// ladder of 18 steps; the output of every dilution step is mixed with the
+/// Coomassie Brilliant Blue reagent and measured by a detector:
+/// `1 + 18 × (dilute + mix + detect) = 55` operations, matching `|O| = 55`.
+#[must_use]
+pub fn cpa() -> SequencingGraph {
+    cpa_with(18)
+}
+
+/// Generalized colorimetric protein assay with a serial-dilution ladder of
+/// `steps` steps (`1 + 3 * steps` device operations).
+///
+/// # Panics
+///
+/// Panics if `steps` is zero.
+#[must_use]
+pub fn cpa_with(steps: usize) -> SequencingGraph {
+    assert!(steps > 0, "cpa_with requires at least one dilution step");
+    let mut b = AssayBuilder::new("CPA")
+        .operation("sample", OperationKind::Input, 0)
+        .expect("input")
+        .operation("buffer", OperationKind::Input, 0)
+        .expect("input")
+        .operation("reagent", OperationKind::Input, 0)
+        .expect("input")
+        .operation("prep", OperationKind::Mix, MIX_SECONDS)
+        .expect("prep mix")
+        .dependency("sample", "prep")
+        .expect("edge")
+        .dependency("buffer", "prep")
+        .expect("edge");
+    let mut prev = "prep".to_owned();
+    for s in 1..=steps {
+        let dil = format!("dil{s}");
+        let mix = format!("mix{s}");
+        let det = format!("det{s}");
+        b = b
+            .operation(&dil, OperationKind::Dilute, DILUTE_SECONDS)
+            .expect("dilute")
+            .operation(&mix, OperationKind::Mix, MIX_SECONDS)
+            .expect("mix")
+            .operation(&det, OperationKind::Detect, DETECT_SECONDS)
+            .expect("detect")
+            .dependency(&prev, &dil)
+            .expect("ladder edge")
+            .dependency("buffer", &dil)
+            .expect("buffer edge")
+            .dependency(&dil, &mix)
+            .expect("mix edge")
+            .dependency("reagent", &mix)
+            .expect("reagent edge")
+            .dependency(&mix, &det)
+            .expect("detect edge");
+        prev = dil;
+    }
+    b.build().expect("CPA benchmark is valid")
+}
+
+/// A balanced binary mixing tree with `2^levels` inputs and `2^levels - 1`
+/// mixing operations (PCR is `mixing_tree(3)` with renamed operations).
+///
+/// Useful for scalability studies beyond the paper's benchmark set.
+///
+/// # Panics
+///
+/// Panics if `levels` is zero or greater than 16.
+#[must_use]
+pub fn mixing_tree(levels: u32) -> SequencingGraph {
+    assert!(levels > 0 && levels <= 16, "levels must be in 1..=16");
+    let inputs = 1usize << levels;
+    let mut b = AssayBuilder::new(format!("MixTree{levels}"));
+    for i in 0..inputs {
+        b = b
+            .operation(format!("in{i}"), OperationKind::Input, 0)
+            .expect("unique input");
+    }
+    // Nodes are created level by level; `frontier` holds the names whose
+    // outputs still need to be combined.
+    let mut frontier: Vec<String> = (0..inputs).map(|i| format!("in{i}")).collect();
+    let mut counter = 0usize;
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len() / 2);
+        for pair in frontier.chunks(2) {
+            counter += 1;
+            let name = format!("m{counter}");
+            b = b
+                .operation(&name, OperationKind::Mix, MIX_SECONDS)
+                .expect("unique mix");
+            for parent in pair {
+                b = b.dependency(parent, &name).expect("tree edge");
+            }
+            next.push(name);
+        }
+        frontier = next;
+    }
+    b.build().expect("mixing tree is valid")
+}
+
+/// Returns every named benchmark assay of the paper's Table 2 together with
+/// the short name used in the tables (`"PCR"`, `"IVD"`, `"CPA"`,
+/// `"RA30"`, `"RA70"`, `"RA100"`).
+#[must_use]
+pub fn paper_benchmarks() -> Vec<(&'static str, SequencingGraph)> {
+    vec![
+        ("RA100", crate::random::ra100()),
+        ("RA70", crate::random::ra70()),
+        ("CPA", cpa()),
+        ("RA30", crate::random::ra30()),
+        ("IVD", ivd()),
+        ("PCR", pcr()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcr_matches_paper_shape() {
+        let g = pcr();
+        assert_eq!(g.device_operations().len(), 7);
+        assert_eq!(g.roots().len(), 8); // the eight inputs
+        assert_eq!(g.depth(), 3);
+        assert!(g.validate().is_ok());
+        // o7 is the unique sink.
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn ivd_has_twelve_device_operations() {
+        let g = ivd();
+        assert_eq!(g.device_operations().len(), 12);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.depth(), 2); // mix then detect
+    }
+
+    #[test]
+    fn ivd_with_scales() {
+        let g = ivd_with(4, 3);
+        assert_eq!(g.device_operations().len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn ivd_with_zero_samples_panics() {
+        let _ = ivd_with(0, 2);
+    }
+
+    #[test]
+    fn cpa_has_fifty_five_device_operations() {
+        let g = cpa();
+        assert_eq!(g.device_operations().len(), 55);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn cpa_with_counts() {
+        for steps in [1, 5, 10] {
+            let g = cpa_with(steps);
+            assert_eq!(g.device_operations().len(), 1 + 3 * steps);
+        }
+    }
+
+    #[test]
+    fn mixing_tree_counts() {
+        for levels in 1..=5u32 {
+            let g = mixing_tree(levels);
+            assert_eq!(g.device_operations().len(), (1 << levels) - 1);
+            assert_eq!(g.depth(), levels as usize);
+        }
+    }
+
+    #[test]
+    fn paper_benchmarks_have_expected_sizes() {
+        let sizes: Vec<(String, usize)> = paper_benchmarks()
+            .into_iter()
+            .map(|(name, g)| (name.to_owned(), g.device_operations().len()))
+            .collect();
+        let expected = [
+            ("RA100", 100),
+            ("RA70", 70),
+            ("CPA", 55),
+            ("RA30", 30),
+            ("IVD", 12),
+            ("PCR", 7),
+        ];
+        for ((name, got), (exp_name, exp)) in sizes.iter().zip(expected.iter()) {
+            assert_eq!(name, exp_name);
+            assert_eq!(got, exp, "size of {name}");
+        }
+    }
+
+    #[test]
+    fn benchmarks_are_all_valid() {
+        for (name, g) in paper_benchmarks() {
+            assert!(g.validate().is_ok(), "{name} must be valid");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Seeded random assay generation (the RA30 / RA70 / RA100 stress cases).
+//!
+//! The paper evaluates on three randomly generated assays with 30, 70 and 100
+//! operations but does not publish the generator. The generator here produces
+//! layered DAGs of mixing operations: operations are distributed over layers
+//! and every non-root operation draws one or two parents from earlier layers
+//! (biased towards the immediately preceding layer). This yields the same
+//! qualitative stress profile — many concurrently live intermediate samples
+//! that must be stored — while being fully reproducible via the seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{OpId, SequencingGraph};
+use crate::ops::OperationKind;
+use crate::Seconds;
+
+/// Configuration of the random assay generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomAssayConfig {
+    /// Number of device operations to generate.
+    pub num_operations: usize,
+    /// RNG seed; the same seed always yields the same graph.
+    pub seed: u64,
+    /// Average number of operations per layer (controls parallelism).
+    pub layer_width: usize,
+    /// Probability (in percent) that an operation has two parents instead of
+    /// one.
+    pub two_parent_percent: u8,
+    /// Duration of each generated mixing operation.
+    pub mix_duration: Seconds,
+}
+
+impl RandomAssayConfig {
+    /// Creates a configuration with the defaults used for the paper's
+    /// RA benchmarks (layer width 5, 70 % two-parent operations, 60 s mixes).
+    #[must_use]
+    pub fn new(num_operations: usize, seed: u64) -> Self {
+        RandomAssayConfig {
+            num_operations,
+            seed,
+            layer_width: 5,
+            two_parent_percent: 70,
+            mix_duration: 60,
+        }
+    }
+
+    /// Sets the average layer width.
+    #[must_use]
+    pub fn with_layer_width(mut self, width: usize) -> Self {
+        self.layer_width = width.max(1);
+        self
+    }
+
+    /// Sets the probability (percent) of two-parent operations.
+    #[must_use]
+    pub fn with_two_parent_percent(mut self, percent: u8) -> Self {
+        self.two_parent_percent = percent.min(100);
+        self
+    }
+
+    /// Sets the duration of generated mixing operations.
+    #[must_use]
+    pub fn with_mix_duration(mut self, duration: Seconds) -> Self {
+        self.mix_duration = duration;
+        self
+    }
+}
+
+impl Default for RandomAssayConfig {
+    fn default() -> Self {
+        RandomAssayConfig::new(30, 0xB10C)
+    }
+}
+
+/// Generates a random assay according to `config`.
+///
+/// The result is deterministic in `config` (including the seed).
+///
+/// # Panics
+///
+/// Panics if `config.num_operations` is zero.
+#[must_use]
+pub fn generate(config: &RandomAssayConfig) -> SequencingGraph {
+    assert!(
+        config.num_operations > 0,
+        "random assay needs at least one operation"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let name = format!("RA{}", config.num_operations);
+    let mut graph = SequencingGraph::new(name);
+
+    // Split operations into layers of width ~layer_width (at least 1).
+    let mut layers: Vec<Vec<OpId>> = Vec::new();
+    let mut created = 0usize;
+    while created < config.num_operations {
+        let remaining = config.num_operations - created;
+        let span = config.layer_width.min(remaining).max(1);
+        // Jitter the layer width by ±1 to avoid a perfectly regular profile.
+        let width = if span > 2 && remaining > span {
+            span - 1 + rng.gen_range(0..=2).min(remaining - span + 1)
+        } else {
+            span
+        };
+        let mut layer = Vec::with_capacity(width);
+        for _ in 0..width {
+            let id = graph.add_operation_with_duration(
+                format!("o{}", created + 1),
+                OperationKind::Mix,
+                config.mix_duration,
+            );
+            layer.push(id);
+            created += 1;
+            if created == config.num_operations {
+                break;
+            }
+        }
+        layers.push(layer);
+    }
+
+    // Wire parents: every operation beyond the first layer takes one or two
+    // parents from earlier layers, biased towards the previous layer.
+    for li in 1..layers.len() {
+        for &child in &layers[li] {
+            let two = rng.gen_range(0..100) < u32::from(config.two_parent_percent);
+            let wanted = if two { 2 } else { 1 };
+            let mut chosen: Vec<OpId> = Vec::with_capacity(wanted);
+            while chosen.len() < wanted {
+                // 75 %: previous layer, 25 %: any earlier layer.
+                let source_layer = if rng.gen_range(0..4) < 3 || li == 1 {
+                    li - 1
+                } else {
+                    rng.gen_range(0..li)
+                };
+                let candidate = *layers[source_layer]
+                    .choose(&mut rng)
+                    .expect("layers are non-empty");
+                if !chosen.contains(&candidate) {
+                    chosen.push(candidate);
+                } else if layers[source_layer].len() == 1 && wanted > 1 {
+                    // Cannot find a second distinct parent in a width-1 layer;
+                    // settle for one parent.
+                    break;
+                }
+            }
+            for parent in chosen {
+                // Duplicate edges can only arise from the retry loop above and
+                // are prevented there, so this cannot fail.
+                graph
+                    .add_dependency(parent, child)
+                    .expect("generator never creates duplicate or cyclic edges");
+            }
+        }
+    }
+    graph
+}
+
+/// Seed used for the RA30 benchmark.
+pub const RA30_SEED: u64 = 30;
+/// Seed used for the RA70 benchmark.
+pub const RA70_SEED: u64 = 70;
+/// Seed used for the RA100 benchmark.
+pub const RA100_SEED: u64 = 100;
+
+/// The RA30 random benchmark (30 mixing operations).
+#[must_use]
+pub fn ra30() -> SequencingGraph {
+    generate(&RandomAssayConfig::new(30, RA30_SEED))
+}
+
+/// The RA70 random benchmark (70 mixing operations).
+#[must_use]
+pub fn ra70() -> SequencingGraph {
+    generate(&RandomAssayConfig::new(70, RA70_SEED))
+}
+
+/// The RA100 random benchmark (100 mixing operations).
+#[must_use]
+pub fn ra100() -> SequencingGraph {
+    generate(&RandomAssayConfig::new(100, RA100_SEED))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ra30();
+        let b = ra30();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&RandomAssayConfig::new(30, 1));
+        let b = generate(&RandomAssayConfig::new(30, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn benchmark_sizes() {
+        assert_eq!(ra30().num_operations(), 30);
+        assert_eq!(ra70().num_operations(), 70);
+        assert_eq!(ra100().num_operations(), 100);
+    }
+
+    #[test]
+    fn generated_graphs_are_valid_dags() {
+        for g in [ra30(), ra70(), ra100()] {
+            assert!(g.validate().is_ok());
+            assert!(g.is_acyclic());
+        }
+    }
+
+    #[test]
+    fn non_root_operations_have_parents() {
+        let g = ra70();
+        let order = g.topological_order().unwrap();
+        let first_layer_end = g.roots().len();
+        for &id in order.iter().skip(first_layer_end) {
+            // Every operation outside the first layer has at least one parent.
+            if g.parents(id).is_empty() {
+                assert!(g.roots().contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn zero_operations_panics() {
+        let _ = generate(&RandomAssayConfig::new(0, 1));
+    }
+
+    #[test]
+    fn builder_style_config() {
+        let cfg = RandomAssayConfig::new(10, 7)
+            .with_layer_width(3)
+            .with_two_parent_percent(100)
+            .with_mix_duration(45);
+        let g = generate(&cfg);
+        assert_eq!(g.num_operations(), 10);
+        for (_, op) in g.iter() {
+            assert_eq!(op.duration, 45);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_configs_produce_valid_dags(
+            n in 1usize..60,
+            seed in 0u64..1000,
+            width in 1usize..8,
+            two in 0u8..=100,
+        ) {
+            let cfg = RandomAssayConfig::new(n, seed)
+                .with_layer_width(width)
+                .with_two_parent_percent(two);
+            let g = generate(&cfg);
+            prop_assert_eq!(g.num_operations(), n);
+            prop_assert!(g.validate().is_ok());
+            // Edges always point from earlier to later operations, so the
+            // graph is acyclic by construction.
+            for e in g.edges() {
+                prop_assert!(e.parent.index() < e.child.index());
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! A tiny line-oriented text format for sequencing graphs.
+//!
+//! The format is intentionally simple so that assays can be written by hand
+//! or exported from other tools:
+//!
+//! ```text
+//! # comment
+//! assay PCR
+//! op i1 input 0
+//! op o1 mix 60
+//! dep i1 o1
+//! ```
+//!
+//! Lines are `assay <name>`, `op <name> <kind> <duration-seconds>` and
+//! `dep <parent-name> <child-name>`; blank lines and `#` comments are ignored.
+
+use crate::error::GraphError;
+use crate::graph::SequencingGraph;
+use crate::ops::{Operation, OperationKind};
+
+/// Serializes a sequencing graph into the text format.
+///
+/// The output can be parsed back with [`parse`] and round-trips exactly
+/// (same operations in the same order, same edges).
+#[must_use]
+pub fn to_text(graph: &SequencingGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("assay {}\n", graph.name()));
+    for (_, op) in graph.iter() {
+        out.push_str(&format!("op {} {} {}\n", op.name, op.kind, op.duration));
+    }
+    for edge in graph.edges() {
+        out.push_str(&format!(
+            "dep {} {}\n",
+            graph.operation(edge.parent).name,
+            graph.operation(edge.child).name
+        ));
+    }
+    out
+}
+
+/// Parses a sequencing graph from the text format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines, plus any graph
+/// construction error (duplicate names, unknown edge endpoints, ...) tagged
+/// with the offending line number.
+pub fn parse(input: &str) -> Result<SequencingGraph, GraphError> {
+    let mut graph: Option<SequencingGraph> = None;
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a first token");
+        match keyword {
+            "assay" => {
+                let name = tokens.next().ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    message: "`assay` requires a name".to_owned(),
+                })?;
+                if graph.is_some() {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: "duplicate `assay` line".to_owned(),
+                    });
+                }
+                graph = Some(SequencingGraph::new(name));
+            }
+            "op" => {
+                let g = graph.as_mut().ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    message: "`op` before `assay`".to_owned(),
+                })?;
+                let name = tokens.next().ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    message: "`op` requires a name".to_owned(),
+                })?;
+                if g.id_by_name(name).is_some() {
+                    return Err(GraphError::DuplicateName {
+                        name: name.to_owned(),
+                    });
+                }
+                let kind: OperationKind = tokens
+                    .next()
+                    .ok_or_else(|| GraphError::Parse {
+                        line: line_no,
+                        message: "`op` requires a kind".to_owned(),
+                    })?
+                    .parse()
+                    .map_err(|e| GraphError::Parse {
+                        line: line_no,
+                        message: format!("{e}"),
+                    })?;
+                let duration = tokens
+                    .next()
+                    .ok_or_else(|| GraphError::Parse {
+                        line: line_no,
+                        message: "`op` requires a duration".to_owned(),
+                    })?
+                    .parse::<u64>()
+                    .map_err(|e| GraphError::Parse {
+                        line: line_no,
+                        message: format!("invalid duration: {e}"),
+                    })?;
+                g.add_operation(Operation::new(name, kind, duration));
+            }
+            "dep" => {
+                let g = graph.as_mut().ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    message: "`dep` before `assay`".to_owned(),
+                })?;
+                let parent = tokens.next().ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    message: "`dep` requires a parent".to_owned(),
+                })?;
+                let child = tokens.next().ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    message: "`dep` requires a child".to_owned(),
+                })?;
+                let p = g.id_by_name(parent).ok_or_else(|| GraphError::UnknownName {
+                    name: parent.to_owned(),
+                })?;
+                let c = g.id_by_name(child).ok_or_else(|| GraphError::UnknownName {
+                    name: child.to_owned(),
+                })?;
+                g.add_dependency(p, c)?;
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("unknown keyword `{other}`"),
+                });
+            }
+        }
+        if let Some(extra) = tokens.next() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("unexpected trailing token `{extra}`"),
+            });
+        }
+    }
+    graph.ok_or(GraphError::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_pcr() {
+        let pcr = library::pcr();
+        let text = to_text(&pcr);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, pcr);
+    }
+
+    #[test]
+    fn roundtrip_all_benchmarks() {
+        for (name, g) in library::paper_benchmarks() {
+            let parsed = parse(&to_text(&g)).unwrap();
+            assert_eq!(parsed, g, "roundtrip of {name}");
+        }
+    }
+
+    #[test]
+    fn parse_simple_assay() {
+        let text = "\
+# a tiny assay
+assay tiny
+
+op a mix 10
+op b detect 20
+dep a b
+";
+        let g = parse(text).unwrap();
+        assert_eq!(g.name(), "tiny");
+        assert_eq!(g.num_operations(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse("assay t\nbogus x y\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_op_before_assay() {
+        assert!(matches!(
+            parse("op a mix 10\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_assay_line() {
+        assert!(matches!(
+            parse("assay a\nassay b\n"),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_kind() {
+        assert!(matches!(
+            parse("assay t\nop a centrifuge 10\n"),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_bad_duration() {
+        assert!(matches!(
+            parse("assay t\nop a mix ten\n"),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_dep_names() {
+        assert!(matches!(
+            parse("assay t\nop a mix 10\ndep a zz\n"),
+            Err(GraphError::UnknownName { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_tokens() {
+        assert!(matches!(
+            parse("assay t extra\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_empty_error() {
+        assert_eq!(parse(""), Err(GraphError::Empty));
+        assert_eq!(parse("# only a comment\n"), Err(GraphError::Empty));
+    }
+
+    proptest! {
+        #[test]
+        fn random_assays_roundtrip(n in 1usize..40, seed in 0u64..200) {
+            let g = crate::random::generate(&crate::random::RandomAssayConfig::new(n, seed));
+            let parsed = parse(&to_text(&g)).unwrap();
+            prop_assert_eq!(parsed, g);
+        }
+    }
+}

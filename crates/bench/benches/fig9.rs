@@ -1,0 +1,14 @@
+//! Criterion bench: storage-aware vs. makespan-only synthesis (Fig. 9).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("ra30_both_schedulers", |b| {
+        b.iter(|| std::hint::black_box(biochip_bench::fig9_rows()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

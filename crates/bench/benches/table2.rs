@@ -1,0 +1,17 @@
+//! Criterion bench: full-pipeline runtime per benchmark assay (the runtime
+//! columns of Table 2).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for assay in ["PCR", "IVD", "RA30"] {
+        group.bench_function(assay, |b| {
+            b.iter(|| std::hint::black_box(biochip_bench::run_benchmark_heuristic(assay)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 11: execution snapshots of the RA30 chip.
+fn main() {
+    println!("Fig. 11: Snapshots of the synthesized chip executing RA30\n");
+    for (t, art) in biochip_bench::fig11_snapshots() {
+        println!("--- snapshot at {t}s (D device, + switch, =/# active segments) ---");
+        println!("{art}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 8: edge/valve ratios vs. the full connection grid.
+fn main() {
+    println!("Fig. 8: Edge and valve ratios vs. the original connection grid\n");
+    println!("{:<8} {:>10} {:>10}", "Assay", "Edge", "Valve");
+    for (name, edge, valve) in biochip_bench::fig8_rows() {
+        println!("{name:<8} {edge:>10.3} {valve:>10.3}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2 of the paper.
+fn main() {
+    let rows = biochip_bench::table2_rows();
+    println!("Table 2: Results of Scheduling and Synthesis\n");
+    print!("{}", biochip_bench::format_table2(&rows));
+}

@@ -1,0 +1,528 @@
+//! Branch & bound over the LP relaxation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crate::error::SolveError;
+use crate::model::{Model, VarId};
+use crate::options::SolverOptions;
+use crate::simplex::{solve_relaxation_with_bounds, LpOutcome};
+use crate::solution::{SolveStatus, Solution};
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MipResult {
+    /// Outcome class.
+    pub status: SolveStatus,
+    /// Best feasible solution found, if any.
+    pub solution: Option<Solution>,
+    /// Best proven lower bound on the optimal objective.
+    pub best_bound: f64,
+    /// Number of branch & bound nodes explored.
+    pub nodes_explored: usize,
+    /// Wall-clock time spent in the solver.
+    pub wall_time: Duration,
+}
+
+impl MipResult {
+    /// Relative gap between the incumbent and the best bound
+    /// (`0.0` when proven optimal, `f64::INFINITY` without an incumbent).
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        match &self.solution {
+            Some(sol) => {
+                let denom = sol.objective.abs().max(1.0);
+                ((sol.objective - self.best_bound).max(0.0)) / denom
+            }
+            None => f64::INFINITY,
+        }
+    }
+}
+
+/// An open node of the branch & bound tree.
+#[derive(Debug, Clone)]
+struct Node {
+    bounds: Vec<(f64, f64)>,
+    /// LP bound inherited from the parent (used as the heap priority).
+    estimate: f64,
+    depth: usize,
+}
+
+/// Best-first ordering: smallest estimate first, deeper nodes breaking ties
+/// (to find incumbents quickly).
+struct OrderedNode(Node);
+
+impl PartialEq for OrderedNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.estimate == other.0.estimate && self.0.depth == other.0.depth
+    }
+}
+impl Eq for OrderedNode {}
+impl PartialOrd for OrderedNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert the estimate comparison so the
+        // smallest bound is popped first, preferring deeper nodes on ties.
+        other
+            .0
+            .estimate
+            .partial_cmp(&self.0.estimate)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.depth.cmp(&other.0.depth))
+    }
+}
+
+/// Solves a mixed-integer linear program by branch & bound.
+///
+/// Returns the best incumbent found together with a proven bound. With the
+/// default options the solver runs until optimality or until the time/node
+/// limit is reached, in which case the status is [`SolveStatus::Feasible`]
+/// (an incumbent exists) or [`SolveStatus::Unknown`].
+///
+/// # Errors
+///
+/// Returns [`SolveError::EmptyModel`] for models without variables and
+/// [`SolveError::Numerical`] if the underlying simplex fails.
+///
+/// # Example
+///
+/// ```
+/// use biochip_ilp::{Model, SolverOptions, solve};
+///
+/// // Small knapsack: maximize 6a + 5b + 4c with 2a + 3b + 4c <= 5.
+/// let mut m = Model::new("knapsack");
+/// let a = m.add_binary("a");
+/// let b = m.add_binary("b");
+/// let c = m.add_binary("c");
+/// m.add_le("capacity", [(a, 2.0), (b, 3.0), (c, 4.0)], 5.0);
+/// m.minimize([(a, -6.0), (b, -5.0), (c, -4.0)]);
+/// let result = solve(&m, &SolverOptions::default())?;
+/// assert_eq!(result.solution.unwrap().objective.round() as i64, -11);
+/// # Ok::<(), biochip_ilp::SolveError>(())
+/// ```
+pub fn solve(model: &Model, options: &SolverOptions) -> Result<MipResult, SolveError> {
+    let start = Instant::now();
+    if model.num_variables() == 0 {
+        return Err(SolveError::EmptyModel);
+    }
+
+    // Initial bounds: model bounds, tightened to integers for integral vars.
+    let root_bounds: Vec<(f64, f64)> = model
+        .variables()
+        .iter()
+        .map(|v| {
+            if v.kind.is_integral() {
+                (v.lower.ceil(), v.upper.floor())
+            } else {
+                (v.lower, v.upper)
+            }
+        })
+        .collect();
+
+    let integral_vars = model.integral_variables();
+    let tol = options.integrality_tolerance;
+
+    let mut incumbent: Option<Solution> = None;
+    let mut incumbent_objective = options.warm_start_objective.unwrap_or(f64::INFINITY);
+    let mut nodes_explored = 0usize;
+    let mut best_bound = f64::NEG_INFINITY;
+    let mut heap = BinaryHeap::new();
+    heap.push(OrderedNode(Node {
+        bounds: root_bounds,
+        estimate: f64::NEG_INFINITY,
+        depth: 0,
+    }));
+    let mut saw_unbounded_root = false;
+    let mut hit_limit = false;
+
+    while let Some(OrderedNode(node)) = heap.pop() {
+        if nodes_explored >= options.node_limit || start.elapsed() >= options.time_limit {
+            hit_limit = true;
+            // The popped node is the best remaining bound.
+            best_bound = best_bound.max(node.estimate.max(f64::NEG_INFINITY));
+            break;
+        }
+        // Prune against the incumbent before paying for an LP solve.
+        if node.estimate > incumbent_objective - absolute_gap(options, incumbent_objective) {
+            continue;
+        }
+        nodes_explored += 1;
+
+        let outcome = solve_relaxation_with_bounds(model, &node.bounds)?;
+        let relaxed = match outcome {
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                if node.depth == 0 {
+                    saw_unbounded_root = true;
+                    break;
+                }
+                // An unbounded child with a bounded parent means the
+                // objective ray ignores the integrality restrictions; treat
+                // the subtree as unbounded as well.
+                saw_unbounded_root = true;
+                break;
+            }
+            LpOutcome::Optimal(solution) => solution,
+        };
+
+        if node.depth == 0 {
+            best_bound = relaxed.objective;
+        }
+
+        if relaxed.objective >= incumbent_objective - absolute_gap(options, incumbent_objective) {
+            continue;
+        }
+
+        // Find the most fractional integral variable.
+        let branch_var = most_fractional(&integral_vars, &relaxed.values, tol);
+        match branch_var {
+            None => {
+                // Integral: new incumbent. Round the integral entries exactly
+                // and re-evaluate the objective to remove LP round-off.
+                let mut values = relaxed.values.clone();
+                for &v in &integral_vars {
+                    values[v.index()] = values[v.index()].round();
+                }
+                let objective = model.objective().evaluate(&values);
+                if objective < incumbent_objective {
+                    incumbent_objective = objective;
+                    incumbent = Some(Solution { values, objective });
+                }
+            }
+            Some((var, value)) => {
+                let floor = value.floor();
+                let mut down = node.bounds.clone();
+                down[var.index()].1 = down[var.index()].1.min(floor);
+                let mut up = node.bounds.clone();
+                up[var.index()].0 = up[var.index()].0.max(floor + 1.0);
+                for bounds in [down, up] {
+                    heap.push(OrderedNode(Node {
+                        bounds,
+                        estimate: relaxed.objective,
+                        depth: node.depth + 1,
+                    }));
+                }
+            }
+        }
+    }
+
+    let wall_time = start.elapsed();
+    if saw_unbounded_root {
+        return Ok(MipResult {
+            status: SolveStatus::Unbounded,
+            solution: None,
+            best_bound: f64::NEG_INFINITY,
+            nodes_explored,
+            wall_time,
+        });
+    }
+
+    // When the heap drained completely the incumbent is optimal; when a limit
+    // was hit it is only known to be feasible.
+    let exhausted = !hit_limit;
+    let status = match (&incumbent, exhausted) {
+        (Some(_), true) => SolveStatus::Optimal,
+        (Some(_), false) => SolveStatus::Feasible,
+        (None, true) => SolveStatus::Infeasible,
+        (None, false) => SolveStatus::Unknown,
+    };
+    if exhausted {
+        if let Some(sol) = &incumbent {
+            best_bound = sol.objective;
+        }
+    }
+    Ok(MipResult {
+        status,
+        solution: incumbent,
+        best_bound,
+        nodes_explored,
+        wall_time,
+    })
+}
+
+fn absolute_gap(options: &SolverOptions, incumbent_objective: f64) -> f64 {
+    if incumbent_objective.is_finite() {
+        options.mip_gap * incumbent_objective.abs().max(1.0)
+    } else {
+        0.0
+    }
+}
+
+/// Returns the integral variable whose relaxation value is farthest from an
+/// integer, or `None` when all integral variables are (near-)integral.
+fn most_fractional(vars: &[VarId], values: &[f64], tol: f64) -> Option<(VarId, f64)> {
+    let mut best: Option<(VarId, f64, f64)> = None;
+    for &v in vars {
+        let x = values[v.index()];
+        let frac = (x - x.round()).abs();
+        if frac > tol {
+            let distance_to_half = (x - x.floor() - 0.5).abs();
+            match best {
+                None => best = Some((v, x, distance_to_half)),
+                Some((_, _, best_distance)) if distance_to_half < best_distance => {
+                    best = Some((v, x, distance_to_half));
+                }
+                _ => {}
+            }
+        }
+    }
+    best.map(|(v, x, _)| (v, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VarKind;
+    use proptest::prelude::*;
+    use std::time::Duration;
+
+    fn options() -> SolverOptions {
+        SolverOptions::default().with_time_limit(Duration::from_secs(5))
+    }
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut m = Model::new("lp");
+        let x = m.add_continuous("x", 0.0, 4.0);
+        m.minimize([(x, -1.0)]);
+        let r = solve(&m, &options()).unwrap();
+        assert_eq!(r.status, SolveStatus::Optimal);
+        assert!((r.solution.unwrap().value(x) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_optimum() {
+        // maximize 10a + 13b + 7c + 4d, 3a + 4b + 2c + d <= 7.
+        // Optimum: a + b = 23 (weight 7).
+        let mut m = Model::new("knap");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        let d = m.add_binary("d");
+        m.add_le("w", [(a, 3.0), (b, 4.0), (c, 2.0), (d, 1.0)], 7.0);
+        m.minimize([(a, -10.0), (b, -13.0), (c, -7.0), (d, -4.0)]);
+        let r = solve(&m, &options()).unwrap();
+        assert_eq!(r.status, SolveStatus::Optimal);
+        let sol = r.solution.unwrap();
+        assert_eq!(sol.objective.round() as i64, -24);
+        assert!(sol.is_set(b));
+        assert!(sol.is_set(c));
+        assert!(sol.is_set(d));
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // maximize x + y s.t. 2x + 3y <= 12, 2x + y <= 6, integer.
+        // LP optimum is fractional; ILP optimum is 5 (x=1..? enumerate):
+        // feasible integer points maximizing x+y: (1,3) -> 4? check (0,4): 2*0+3*4=12 ok, 0+4=4 <=6 ok → 4.
+        // (1,3): 2+9=11 ok, 2+3=5 ok → 4. (2,2): 4+6=10, 4+2=6 → 4. So optimum 4.
+        let mut m = Model::new("int");
+        let x = m.add_integer("x", 0.0, 10.0);
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.add_le("c1", [(x, 2.0), (y, 3.0)], 12.0);
+        m.add_le("c2", [(x, 2.0), (y, 1.0)], 6.0);
+        m.minimize([(x, -1.0), (y, -1.0)]);
+        let r = solve(&m, &options()).unwrap();
+        assert_eq!(r.status, SolveStatus::Optimal);
+        assert_eq!(r.solution.unwrap().objective.round() as i64, -4);
+    }
+
+    #[test]
+    fn infeasible_model() {
+        let mut m = Model::new("inf");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_ge("impossible", [(x, 1.0), (y, 1.0)], 3.0);
+        m.minimize([(x, 1.0)]);
+        let r = solve(&m, &options()).unwrap();
+        assert_eq!(r.status, SolveStatus::Infeasible);
+        assert!(r.solution.is_none());
+    }
+
+    #[test]
+    fn unbounded_model() {
+        let mut m = Model::new("unb");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let b = m.add_binary("b");
+        m.add_ge("link", [(x, 1.0), (b, 1.0)], 1.0);
+        m.minimize([(x, -1.0)]);
+        let r = solve(&m, &options()).unwrap();
+        assert_eq!(r.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn empty_model_errors() {
+        let m = Model::new("empty");
+        assert_eq!(solve(&m, &options()), Err(SolveError::EmptyModel));
+    }
+
+    #[test]
+    fn warm_start_does_not_cut_off_optimum() {
+        let mut m = Model::new("warm");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_le("w", [(a, 1.0), (b, 1.0)], 1.0);
+        m.minimize([(a, -2.0), (b, -1.0)]);
+        let opts = options().with_warm_start(-1.0);
+        let r = solve(&m, &opts).unwrap();
+        assert_eq!(r.solution.unwrap().objective.round() as i64, -2);
+    }
+
+    #[test]
+    fn node_limit_returns_unknown_or_feasible() {
+        let mut m = Model::new("limited");
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(format!("b{i}"))).collect();
+        m.add_le(
+            "cap",
+            vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            6.0,
+        );
+        m.minimize(vars.iter().map(|&v| (v, -1.0)).collect::<Vec<_>>());
+        let opts = options().with_node_limit(1);
+        let r = solve(&m, &opts).unwrap();
+        assert!(matches!(
+            r.status,
+            SolveStatus::Feasible | SolveStatus::Unknown | SolveStatus::Optimal
+        ));
+    }
+
+    #[test]
+    fn equality_constrained_assignment() {
+        // Assign 3 tasks to 3 machines, each machine at most one task,
+        // minimizing cost.
+        let costs = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
+        let mut m = Model::new("assign");
+        let mut x = vec![vec![VarId(0); 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                x[i][j] = m.add_binary(format!("x{i}{j}"));
+            }
+        }
+        for i in 0..3 {
+            m.add_eq(
+                format!("task{i}"),
+                (0..3).map(|j| (x[i][j], 1.0)).collect::<Vec<_>>(),
+                1.0,
+            );
+        }
+        for j in 0..3 {
+            m.add_le(
+                format!("machine{j}"),
+                (0..3).map(|i| (x[i][j], 1.0)).collect::<Vec<_>>(),
+                1.0,
+            );
+        }
+        let mut obj = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                obj.push((x[i][j], costs[i][j]));
+            }
+        }
+        m.minimize(obj);
+        let r = solve(&m, &options()).unwrap();
+        assert_eq!(r.status, SolveStatus::Optimal);
+        // Optimal assignment: t0→m1 (2), t1→m2 (7), t2→m0 (3) = 12.
+        assert_eq!(r.solution.unwrap().objective.round() as i64, 12);
+    }
+
+    #[test]
+    fn result_gap_is_zero_at_optimality() {
+        let mut m = Model::new("gap");
+        let x = m.add_binary("x");
+        m.minimize([(x, 1.0)]);
+        let r = solve(&m, &options()).unwrap();
+        assert!(r.gap() < 1e-9);
+    }
+
+    /// Brute-force solver for tiny binary MILPs, used as the property-test
+    /// oracle.
+    fn brute_force(model: &Model) -> Option<f64> {
+        let n = model.num_variables();
+        assert!(n <= 12);
+        let mut best: Option<f64> = None;
+        for mask in 0u32..(1 << n) {
+            let values: Vec<f64> = (0..n).map(|i| f64::from((mask >> i) & 1)).collect();
+            if model.check_feasible(&values, 1e-9).is_none() {
+                let obj = model.objective().evaluate(&values);
+                best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn matches_brute_force_on_random_binary_programs(
+            n in 2usize..7,
+            num_constraints in 1usize..5,
+            coeff_seed in 0u64..10_000,
+        ) {
+            // Deterministic pseudo-random coefficients from the seed.
+            let mut state = coeff_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) % 21) as i64 - 10
+            };
+            let mut m = Model::new("random");
+            let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("b{i}"))).collect();
+            for c in 0..num_constraints {
+                let terms: Vec<_> = vars.iter().map(|&v| (v, next() as f64)).collect();
+                let rhs = next() as f64;
+                if c % 2 == 0 {
+                    m.add_le(format!("c{c}"), terms, rhs);
+                } else {
+                    m.add_ge(format!("c{c}"), terms, rhs);
+                }
+            }
+            m.minimize(vars.iter().map(|&v| (v, next() as f64)).collect::<Vec<_>>());
+
+            let result = solve(&m, &options()).unwrap();
+            let expected = brute_force(&m);
+            match expected {
+                None => prop_assert_eq!(result.status, SolveStatus::Infeasible),
+                Some(best) => {
+                    prop_assert_eq!(result.status, SolveStatus::Optimal);
+                    let got = result.solution.unwrap().objective;
+                    prop_assert!((got - best).abs() < 1e-5,
+                        "solver returned {}, brute force {}", got, best);
+                }
+            }
+        }
+
+        #[test]
+        fn solutions_are_always_model_feasible(
+            n in 2usize..6,
+            seed in 0u64..5_000,
+        ) {
+            let mut state = seed.wrapping_add(17).wrapping_mul(2862933555777941757);
+            let mut next = || {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                ((state >> 33) % 15) as i64 - 7
+            };
+            let mut m = Model::new("feas");
+            let vars: Vec<_> = (0..n).map(|i| m.add_integer(format!("i{i}"), 0.0, 3.0)).collect();
+            let terms: Vec<_> = vars.iter().map(|&v| (v, next() as f64)).collect();
+            m.add_le("c", terms, 5.0);
+            m.minimize(vars.iter().map(|&v| (v, next() as f64)).collect::<Vec<_>>());
+            let result = solve(&m, &options()).unwrap();
+            if let Some(sol) = result.solution {
+                prop_assert_eq!(m.check_feasible(&sol.values, 1e-5), None);
+            }
+        }
+    }
+
+    #[test]
+    fn integer_variables_with_fractional_bounds() {
+        let mut m = Model::new("frac-bounds");
+        let x = m.add_variable("x", VarKind::Integer, 0.3, 4.7);
+        m.minimize([(x, -1.0)]);
+        let r = solve(&m, &options()).unwrap();
+        assert_eq!(r.solution.unwrap().int_value(x), 4);
+    }
+}

@@ -1,0 +1,53 @@
+//! Solver error type.
+
+use std::fmt;
+
+/// Errors produced while solving a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The model has no variables or no finite formulation to work with.
+    EmptyModel,
+    /// The LP relaxation is unbounded below, so the MILP has no finite
+    /// optimum (or the model is missing bounds).
+    Unbounded,
+    /// An internal numerical failure (e.g. the simplex lost feasibility due
+    /// to ill-conditioned data).
+    Numerical {
+        /// Human-readable description of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::EmptyModel => write!(f, "model has no variables"),
+            SolveError::Unbounded => write!(f, "problem is unbounded below"),
+            SolveError::Numerical { message } => write!(f, "numerical failure: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SolveError::EmptyModel.to_string().contains("no variables"));
+        assert!(SolveError::Unbounded.to_string().contains("unbounded"));
+        let e = SolveError::Numerical {
+            message: "pivot too small".to_owned(),
+        };
+        assert!(e.to_string().contains("pivot too small"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SolveError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! A small mixed-integer linear programming (MILP) solver.
+//!
+//! The paper solves its scheduling/binding and architectural-synthesis
+//! formulations with Gurobi. This crate is the in-repo substitute: a
+//! self-contained MILP solver consisting of
+//!
+//! * a modelling API ([`Model`], [`LinExpr`], [`Constraint`]) for building
+//!   minimization problems over continuous, integer and binary variables,
+//! * a dense **two-phase primal simplex** for the LP relaxation
+//!   ([`solve_relaxation`]), and
+//! * a **branch & bound** search over fractional integer variables
+//!   ([`solve`]) with best-first node selection, warm-start incumbents, and
+//!   time/node limits mirroring the "best-effort after a time limit"
+//!   semantics the paper uses for its largest assays.
+//!
+//! The solver is exact on the small formulations used in this workspace; it is
+//! not intended to compete with industrial solvers on large models.
+//!
+//! # Example
+//!
+//! ```
+//! use biochip_ilp::{Model, SolverOptions};
+//!
+//! // maximize x + 2y  s.t.  x + y <= 4, x,y in {0,..,3}  (as minimization)
+//! let mut model = Model::new("demo");
+//! let x = model.add_integer("x", 0.0, 3.0);
+//! let y = model.add_integer("y", 0.0, 3.0);
+//! model.add_le("cap", [(x, 1.0), (y, 1.0)], 4.0);
+//! model.minimize([(x, -1.0), (y, -2.0)]);
+//!
+//! let result = biochip_ilp::solve(&model, &SolverOptions::default())?;
+//! let sol = result.solution.expect("feasible");
+//! assert_eq!(sol.value(y).round() as i64, 3);
+//! assert_eq!(sol.objective.round() as i64, -7);
+//! # Ok::<(), biochip_ilp::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod error;
+mod model;
+mod options;
+mod simplex;
+mod solution;
+
+pub use branch_bound::{solve, MipResult};
+pub use error::SolveError;
+pub use model::{Constraint, ConstraintOp, LinExpr, Model, VarId, VarKind, Variable};
+pub use options::SolverOptions;
+pub use simplex::{solve_relaxation, LpOutcome};
+pub use solution::{SolveStatus, Solution};
+
+/// Numerical tolerance used throughout the solver for feasibility and
+/// integrality tests.
+pub const EPSILON: f64 = 1e-6;
+
+/// A "big M" constant suitable for indicator-style constraints in the models
+/// built by this workspace (all times and counts are far below this value).
+pub const BIG_M: f64 = 1.0e6;

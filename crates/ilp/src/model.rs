@@ -1,0 +1,551 @@
+//! Modelling API: variables, linear expressions, constraints, models.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Identifier of a decision variable within a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The dense index of this variable.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// The domain of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds.
+    Integer,
+    /// Binary (a convenience alias for an integer in `[0, 1]`).
+    Binary,
+}
+
+impl VarKind {
+    /// Whether the variable must take an integer value.
+    #[must_use]
+    pub fn is_integral(self) -> bool {
+        matches!(self, VarKind::Integer | VarKind::Binary)
+    }
+}
+
+/// A decision variable: name, kind and bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variable {
+    /// Descriptive name (used in error messages and debugging dumps).
+    pub name: String,
+    /// Domain kind.
+    pub kind: VarKind,
+    /// Lower bound (may be 0 for the common non-negative case).
+    pub lower: f64,
+    /// Upper bound (`f64::INFINITY` when unbounded above).
+    pub upper: f64,
+}
+
+/// A linear expression `Σ coeff_i · var_i + constant`.
+///
+/// Expressions can be built from pairs, added together and scaled:
+///
+/// ```
+/// use biochip_ilp::{LinExpr, Model};
+/// let mut m = Model::new("ex");
+/// let x = m.add_continuous("x", 0.0, 10.0);
+/// let y = m.add_continuous("y", 0.0, 10.0);
+/// let expr = LinExpr::from_terms([(x, 2.0), (y, 1.0)]) + LinExpr::constant(3.0);
+/// assert_eq!(expr.coefficient(x), 2.0);
+/// assert_eq!(expr.constant, 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinExpr {
+    /// Terms as `(variable, coefficient)` pairs; duplicates are merged lazily
+    /// by [`normalize`](Self::normalize).
+    pub terms: Vec<(VarId, f64)>,
+    /// Constant offset.
+    pub constant: f64,
+}
+
+impl LinExpr {
+    /// The empty expression (value 0).
+    #[must_use]
+    pub fn new() -> Self {
+        LinExpr::default()
+    }
+
+    /// An expression consisting only of a constant.
+    #[must_use]
+    pub fn constant(value: f64) -> Self {
+        LinExpr {
+            terms: Vec::new(),
+            constant: value,
+        }
+    }
+
+    /// An expression from an iterator of `(variable, coefficient)` pairs.
+    #[must_use]
+    pub fn from_terms(terms: impl IntoIterator<Item = (VarId, f64)>) -> Self {
+        LinExpr {
+            terms: terms.into_iter().collect(),
+            constant: 0.0,
+        }
+    }
+
+    /// A single-variable expression with coefficient 1.
+    #[must_use]
+    pub fn var(v: VarId) -> Self {
+        LinExpr::from_terms([(v, 1.0)])
+    }
+
+    /// Adds `coefficient * variable` to the expression.
+    pub fn add_term(&mut self, variable: VarId, coefficient: f64) -> &mut Self {
+        self.terms.push((variable, coefficient));
+        self
+    }
+
+    /// Adds a constant.
+    pub fn add_constant(&mut self, value: f64) -> &mut Self {
+        self.constant += value;
+        self
+    }
+
+    /// Merges duplicate variables and removes zero coefficients.
+    pub fn normalize(&mut self) {
+        self.terms.sort_by_key(|(v, _)| *v);
+        let mut merged: Vec<(VarId, f64)> = Vec::with_capacity(self.terms.len());
+        for &(v, c) in &self.terms {
+            match merged.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => merged.push((v, c)),
+            }
+        }
+        merged.retain(|(_, c)| c.abs() > f64::EPSILON);
+        self.terms = merged;
+    }
+
+    /// The (merged) coefficient of `variable` in this expression.
+    #[must_use]
+    pub fn coefficient(&self, variable: VarId) -> f64 {
+        self.terms
+            .iter()
+            .filter(|(v, _)| *v == variable)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Evaluates the expression for the given assignment (indexed by variable
+    /// index).
+    #[must_use]
+    pub fn evaluate(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(v, c)| c * values.get(v.index()).copied().unwrap_or(0.0))
+                .sum::<f64>()
+    }
+
+    /// Returns this expression scaled by `factor`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        LinExpr {
+            terms: self.terms.iter().map(|&(v, c)| (v, c * factor)).collect(),
+            constant: self.constant * factor,
+        }
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::var(v)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(value: f64) -> Self {
+        LinExpr::constant(value)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, rhs: f64) -> LinExpr {
+        self.scaled(rhs)
+    }
+}
+
+/// Comparison operator of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintOp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+impl fmt::Display for ConstraintOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConstraintOp::Le => "<=",
+            ConstraintOp::Ge => ">=",
+            ConstraintOp::Eq => "==",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A linear constraint `expr op rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Descriptive name.
+    pub name: String,
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Comparison operator.
+    pub op: ConstraintOp,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Whether the constraint is satisfied (within `tol`) by the assignment.
+    #[must_use]
+    pub fn is_satisfied(&self, values: &[f64], tol: f64) -> bool {
+        let lhs = self.expr.evaluate(values);
+        match self.op {
+            ConstraintOp::Le => lhs <= self.rhs + tol,
+            ConstraintOp::Ge => lhs >= self.rhs - tol,
+            ConstraintOp::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// A minimization MILP model.
+///
+/// All problems are stated as minimization; negate the objective coefficients
+/// to maximize.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Model {
+    name: String,
+    variables: Vec<Variable>,
+    constraints: Vec<Constraint>,
+    objective: LinExpr,
+}
+
+impl Model {
+    /// Creates an empty model.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Model {
+            name: name.into(),
+            variables: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::new(),
+        }
+    }
+
+    /// The model name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a variable with explicit kind and bounds, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or either bound is NaN.
+    pub fn add_variable(
+        &mut self,
+        name: impl Into<String>,
+        kind: VarKind,
+        lower: f64,
+        upper: f64,
+    ) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan(), "bounds must not be NaN");
+        assert!(lower <= upper, "lower bound must not exceed upper bound");
+        let id = VarId(self.variables.len());
+        self.variables.push(Variable {
+            name: name.into(),
+            kind,
+            lower,
+            upper,
+        });
+        id
+    }
+
+    /// Adds a continuous variable.
+    pub fn add_continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        self.add_variable(name, VarKind::Continuous, lower, upper)
+    }
+
+    /// Adds an integer variable.
+    pub fn add_integer(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        self.add_variable(name, VarKind::Integer, lower, upper)
+    }
+
+    /// Adds a binary (0/1) variable.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        self.add_variable(name, VarKind::Binary, 0.0, 1.0)
+    }
+
+    /// Adds a constraint built from an expression.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        expr: impl Into<LinExpr>,
+        op: ConstraintOp,
+        rhs: f64,
+    ) {
+        let mut expr = expr.into();
+        expr.normalize();
+        self.constraints.push(Constraint {
+            name: name.into(),
+            expr,
+            op,
+            rhs,
+        });
+    }
+
+    /// Adds `Σ terms <= rhs`.
+    pub fn add_le(
+        &mut self,
+        name: impl Into<String>,
+        terms: impl IntoIterator<Item = (VarId, f64)>,
+        rhs: f64,
+    ) {
+        self.add_constraint(name, LinExpr::from_terms(terms), ConstraintOp::Le, rhs);
+    }
+
+    /// Adds `Σ terms >= rhs`.
+    pub fn add_ge(
+        &mut self,
+        name: impl Into<String>,
+        terms: impl IntoIterator<Item = (VarId, f64)>,
+        rhs: f64,
+    ) {
+        self.add_constraint(name, LinExpr::from_terms(terms), ConstraintOp::Ge, rhs);
+    }
+
+    /// Adds `Σ terms == rhs`.
+    pub fn add_eq(
+        &mut self,
+        name: impl Into<String>,
+        terms: impl IntoIterator<Item = (VarId, f64)>,
+        rhs: f64,
+    ) {
+        self.add_constraint(name, LinExpr::from_terms(terms), ConstraintOp::Eq, rhs);
+    }
+
+    /// Sets the minimization objective from `(variable, coefficient)` pairs.
+    pub fn minimize(&mut self, terms: impl IntoIterator<Item = (VarId, f64)>) {
+        let mut expr = LinExpr::from_terms(terms);
+        expr.normalize();
+        self.objective = expr;
+    }
+
+    /// Sets the minimization objective from a full expression.
+    pub fn minimize_expr(&mut self, expr: impl Into<LinExpr>) {
+        let mut expr = expr.into();
+        expr.normalize();
+        self.objective = expr;
+    }
+
+    /// The objective expression.
+    #[must_use]
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// All variables.
+    #[must_use]
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    /// The variable with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this model.
+    #[must_use]
+    pub fn variable(&self, id: VarId) -> &Variable {
+        &self.variables[id.index()]
+    }
+
+    /// All constraints.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Ids of all integral (integer or binary) variables.
+    #[must_use]
+    pub fn integral_variables(&self) -> Vec<VarId> {
+        self.variables
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind.is_integral())
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Checks an assignment against every constraint, bound and integrality
+    /// requirement; returns the name of the first violated item.
+    #[must_use]
+    pub fn check_feasible(&self, values: &[f64], tol: f64) -> Option<String> {
+        for (i, var) in self.variables.iter().enumerate() {
+            let x = values.get(i).copied().unwrap_or(0.0);
+            if x < var.lower - tol || x > var.upper + tol {
+                return Some(format!("bound of {}", var.name));
+            }
+            if var.kind.is_integral() && (x - x.round()).abs() > tol {
+                return Some(format!("integrality of {}", var.name));
+            }
+        }
+        for c in &self.constraints {
+            if !c.is_satisfied(values, tol) {
+                return Some(c.name.clone());
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "model `{}`: {} variables, {} constraints",
+            self.name,
+            self.num_variables(),
+            self.num_constraints()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_building_and_evaluation() {
+        let mut m = Model::new("t");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        let mut e = LinExpr::new();
+        e.add_term(x, 2.0).add_term(y, 3.0).add_constant(1.0);
+        assert_eq!(e.evaluate(&[2.0, 1.0]), 2.0 * 2.0 + 3.0 + 1.0);
+        let sum = e.clone() + LinExpr::var(x);
+        assert_eq!(sum.coefficient(x), 3.0);
+        let scaled = e.scaled(2.0);
+        assert_eq!(scaled.constant, 2.0);
+        assert_eq!(scaled.coefficient(y), 6.0);
+    }
+
+    #[test]
+    fn normalize_merges_and_drops_zeros() {
+        let mut m = Model::new("t");
+        let x = m.add_continuous("x", 0.0, 1.0);
+        let y = m.add_continuous("y", 0.0, 1.0);
+        let mut e = LinExpr::from_terms([(x, 1.0), (y, 2.0), (x, -1.0), (y, 1.0)]);
+        e.normalize();
+        assert_eq!(e.terms, vec![(y, 3.0)]);
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        let mut m = Model::new("t");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        m.add_le("c", [(x, 1.0)], 5.0);
+        let c = &m.constraints()[0];
+        assert!(c.is_satisfied(&[5.0], 1e-9));
+        assert!(!c.is_satisfied(&[5.1], 1e-9));
+    }
+
+    #[test]
+    fn check_feasible_reports_violations() {
+        let mut m = Model::new("t");
+        let x = m.add_binary("x");
+        let y = m.add_continuous("y", 0.0, 2.0);
+        m.add_ge("cover", [(x, 1.0), (y, 1.0)], 1.5);
+        assert_eq!(m.check_feasible(&[1.0, 0.5], 1e-6), None);
+        assert_eq!(
+            m.check_feasible(&[0.5, 1.0], 1e-6),
+            Some("integrality of x".to_owned())
+        );
+        assert_eq!(
+            m.check_feasible(&[0.0, 3.0], 1e-6),
+            Some("bound of y".to_owned())
+        );
+        assert_eq!(
+            m.check_feasible(&[0.0, 1.0], 1e-6),
+            Some("cover".to_owned())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn inverted_bounds_panic() {
+        let mut m = Model::new("t");
+        let _ = m.add_continuous("x", 1.0, 0.0);
+    }
+
+    #[test]
+    fn integral_variable_listing() {
+        let mut m = Model::new("t");
+        let _x = m.add_continuous("x", 0.0, 1.0);
+        let b = m.add_binary("b");
+        let i = m.add_integer("i", 0.0, 5.0);
+        assert_eq!(m.integral_variables(), vec![b, i]);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut m = Model::new("counts");
+        let x = m.add_binary("x");
+        m.add_le("c", [(x, 1.0)], 1.0);
+        let shown = m.to_string();
+        assert!(shown.contains("1 variables"));
+        assert!(shown.contains("1 constraints"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Solver options.
+
+use std::time::Duration;
+
+/// Options controlling the branch & bound search.
+///
+/// The defaults are tuned for the small scheduling models built by this
+/// workspace: a few seconds of wall time and a bounded node count, returning
+/// the best incumbent found so far when a limit is hit (the same best-effort
+/// semantics the paper uses with its 30-minute Gurobi limit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Wall-clock limit for the whole solve.
+    pub time_limit: Duration,
+    /// Maximum number of branch & bound nodes to explore.
+    pub node_limit: usize,
+    /// Relative optimality gap at which the search stops
+    /// (`|incumbent - bound| <= gap * max(1, |incumbent|)`).
+    pub mip_gap: f64,
+    /// Known feasible objective value used to prune the search from the
+    /// start (for example from a heuristic schedule).
+    pub warm_start_objective: Option<f64>,
+    /// Absolute integrality tolerance.
+    pub integrality_tolerance: f64,
+}
+
+impl SolverOptions {
+    /// Default options (10 s, 200 000 nodes, 10⁻⁶ gap).
+    #[must_use]
+    pub fn new() -> Self {
+        SolverOptions {
+            time_limit: Duration::from_secs(10),
+            node_limit: 200_000,
+            mip_gap: 1e-6,
+            warm_start_objective: None,
+            integrality_tolerance: 1e-6,
+        }
+    }
+
+    /// Sets the wall-clock limit.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Sets the node limit.
+    #[must_use]
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// Sets the relative MIP gap.
+    #[must_use]
+    pub fn with_mip_gap(mut self, gap: f64) -> Self {
+        self.mip_gap = gap.max(0.0);
+        self
+    }
+
+    /// Provides a warm-start incumbent objective value for pruning.
+    #[must_use]
+    pub fn with_warm_start(mut self, objective: f64) -> Self {
+        self.warm_start_objective = Some(objective);
+        self
+    }
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_setters() {
+        let o = SolverOptions::new()
+            .with_time_limit(Duration::from_millis(500))
+            .with_node_limit(10)
+            .with_mip_gap(0.05)
+            .with_warm_start(42.0);
+        assert_eq!(o.time_limit, Duration::from_millis(500));
+        assert_eq!(o.node_limit, 10);
+        assert_eq!(o.mip_gap, 0.05);
+        assert_eq!(o.warm_start_objective, Some(42.0));
+    }
+
+    #[test]
+    fn negative_gap_is_clamped() {
+        let o = SolverOptions::new().with_mip_gap(-1.0);
+        assert_eq!(o.mip_gap, 0.0);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        assert_eq!(SolverOptions::default(), SolverOptions::new());
+    }
+}

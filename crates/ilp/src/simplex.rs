@@ -1,0 +1,574 @@
+//! Dense two-phase primal simplex for the LP relaxation.
+//!
+//! The solver converts the model into standard form (shifted non-negative
+//! variables, equality rows with slack/surplus and artificial variables) and
+//! runs the classical two-phase primal simplex on a dense tableau. Dantzig
+//! pricing is used initially and Bland's rule is enabled after an iteration
+//! threshold to guarantee termination.
+
+use crate::error::SolveError;
+use crate::model::{ConstraintOp, Model};
+use crate::solution::Solution;
+use crate::EPSILON;
+
+/// Result of solving an LP relaxation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal basic feasible solution was found.
+    Optimal(Solution),
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// The optimal solution, if any.
+    #[must_use]
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Solves the LP relaxation of `model` (integrality requirements dropped),
+/// using the variable bounds stored in the model.
+///
+/// # Errors
+///
+/// Returns [`SolveError::EmptyModel`] for a model without variables,
+/// [`SolveError::Numerical`] if the simplex fails to converge and
+/// [`SolveError::Numerical`] for variables with non-finite lower bounds
+/// (the workspace's formulations always use finite lower bounds).
+pub fn solve_relaxation(model: &Model) -> Result<LpOutcome, SolveError> {
+    let bounds: Vec<(f64, f64)> = model
+        .variables()
+        .iter()
+        .map(|v| (v.lower, v.upper))
+        .collect();
+    solve_relaxation_with_bounds(model, &bounds)
+}
+
+/// Solves the LP relaxation with per-variable bound overrides (used by branch
+/// & bound to implement branching decisions).
+///
+/// # Errors
+///
+/// See [`solve_relaxation`].
+pub fn solve_relaxation_with_bounds(
+    model: &Model,
+    bounds: &[(f64, f64)],
+) -> Result<LpOutcome, SolveError> {
+    if model.num_variables() == 0 {
+        return Err(SolveError::EmptyModel);
+    }
+    debug_assert_eq!(bounds.len(), model.num_variables());
+    for (i, &(lo, hi)) in bounds.iter().enumerate() {
+        if !lo.is_finite() {
+            return Err(SolveError::Numerical {
+                message: format!(
+                    "variable `{}` has a non-finite lower bound; shift the model",
+                    model.variable(crate::VarId(i)).name
+                ),
+            });
+        }
+        if lo > hi + EPSILON {
+            // Empty domain introduced by branching: trivially infeasible.
+            return Ok(LpOutcome::Infeasible);
+        }
+    }
+
+    let standard = StandardForm::build(model, bounds);
+    let mut tableau = Tableau::new(&standard);
+    match tableau.run_two_phase()? {
+        TableauOutcome::Infeasible => Ok(LpOutcome::Infeasible),
+        TableauOutcome::Unbounded => Ok(LpOutcome::Unbounded),
+        TableauOutcome::Optimal => {
+            let shifted = tableau.primal_values(standard.num_structural);
+            let values: Vec<f64> = shifted
+                .iter()
+                .zip(bounds.iter())
+                .map(|(x, &(lo, _))| x + lo)
+                .collect();
+            let objective = model.objective().evaluate(&values);
+            Ok(LpOutcome::Optimal(Solution { values, objective }))
+        }
+    }
+}
+
+/// The model rewritten over shifted non-negative variables with equality rows.
+struct StandardForm {
+    /// Number of structural (original) variables.
+    num_structural: usize,
+    /// Equality rows: coefficients over structural variables.
+    rows: Vec<Vec<f64>>,
+    /// Right-hand sides of the equality rows (before sign normalization).
+    rhs: Vec<f64>,
+    /// Per row: +1 for a slack (`<=`), -1 for a surplus (`>=`), 0 for none (`=`).
+    slack_sign: Vec<f64>,
+    /// Objective coefficients over structural variables.
+    objective: Vec<f64>,
+}
+
+impl StandardForm {
+    fn build(model: &Model, bounds: &[(f64, f64)]) -> Self {
+        let n = model.num_variables();
+        let mut rows = Vec::new();
+        let mut rhs = Vec::new();
+        let mut slack_sign = Vec::new();
+
+        // Model constraints, shifted by the lower bounds: for x = lo + x',
+        // Σ a_j x_j op b  becomes  Σ a_j x'_j op (b - Σ a_j lo_j).
+        for constraint in model.constraints() {
+            let mut coeffs = vec![0.0; n];
+            let mut shift = 0.0;
+            for &(v, c) in &constraint.expr.terms {
+                coeffs[v.index()] += c;
+                shift += c * bounds[v.index()].0;
+            }
+            let b = constraint.rhs - constraint.expr.constant - shift;
+            let sign = match constraint.op {
+                ConstraintOp::Le => 1.0,
+                ConstraintOp::Ge => -1.0,
+                ConstraintOp::Eq => 0.0,
+            };
+            rows.push(coeffs);
+            rhs.push(b);
+            slack_sign.push(sign);
+        }
+
+        // Finite upper bounds become x'_j <= hi - lo rows.
+        for (j, &(lo, hi)) in bounds.iter().enumerate() {
+            if hi.is_finite() {
+                let mut coeffs = vec![0.0; n];
+                coeffs[j] = 1.0;
+                rows.push(coeffs);
+                rhs.push(hi - lo);
+                slack_sign.push(1.0);
+            }
+        }
+
+        // Objective over shifted variables (the constant part is re-added by
+        // evaluating the original objective on the unshifted values later).
+        let mut objective = vec![0.0; n];
+        for &(v, c) in &model.objective().terms {
+            objective[v.index()] += c;
+        }
+
+        StandardForm {
+            num_structural: n,
+            rows,
+            rhs,
+            slack_sign,
+            objective,
+        }
+    }
+}
+
+enum TableauOutcome {
+    Optimal,
+    Infeasible,
+    Unbounded,
+}
+
+/// Dense simplex tableau with an explicit objective row.
+struct Tableau {
+    /// `m x (n_total + 1)` matrix; the last column is the right-hand side.
+    rows: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length `n_total + 1`.
+    objective: Vec<f64>,
+    /// Index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// Total number of columns excluding the RHS.
+    n_total: usize,
+    /// Column index at which artificial variables start.
+    artificial_start: usize,
+    /// Original (phase 2) cost of every column.
+    costs: Vec<f64>,
+}
+
+impl Tableau {
+    fn new(form: &StandardForm) -> Self {
+        let m = form.rows.len();
+        let n = form.num_structural;
+        let num_slack = form.slack_sign.iter().filter(|s| **s != 0.0).count();
+
+        // Column layout: [structural | slacks/surpluses | artificials | rhs].
+        // Every row receives an artificial unless its slack can serve as the
+        // initial basic variable (slack sign +1 and rhs >= 0 after sign fix).
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_col = n;
+        let artificial_start = n + num_slack;
+        let mut artificial_col = artificial_start;
+
+        // First pass: normalize signs so every rhs is non-negative and place
+        // slack columns.
+        let mut pending_artificial = Vec::new();
+        for (i, coeffs) in form.rows.iter().enumerate() {
+            let mut row = vec![0.0; artificial_start];
+            row[..n].copy_from_slice(coeffs);
+            let mut b = form.rhs[i];
+            let mut slack = form.slack_sign[i];
+            if slack != 0.0 {
+                row[slack_col] = slack;
+            }
+            if b < 0.0 {
+                for value in row.iter_mut() {
+                    *value = -*value;
+                }
+                b = -b;
+                slack = -slack;
+            }
+            if slack > 0.0 {
+                basis[i] = slack_col;
+            } else {
+                pending_artificial.push(i);
+            }
+            if form.slack_sign[i] != 0.0 {
+                slack_col += 1;
+            }
+            row.push(b);
+            rows.push(row);
+        }
+
+        let num_artificial = pending_artificial.len();
+        let n_total = artificial_start + num_artificial;
+        for row in &mut rows {
+            let b = row.pop().expect("rhs present");
+            row.resize(n_total, 0.0);
+            row.push(b);
+        }
+        for &i in &pending_artificial {
+            rows[i][artificial_col] = 1.0;
+            basis[i] = artificial_col;
+            artificial_col += 1;
+        }
+
+        let mut costs = vec![0.0; n_total];
+        costs[..n].copy_from_slice(&form.objective);
+
+        Tableau {
+            rows,
+            objective: vec![0.0; n_total + 1],
+            basis,
+            n_total,
+            artificial_start,
+            costs,
+        }
+    }
+
+    fn run_two_phase(&mut self) -> Result<TableauOutcome, SolveError> {
+        // Phase 1: minimize the sum of artificial variables.
+        if self.n_total > self.artificial_start {
+            let mut phase1 = vec![0.0; self.n_total + 1];
+            for col in self.artificial_start..self.n_total {
+                phase1[col] = 1.0;
+            }
+            self.objective = phase1;
+            self.price_out_basis();
+            match self.pivot_until_optimal()? {
+                TableauOutcome::Unbounded => {
+                    // Phase-1 objective is bounded below by zero; this cannot
+                    // happen with consistent data.
+                    return Err(SolveError::Numerical {
+                        message: "phase-1 simplex reported an unbounded objective".to_owned(),
+                    });
+                }
+                TableauOutcome::Infeasible | TableauOutcome::Optimal => {}
+            }
+            let infeasibility = -self.objective[self.n_total];
+            if infeasibility > 1e-6 {
+                return Ok(TableauOutcome::Infeasible);
+            }
+            self.drive_out_artificials();
+        }
+
+        // Phase 2: minimize the real objective.
+        let mut phase2 = vec![0.0; self.n_total + 1];
+        phase2[..self.n_total].copy_from_slice(&self.costs);
+        self.objective = phase2;
+        self.price_out_basis();
+        self.pivot_until_optimal()
+    }
+
+    /// Makes the objective row consistent with the current basis (reduced
+    /// costs of basic columns become zero).
+    fn price_out_basis(&mut self) {
+        for (row_idx, &basic_col) in self.basis.iter().enumerate() {
+            let cost = self.objective[basic_col];
+            if cost.abs() > f64::EPSILON {
+                for col in 0..=self.n_total {
+                    self.objective[col] -= cost * self.rows[row_idx][col];
+                }
+            }
+        }
+    }
+
+    /// Removes artificial variables from the basis after phase 1 when
+    /// possible (degenerate rows keep a zero-valued artificial, which is
+    /// harmless because its column is never selected again).
+    fn drive_out_artificials(&mut self) {
+        for row_idx in 0..self.rows.len() {
+            if self.basis[row_idx] < self.artificial_start {
+                continue;
+            }
+            let pivot_col = (0..self.artificial_start)
+                .find(|&col| self.rows[row_idx][col].abs() > 1e-9);
+            if let Some(col) = pivot_col {
+                self.pivot(row_idx, col);
+            }
+        }
+    }
+
+    fn pivot_until_optimal(&mut self) -> Result<TableauOutcome, SolveError> {
+        let max_iterations = 200 * (self.rows.len() + self.n_total).max(50);
+        let bland_threshold = 50 * (self.rows.len() + self.n_total).max(50);
+        for iteration in 0..max_iterations {
+            let use_bland = iteration > bland_threshold;
+            let Some(entering) = self.choose_entering(use_bland) else {
+                return Ok(TableauOutcome::Optimal);
+            };
+            let Some(leaving) = self.choose_leaving(entering, use_bland) else {
+                return Ok(TableauOutcome::Unbounded);
+            };
+            self.pivot(leaving, entering);
+        }
+        Err(SolveError::Numerical {
+            message: "simplex did not converge within the iteration limit".to_owned(),
+        })
+    }
+
+    fn choose_entering(&self, bland: bool) -> Option<usize> {
+        // Artificial columns never re-enter the basis: once driven out after
+        // phase 1 they must stay at zero, otherwise phase 2 could return a
+        // point violating the original constraints.
+        let candidates = 0..self.artificial_start;
+        if bland {
+            candidates
+                .clone()
+                .find(|&c| self.objective[c] < -EPSILON)
+        } else {
+            let mut best = None;
+            let mut best_value = -EPSILON;
+            for c in candidates {
+                if self.objective[c] < best_value {
+                    best_value = self.objective[c];
+                    best = Some(c);
+                }
+            }
+            best
+        }
+    }
+
+    fn choose_leaving(&self, entering: usize, bland: bool) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (row_idx, row) in self.rows.iter().enumerate() {
+            let coeff = row[entering];
+            if coeff > EPSILON {
+                let ratio = row[self.n_total] / coeff;
+                match best {
+                    None => best = Some((row_idx, ratio)),
+                    Some((best_row, best_ratio)) => {
+                        let better = ratio < best_ratio - 1e-12
+                            || ((ratio - best_ratio).abs() <= 1e-12
+                                && if bland {
+                                    self.basis[row_idx] < self.basis[best_row]
+                                } else {
+                                    row_idx < best_row
+                                });
+                        if better {
+                            best = Some((row_idx, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(row, _)| row)
+    }
+
+    fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let pivot_value = self.rows[pivot_row][pivot_col];
+        debug_assert!(pivot_value.abs() > 1e-12, "pivot on a zero element");
+        for value in &mut self.rows[pivot_row] {
+            *value /= pivot_value;
+        }
+        for row_idx in 0..self.rows.len() {
+            if row_idx == pivot_row {
+                continue;
+            }
+            let factor = self.rows[row_idx][pivot_col];
+            if factor.abs() > 1e-12 {
+                for col in 0..=self.n_total {
+                    self.rows[row_idx][col] -= factor * self.rows[pivot_row][col];
+                }
+            }
+        }
+        let factor = self.objective[pivot_col];
+        if factor.abs() > 1e-12 {
+            for col in 0..=self.n_total {
+                self.objective[col] -= factor * self.rows[pivot_row][col];
+            }
+        }
+        self.basis[pivot_row] = pivot_col;
+    }
+
+    /// Values of the first `count` (structural, shifted) variables.
+    fn primal_values(&self, count: usize) -> Vec<f64> {
+        let mut values = vec![0.0; count];
+        for (row_idx, &basic_col) in self.basis.iter().enumerate() {
+            if basic_col < count {
+                values[basic_col] = self.rows[row_idx][self.n_total];
+            }
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn simple_maximization_as_minimization() {
+        // maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0
+        // optimum at (4, 0) with value 12.
+        let mut m = Model::new("lp1");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_le("c1", [(x, 1.0), (y, 1.0)], 4.0);
+        m.add_le("c2", [(x, 1.0), (y, 3.0)], 6.0);
+        m.minimize([(x, -3.0), (y, -2.0)]);
+        let out = solve_relaxation(&m).unwrap();
+        let sol = out.solution().expect("optimal");
+        assert_close(sol.objective, -12.0);
+        assert_close(sol.value(x), 4.0);
+        assert_close(sol.value(y), 0.0);
+    }
+
+    #[test]
+    fn handles_ge_and_eq_constraints() {
+        // minimize 2x + 3y s.t. x + y = 10, x >= 3, y >= 2.
+        let mut m = Model::new("lp2");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_eq("sum", [(x, 1.0), (y, 1.0)], 10.0);
+        m.add_ge("xmin", [(x, 1.0)], 3.0);
+        m.add_ge("ymin", [(y, 1.0)], 2.0);
+        m.minimize([(x, 2.0), (y, 3.0)]);
+        let out = solve_relaxation(&m).unwrap();
+        let sol = out.solution().expect("optimal");
+        assert_close(sol.value(x), 8.0);
+        assert_close(sol.value(y), 2.0);
+        assert_close(sol.objective, 22.0);
+    }
+
+    #[test]
+    fn respects_variable_bounds() {
+        // minimize -x with x in [0, 7].
+        let mut m = Model::new("lp3");
+        let x = m.add_continuous("x", 0.0, 7.0);
+        m.minimize([(x, -1.0)]);
+        let out = solve_relaxation(&m).unwrap();
+        let sol = out.solution().expect("optimal");
+        assert_close(sol.value(x), 7.0);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // minimize x + y with x >= 2.5, y >= 1.5 and x + y >= 5.
+        let mut m = Model::new("lp4");
+        let x = m.add_continuous("x", 2.5, f64::INFINITY);
+        let y = m.add_continuous("y", 1.5, f64::INFINITY);
+        m.add_ge("sum", [(x, 1.0), (y, 1.0)], 5.0);
+        m.minimize([(x, 1.0), (y, 1.0)]);
+        let out = solve_relaxation(&m).unwrap();
+        let sol = out.solution().expect("optimal");
+        assert_close(sol.objective, 5.0);
+        assert!(sol.value(x) >= 2.5 - 1e-9);
+        assert!(sol.value(y) >= 1.5 - 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new("inf");
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.add_ge("impossible", [(x, 1.0)], 2.0);
+        m.minimize([(x, 1.0)]);
+        assert_eq!(solve_relaxation(&m).unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new("unb");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.minimize([(x, -1.0)]);
+        assert_eq!(solve_relaxation(&m).unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn empty_model_is_an_error() {
+        let m = Model::new("empty");
+        assert_eq!(solve_relaxation(&m), Err(SolveError::EmptyModel));
+    }
+
+    #[test]
+    fn branching_bounds_override_model_bounds() {
+        let mut m = Model::new("b");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        m.minimize([(x, -1.0)]);
+        let out = solve_relaxation_with_bounds(&m, &[(0.0, 3.0)]).unwrap();
+        assert_close(out.solution().unwrap().value(x), 3.0);
+        // An empty domain created by branching is infeasible, not an error.
+        let out = solve_relaxation_with_bounds(&m, &[(4.0, 3.0)]).unwrap();
+        assert_eq!(out, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic degenerate LP; ensures the Bland fallback terminates.
+        let mut m = Model::new("degenerate");
+        let x1 = m.add_continuous("x1", 0.0, f64::INFINITY);
+        let x2 = m.add_continuous("x2", 0.0, f64::INFINITY);
+        let x3 = m.add_continuous("x3", 0.0, f64::INFINITY);
+        m.add_le("c1", [(x1, 0.5), (x2, -5.5), (x3, -2.5)], 0.0);
+        m.add_le("c2", [(x1, 0.5), (x2, -1.5), (x3, -0.5)], 0.0);
+        m.add_le("c3", [(x1, 1.0)], 1.0);
+        m.minimize([(x1, -10.0), (x2, 57.0), (x3, 9.0)]);
+        let out = solve_relaxation(&m).unwrap();
+        assert!(out.solution().is_some());
+    }
+
+    #[test]
+    fn equality_with_negative_rhs() {
+        // x - y = -2, minimize x + y, x,y >= 0 → x = 0, y = 2.
+        let mut m = Model::new("negrhs");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_eq("diff", [(x, 1.0), (y, -1.0)], -2.0);
+        m.minimize([(x, 1.0), (y, 1.0)]);
+        let sol = solve_relaxation(&m).unwrap();
+        let sol = sol.solution().expect("optimal");
+        assert_close(sol.value(x), 0.0);
+        assert_close(sol.value(y), 2.0);
+    }
+
+    #[test]
+    fn objective_constant_is_preserved() {
+        let mut m = Model::new("const");
+        let x = m.add_continuous("x", 0.0, 5.0);
+        let mut obj = crate::LinExpr::from_terms([(x, 1.0)]);
+        obj.add_constant(100.0);
+        m.minimize_expr(obj);
+        m.add_ge("floor", [(x, 1.0)], 2.0);
+        let out = solve_relaxation(&m).unwrap();
+        assert_close(out.solution().unwrap().objective, 102.0);
+    }
+}

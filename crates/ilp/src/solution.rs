@@ -1,0 +1,95 @@
+//! Solution and status types.
+
+use crate::model::VarId;
+
+/// Outcome class of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// The returned solution is proven optimal (within the MIP gap).
+    Optimal,
+    /// A feasible solution was found but the search stopped at a time or
+    /// node limit before proving optimality.
+    Feasible,
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The relaxation is unbounded below.
+    Unbounded,
+    /// The search hit a time or node limit before finding any feasible
+    /// solution; feasibility is unknown.
+    Unknown,
+}
+
+impl SolveStatus {
+    /// Whether a usable solution accompanies this status.
+    #[must_use]
+    pub fn has_solution(self) -> bool {
+        matches!(self, SolveStatus::Optimal | SolveStatus::Feasible)
+    }
+}
+
+/// A feasible assignment of values to all model variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Value of every variable, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+    /// Objective value of this assignment.
+    pub objective: f64,
+}
+
+impl Solution {
+    /// The value of a variable in this solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable does not belong to the solved model.
+    #[must_use]
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// The value of a variable rounded to the nearest integer (convenient
+    /// for binary/integer variables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable does not belong to the solved model.
+    #[must_use]
+    pub fn int_value(&self, var: VarId) -> i64 {
+        self.value(var).round() as i64
+    }
+
+    /// Whether a binary variable is set (value ≥ 0.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable does not belong to the solved model.
+    #[must_use]
+    pub fn is_set(&self, var: VarId) -> bool {
+        self.value(var) >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_has_solution() {
+        assert!(SolveStatus::Optimal.has_solution());
+        assert!(SolveStatus::Feasible.has_solution());
+        assert!(!SolveStatus::Infeasible.has_solution());
+        assert!(!SolveStatus::Unbounded.has_solution());
+    }
+
+    #[test]
+    fn solution_accessors() {
+        let s = Solution {
+            values: vec![0.9999, 0.0001, 2.5],
+            objective: 7.0,
+        };
+        assert_eq!(s.int_value(VarId(0)), 1);
+        assert!(s.is_set(VarId(0)));
+        assert!(!s.is_set(VarId(1)));
+        assert!((s.value(VarId(2)) - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,281 @@
+//! Scaling, device insertion and iterative compression.
+
+use std::collections::{BTreeSet, HashSet};
+
+use biochip_arch::{Architecture, GridEdgeId, NodeId};
+
+use crate::design::{Dimensions, LayoutOptions, PhysicalDesign, PlacedDevice, RoutedSegment};
+
+/// Step 1: scale the architectural-synthesis result by the channel pitch.
+///
+/// The dimensions are the bounding box of all grid nodes touched by kept
+/// segments or devices (`d_r` of Table 2).
+#[must_use]
+pub fn scale_architecture(architecture: &Architecture, options: &LayoutOptions) -> Dimensions {
+    let (rows, cols) = occupied_extent(architecture);
+    Dimensions::new(
+        cols as u64 * options.channel_pitch.max(1),
+        rows as u64 * options.channel_pitch.max(1),
+    )
+}
+
+/// Step 2: expand the layout so that every grid track is wide enough for a
+/// device footprint plus one channel, and every segment is at least the
+/// storage length (`d_e` of Table 2).
+#[must_use]
+pub fn expand_layout(
+    scaled: &Dimensions,
+    architecture: &Architecture,
+    options: &LayoutOptions,
+) -> Dimensions {
+    let (rows, cols) = occupied_extent(architecture);
+    let track = options.device_size + options.storage_segment_length.max(options.channel_pitch);
+    let _ = scaled;
+    Dimensions::new(cols as u64 * track, rows as u64 * track)
+}
+
+/// Step 3: iteratively compress the expanded layout towards the upper-right
+/// corner.
+///
+/// Each iteration removes one channel-pitch unit from a grid column or row
+/// that does not need it (tracks without devices shrink to the channel
+/// pitch; tracks with devices keep the device footprint). Channel segments
+/// whose straight-line span becomes shorter than the storage length receive
+/// bend points so that their fluidic length is preserved, exactly as in
+/// Fig. 7 of the paper.
+#[must_use]
+pub fn compress_layout(
+    expanded: Dimensions,
+    architecture: &Architecture,
+    options: &LayoutOptions,
+) -> PhysicalDesign {
+    let grid = architecture.grid();
+    let placement = architecture.placement();
+    let used: &BTreeSet<GridEdgeId> = architecture.connection_graph().used_edges();
+
+    // Which grid rows/columns are occupied at all, and which contain devices.
+    let mut used_rows = BTreeSet::new();
+    let mut used_cols = BTreeSet::new();
+    let mut device_rows = HashSet::new();
+    let mut device_cols = HashSet::new();
+    for node in occupied_nodes(architecture) {
+        let coord = grid.coord(node);
+        used_rows.insert(coord.row);
+        used_cols.insert(coord.col);
+        if placement.device_at(node).is_some() {
+            device_rows.insert(coord.row);
+            device_cols.insert(coord.col);
+        }
+    }
+
+    // Final track widths after compression.
+    let track_width = |has_device: bool| -> u64 {
+        if has_device {
+            options.device_size
+        } else {
+            options.channel_pitch.max(1)
+        }
+    };
+    let compressed_width: u64 = used_cols
+        .iter()
+        .map(|c| track_width(device_cols.contains(c)))
+        .sum();
+    let compressed_height: u64 = used_rows
+        .iter()
+        .map(|r| track_width(device_rows.contains(r)))
+        .sum();
+    let compressed = Dimensions::new(compressed_width.max(1), compressed_height.max(1));
+
+    // Number of one-unit compression iterations needed to go from the
+    // expanded bounding box to the compressed one.
+    let compression_iterations = (expanded.width.saturating_sub(compressed.width)
+        + expanded.height.saturating_sub(compressed.height)) as usize;
+
+    // Physical device positions: prefix sums of compressed track widths.
+    let col_offset = |col: usize| -> u64 {
+        used_cols
+            .iter()
+            .take_while(|&&c| c < col)
+            .map(|c| track_width(device_cols.contains(c)))
+            .sum()
+    };
+    let row_offset = |row: usize| -> u64 {
+        used_rows
+            .iter()
+            .take_while(|&&r| r < row)
+            .map(|r| track_width(device_rows.contains(r)))
+            .sum()
+    };
+    let mut devices = Vec::new();
+    for node in occupied_nodes(architecture) {
+        if let Some(device) = placement.device_at(node) {
+            let coord = grid.coord(node);
+            devices.push(PlacedDevice {
+                device,
+                x: col_offset(coord.col),
+                y: row_offset(coord.row),
+                size: options.device_size,
+            });
+        }
+    }
+    devices.sort_by_key(|d| d.device);
+
+    // Channel segments: span after compression, with bends restoring the
+    // storage length where needed.
+    let storage_edges: HashSet<GridEdgeId> = architecture
+        .storage_routes()
+        .iter()
+        .filter_map(|r| r.cache_edge)
+        .collect();
+    let mut segments = Vec::new();
+    for &edge in used {
+        let (a, b) = grid.endpoints(edge);
+        let (ca, cb) = (grid.coord(a), grid.coord(b));
+        let span = (col_offset(ca.col).abs_diff(col_offset(cb.col)))
+            + (row_offset(ca.row).abs_diff(row_offset(cb.row)));
+        let span = span.max(1);
+        let used_for_storage = storage_edges.contains(&edge);
+        let required = if used_for_storage {
+            options.storage_segment_length.max(1)
+        } else {
+            1
+        };
+        let length = span.max(required);
+        // One bend per missing channel-pitch unit, zig-zagging inside the
+        // track (Fig. 7(c) of the paper).
+        let bends = (length - span) as usize;
+        segments.push(RoutedSegment {
+            edge,
+            span,
+            length,
+            bends,
+            used_for_storage,
+        });
+    }
+
+    PhysicalDesign {
+        scaled: scale_architecture(architecture, options),
+        expanded,
+        compressed,
+        devices,
+        segments,
+        compression_iterations,
+    }
+}
+
+/// Grid nodes that appear in the final chip: device nodes plus the endpoints
+/// of every kept segment.
+fn occupied_nodes(architecture: &Architecture) -> Vec<NodeId> {
+    let grid = architecture.grid();
+    let mut nodes: BTreeSet<NodeId> = architecture
+        .placement()
+        .device_nodes()
+        .iter()
+        .copied()
+        .collect();
+    for &edge in architecture.connection_graph().used_edges() {
+        let (a, b) = grid.endpoints(edge);
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    nodes.into_iter().collect()
+}
+
+/// Number of grid rows and columns spanned by the occupied nodes.
+fn occupied_extent(architecture: &Architecture) -> (usize, usize) {
+    let grid = architecture.grid();
+    let nodes = occupied_nodes(architecture);
+    if nodes.is_empty() {
+        return (1, 1);
+    }
+    let rows: Vec<usize> = nodes.iter().map(|&n| grid.coord(n).row).collect();
+    let cols: Vec<usize> = nodes.iter().map(|&n| grid.coord(n).col).collect();
+    let row_span = rows.iter().max().unwrap() - rows.iter().min().unwrap() + 1;
+    let col_span = cols.iter().max().unwrap() - cols.iter().min().unwrap() + 1;
+    (row_span, col_span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biochip_arch::{ArchitectureSynthesizer, SynthesisOptions};
+    use biochip_assay::library;
+    use biochip_schedule::{ListScheduler, ScheduleProblem, Scheduler};
+
+    fn pcr_architecture() -> (Architecture, LayoutOptions) {
+        let problem = ScheduleProblem::new(library::pcr())
+            .with_mixers(2)
+            .with_transport_time(5);
+        let schedule = ListScheduler::default().schedule(&problem).unwrap();
+        let arch = ArchitectureSynthesizer::new(SynthesisOptions::default())
+            .synthesize(&problem, &schedule)
+            .unwrap();
+        (arch, LayoutOptions::default())
+    }
+
+    #[test]
+    fn compression_never_grows_the_layout() {
+        let (arch, options) = pcr_architecture();
+        let scaled = scale_architecture(&arch, &options);
+        let expanded = expand_layout(&scaled, &arch, &options);
+        let design = compress_layout(expanded, &arch, &options);
+        assert!(design.compressed.width <= design.expanded.width);
+        assert!(design.compressed.height <= design.expanded.height);
+        assert!(design.compressed.area() <= design.expanded.area());
+        assert!(design.compression_ratio() >= 0.0);
+    }
+
+    #[test]
+    fn expansion_is_larger_than_the_scaled_result() {
+        let (arch, options) = pcr_architecture();
+        let scaled = scale_architecture(&arch, &options);
+        let expanded = expand_layout(&scaled, &arch, &options);
+        assert!(expanded.area() >= scaled.area());
+    }
+
+    #[test]
+    fn devices_do_not_overlap_after_compression() {
+        let (arch, options) = pcr_architecture();
+        let design = crate::generate_layout(&arch, &options);
+        for (i, a) in design.devices.iter().enumerate() {
+            for b in design.devices.iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "{:?} overlaps {:?}", a, b);
+            }
+        }
+        assert_eq!(design.devices.len(), arch.placement().len());
+    }
+
+    #[test]
+    fn storage_segments_keep_their_length_through_bends() {
+        let (arch, options) = pcr_architecture();
+        let design = crate::generate_layout(&arch, &options);
+        assert_eq!(design.segments.len(), arch.used_edge_count());
+        for segment in &design.segments {
+            assert!(segment.length >= segment.span);
+            if segment.used_for_storage {
+                assert!(segment.length >= options.storage_segment_length);
+            }
+            assert_eq!(segment.bends as u64, segment.length - segment.span);
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_produce_layouts() {
+        for (name, graph) in library::paper_benchmarks() {
+            let problem = ScheduleProblem::new(graph)
+                .with_mixers(3)
+                .with_detectors(2)
+                .with_heaters(1);
+            let schedule = ListScheduler::default().schedule(&problem).unwrap();
+            let arch = ArchitectureSynthesizer::default()
+                .synthesize(&problem, &schedule)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let design = crate::generate_layout(&arch, &LayoutOptions::default());
+            assert!(design.compressed.area() > 0, "{name}");
+            assert!(
+                design.compressed.area() <= design.expanded.area(),
+                "{name}: compression must not grow the chip"
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Physical design: from a connection graph to a compact chip layout.
+//!
+//! This crate implements Section 3.3 of the paper. The architectural
+//! synthesis result (devices and switches on a connection grid, with the
+//! kept channel segments) is turned into a physical layout in three steps:
+//!
+//! 1. **Scaling** — the connection graph is scaled by the minimum channel
+//!    pitch chosen by the designer ([`LayoutOptions::channel_pitch`]),
+//!    giving the `d_r` dimensions of Table 2.
+//! 2. **Device insertion** — devices have real footprints, so the layout is
+//!    expanded to make room for them; every channel segment is stretched to
+//!    at least the minimum storage length (`d_e` dimensions).
+//! 3. **Iterative compression** — the layout is repeatedly compacted towards
+//!    the upper-right corner, one grid row or column at a time, inserting
+//!    bend points so that segments keep their required length, until no
+//!    further compression is possible (`d_p` dimensions).
+//!
+//! # Example
+//!
+//! ```
+//! use biochip_assay::library;
+//! use biochip_schedule::{ListScheduler, ScheduleProblem, Scheduler};
+//! use biochip_arch::{ArchitectureSynthesizer, SynthesisOptions};
+//! use biochip_layout::{generate_layout, LayoutOptions};
+//!
+//! let problem = ScheduleProblem::new(library::pcr()).with_mixers(2);
+//! let schedule = ListScheduler::default().schedule(&problem)?;
+//! let arch = ArchitectureSynthesizer::new(SynthesisOptions::default())
+//!     .synthesize(&problem, &schedule)?;
+//! let design = generate_layout(&arch, &LayoutOptions::default());
+//! assert!(design.compressed.area() <= design.expanded.area());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compress;
+mod design;
+mod render;
+
+pub use compress::{compress_layout, expand_layout, scale_architecture};
+pub use design::{Dimensions, LayoutOptions, PhysicalDesign, PlacedDevice, RoutedSegment};
+pub use render::render_ascii;
+
+use biochip_arch::Architecture;
+
+/// Runs the full physical-design flow (scale → insert devices → compress).
+#[must_use]
+pub fn generate_layout(architecture: &Architecture, options: &LayoutOptions) -> PhysicalDesign {
+    let scaled = scale_architecture(architecture, options);
+    let expanded = expand_layout(&scaled, architecture, options);
+    compress_layout(expanded, architecture, options)
+}

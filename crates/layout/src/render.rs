@@ -1,0 +1,106 @@
+//! ASCII rendering of synthesized chips (used for the Fig. 11 snapshots).
+
+use std::collections::HashSet;
+
+use biochip_arch::{Architecture, GridEdgeId};
+
+/// Renders the connection graph of a synthesized chip as ASCII art.
+///
+/// Device nodes are drawn as `D`, switches as `+`, kept channel segments as
+/// `-`/`|`, and the segments in `highlight` (for example the paths and cache
+/// segments active at one instant, as in the paper's Fig. 11) as `=`/`#`.
+/// Unused grid positions are blank.
+#[must_use]
+pub fn render_ascii(architecture: &Architecture, highlight: &HashSet<GridEdgeId>) -> String {
+    let grid = architecture.grid();
+    let placement = architecture.placement();
+    let used = architecture.connection_graph().used_edges();
+
+    // Character canvas: every grid node occupies a 2x2 cell (node + the
+    // half-edges to its right and below).
+    let mut canvas = vec![vec![' '; grid.cols() * 2]; grid.rows() * 2];
+    for node in grid.nodes() {
+        let coord = grid.coord(node);
+        let (r, c) = (coord.row * 2, coord.col * 2);
+        let is_device = placement.device_at(node).is_some();
+        let touched = grid
+            .incident_edges(node)
+            .iter()
+            .any(|e| used.contains(e));
+        canvas[r][c] = if is_device {
+            'D'
+        } else if touched {
+            '+'
+        } else {
+            ' '
+        };
+    }
+    for &edge in used {
+        let (a, b) = grid.endpoints(edge);
+        let (ca, cb) = (grid.coord(a), grid.coord(b));
+        let emphasized = highlight.contains(&edge);
+        if ca.row == cb.row {
+            let col = ca.col.min(cb.col) * 2 + 1;
+            canvas[ca.row * 2][col] = if emphasized { '=' } else { '-' };
+        } else {
+            let row = ca.row.min(cb.row) * 2 + 1;
+            canvas[row][ca.col * 2] = if emphasized { '#' } else { '|' };
+        }
+    }
+
+    let mut out = String::new();
+    for row in canvas {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biochip_assay::library;
+    use biochip_schedule::{ListScheduler, ScheduleProblem, Scheduler};
+
+    fn pcr_architecture() -> Architecture {
+        let problem = ScheduleProblem::new(library::pcr())
+            .with_mixers(2)
+            .with_transport_time(5);
+        let schedule = ListScheduler::default().schedule(&problem).unwrap();
+        biochip_arch::ArchitectureSynthesizer::default()
+            .synthesize(&problem, &schedule)
+            .unwrap()
+    }
+
+    #[test]
+    fn rendering_contains_devices_and_segments() {
+        let arch = pcr_architecture();
+        let art = render_ascii(&arch, &HashSet::new());
+        assert_eq!(art.matches('D').count(), arch.placement().len());
+        let drawn_edges = art.matches('-').count() + art.matches('|').count();
+        assert_eq!(drawn_edges, arch.used_edge_count());
+    }
+
+    #[test]
+    fn highlighted_edges_use_emphasis_characters() {
+        let arch = pcr_architecture();
+        let highlight: HashSet<GridEdgeId> = arch
+            .connection_graph()
+            .used_edges()
+            .iter()
+            .copied()
+            .take(2)
+            .collect();
+        let art = render_ascii(&arch, &highlight);
+        let emphasized = art.matches('=').count() + art.matches('#').count();
+        assert_eq!(emphasized, highlight.len());
+    }
+
+    #[test]
+    fn rendering_is_rectangular_text() {
+        let arch = pcr_architecture();
+        let art = render_ascii(&arch, &HashSet::new());
+        assert!(art.lines().count() >= arch.grid().rows());
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for scheduling.
+
+use std::fmt;
+
+use biochip_assay::{GraphError, OpId};
+
+use crate::problem::DeviceId;
+
+/// Errors produced while building scheduling problems or schedules.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The sequencing graph failed validation.
+    InvalidGraph(GraphError),
+    /// The problem provides no device able to execute an operation.
+    MissingDevice {
+        /// The operation that cannot be executed.
+        op: OpId,
+        /// Human-readable device class name.
+        class: String,
+    },
+    /// The ILP solver could not find a feasible schedule within its limits.
+    SolverFailed {
+        /// Reason reported by the solver.
+        reason: String,
+    },
+    /// A schedule violates a structural constraint (used by validation).
+    InvalidSchedule {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// An operation is missing from a schedule.
+    UnscheduledOperation {
+        /// The missing operation.
+        op: OpId,
+    },
+    /// An operation was bound to a device that cannot execute it.
+    IncompatibleDevice {
+        /// The operation.
+        op: OpId,
+        /// The offending device.
+        device: DeviceId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InvalidGraph(e) => write!(f, "invalid sequencing graph: {e}"),
+            ScheduleError::MissingDevice { op, class } => {
+                write!(f, "no device of class {class} available for {op}")
+            }
+            ScheduleError::SolverFailed { reason } => {
+                write!(f, "ILP scheduling failed: {reason}")
+            }
+            ScheduleError::InvalidSchedule { reason } => {
+                write!(f, "invalid schedule: {reason}")
+            }
+            ScheduleError::UnscheduledOperation { op } => {
+                write!(f, "operation {op} is not scheduled")
+            }
+            ScheduleError::IncompatibleDevice { op, device } => {
+                write!(f, "operation {op} is bound to incompatible device {device}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScheduleError::InvalidGraph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ScheduleError {
+    fn from(e: GraphError) -> Self {
+        ScheduleError::InvalidGraph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = ScheduleError::InvalidGraph(GraphError::Empty);
+        assert!(err.to_string().contains("invalid sequencing graph"));
+        assert!(std::error::Error::source(&err).is_some());
+
+        let err = ScheduleError::SolverFailed {
+            reason: "time limit".to_owned(),
+        };
+        assert!(err.to_string().contains("time limit"));
+        assert!(std::error::Error::source(&err).is_none());
+    }
+
+    #[test]
+    fn from_graph_error() {
+        let err: ScheduleError = GraphError::CycleDetected.into();
+        assert!(matches!(err, ScheduleError::InvalidGraph(_)));
+    }
+}

@@ -1,0 +1,504 @@
+//! Exact ILP scheduling and binding (Table 1 of the paper).
+//!
+//! The formulation follows Section 3.1:
+//!
+//! * **uniqueness** — every operation is assigned to exactly one compatible
+//!   device (eq. 1),
+//! * **duration** — an operation occupies its device for its execution time
+//!   (eq. 2; end times are substituted as `t_i^s + u_i`),
+//! * **precedence** — a child starts only after its parent finished plus the
+//!   transport time when they are bound to different devices (eq. 3),
+//! * **non-overlap** — operations bound to the same device never overlap
+//!   (eq. 4), linearized with pairwise ordering binaries and big-M terms,
+//! * **makespan** — `t_E` dominates every end time (eq. 5),
+//!
+//! with the objective `α·t_E + β·Σ u_{i,j}` (eq. 6) where `u_{i,j}` is the
+//! producer-to-consumer gap of cross-device dependency edges — the storage
+//! lifetime that the synthesized chip must provide.
+//!
+//! The solver is warm-started with the storage-aware list schedule, and when
+//! the branch & bound hits its limits without improving on it the heuristic
+//! schedule is returned (best-effort semantics, like the paper's 30-minute
+//! Gurobi runs).
+
+use std::collections::HashMap;
+
+use biochip_assay::OpId;
+use biochip_ilp::{Model, SolverOptions, VarId};
+
+use crate::error::ScheduleError;
+use crate::list_scheduler::{ListScheduler, SchedulingStrategy};
+use crate::problem::{DeviceId, ScheduleProblem};
+use crate::schedule::Schedule;
+use crate::Scheduler;
+
+/// Exact scheduling/binding engine backed by the in-repo MILP solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpScheduler {
+    options: SolverOptions,
+    makespan_only: bool,
+}
+
+impl IlpScheduler {
+    /// Creates an ILP scheduler with the given solver options.
+    #[must_use]
+    pub fn new(options: SolverOptions) -> Self {
+        IlpScheduler {
+            options,
+            makespan_only: false,
+        }
+    }
+
+    /// Ignores the storage term of the objective (β = 0), scheduling for
+    /// execution time only. Used as the Fig. 9 baseline.
+    #[must_use]
+    pub fn makespan_only(mut self) -> Self {
+        self.makespan_only = true;
+        self
+    }
+}
+
+impl Scheduler for IlpScheduler {
+    fn schedule(&self, problem: &ScheduleProblem) -> Result<Schedule, ScheduleError> {
+        problem.validate()?;
+
+        // Warm start and fallback: the storage-aware list schedule.
+        let heuristic = ListScheduler::new(SchedulingStrategy::StorageAware).schedule(problem)?;
+        let warm_objective = schedule_objective(problem, &heuristic, self.makespan_only);
+
+        let formulation = Formulation::build(problem, self.makespan_only);
+        let options = self
+            .options
+            .clone()
+            .with_warm_start(warm_objective + 1.0);
+        let result = biochip_ilp::solve(&formulation.model, &options)
+            .map_err(|e| ScheduleError::SolverFailed {
+                reason: e.to_string(),
+            })?;
+
+        match result.solution {
+            Some(solution) => {
+                let schedule = formulation.extract(problem, &solution);
+                schedule.validate(problem)?;
+                // Keep whichever of the two valid schedules scores better.
+                if schedule_objective(problem, &schedule, self.makespan_only) <= warm_objective {
+                    Ok(schedule)
+                } else {
+                    Ok(heuristic)
+                }
+            }
+            None => Ok(heuristic),
+        }
+    }
+}
+
+/// The paper's weighted objective evaluated on a concrete schedule.
+fn schedule_objective(problem: &ScheduleProblem, schedule: &Schedule, makespan_only: bool) -> f64 {
+    let makespan = schedule.makespan() as f64;
+    if makespan_only {
+        return problem.alpha() * makespan;
+    }
+    let graph = problem.graph();
+    let mut storage = 0.0;
+    for edge in graph.edges() {
+        if let (Some(p), Some(c)) = (schedule.get(edge.parent), schedule.get(edge.child)) {
+            if p.device != c.device {
+                storage += c.start.saturating_sub(p.end) as f64;
+            }
+        }
+    }
+    problem.alpha() * makespan + problem.beta() * storage
+}
+
+/// The ILP model plus the bookkeeping needed to read a schedule back out.
+struct Formulation {
+    model: Model,
+    start: HashMap<OpId, VarId>,
+    assign: HashMap<(OpId, DeviceId), VarId>,
+    ops: Vec<OpId>,
+}
+
+impl Formulation {
+    fn build(problem: &ScheduleProblem, makespan_only: bool) -> Self {
+        let graph = problem.graph();
+        let ops = graph.device_operations();
+        let horizon = problem.horizon() as f64;
+        let uc = problem.transport_time() as f64;
+        let big_m = horizon + uc;
+
+        let mut model = Model::new(format!("schedule-{}", graph.name()));
+        let mut start = HashMap::new();
+        let mut assign = HashMap::new();
+
+        // t_i^s and s_{i,k}.
+        for &op in &ops {
+            let ts = model.add_continuous(format!("ts_{}", op.index()), 0.0, horizon);
+            start.insert(op, ts);
+            let compatible = problem.compatible_devices(op);
+            for device in &compatible {
+                let s = model.add_binary(format!("s_{}_{}", op.index(), device.index()));
+                assign.insert((op, *device), s);
+            }
+            // Uniqueness (eq. 1).
+            model.add_eq(
+                format!("unique_{}", op.index()),
+                compatible.iter().map(|d| (assign[&(op, *d)], 1.0)),
+                1.0,
+            );
+        }
+
+        // Makespan variable and eq. 5.
+        let t_e = model.add_continuous("tE", 0.0, horizon);
+        for &op in &ops {
+            let duration = graph.operation(op).duration as f64;
+            model.add_ge(
+                format!("makespan_{}", op.index()),
+                [(t_e, 1.0), (start[&op], -1.0)],
+                duration,
+            );
+        }
+
+        // Precedence (eq. 3) and storage lifetimes u_{i,j} for dependency
+        // edges between device operations.
+        let mut storage_vars = Vec::new();
+        for (edge_idx, edge) in graph.edges().iter().enumerate() {
+            if !(start.contains_key(&edge.parent) && start.contains_key(&edge.child)) {
+                continue;
+            }
+            let duration = graph.operation(edge.parent).duration as f64;
+            // same_{i,j} = 1 when parent and child share a device. It only
+            // ever *relaxes* constraints, so continuous variables bounded by
+            // the shared assignment products are sufficient.
+            let shared: Vec<DeviceId> = problem
+                .compatible_devices(edge.parent)
+                .into_iter()
+                .filter(|d| assign.contains_key(&(edge.child, *d)))
+                .collect();
+            let same = model.add_continuous(format!("same_e{edge_idx}"), 0.0, 1.0);
+            let mut same_upper = vec![(same, -1.0)];
+            for device in &shared {
+                let w = model.add_continuous(
+                    format!("w_e{edge_idx}_{}", device.index()),
+                    0.0,
+                    1.0,
+                );
+                model.add_le(
+                    format!("w_le_parent_e{edge_idx}_{}", device.index()),
+                    [(w, 1.0), (assign[&(edge.parent, *device)], -1.0)],
+                    0.0,
+                );
+                model.add_le(
+                    format!("w_le_child_e{edge_idx}_{}", device.index()),
+                    [(w, 1.0), (assign[&(edge.child, *device)], -1.0)],
+                    0.0,
+                );
+                same_upper.push((w, 1.0));
+            }
+            // same <= Σ w (0 when the two operations sit on different devices).
+            model.add_ge(format!("same_bound_e{edge_idx}"), same_upper, 0.0);
+
+            // t_j^s >= t_i^s + u_i + u_c (1 - same).
+            model.add_ge(
+                format!("precedence_e{edge_idx}"),
+                [
+                    (start[&edge.child], 1.0),
+                    (start[&edge.parent], -1.0),
+                    (same, uc),
+                ],
+                duration + uc,
+            );
+
+            if !makespan_only {
+                // u_{i,j} >= gap - M * same  (cross-device storage lifetime).
+                let u = model.add_continuous(format!("u_e{edge_idx}"), 0.0, horizon);
+                model.add_ge(
+                    format!("storage_e{edge_idx}"),
+                    [
+                        (u, 1.0),
+                        (start[&edge.child], -1.0),
+                        (start[&edge.parent], 1.0),
+                        (same, big_m),
+                    ],
+                    -duration,
+                );
+                storage_vars.push(u);
+            }
+        }
+
+        // Non-overlap (eq. 4) for pairs that can share a device and are not
+        // already ordered by precedence.
+        let reachable = reachability(graph);
+        for (a_idx, &op_a) in ops.iter().enumerate() {
+            for &op_b in ops.iter().skip(a_idx + 1) {
+                if reachable[op_a.index()].contains(&op_b) || reachable[op_b.index()].contains(&op_a)
+                {
+                    continue;
+                }
+                let shared: Vec<DeviceId> = problem
+                    .compatible_devices(op_a)
+                    .into_iter()
+                    .filter(|d| assign.contains_key(&(op_b, *d)))
+                    .collect();
+                if shared.is_empty() {
+                    continue;
+                }
+                let pair = format!("{}_{}", op_a.index(), op_b.index());
+                // spair >= s_{a,k} + s_{b,k} - 1 forces it to 1 on a shared
+                // device; it may float otherwise but only tightens the big-M.
+                let spair = model.add_continuous(format!("pair_{pair}"), 0.0, 1.0);
+                for device in &shared {
+                    model.add_ge(
+                        format!("pair_force_{pair}_{}", device.index()),
+                        [
+                            (spair, 1.0),
+                            (assign[&(op_a, *device)], -1.0),
+                            (assign[&(op_b, *device)], -1.0),
+                        ],
+                        -1.0,
+                    );
+                }
+                let order = model.add_binary(format!("order_{pair}"));
+                let dur_a = graph.operation(op_a).duration as f64;
+                let dur_b = graph.operation(op_b).duration as f64;
+                // a before b:  ts_b >= ts_a + dur_a - M(1-order) - M(1-spair)
+                model.add_ge(
+                    format!("no_overlap_ab_{pair}"),
+                    [
+                        (start[&op_b], 1.0),
+                        (start[&op_a], -1.0),
+                        (order, -big_m),
+                        (spair, -big_m),
+                    ],
+                    dur_a - 2.0 * big_m,
+                );
+                // b before a:  ts_a >= ts_b + dur_b - M*order - M(1-spair)
+                model.add_ge(
+                    format!("no_overlap_ba_{pair}"),
+                    [
+                        (start[&op_a], 1.0),
+                        (start[&op_b], -1.0),
+                        (order, big_m),
+                        (spair, -big_m),
+                    ],
+                    dur_b - big_m,
+                );
+            }
+        }
+
+        // Objective (eq. 6): α t_E + β Σ u_{i,j}.
+        let mut objective: Vec<(VarId, f64)> = vec![(t_e, problem.alpha())];
+        for u in &storage_vars {
+            objective.push((*u, problem.beta()));
+        }
+        model.minimize(objective);
+
+        Formulation {
+            model,
+            start,
+            assign,
+            ops,
+        }
+    }
+
+    /// Reads binding and ordering decisions out of the MILP solution and
+    /// rebuilds exact integer start times with a deterministic repair pass
+    /// (this removes any LP round-off without changing the decisions).
+    fn extract(&self, problem: &ScheduleProblem, solution: &biochip_ilp::Solution) -> Schedule {
+        let graph = problem.graph();
+        let uc = problem.transport_time();
+
+        // Device chosen for every operation.
+        let mut device_of: HashMap<OpId, DeviceId> = HashMap::new();
+        for &op in &self.ops {
+            let device = problem
+                .compatible_devices(op)
+                .into_iter()
+                .max_by(|a, b| {
+                    solution
+                        .value(self.assign[&(op, *a)])
+                        .partial_cmp(&solution.value(self.assign[&(op, *b)]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("uniqueness constraint guarantees an assignment");
+            device_of.insert(op, device);
+        }
+
+        // Replay operations in the ILP's start order.
+        let mut order: Vec<OpId> = self.ops.clone();
+        order.sort_by(|a, b| {
+            solution
+                .value(self.start[a])
+                .partial_cmp(&solution.value(self.start[b]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(b))
+        });
+
+        let mut schedule = Schedule::with_capacity(graph.num_operations());
+        let mut device_available = vec![0u64; problem.devices().len()];
+        let mut pending: Vec<OpId> = order;
+        while !pending.is_empty() {
+            // Respect dependencies during replay even if LP round-off
+            // reordered two nearly-simultaneous start times.
+            let position = pending
+                .iter()
+                .position(|&op| {
+                    graph
+                        .parents(op)
+                        .iter()
+                        .all(|p| !device_of.contains_key(p) || schedule.get(*p).is_some())
+                })
+                .expect("a DAG always has a schedulable operation");
+            let op = pending.remove(position);
+            let device = device_of[&op];
+            let mut begin = device_available[device.index()];
+            for &parent in graph.parents(op) {
+                if let Some(p) = schedule.get(parent) {
+                    let gap = if p.device == device { 0 } else { uc };
+                    begin = begin.max(p.end + gap);
+                }
+            }
+            let duration = graph.operation(op).duration;
+            schedule.assign(op, device, begin, begin + duration);
+            device_available[device.index()] = begin + duration;
+        }
+        schedule
+    }
+}
+
+/// For every operation, the set of operations reachable from it (its
+/// descendants) — used to skip redundant non-overlap pairs.
+fn reachability(graph: &biochip_assay::SequencingGraph) -> Vec<std::collections::HashSet<OpId>> {
+    let order = graph.topological_order().expect("validated DAG");
+    let mut reach: Vec<std::collections::HashSet<OpId>> =
+        vec![std::collections::HashSet::new(); graph.num_operations()];
+    for &id in order.iter().rev() {
+        let mut set = std::collections::HashSet::new();
+        for &child in graph.children(id) {
+            set.insert(child);
+            set.extend(reach[child.index()].iter().copied());
+        }
+        reach[id.index()] = set;
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biochip_assay::{library, OperationKind, SequencingGraph};
+    use std::time::Duration;
+
+    fn fast_options() -> SolverOptions {
+        SolverOptions::default()
+            .with_time_limit(Duration::from_secs(20))
+            .with_node_limit(50_000)
+    }
+
+    /// Fig. 4 of the paper: five operations on two devices; scheduling o3
+    /// before o2 reduces storage without hurting the makespan.
+    fn fig4_graph() -> SequencingGraph {
+        let mut g = SequencingGraph::new("fig4");
+        let o1 = g.add_operation_with_duration("o1", OperationKind::Mix, 20);
+        let o2 = g.add_operation_with_duration("o2", OperationKind::Mix, 20);
+        let o3 = g.add_operation_with_duration("o3", OperationKind::Mix, 20);
+        let o4 = g.add_operation_with_duration("o4", OperationKind::Mix, 20);
+        let o5 = g.add_operation_with_duration("o5", OperationKind::Mix, 20);
+        g.add_dependency(o1, o4).unwrap();
+        g.add_dependency(o2, o4).unwrap();
+        g.add_dependency(o2, o5).unwrap();
+        g.add_dependency(o3, o5).unwrap();
+        g
+    }
+
+    #[test]
+    fn tiny_chain_is_scheduled_optimally() {
+        let mut g = SequencingGraph::new("chain3");
+        let a = g.add_operation_with_duration("a", OperationKind::Mix, 10);
+        let b = g.add_operation_with_duration("b", OperationKind::Mix, 10);
+        let c = g.add_operation_with_duration("c", OperationKind::Mix, 10);
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, c).unwrap();
+        let problem = ScheduleProblem::new(g).with_mixers(2).with_transport_time(5);
+        let s = IlpScheduler::new(fast_options()).schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        // A chain gains nothing from the second mixer; optimum keeps it on
+        // one device: 30 s.
+        assert_eq!(s.makespan(), 30);
+    }
+
+    #[test]
+    fn parallel_operations_use_both_mixers() {
+        let mut g = SequencingGraph::new("par");
+        for i in 0..4 {
+            g.add_operation_with_duration(format!("m{i}"), OperationKind::Mix, 15);
+        }
+        let problem = ScheduleProblem::new(g).with_mixers(2).with_transport_time(5);
+        let s = IlpScheduler::new(fast_options()).schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        assert_eq!(s.makespan(), 30);
+    }
+
+    #[test]
+    fn fig4_storage_objective_reduces_storage() {
+        let problem = ScheduleProblem::new(fig4_graph())
+            .with_mixers(2)
+            .with_transport_time(5)
+            .with_weights(1000.0, 1.0);
+        let with_storage = IlpScheduler::new(fast_options()).schedule(&problem).unwrap();
+        with_storage.validate(&problem).unwrap();
+        let baseline = IlpScheduler::new(fast_options())
+            .makespan_only()
+            .schedule(&problem)
+            .unwrap();
+        baseline.validate(&problem).unwrap();
+        let m_storage = with_storage.metrics(&problem);
+        let m_baseline = baseline.metrics(&problem);
+        // Identical (optimal) execution times, never more storage time.
+        assert_eq!(m_storage.makespan, m_baseline.makespan);
+        assert!(m_storage.total_storage_time <= m_baseline.total_storage_time);
+    }
+
+    #[test]
+    fn pcr_with_two_mixers_matches_known_optimum() {
+        let problem = ScheduleProblem::new(library::pcr())
+            .with_mixers(2)
+            .with_transport_time(5);
+        let s = IlpScheduler::new(fast_options()).schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        // 7 mixes of 60 s on 2 mixers: four rounds on the busier mixer plus
+        // at most one transport into the final mix -> 240..=250 s.
+        assert!(s.makespan() >= 240, "makespan {}", s.makespan());
+        assert!(s.makespan() <= 250, "makespan {}", s.makespan());
+    }
+
+    #[test]
+    fn ilp_never_loses_to_heuristic() {
+        let problem = ScheduleProblem::new(library::pcr())
+            .with_mixers(2)
+            .with_transport_time(5);
+        let heuristic = ListScheduler::new(SchedulingStrategy::StorageAware)
+            .schedule(&problem)
+            .unwrap();
+        let ilp = IlpScheduler::new(fast_options()).schedule(&problem).unwrap();
+        assert!(
+            schedule_objective(&problem, &ilp, false)
+                <= schedule_objective(&problem, &heuristic, false) + 1e-9
+        );
+    }
+
+    #[test]
+    fn invalid_problem_is_rejected() {
+        let problem = ScheduleProblem::new(library::ivd()).with_mixers(1);
+        assert!(IlpScheduler::new(fast_options()).schedule(&problem).is_err());
+    }
+
+    #[test]
+    fn zero_node_limit_falls_back_to_heuristic() {
+        let options = SolverOptions::default()
+            .with_node_limit(0)
+            .with_time_limit(Duration::from_millis(1));
+        let problem = ScheduleProblem::new(library::pcr()).with_mixers(2);
+        let s = IlpScheduler::new(options).schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+    }
+}

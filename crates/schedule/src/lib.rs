@@ -1,0 +1,93 @@
+//! Scheduling and binding of bioassay operations with storage minimization.
+//!
+//! This crate implements Section 3.1 of the paper: operations of a sequencing
+//! graph are assigned to devices and time slots so that the assay execution
+//! time `t_E` *and* the total lifetime of intermediate fluid samples (which
+//! determines how much storage the chip needs) are minimized together,
+//! weighted by `α` and `β` (eq. 6 of the paper).
+//!
+//! Two engines are provided:
+//!
+//! * [`IlpScheduler`] — the exact ILP formulation of Table 1 (uniqueness,
+//!   duration, precedence, non-overlap) plus the makespan/storage objective,
+//!   solved with the in-repo [`biochip_ilp`] branch & bound. Intended for
+//!   small assays and for validating the heuristic.
+//! * [`ListScheduler`] — a storage-aware list scheduler that scales to the
+//!   larger benchmarks (the paper itself falls back to 30-minute best-effort
+//!   Gurobi runs there). Its [`SchedulingStrategy::MakespanOnly`] mode is the
+//!   "optimize execution time only" baseline of Fig. 9.
+//!
+//! The output of both engines is a [`Schedule`], from which the storage
+//! requirements (store/fetch events, concurrent-storage peak) are derived for
+//! architectural synthesis.
+//!
+//! # Example
+//!
+//! ```
+//! use biochip_assay::library;
+//! use biochip_schedule::{ListScheduler, ScheduleProblem, Scheduler, SchedulingStrategy};
+//!
+//! let problem = ScheduleProblem::new(library::pcr())
+//!     .with_mixers(2)
+//!     .with_transport_time(5);
+//! let schedule = ListScheduler::new(SchedulingStrategy::StorageAware).schedule(&problem)?;
+//! assert!(schedule.validate(&problem).is_ok());
+//! assert!(schedule.makespan() >= 180); // critical path of PCR
+//! # Ok::<(), biochip_schedule::ScheduleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ilp_scheduler;
+mod list_scheduler;
+mod problem;
+mod schedule;
+mod storage;
+
+pub use error::ScheduleError;
+pub use ilp_scheduler::IlpScheduler;
+pub use list_scheduler::{ListScheduler, SchedulingStrategy};
+pub use problem::{Device, DeviceId, ScheduleProblem};
+pub use schedule::{Schedule, ScheduleMetrics, ScheduledOperation};
+pub use storage::{concurrent_storage_profile, max_concurrent_storage, StorageRequirement};
+
+use biochip_assay::Seconds;
+
+/// Common interface of the scheduling engines.
+pub trait Scheduler {
+    /// Computes a schedule for the given problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] if the problem is malformed (no devices of
+    /// a required class, invalid graph) or, for the ILP engine, if the solver
+    /// fails to find a feasible solution within its limits.
+    fn schedule(&self, problem: &ScheduleProblem) -> Result<Schedule, ScheduleError>;
+}
+
+/// Schedules with the engine best suited to the problem size: the exact ILP
+/// for assays with at most `ilp_threshold` device operations, the
+/// storage-aware list scheduler otherwise.
+///
+/// # Errors
+///
+/// Propagates errors from the selected engine.
+pub fn schedule_auto(
+    problem: &ScheduleProblem,
+    ilp_threshold: usize,
+    time_limit: std::time::Duration,
+) -> Result<Schedule, ScheduleError> {
+    if problem.graph().device_operations().len() <= ilp_threshold {
+        let options = biochip_ilp::SolverOptions::default().with_time_limit(time_limit);
+        IlpScheduler::new(options).schedule(problem)
+    } else {
+        ListScheduler::new(SchedulingStrategy::StorageAware).schedule(problem)
+    }
+}
+
+/// Default pure transportation time `u_c` between two devices, in seconds.
+///
+/// The paper treats this as a small constant compared to operation durations.
+pub const DEFAULT_TRANSPORT_SECONDS: Seconds = 5;

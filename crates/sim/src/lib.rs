@@ -1,0 +1,26 @@
+//! Execution simulation of synthesized flow-based biochips.
+//!
+//! Two models are provided:
+//!
+//! * [`replay`] — replays a synthesized chip ([`Architecture`]) against its
+//!   schedule, checking that every transport happens inside the window the
+//!   router reserved for it and computing the *effective* execution time
+//!   (schedule makespan plus any transport postponement the router had to
+//!   introduce). It also produces [`Snapshot`]s of the chip at arbitrary
+//!   instants — the paper's Fig. 11.
+//! * [`dedicated`] — executes the same schedule against the **dedicated
+//!   storage unit** baseline of previous work: every stored sample must pass
+//!   through the unit's single-transfer port, so concurrent accesses queue
+//!   and the assay is prolonged (the basis of the paper's Fig. 10
+//!   comparison).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dedicated;
+pub mod replay;
+pub mod snapshot;
+
+pub use dedicated::{simulate_dedicated_storage, DedicatedExecutionReport};
+pub use replay::{replay, ExecutionReport};
+pub use snapshot::{snapshot_at, Snapshot};

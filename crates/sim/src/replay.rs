@@ -1,0 +1,142 @@
+//! Replay of a synthesized chip against its schedule.
+
+use serde::{Deserialize, Serialize};
+
+use biochip_arch::Architecture;
+use biochip_assay::Seconds;
+use biochip_schedule::{Schedule, ScheduleProblem};
+
+/// Result of replaying a synthesized chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Execution time of the schedule itself (`t_E`).
+    pub schedule_makespan: Seconds,
+    /// Effective execution time on the synthesized chip: the schedule
+    /// makespan plus the largest transport postponement the router had to
+    /// introduce (zero for conflict-free syntheses).
+    pub effective_makespan: Seconds,
+    /// Number of transportation paths replayed.
+    pub transports: usize,
+    /// Number of samples cached in channel segments.
+    pub channel_cached_samples: usize,
+    /// Total time samples spent resting in channel segments.
+    pub total_channel_storage_time: Seconds,
+    /// Peak number of samples resting in channel segments simultaneously.
+    pub peak_channel_storage: usize,
+}
+
+/// Replays the architecture against the schedule it was synthesized from.
+///
+/// The replay checks nothing that [`Architecture::verify`] has not already
+/// established structurally; it aggregates the timing picture a chip
+/// controller would see: when samples move, how long they rest in channel
+/// segments, and how much the execution is prolonged by transports that had
+/// to be postponed.
+#[must_use]
+pub fn replay(
+    problem: &ScheduleProblem,
+    schedule: &Schedule,
+    architecture: &Architecture,
+) -> ExecutionReport {
+    let schedule_makespan = schedule.makespan();
+    let effective_makespan =
+        schedule_makespan + architecture.max_transport_postponement();
+
+    let storage_routes = architecture.storage_routes();
+    let channel_cached_samples = storage_routes.len();
+    let mut total_storage = 0;
+    let mut events: Vec<(Seconds, i64)> = Vec::new();
+    for route in &storage_routes {
+        if let Some((from, until)) = route.task.storage_interval {
+            total_storage += until.saturating_sub(from);
+            events.push((from, 1));
+            events.push((until, -1));
+        }
+    }
+    events.sort_unstable();
+    let mut active = 0i64;
+    let mut peak = 0i64;
+    for (_, delta) in events {
+        active += delta;
+        peak = peak.max(active);
+    }
+
+    ExecutionReport {
+        schedule_makespan,
+        effective_makespan,
+        transports: architecture.routes().len(),
+        channel_cached_samples,
+        total_channel_storage_time: total_storage,
+        peak_channel_storage: peak.max(0) as usize,
+    }
+    .clamp_to_problem(problem)
+}
+
+impl ExecutionReport {
+    /// Efficiency of channel caching relative to an ideal chip without any
+    /// transport overhead (1.0 means no postponement at all).
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        if self.effective_makespan == 0 {
+            return 1.0;
+        }
+        self.schedule_makespan as f64 / self.effective_makespan as f64
+    }
+
+    fn clamp_to_problem(self, _problem: &ScheduleProblem) -> Self {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biochip_arch::{ArchitectureSynthesizer, SynthesisOptions};
+    use biochip_assay::library;
+    use biochip_schedule::{ListScheduler, Scheduler};
+
+    fn setup(graph: biochip_assay::SequencingGraph) -> (ScheduleProblem, Schedule, Architecture) {
+        let problem = ScheduleProblem::new(graph)
+            .with_mixers(2)
+            .with_detectors(1)
+            .with_transport_time(5);
+        let schedule = ListScheduler::default().schedule(&problem).unwrap();
+        let arch = ArchitectureSynthesizer::new(SynthesisOptions::default())
+            .synthesize(&problem, &schedule)
+            .unwrap();
+        (problem, schedule, arch)
+    }
+
+    #[test]
+    fn replay_of_pcr_matches_schedule() {
+        let (problem, schedule, arch) = setup(library::pcr());
+        let report = replay(&problem, &schedule, &arch);
+        assert_eq!(report.schedule_makespan, schedule.makespan());
+        assert!(report.effective_makespan >= report.schedule_makespan);
+        assert_eq!(report.transports, arch.routes().len());
+        assert!(report.efficiency() <= 1.0);
+        assert!(report.efficiency() > 0.0);
+    }
+
+    #[test]
+    fn channel_storage_counts_match_the_schedule() {
+        let (problem, schedule, arch) = setup(library::ivd());
+        let report = replay(&problem, &schedule, &arch);
+        let expected = schedule.storage_requirements(&problem).len();
+        assert_eq!(report.channel_cached_samples, expected);
+        if expected > 0 {
+            assert!(report.total_channel_storage_time > 0);
+            assert!(report.peak_channel_storage >= 1);
+        }
+    }
+
+    #[test]
+    fn conflict_free_synthesis_has_full_efficiency() {
+        let (problem, schedule, arch) = setup(library::pcr());
+        let report = replay(&problem, &schedule, &arch);
+        if arch.transport_postponement() == 0 {
+            assert_eq!(report.effective_makespan, report.schedule_makespan);
+            assert!((report.efficiency() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The end-to-end synthesis pipeline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use biochip_arch::{ArchError, Architecture, ArchitectureSynthesizer, SynthesisOptions};
+use biochip_assay::{Seconds, SequencingGraph};
+use biochip_layout::{generate_layout, LayoutOptions, PhysicalDesign};
+use biochip_schedule::{
+    IlpScheduler, ListScheduler, Schedule, ScheduleError, ScheduleProblem, Scheduler,
+    SchedulingStrategy,
+};
+use biochip_sim::{
+    replay, simulate_dedicated_storage, DedicatedExecutionReport, ExecutionReport,
+};
+
+use crate::report::SynthesisReport;
+
+/// Which scheduling engine the flow uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerChoice {
+    /// Exact ILP for small assays, storage-aware list scheduling otherwise
+    /// (threshold: 12 device operations).
+    #[default]
+    Auto,
+    /// Always the exact ILP scheduler (only sensible for small assays).
+    Ilp,
+    /// Always the storage-aware list scheduler.
+    StorageAware,
+    /// The makespan-only list scheduler (the Fig. 9 baseline without storage
+    /// optimization).
+    MakespanOnly,
+}
+
+/// Configuration of the end-to-end flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisConfig {
+    /// Number of mixers on the chip.
+    pub mixers: usize,
+    /// Number of detectors on the chip.
+    pub detectors: usize,
+    /// Number of heaters on the chip.
+    pub heaters: usize,
+    /// Device-to-device transport time `u_c` in seconds.
+    pub transport_time: Seconds,
+    /// Weight of the execution time in the scheduling objective (`α`).
+    pub alpha: f64,
+    /// Weight of the storage term in the scheduling objective (`β`).
+    pub beta: f64,
+    /// Scheduling engine.
+    pub scheduler: SchedulerChoice,
+    /// Wall-clock limit for the ILP scheduler.
+    pub ilp_time_limit: Duration,
+    /// Largest assay (device operations) the `Auto` scheduler hands to the
+    /// ILP engine.
+    pub ilp_threshold: usize,
+    /// Architectural-synthesis options.
+    pub synthesis: SynthesisOptions,
+    /// Physical-design options.
+    pub layout: LayoutOptions,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            mixers: 2,
+            detectors: 2,
+            heaters: 1,
+            transport_time: biochip_schedule::DEFAULT_TRANSPORT_SECONDS,
+            alpha: 1000.0,
+            beta: 1.0,
+            scheduler: SchedulerChoice::Auto,
+            ilp_time_limit: Duration::from_secs(15),
+            ilp_threshold: 8,
+            synthesis: SynthesisOptions::default(),
+            layout: LayoutOptions::default(),
+        }
+    }
+}
+
+impl SynthesisConfig {
+    /// Sets the mixer count.
+    #[must_use]
+    pub fn with_mixers(mut self, mixers: usize) -> Self {
+        self.mixers = mixers.max(1);
+        self
+    }
+
+    /// Sets the detector count.
+    #[must_use]
+    pub fn with_detectors(mut self, detectors: usize) -> Self {
+        self.detectors = detectors;
+        self
+    }
+
+    /// Sets the heater count.
+    #[must_use]
+    pub fn with_heaters(mut self, heaters: usize) -> Self {
+        self.heaters = heaters;
+        self
+    }
+
+    /// Chooses the scheduling engine.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerChoice) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the transport time `u_c`.
+    #[must_use]
+    pub fn with_transport_time(mut self, seconds: Seconds) -> Self {
+        self.transport_time = seconds;
+        self
+    }
+}
+
+/// Errors of the end-to-end flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Scheduling failed.
+    Schedule(ScheduleError),
+    /// Architectural synthesis failed.
+    Architecture(ArchError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            FlowError::Architecture(e) => write!(f, "architectural synthesis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Schedule(e) => Some(e),
+            FlowError::Architecture(e) => Some(e),
+        }
+    }
+}
+
+impl From<ScheduleError> for FlowError {
+    fn from(e: ScheduleError) -> Self {
+        FlowError::Schedule(e)
+    }
+}
+
+impl From<ArchError> for FlowError {
+    fn from(e: ArchError) -> Self {
+        FlowError::Architecture(e)
+    }
+}
+
+/// Everything the flow produces for one assay.
+#[derive(Debug, Clone)]
+pub struct SynthesisOutcome {
+    /// The scheduling problem (assay plus device inventory).
+    pub problem: ScheduleProblem,
+    /// The computed schedule.
+    pub schedule: Schedule,
+    /// The synthesized architecture.
+    pub architecture: Architecture,
+    /// The physical design.
+    pub layout: PhysicalDesign,
+    /// Replay of the synthesized chip.
+    pub execution: ExecutionReport,
+    /// The dedicated-storage baseline executing the same schedule.
+    pub dedicated_baseline: DedicatedExecutionReport,
+    /// The Table-2-style summary row.
+    pub report: SynthesisReport,
+}
+
+/// The end-to-end synthesis flow.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SynthesisFlow {
+    config: SynthesisConfig,
+}
+
+impl SynthesisFlow {
+    /// Creates a flow with the given configuration.
+    #[must_use]
+    pub fn new(config: SynthesisConfig) -> Self {
+        SynthesisFlow { config }
+    }
+
+    /// The flow configuration.
+    #[must_use]
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// Builds the scheduling problem for an assay.
+    #[must_use]
+    pub fn problem_for(&self, graph: SequencingGraph) -> ScheduleProblem {
+        ScheduleProblem::new(graph)
+            .with_mixers(self.config.mixers)
+            .with_detectors(self.config.detectors)
+            .with_heaters(self.config.heaters)
+            .with_transport_time(self.config.transport_time)
+            .with_weights(self.config.alpha, self.config.beta)
+    }
+
+    /// Runs scheduling only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Schedule`] when the problem is malformed or the
+    /// selected engine fails.
+    pub fn schedule(&self, problem: &ScheduleProblem) -> Result<Schedule, FlowError> {
+        let ops = problem.graph().device_operations().len();
+        let schedule = match self.config.scheduler {
+            SchedulerChoice::Auto => {
+                if ops <= self.config.ilp_threshold {
+                    IlpScheduler::new(
+                        biochip_ilp::SolverOptions::default()
+                            .with_time_limit(self.config.ilp_time_limit),
+                    )
+                    .schedule(problem)?
+                } else {
+                    ListScheduler::new(SchedulingStrategy::StorageAware).schedule(problem)?
+                }
+            }
+            SchedulerChoice::Ilp => IlpScheduler::new(
+                biochip_ilp::SolverOptions::default().with_time_limit(self.config.ilp_time_limit),
+            )
+            .schedule(problem)?,
+            SchedulerChoice::StorageAware => {
+                ListScheduler::new(SchedulingStrategy::StorageAware).schedule(problem)?
+            }
+            SchedulerChoice::MakespanOnly => {
+                ListScheduler::new(SchedulingStrategy::MakespanOnly).schedule(problem)?
+            }
+        };
+        Ok(schedule)
+    }
+
+    /// Runs the complete pipeline on one assay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and architectural-synthesis failures; physical
+    /// design and simulation are total functions and cannot fail.
+    pub fn run(&self, graph: SequencingGraph) -> Result<SynthesisOutcome, FlowError> {
+        let problem = self.problem_for(graph);
+
+        let schedule_start = Instant::now();
+        let schedule = self.schedule(&problem)?;
+        let scheduling_time = schedule_start.elapsed();
+
+        let arch_start = Instant::now();
+        let architecture =
+            ArchitectureSynthesizer::new(self.config.synthesis.clone()).synthesize(&problem, &schedule)?;
+        let architecture_time = arch_start.elapsed();
+
+        let layout_start = Instant::now();
+        let layout = generate_layout(&architecture, &self.config.layout);
+        let layout_time = layout_start.elapsed();
+
+        let execution = replay(&problem, &schedule, &architecture);
+        let dedicated_baseline = simulate_dedicated_storage(&problem, &schedule);
+
+        let report = SynthesisReport::collect(
+            &problem,
+            &schedule,
+            &architecture,
+            &layout,
+            &execution,
+            &dedicated_baseline,
+            scheduling_time,
+            architecture_time,
+            layout_time,
+        );
+
+        Ok(SynthesisOutcome {
+            problem,
+            schedule,
+            architecture,
+            layout,
+            execution,
+            dedicated_baseline,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biochip_assay::library;
+
+    #[test]
+    fn default_flow_runs_pcr_end_to_end() {
+        let flow = SynthesisFlow::new(SynthesisConfig::default().with_mixers(2));
+        let outcome = flow.run(library::pcr()).unwrap();
+        assert!(outcome.schedule.validate(&outcome.problem).is_ok());
+        assert!(outcome.architecture.verify().is_ok());
+        assert!(outcome.report.execution_time > 0);
+        assert!(outcome.report.used_edges > 0);
+        assert!(outcome.report.valves > 0);
+        assert!(outcome.layout.compressed.area() <= outcome.layout.expanded.area());
+    }
+
+    #[test]
+    fn scheduler_choices_all_work() {
+        for choice in [
+            SchedulerChoice::Auto,
+            SchedulerChoice::Ilp,
+            SchedulerChoice::StorageAware,
+            SchedulerChoice::MakespanOnly,
+        ] {
+            let flow = SynthesisFlow::new(
+                SynthesisConfig::default()
+                    .with_mixers(2)
+                    .with_scheduler(choice),
+            );
+            let outcome = flow.run(library::pcr()).unwrap();
+            assert!(outcome.schedule.validate(&outcome.problem).is_ok(), "{choice:?}");
+        }
+    }
+
+    #[test]
+    fn missing_detector_is_reported_as_schedule_error() {
+        let flow = SynthesisFlow::new(SynthesisConfig::default().with_detectors(0));
+        let err = flow.run(library::ivd()).unwrap_err();
+        assert!(matches!(err, FlowError::Schedule(_)));
+        assert!(err.to_string().contains("scheduling failed"));
+    }
+
+    #[test]
+    fn dedicated_baseline_is_never_faster() {
+        let flow = SynthesisFlow::new(SynthesisConfig::default().with_mixers(2));
+        let outcome = flow.run(library::ivd()).unwrap();
+        assert!(
+            outcome.dedicated_baseline.prolonged_makespan
+                >= outcome.dedicated_baseline.schedule_makespan
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Table-2-style summary of one synthesis run.
+
+use std::fmt;
+use std::time::Duration;
+
+use biochip_arch::Architecture;
+use biochip_assay::Seconds;
+use biochip_layout::PhysicalDesign;
+use biochip_schedule::{Schedule, ScheduleProblem};
+use biochip_sim::{DedicatedExecutionReport, ExecutionReport};
+
+/// One row of the paper's Table 2 plus the derived figures used by Figs.
+/// 8–10.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisReport {
+    /// Assay name.
+    pub assay: String,
+    /// Number of device operations (`|O|`).
+    pub operations: usize,
+    /// Schedule execution time `t_E` in seconds.
+    pub execution_time: Seconds,
+    /// Effective execution time on the synthesized chip (schedule plus any
+    /// transport postponement).
+    pub effective_execution_time: Seconds,
+    /// Connection-grid dimensions (`G`).
+    pub grid: String,
+    /// Channel segments kept (`n_e`).
+    pub used_edges: usize,
+    /// Valves of the synthesized chip (`n_v`).
+    pub valves: usize,
+    /// Edge usage ratio vs. the full grid (Fig. 8).
+    pub edge_ratio: f64,
+    /// Valve ratio vs. the full grid (Fig. 8).
+    pub valve_ratio: f64,
+    /// Layout dimensions after architectural synthesis (`d_r`).
+    pub dims_scaled: String,
+    /// Layout dimensions after device insertion (`d_e`).
+    pub dims_expanded: String,
+    /// Layout dimensions after compression (`d_p`).
+    pub dims_compressed: String,
+    /// Number of samples cached in channels.
+    pub stored_samples: usize,
+    /// Peak concurrent channel storage.
+    pub peak_storage: usize,
+    /// Execution time of the dedicated-storage baseline on the same schedule.
+    pub dedicated_execution_time: Seconds,
+    /// Valves of the dedicated-storage baseline (network + storage unit).
+    pub dedicated_valves: usize,
+    /// Scheduling runtime (`t_s`).
+    pub scheduling_time: Duration,
+    /// Architectural-synthesis runtime (`t_r`).
+    pub architecture_time: Duration,
+    /// Physical-design runtime (`t_p`).
+    pub layout_time: Duration,
+}
+
+impl SynthesisReport {
+    /// Gathers the report from the individual stage results.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn collect(
+        problem: &ScheduleProblem,
+        schedule: &Schedule,
+        architecture: &Architecture,
+        layout: &PhysicalDesign,
+        execution: &ExecutionReport,
+        dedicated: &DedicatedExecutionReport,
+        scheduling_time: Duration,
+        architecture_time: Duration,
+        layout_time: Duration,
+    ) -> Self {
+        let metrics = schedule.metrics(problem);
+        let cg = architecture.connection_graph();
+        SynthesisReport {
+            assay: problem.graph().name().to_owned(),
+            operations: problem.graph().device_operations().len(),
+            execution_time: schedule.makespan(),
+            effective_execution_time: execution.effective_makespan,
+            grid: architecture.grid().dimensions(),
+            used_edges: architecture.used_edge_count(),
+            valves: architecture.valve_count(),
+            edge_ratio: cg.edge_ratio(),
+            valve_ratio: cg.valve_ratio(),
+            dims_scaled: layout.scaled.to_string(),
+            dims_expanded: layout.expanded.to_string(),
+            dims_compressed: layout.compressed.to_string(),
+            stored_samples: metrics.store_count,
+            peak_storage: metrics.max_concurrent_storage,
+            dedicated_execution_time: dedicated.prolonged_makespan,
+            dedicated_valves: architecture.valve_count() + dedicated.storage_valves,
+            scheduling_time,
+            architecture_time,
+            layout_time,
+        }
+    }
+
+    /// Execution-time ratio of the channel-caching chip vs. the dedicated
+    /// storage unit baseline (Fig. 10, "Execution Time"; below 1 means the
+    /// proposed chip is faster).
+    #[must_use]
+    pub fn execution_ratio_vs_dedicated(&self) -> f64 {
+        if self.dedicated_execution_time == 0 {
+            return 1.0;
+        }
+        self.effective_execution_time as f64 / self.dedicated_execution_time as f64
+    }
+
+    /// Valve ratio of the channel-caching chip vs. the dedicated storage unit
+    /// baseline (Fig. 10, "Valve").
+    #[must_use]
+    pub fn valve_ratio_vs_dedicated(&self) -> f64 {
+        if self.dedicated_valves == 0 {
+            return 1.0;
+        }
+        self.valves as f64 / self.dedicated_valves as f64
+    }
+}
+
+impl fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: |O|={} tE={}s grid={} ne={} nv={}",
+            self.assay,
+            self.operations,
+            self.execution_time,
+            self.grid,
+            self.used_edges,
+            self.valves
+        )?;
+        writeln!(
+            f,
+            "  layout: dr={} de={} dp={}  storage: {} samples (peak {})",
+            self.dims_scaled,
+            self.dims_expanded,
+            self.dims_compressed,
+            self.stored_samples,
+            self.peak_storage
+        )?;
+        write!(
+            f,
+            "  vs. dedicated storage: time x{:.2}, valves x{:.2}",
+            self.execution_ratio_vs_dedicated(),
+            self.valve_ratio_vs_dedicated()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{SynthesisConfig, SynthesisFlow};
+    use biochip_assay::library;
+
+    #[test]
+    fn report_ratios_are_sensible() {
+        let flow = SynthesisFlow::new(SynthesisConfig::default().with_mixers(2));
+        let outcome = flow.run(library::ivd()).unwrap();
+        let report = &outcome.report;
+        assert_eq!(report.operations, 12);
+        assert!(report.edge_ratio > 0.0 && report.edge_ratio <= 1.0);
+        assert!(report.valve_ratio > 0.0 && report.valve_ratio <= 1.0);
+        // The proposed chip never needs more valves than the baseline, which
+        // additionally pays for the storage unit.
+        assert!(report.valve_ratio_vs_dedicated() < 1.0);
+        assert!(report.execution_ratio_vs_dedicated() <= 1.0 + 1e-9 || report.stored_samples == 0);
+        let text = report.to_string();
+        assert!(text.contains("IVD"));
+        assert!(text.contains("dedicated"));
+    }
+}

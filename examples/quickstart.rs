@@ -1,0 +1,34 @@
+//! Quickstart: synthesize a biochip for the PCR mixing stage and print the
+//! Table-2-style summary.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use biochip_synth::assay::library;
+use biochip_synth::{SynthesisConfig, SynthesisFlow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two mixers, the default transport time of 5 s and the paper's
+    // "execution time first, then storage" objective weights.
+    let config = SynthesisConfig::default().with_mixers(2);
+    let flow = SynthesisFlow::new(config);
+
+    let outcome = flow.run(library::pcr())?;
+
+    println!("=== PCR on a 2-mixer chip with distributed channel storage ===");
+    println!("{}", outcome.report);
+    println!();
+    println!("schedule (per operation):");
+    print!("{}", outcome.schedule);
+    println!();
+    println!(
+        "architecture: {} channel segments, {} valves on a {} grid",
+        outcome.architecture.used_edge_count(),
+        outcome.architecture.valve_count(),
+        outcome.architecture.grid().dimensions()
+    );
+    println!(
+        "physical design: {} -> {} after compression",
+        outcome.layout.expanded, outcome.layout.compressed
+    );
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Cross-crate invariants of the synthesized architectures.
+
+use std::collections::HashSet;
+
+use biochip_synth::arch::{ArchitectureSynthesizer, SynthesisOptions, TransportKind};
+use biochip_synth::assay::library;
+use biochip_synth::layout::{generate_layout, render_ascii, LayoutOptions};
+use biochip_synth::schedule::{ListScheduler, ScheduleProblem, Scheduler};
+use biochip_synth::sim::snapshot_at;
+
+fn synthesize(name: &str) -> (ScheduleProblem, biochip_synth::schedule::Schedule, biochip_synth::arch::Architecture) {
+    let graph = library::paper_benchmarks()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap()
+        .1;
+    let problem = ScheduleProblem::new(graph)
+        .with_mixers(3)
+        .with_detectors(2)
+        .with_heaters(1)
+        .with_transport_time(5);
+    let schedule = ListScheduler::default().schedule(&problem).unwrap();
+    let arch = ArchitectureSynthesizer::new(SynthesisOptions::default())
+        .synthesize(&problem, &schedule)
+        .unwrap();
+    (problem, schedule, arch)
+}
+
+#[test]
+fn every_stored_sample_is_fetched_from_its_cache_segment() {
+    for name in ["RA30", "CPA", "IVD"] {
+        let (_, _, arch) = synthesize(name);
+        let stores: Vec<_> = arch
+            .routes()
+            .iter()
+            .filter(|r| r.task.kind == TransportKind::Store)
+            .collect();
+        for store in &stores {
+            let cache = store.cache_edge.expect("store has a cache segment");
+            let fetch = arch
+                .routes()
+                .iter()
+                .find(|r| r.task.kind == TransportKind::Fetch && r.task.sample == store.task.sample)
+                .unwrap_or_else(|| panic!("{name}: sample {} never fetched", store.task.sample));
+            assert_eq!(fetch.cache_edge, Some(cache), "{name}");
+            assert_eq!(fetch.path.edges.first(), Some(&cache), "{name}");
+        }
+    }
+}
+
+#[test]
+fn snapshots_only_highlight_kept_edges() {
+    let (_, schedule, arch) = synthesize("RA30");
+    let kept: HashSet<_> = arch.connection_graph().used_edges().iter().copied().collect();
+    for t in (0..schedule.makespan()).step_by(25) {
+        let snapshot = snapshot_at(&arch, t);
+        for edge in snapshot.active_edges() {
+            assert!(kept.contains(&edge), "snapshot at {t}s uses an edge that was removed");
+        }
+    }
+}
+
+#[test]
+fn ascii_rendering_covers_the_whole_architecture() {
+    let (_, schedule, arch) = synthesize("RA30");
+    let snapshot = snapshot_at(&arch, schedule.makespan() / 3);
+    let art = render_ascii(&arch, &snapshot.active_edges());
+    assert_eq!(art.matches('D').count(), arch.placement().len());
+    let segments = art.matches('-').count()
+        + art.matches('|').count()
+        + art.matches('=').count()
+        + art.matches('#').count();
+    assert_eq!(segments, arch.used_edge_count());
+}
+
+#[test]
+fn layouts_respect_storage_segment_lengths() {
+    for name in ["PCR", "IVD", "RA30"] {
+        let (_, _, arch) = synthesize(name);
+        let options = LayoutOptions {
+            channel_pitch: 1,
+            device_size: 4,
+            storage_segment_length: 3,
+        };
+        let design = generate_layout(&arch, &options);
+        for segment in &design.segments {
+            if segment.used_for_storage {
+                assert!(
+                    segment.length >= options.storage_segment_length,
+                    "{name}: storage segment shorter than a sample"
+                );
+            }
+        }
+        for (i, a) in design.devices.iter().enumerate() {
+            for b in design.devices.iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "{name}: device footprints overlap");
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end integration tests: the full pipeline on every benchmark assay.
+
+use biochip_synth::assay::library;
+use biochip_synth::{SchedulerChoice, SynthesisConfig, SynthesisFlow};
+
+fn config_for(ops: usize) -> SynthesisConfig {
+    // Mirror the evaluation setup: more devices for larger assays.
+    let mixers = if ops >= 55 { 4 } else { 2 };
+    SynthesisConfig::default()
+        .with_mixers(mixers)
+        .with_detectors(2)
+        .with_heaters(1)
+        .with_scheduler(SchedulerChoice::StorageAware)
+}
+
+#[test]
+fn every_benchmark_flows_through_the_whole_pipeline() {
+    for (name, graph) in library::paper_benchmarks() {
+        let ops = graph.device_operations().len();
+        let flow = SynthesisFlow::new(config_for(ops));
+        let outcome = flow
+            .run(graph)
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+
+        // Schedule is valid and at least as long as the critical path.
+        outcome
+            .schedule
+            .validate(&outcome.problem)
+            .unwrap_or_else(|e| panic!("{name}: invalid schedule: {e}"));
+        assert!(
+            outcome.schedule.makespan() >= outcome.problem.graph().critical_path(),
+            "{name}: makespan below the critical path"
+        );
+
+        // Architecture is structurally consistent and uses only a subset of
+        // the grid (Fig. 8's headline observation).
+        outcome
+            .architecture
+            .verify()
+            .unwrap_or_else(|e| panic!("{name}: inconsistent architecture: {e}"));
+        assert!(outcome.report.edge_ratio <= 1.0, "{name}");
+        assert!(outcome.report.valve_ratio <= 1.0, "{name}");
+
+        // Physical design only shrinks.
+        assert!(
+            outcome.layout.compressed.area() <= outcome.layout.expanded.area(),
+            "{name}: compression grew the chip"
+        );
+
+        // Channel caching never needs more valves than the dedicated-storage
+        // baseline (which pays for the same transport network *plus* the
+        // storage unit).
+        assert!(
+            outcome.report.valves < outcome.report.dedicated_valves,
+            "{name}: {} vs {}",
+            outcome.report.valves,
+            outcome.report.dedicated_valves
+        );
+    }
+}
+
+#[test]
+fn reports_expose_the_table2_columns() {
+    let flow = SynthesisFlow::new(SynthesisConfig::default().with_mixers(2));
+    let outcome = flow.run(library::pcr()).unwrap();
+    let report = &outcome.report;
+    assert_eq!(report.assay, "PCR");
+    assert_eq!(report.operations, 7);
+    assert!(report.execution_time > 0);
+    assert!(!report.grid.is_empty());
+    assert!(report.used_edges > 0);
+    assert!(report.valves > 0);
+    assert!(!report.dims_compressed.is_empty());
+    // Runtime columns are measured, not zeroed out.
+    assert!(report.scheduling_time.as_nanos() > 0);
+    assert!(report.architecture_time.as_nanos() > 0);
+}
+
+#[test]
+fn flow_is_deterministic() {
+    let flow = SynthesisFlow::new(SynthesisConfig::default().with_mixers(2));
+    let a = flow.run(library::ivd()).unwrap();
+    let b = flow.run(library::ivd()).unwrap();
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.architecture, b.architecture);
+    assert_eq!(a.layout, b.layout);
+}

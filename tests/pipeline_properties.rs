@@ -1,0 +1,74 @@
+//! Property-based tests of the whole pipeline on random assays.
+
+use proptest::prelude::*;
+
+use biochip_synth::arch::{ArchitectureSynthesizer, SynthesisOptions};
+use biochip_synth::assay::random::{generate, RandomAssayConfig};
+use biochip_synth::layout::{generate_layout, LayoutOptions};
+use biochip_synth::schedule::{ListScheduler, ScheduleProblem, Scheduler, SchedulingStrategy};
+use biochip_synth::sim::{replay, simulate_dedicated_storage};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any random assay that schedules must synthesize into a consistent
+    /// architecture whose layout only shrinks under compression, and the
+    /// dedicated-storage baseline is never faster than its own schedule.
+    #[test]
+    fn random_assays_synthesize_consistently(
+        ops in 2usize..30,
+        seed in 0u64..300,
+        mixers in 1usize..4,
+        storage_aware in proptest::bool::ANY,
+    ) {
+        let graph = generate(&RandomAssayConfig::new(ops, seed));
+        let problem = ScheduleProblem::new(graph)
+            .with_mixers(mixers)
+            .with_transport_time(5);
+        let strategy = if storage_aware {
+            SchedulingStrategy::StorageAware
+        } else {
+            SchedulingStrategy::MakespanOnly
+        };
+        let schedule = ListScheduler::new(strategy).schedule(&problem).unwrap();
+        prop_assert!(schedule.validate(&problem).is_ok());
+
+        let architecture = ArchitectureSynthesizer::new(SynthesisOptions::default())
+            .synthesize(&problem, &schedule)
+            .unwrap();
+        prop_assert!(architecture.verify().is_ok());
+        prop_assert!(architecture.used_edge_count() <= architecture.grid().num_edges());
+
+        let design = generate_layout(&architecture, &LayoutOptions::default());
+        prop_assert!(design.compressed.area() <= design.expanded.area());
+        prop_assert!(design.compressed.area() > 0);
+
+        let execution = replay(&problem, &schedule, &architecture);
+        prop_assert!(execution.effective_makespan >= schedule.makespan());
+
+        let baseline = simulate_dedicated_storage(&problem, &schedule);
+        prop_assert!(baseline.prolonged_makespan >= baseline.schedule_makespan);
+        prop_assert!(baseline.storage_cells >= 1);
+    }
+
+    /// The number of cached samples reported by the simulator always matches
+    /// the storage requirements derived from the schedule.
+    #[test]
+    fn storage_counts_are_consistent_across_crates(
+        ops in 2usize..25,
+        seed in 300u64..500,
+    ) {
+        let graph = generate(&RandomAssayConfig::new(ops, seed));
+        let problem = ScheduleProblem::new(graph)
+            .with_mixers(2)
+            .with_transport_time(5);
+        let schedule = ListScheduler::default().schedule(&problem).unwrap();
+        let requirements = schedule.storage_requirements(&problem);
+        let architecture = ArchitectureSynthesizer::new(SynthesisOptions::default())
+            .synthesize(&problem, &schedule)
+            .unwrap();
+        let report = replay(&problem, &schedule, &architecture);
+        prop_assert_eq!(report.channel_cached_samples, requirements.len());
+        prop_assert_eq!(architecture.storage_routes().len(), requirements.len());
+    }
+}

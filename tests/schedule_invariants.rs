@@ -1,0 +1,82 @@
+//! Cross-crate invariants of scheduling: storage metrics feed architectural
+//! synthesis consistently.
+
+use biochip_synth::arch::{extract_transport_tasks, TransportKind};
+use biochip_synth::assay::library;
+use biochip_synth::schedule::{
+    ListScheduler, ScheduleProblem, Scheduler, SchedulingStrategy,
+};
+
+#[test]
+fn store_fetch_tasks_match_storage_requirements() {
+    for (name, graph) in library::paper_benchmarks() {
+        let problem = ScheduleProblem::new(graph)
+            .with_mixers(3)
+            .with_detectors(2)
+            .with_heaters(1)
+            .with_transport_time(5);
+        let schedule = ListScheduler::default().schedule(&problem).unwrap();
+        let requirements = schedule.storage_requirements(&problem);
+        let tasks = extract_transport_tasks(&problem, &schedule);
+        let stores = tasks.iter().filter(|t| t.kind == TransportKind::Store).count();
+        let fetches = tasks.iter().filter(|t| t.kind == TransportKind::Fetch).count();
+        assert_eq!(stores, requirements.len(), "{name}");
+        assert_eq!(fetches, requirements.len(), "{name}");
+        // Every task window lies inside the schedule horizon.
+        for task in &tasks {
+            assert!(task.window_end <= schedule.makespan(), "{name}: {}", task.describe());
+        }
+    }
+}
+
+#[test]
+fn storage_optimization_saves_storage_on_the_paper_trio() {
+    // Fig. 9 compares RA30, IVD and PCR with and without the storage term.
+    let mut saved_total = 0i64;
+    for name in ["RA30", "IVD", "PCR"] {
+        let graph = library::paper_benchmarks()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .unwrap()
+            .1;
+        let problem = ScheduleProblem::new(graph)
+            .with_mixers(2)
+            .with_detectors(1)
+            .with_transport_time(5);
+        let baseline = ListScheduler::new(SchedulingStrategy::MakespanOnly)
+            .schedule(&problem)
+            .unwrap()
+            .metrics(&problem);
+        let optimized = ListScheduler::new(SchedulingStrategy::StorageAware)
+            .schedule(&problem)
+            .unwrap()
+            .metrics(&problem);
+        saved_total +=
+            baseline.total_storage_time as i64 - optimized.total_storage_time as i64;
+        // Storage optimization may trade a little execution time (the paper
+        // accepts this for RA30) but must stay within 35 % on this small device inventory.
+        assert!(
+            (optimized.makespan as f64) <= baseline.makespan as f64 * 1.35,
+            "{name}: storage optimization costs too much execution time"
+        );
+    }
+    assert!(saved_total >= 0, "storage optimization should not increase total storage time");
+}
+
+#[test]
+fn one_mixer_pcr_matches_the_paper_motivation() {
+    // Fig. 2: with a single mixer, PCR needs at most three stored samples
+    // when scheduled storage-aware (the paper's better schedule needs two).
+    let problem = ScheduleProblem::new(library::pcr())
+        .with_mixers(1)
+        .with_transport_time(5);
+    let schedule = ListScheduler::new(SchedulingStrategy::StorageAware)
+        .schedule(&problem)
+        .unwrap();
+    let metrics = schedule.metrics(&problem);
+    // Everything runs on one device, so no cross-device storage at all —
+    // even better than the paper's two-unit example, which assumed the
+    // result must leave the mixer between operations.
+    assert_eq!(metrics.makespan, 420);
+    assert!(metrics.max_concurrent_storage <= 3);
+}
