@@ -296,8 +296,7 @@ impl Architecture {
                             ),
                         });
                     }
-                    if route.cache_edge.is_none()
-                        || path.edges.last().copied() != route.cache_edge
+                    if route.cache_edge.is_none() || path.edges.last().copied() != route.cache_edge
                     {
                         return Err(ArchError::Inconsistent {
                             reason: format!(
@@ -317,8 +316,7 @@ impl Architecture {
                             ),
                         });
                     }
-                    if route.cache_edge.is_none()
-                        || path.edges.first().copied() != route.cache_edge
+                    if route.cache_edge.is_none() || path.edges.first().copied() != route.cache_edge
                     {
                         return Err(ArchError::Inconsistent {
                             reason: format!(
@@ -410,7 +408,10 @@ fn interior_nodes(path: &RoutedPath) -> HashSet<NodeId> {
     if path.nodes.len() <= 2 {
         return HashSet::new();
     }
-    path.nodes[1..path.nodes.len() - 1].iter().copied().collect()
+    path.nodes[1..path.nodes.len() - 1]
+        .iter()
+        .copied()
+        .collect()
 }
 
 #[cfg(test)]

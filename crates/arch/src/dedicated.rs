@@ -79,7 +79,7 @@ mod tests {
 
     #[test]
     fn valve_model_matches_formula() {
-        assert_eq!(dedicated_storage_valves(1), 2 + 0 + 4);
+        assert_eq!(dedicated_storage_valves(1), 2 + 4);
         assert_eq!(dedicated_storage_valves(2), 4 + 2 + 4);
         assert_eq!(dedicated_storage_valves(4), 8 + 4 + 4);
         assert_eq!(dedicated_storage_valves(8), 16 + 6 + 4);

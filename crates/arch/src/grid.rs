@@ -157,7 +157,10 @@ impl ConnectionGrid {
     /// Panics if the coordinate lies outside the grid.
     #[must_use]
     pub fn node_at(&self, coord: GridCoord) -> NodeId {
-        assert!(coord.row < self.rows && coord.col < self.cols, "coordinate outside grid");
+        assert!(
+            coord.row < self.rows && coord.col < self.cols,
+            "coordinate outside grid"
+        );
         NodeId(coord.row * self.cols + coord.col)
     }
 

@@ -68,10 +68,10 @@ pub fn route_with_ilp(
     for e in grid.edges() {
         let s = model.add_binary(format!("s_e{}", e.index()));
         for (r, _) in problem.requests.iter().enumerate() {
-            for dir in 0..2 {
+            for (dir, &arc_var) in arc[r][e.index()].iter().enumerate() {
                 model.add_ge(
                     format!("keep_e{}_r{r}_{dir}", e.index()),
-                    [(s, 1.0), (arc[r][e.index()][dir], -1.0)],
+                    [(s, 1.0), (arc_var, -1.0)],
                     0.0,
                 );
             }
@@ -83,9 +83,8 @@ pub fn route_with_ilp(
     // excluded entirely (their arcs are forced to zero).
     for (r, &(source, target, _)) in problem.requests.iter().enumerate() {
         for node in grid.nodes() {
-            let is_foreign_device = problem.placement.device_at(node).is_some()
-                && node != source
-                && node != target;
+            let is_foreign_device =
+                problem.placement.device_at(node).is_some() && node != source && node != target;
             // out(node) - in(node).
             let mut balance: Vec<(VarId, f64)> = Vec::new();
             let mut incident_arcs: Vec<(VarId, f64)> = Vec::new();
@@ -104,7 +103,11 @@ pub fn route_with_ilp(
                 incident_arcs.push((in_var, 1.0));
             }
             if is_foreign_device {
-                model.add_eq(format!("blocked_r{r}_n{}", node.index()), incident_arcs, 0.0);
+                model.add_eq(
+                    format!("blocked_r{r}_n{}", node.index()),
+                    incident_arcs,
+                    0.0,
+                );
                 continue;
             }
             let rhs = if node == source {
@@ -180,11 +183,7 @@ pub fn route_with_ilp(
                         });
                     }
                 }
-                model.add_le(
-                    format!("meet_n{}_r{r1}_r{r2}", node.index()),
-                    entering,
-                    1.0,
-                );
+                model.add_le(format!("meet_n{}_r{r1}_r{r2}", node.index()), entering, 1.0);
             }
         }
     }
@@ -294,10 +293,7 @@ mod tests {
         let problem = IlpRoutingProblem {
             grid: &grid,
             placement: &placement,
-            requests: vec![
-                (a, b, Interval::new(0, 5)),
-                (a, b, Interval::new(10, 15)),
-            ],
+            requests: vec![(a, b, Interval::new(0, 5)), (a, b, Interval::new(10, 15))],
         };
         let paths = route_with_ilp(&problem, &options()).unwrap();
         let mut used: std::collections::BTreeSet<crate::grid::GridEdgeId> =

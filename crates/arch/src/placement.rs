@@ -109,8 +109,7 @@ impl Placement {
             for b in (a + 1)..self.len() {
                 let weight = traffic.weight(DeviceId(a), DeviceId(b));
                 if weight > 0 {
-                    cost += weight
-                        * grid.distance(self.node_of_device[a], self.node_of_device[b]);
+                    cost += weight * grid.distance(self.node_of_device[a], self.node_of_device[b]);
                 }
             }
         }
@@ -205,7 +204,7 @@ pub fn place_devices(
         .nodes()
         .filter(|&n| {
             let c = grid.coord(n);
-            c.row % 2 == 0 && c.col % 2 == 0
+            c.row.is_multiple_of(2) && c.col.is_multiple_of(2)
         })
         .collect();
     if preferred.len() < num_devices {
@@ -234,7 +233,8 @@ pub fn place_devices(
                 for &placed in &order {
                     let node = node_of_device[placed.index()];
                     if node != NodeId(usize::MAX) {
-                        cost += traffic.weight(device, placed) * grid.distance(candidate, node) * 10;
+                        cost +=
+                            traffic.weight(device, placed) * grid.distance(candidate, node) * 10;
                     }
                 }
                 // Tie-break: stay near the centre.
@@ -292,8 +292,8 @@ fn refine(
             candidate.node_of_device[d] = free[rng.gen_range(0..free.len())];
         }
         let cost = candidate.weighted_cost(grid, traffic);
-        let accept = cost <= current_cost
-            || rng.gen_bool((0.05 + 0.4 * temperature).clamp(0.0, 1.0));
+        let accept =
+            cost <= current_cost || rng.gen_bool((0.05 + 0.4 * temperature).clamp(0.0, 1.0));
         if accept {
             *placement = candidate;
             current_cost = cost;
@@ -351,7 +351,10 @@ mod tests {
         tasks.push(task(2, 3));
         let p = place_devices(&grid, 4, &tasks, &PlacementOptions::default()).unwrap();
         let busy = grid.distance(p.node_of(DeviceId(0)), p.node_of(DeviceId(1)));
-        assert!(busy <= 2, "busy pair should be adjacent-ish, got distance {busy}");
+        assert!(
+            busy <= 2,
+            "busy pair should be adjacent-ish, got distance {busy}"
+        );
     }
 
     #[test]
@@ -373,8 +376,14 @@ mod tests {
     #[test]
     fn refinement_never_worsens_the_greedy_cost() {
         let grid = ConnectionGrid::square(5);
-        let tasks: Vec<TransportTask> =
-            vec![task(0, 1), task(1, 2), task(2, 3), task(3, 4), task(4, 0), task(0, 2)];
+        let tasks: Vec<TransportTask> = vec![
+            task(0, 1),
+            task(1, 2),
+            task(2, 3),
+            task(3, 4),
+            task(4, 0),
+            task(0, 2),
+        ];
         let traffic = TrafficMatrix::from_tasks(5, &tasks);
         let greedy = place_devices(
             &grid,
@@ -387,9 +396,7 @@ mod tests {
         )
         .unwrap();
         let refined = place_devices(&grid, 5, &tasks, &PlacementOptions::default()).unwrap();
-        assert!(
-            refined.weighted_cost(&grid, &traffic) <= greedy.weighted_cost(&grid, &traffic)
-        );
+        assert!(refined.weighted_cost(&grid, &traffic) <= greedy.weighted_cost(&grid, &traffic));
     }
 
     #[test]

@@ -93,7 +93,11 @@ pub struct Router<'a> {
 impl<'a> Router<'a> {
     /// Creates a router over the given grid and placement.
     #[must_use]
-    pub fn new(grid: &'a ConnectionGrid, placement: &'a Placement, options: RoutingOptions) -> Self {
+    pub fn new(
+        grid: &'a ConnectionGrid,
+        placement: &'a Placement,
+        options: RoutingOptions,
+    ) -> Self {
         Router {
             grid,
             placement,
@@ -218,8 +222,8 @@ impl<'a> Router<'a> {
             let mut candidates: Vec<(u64, GridEdgeId)> = Vec::new();
             for edge in self.grid.edges() {
                 let (x, y) = self.grid.endpoints(edge);
-                let touches_device = self.placement.device_at(x).is_some()
-                    || self.placement.device_at(y).is_some();
+                let touches_device =
+                    self.placement.device_at(x).is_some() || self.placement.device_at(y).is_some();
                 if touches_device && !self.options.allow_device_adjacent_storage {
                     continue;
                 }
@@ -257,8 +261,7 @@ impl<'a> Router<'a> {
                     if self.placement.device_at(entry).is_some() && entry != from {
                         continue;
                     }
-                    let Some(mut path) =
-                        self.shortest_path(from, entry, store_window, Some(edge))
+                    let Some(mut path) = self.shortest_path(from, entry, store_window, Some(edge))
                     else {
                         continue;
                     };
@@ -294,11 +297,13 @@ impl<'a> Router<'a> {
     /// Routes a fetch task: the sample's cache segment → consumer device.
     fn route_fetch(&mut self, task: &TransportTask) -> Result<RoutedTransport, ArchError> {
         let to = self.placement.node_of(task.to_device);
-        let (cache_edge, exit) = self.cache_of_sample.get(&task.sample).copied().ok_or_else(|| {
-            ArchError::Inconsistent {
-                reason: format!("fetch of sample {} before it was stored", task.sample),
-            }
-        })?;
+        let (cache_edge, exit) =
+            self.cache_of_sample
+                .get(&task.sample)
+                .copied()
+                .ok_or_else(|| ArchError::Inconsistent {
+                    reason: format!("fetch of sample {} before it was stored", task.sample),
+                })?;
         let (x, y) = self.grid.endpoints(cache_edge);
         for window in self.candidate_windows(task) {
             // The cache segment is already reserved for the sample through
@@ -417,7 +422,10 @@ impl<'a> Router<'a> {
         let mut prev: HashMap<NodeId, (NodeId, GridEdgeId)> = HashMap::new();
         let mut heap = BinaryHeap::new();
         dist.insert(from, 0);
-        heap.push(Entry { cost: 0, node: from });
+        heap.push(Entry {
+            cost: 0,
+            node: from,
+        });
 
         while let Some(Entry { cost, node }) = heap.pop() {
             if node == to {
@@ -569,11 +577,17 @@ mod tests {
         // windows overlap they share no edge and no switch node.
         if r1.path.window.overlaps(&r2.path.window) {
             for e in &r1.path.edges {
-                assert!(!r2.path.edges.contains(e), "edge {e} shared by concurrent paths");
+                assert!(
+                    !r2.path.edges.contains(e),
+                    "edge {e} shared by concurrent paths"
+                );
             }
             let interior1: Vec<NodeId> = r1.path.nodes[1..r1.path.nodes.len() - 1].to_vec();
             for n in &r2.path.nodes[1..r2.path.nodes.len() - 1] {
-                assert!(!interior1.contains(n), "switch {n} shared by concurrent paths");
+                assert!(
+                    !interior1.contains(n),
+                    "switch {n} shared by concurrent paths"
+                );
             }
         }
     }
@@ -697,6 +711,9 @@ mod tests {
         }
         // No slack: only the preferred window.
         let tight = direct_task(0, 1, 10, 15);
-        assert_eq!(router.candidate_windows(&tight), vec![Interval::new(10, 15)]);
+        assert_eq!(
+            router.candidate_windows(&tight),
+            vec![Interval::new(10, 15)]
+        );
     }
 }

@@ -200,7 +200,10 @@ mod tests {
         arch.verify().unwrap();
         assert!(arch.used_edge_count() > 0);
         assert!(arch.valve_count() > 0);
-        assert_eq!(arch.routes().len(), extract_transport_tasks(&problem, &schedule).len());
+        assert_eq!(
+            arch.routes().len(),
+            extract_transport_tasks(&problem, &schedule).len()
+        );
     }
 
     #[test]

@@ -89,7 +89,12 @@ impl TransportTask {
     pub fn describe(&self) -> String {
         format!(
             "{} of sample {} ({} -> {}) in [{}, {})",
-            self.kind, self.sample, self.producer, self.consumer, self.window_start, self.window_end
+            self.kind,
+            self.sample,
+            self.producer,
+            self.consumer,
+            self.window_start,
+            self.window_end
         )
     }
 }
@@ -203,7 +208,9 @@ mod tests {
         g.add_dependency(a, b).unwrap();
         g.add_dependency(a, c).unwrap();
         g.add_dependency(a, d).unwrap();
-        let problem = ScheduleProblem::new(g).with_mixers(2).with_transport_time(5);
+        let problem = ScheduleProblem::new(g)
+            .with_mixers(2)
+            .with_transport_time(5);
         let mut s = Schedule::with_capacity(4);
         s.assign(a, DeviceId(0), 0, 10);
         s.assign(b, DeviceId(1), 15, 25); // gap 5 = uc: direct
@@ -227,8 +234,14 @@ mod tests {
     fn store_and_fetch_windows_bracket_the_storage_interval() {
         let (p, s) = problem_and_schedule();
         let tasks = extract_transport_tasks(&p, &s);
-        let store = tasks.iter().find(|t| t.kind == TransportKind::Store).unwrap();
-        let fetch = tasks.iter().find(|t| t.kind == TransportKind::Fetch).unwrap();
+        let store = tasks
+            .iter()
+            .find(|t| t.kind == TransportKind::Store)
+            .unwrap();
+        let fetch = tasks
+            .iter()
+            .find(|t| t.kind == TransportKind::Fetch)
+            .unwrap();
         assert_eq!(store.window_start, 10);
         assert_eq!(store.window_end, 15);
         assert_eq!(store.storage_interval, Some((15, 55)));
@@ -241,7 +254,10 @@ mod tests {
     fn direct_window_ends_at_consumer_start() {
         let (p, s) = problem_and_schedule();
         let tasks = extract_transport_tasks(&p, &s);
-        let direct = tasks.iter().find(|t| t.kind == TransportKind::Direct).unwrap();
+        let direct = tasks
+            .iter()
+            .find(|t| t.kind == TransportKind::Direct)
+            .unwrap();
         assert_eq!(direct.window_start, 10);
         assert_eq!(direct.window_end, 15);
         assert_eq!(direct.deadline, 15);
@@ -252,7 +268,10 @@ mod tests {
     fn store_deadline_respects_the_producers_next_operation() {
         let (p, s) = problem_and_schedule();
         let tasks = extract_transport_tasks(&p, &s);
-        let store = tasks.iter().find(|t| t.kind == TransportKind::Store).unwrap();
+        let store = tasks
+            .iter()
+            .find(|t| t.kind == TransportKind::Store)
+            .unwrap();
         // The producer's device (d0) runs its next operation at t = 25, so
         // the stored sample must be out of the device by then — and in its
         // segment before the fetch starts at t = 55.
@@ -283,9 +302,18 @@ mod tests {
     fn overlap_predicate() {
         let (p, s) = problem_and_schedule();
         let tasks = extract_transport_tasks(&p, &s);
-        let store = tasks.iter().find(|t| t.kind == TransportKind::Store).unwrap();
-        let direct = tasks.iter().find(|t| t.kind == TransportKind::Direct).unwrap();
-        let fetch = tasks.iter().find(|t| t.kind == TransportKind::Fetch).unwrap();
+        let store = tasks
+            .iter()
+            .find(|t| t.kind == TransportKind::Store)
+            .unwrap();
+        let direct = tasks
+            .iter()
+            .find(|t| t.kind == TransportKind::Direct)
+            .unwrap();
+        let fetch = tasks
+            .iter()
+            .find(|t| t.kind == TransportKind::Fetch)
+            .unwrap();
         assert!(store.overlaps(direct)); // both occupy [10, 15)
         assert!(!store.overlaps(fetch));
     }

@@ -53,7 +53,8 @@ impl AssayBuilder {
         if self.graph.id_by_name(&name).is_some() {
             return Err(GraphError::DuplicateName { name });
         }
-        self.graph.add_operation(Operation::new(name, kind, duration));
+        self.graph
+            .add_operation(Operation::new(name, kind, duration));
         Ok(self)
     }
 

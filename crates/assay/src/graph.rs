@@ -74,7 +74,7 @@ impl DependencyEdge {
 /// assert!(g.validate().is_ok());
 /// # Ok::<(), biochip_assay::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SequencingGraph {
     name: String,
     operations: Vec<Operation>,
@@ -84,6 +84,40 @@ pub struct SequencingGraph {
     parents: Vec<Vec<OpId>>,
     edges: Vec<DependencyEdge>,
     name_index: HashMap<String, OpId>,
+}
+
+// Hand-written (de)serialization: the canonical JSON form carries only
+// `{name, operations, edges}`; the adjacency lists and the name index are
+// derived state. Rebuilding through `add_operation`/`add_dependency` means
+// malformed documents (out-of-range edge endpoints, self-loops, duplicate
+// edges) surface as clean errors instead of corrupting invariants and
+// panicking later.
+impl Serialize for SequencingGraph {
+    fn to_json(&self) -> serde::Json {
+        serde::Json::object([
+            ("name", self.name.to_json()),
+            ("operations", self.operations.to_json()),
+            ("edges", self.edges.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for SequencingGraph {
+    fn from_json(value: &serde::Json) -> Result<Self, serde::JsonError> {
+        let name: String = value.field("name")?;
+        let operations: Vec<Operation> = value.field("operations")?;
+        let edges: Vec<DependencyEdge> = value.field("edges")?;
+        let mut graph = SequencingGraph::new(name);
+        for op in operations {
+            graph.add_operation(op);
+        }
+        for edge in edges {
+            graph
+                .add_dependency(edge.parent, edge.child)
+                .map_err(|e| serde::JsonError::new(format!("invalid edge {edge:?}: {e}")))?;
+        }
+        Ok(graph)
+    }
 }
 
 impl SequencingGraph {
@@ -235,13 +269,17 @@ impl SequencingGraph {
     /// Operations with no parents (assay inputs or root mixes).
     #[must_use]
     pub fn roots(&self) -> Vec<OpId> {
-        self.ids().filter(|&id| self.parents(id).is_empty()).collect()
+        self.ids()
+            .filter(|&id| self.parents(id).is_empty())
+            .collect()
     }
 
     /// Operations with no children (assay outputs or final operations).
     #[must_use]
     pub fn sinks(&self) -> Vec<OpId> {
-        self.ids().filter(|&id| self.children(id).is_empty()).collect()
+        self.ids()
+            .filter(|&id| self.children(id).is_empty())
+            .collect()
     }
 
     /// Ids of operations that occupy a functional device (mix/dilute/heat/detect).
@@ -265,10 +303,7 @@ impl SequencingGraph {
         for edge in &self.edges {
             indegree[edge.child.index()] += 1;
         }
-        let mut queue: VecDeque<OpId> = (0..n)
-            .filter(|&i| indegree[i] == 0)
-            .map(OpId)
-            .collect();
+        let mut queue: VecDeque<OpId> = (0..n).filter(|&i| indegree[i] == 0).map(OpId).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(id) = queue.pop_front() {
             order.push(id);
@@ -447,7 +482,10 @@ mod tests {
         g.add_dependency(a, b).unwrap();
         assert_eq!(
             g.add_dependency(a, b),
-            Err(GraphError::DuplicateEdge { parent: a, child: b })
+            Err(GraphError::DuplicateEdge {
+                parent: a,
+                child: b
+            })
         );
     }
 
@@ -481,7 +519,10 @@ mod tests {
         let mut g = SequencingGraph::new("dup");
         g.add_operation_default("a", OperationKind::Mix);
         g.add_operation_default("a", OperationKind::Mix);
-        assert!(matches!(g.validate(), Err(GraphError::DuplicateName { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::DuplicateName { .. })
+        ));
     }
 
     #[test]

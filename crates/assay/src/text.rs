@@ -121,9 +121,11 @@ pub fn parse(input: &str) -> Result<SequencingGraph, GraphError> {
                     line: line_no,
                     message: "`dep` requires a child".to_owned(),
                 })?;
-                let p = g.id_by_name(parent).ok_or_else(|| GraphError::UnknownName {
-                    name: parent.to_owned(),
-                })?;
+                let p = g
+                    .id_by_name(parent)
+                    .ok_or_else(|| GraphError::UnknownName {
+                        name: parent.to_owned(),
+                    })?;
                 let c = g.id_by_name(child).ok_or_else(|| GraphError::UnknownName {
                     name: child.to_owned(),
                 })?;

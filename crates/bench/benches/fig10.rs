@@ -1,22 +1,4 @@
-//! Criterion bench: channel caching vs. dedicated storage comparison (Fig. 10).
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench_fig10(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10");
-    group.sample_size(10);
-    for assay in ["IVD", "RA30"] {
-        group.bench_function(assay, |b| {
-            b.iter(|| {
-                let report = biochip_bench::run_benchmark_heuristic(assay);
-                std::hint::black_box((
-                    report.execution_ratio_vs_dedicated(),
-                    report.valve_ratio_vs_dedicated(),
-                ))
-            })
-        });
-    }
-    group.finish();
+//! Timing bench: dedicated-storage comparison over the benchmark set.
+fn main() {
+    biochip_bench::measure("fig10_rows", 3, biochip_bench::fig10_rows);
 }
-
-criterion_group!(benches, bench_fig10);
-criterion_main!(benches);

@@ -1,17 +1,4 @@
-//! Criterion bench: architectural synthesis edge/valve ratio extraction.
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench_fig8(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8");
-    group.sample_size(10);
-    group.bench_function("pcr_ratios", |b| {
-        b.iter(|| {
-            let report = biochip_bench::run_benchmark_heuristic("PCR");
-            std::hint::black_box((report.edge_ratio, report.valve_ratio))
-        })
-    });
-    group.finish();
+//! Timing bench: Fig. 8 ratio computation over the benchmark set.
+fn main() {
+    biochip_bench::measure("fig8_rows", 3, biochip_bench::fig8_rows);
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

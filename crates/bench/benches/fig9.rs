@@ -1,14 +1,4 @@
-//! Criterion bench: storage-aware vs. makespan-only synthesis (Fig. 9).
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench_fig9(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9");
-    group.sample_size(10);
-    group.bench_function("ra30_both_schedulers", |b| {
-        b.iter(|| std::hint::black_box(biochip_bench::fig9_rows()))
-    });
-    group.finish();
+//! Timing bench: both-scheduler synthesis of RA30 (Fig. 9 core loop).
+fn main() {
+    biochip_bench::measure("fig9_rows", 3, biochip_bench::fig9_rows);
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

@@ -1,17 +1,6 @@
-//! Criterion bench: full-pipeline runtime per benchmark assay (the runtime
-//! columns of Table 2).
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench_table2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
-    for assay in ["PCR", "IVD", "RA30"] {
-        group.bench_function(assay, |b| {
-            b.iter(|| std::hint::black_box(biochip_bench::run_benchmark_heuristic(assay)))
-        });
-    }
-    group.finish();
+//! Timing bench: full Table 2 regeneration (heuristic scheduler).
+fn main() {
+    biochip_bench::measure("table2_heuristic", 3, || {
+        ["PCR", "IVD", "CPA", "RA30", "RA70", "RA100"].map(biochip_bench::run_benchmark_heuristic)
+    });
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

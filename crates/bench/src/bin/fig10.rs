@@ -1,8 +1,10 @@
 //! Regenerates Fig. 10: channel caching vs. a dedicated storage unit.
 fn main() {
+    let rows = biochip_bench::fig10_rows();
     println!("Fig. 10: Execution time and valve ratios vs. dedicated storage unit\n");
     println!("{:<8} {:>16} {:>12}", "Assay", "Execution Time", "Valve");
-    for (name, exec, valve) in biochip_bench::fig10_rows() {
+    for (name, exec, valve) in &rows {
         println!("{name:<8} {exec:>16.3} {valve:>12.3}");
     }
+    biochip_bench::write_bench_json("fig10", &rows);
 }

@@ -1,8 +1,10 @@
 //! Regenerates Fig. 11: execution snapshots of the RA30 chip.
 fn main() {
+    let snapshots = biochip_bench::fig11_snapshots();
     println!("Fig. 11: Snapshots of the synthesized chip executing RA30\n");
-    for (t, art) in biochip_bench::fig11_snapshots() {
+    for (t, art) in &snapshots {
         println!("--- snapshot at {t}s (D device, + switch, =/# active segments) ---");
         println!("{art}");
     }
+    biochip_bench::write_bench_json("fig11", &snapshots);
 }

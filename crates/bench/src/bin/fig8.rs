@@ -1,8 +1,10 @@
 //! Regenerates Fig. 8: edge/valve ratios vs. the full connection grid.
 fn main() {
+    let rows = biochip_bench::fig8_rows();
     println!("Fig. 8: Edge and valve ratios vs. the original connection grid\n");
     println!("{:<8} {:>10} {:>10}", "Assay", "Edge", "Valve");
-    for (name, edge, valve) in biochip_bench::fig8_rows() {
+    for (name, edge, valve) in &rows {
         println!("{name:<8} {edge:>10.3} {valve:>10.3}");
     }
+    biochip_bench::write_bench_json("fig8", &rows);
 }

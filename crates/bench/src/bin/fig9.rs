@@ -1,11 +1,22 @@
 //! Regenerates Fig. 9: results with and without storage optimization.
 fn main() {
+    let rows = biochip_bench::fig9_rows();
     println!("Fig. 9: Optimize execution time only vs. execution time and storage\n");
-    println!("{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "Assay", "tE base", "tE opt", "edges base", "edges opt", "valves base", "valves opt");
-    for r in biochip_bench::fig9_rows() {
-        println!("{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-            r.assay, r.execution_baseline, r.execution_optimized,
-            r.edges.0, r.edges.1, r.valves.0, r.valves.1);
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "Assay", "tE base", "tE opt", "edges base", "edges opt", "valves base", "valves opt"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            r.assay,
+            r.execution_baseline,
+            r.execution_optimized,
+            r.edges.0,
+            r.edges.1,
+            r.valves.0,
+            r.valves.1
+        );
     }
+    biochip_bench::write_bench_json("fig9", &rows);
 }

@@ -3,4 +3,5 @@ fn main() {
     let rows = biochip_bench::table2_rows();
     println!("Table 2: Results of Scheduling and Synthesis\n");
     print!("{}", biochip_bench::format_table2(&rows));
+    biochip_bench::write_bench_json("table2", &rows);
 }

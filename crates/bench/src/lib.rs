@@ -13,6 +13,68 @@
 use biochip_synth::assay::{library, SequencingGraph};
 use biochip_synth::{SchedulerChoice, SynthesisConfig, SynthesisFlow, SynthesisReport};
 
+/// Writes a machine-readable benchmark artifact as `BENCH_<name>.json`.
+///
+/// The output directory is `$BIOCHIP_BENCH_DIR` (default: the current
+/// directory), so CI can collect every artifact from one place and track the
+/// perf trajectory across commits. I/O failures are reported to stderr but
+/// do not abort the run — the printed tables remain the primary output.
+pub fn write_bench_json<T: biochip_json::Serialize>(name: &str, value: &T) {
+    let dir = std::env::var("BIOCHIP_BENCH_DIR").unwrap_or_else(|_| ".".to_owned());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    let text = biochip_json::to_string_pretty(value);
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Times `runs` executions of `f`, printing and returning the mean seconds.
+///
+/// The stand-in for the Criterion harness (not fetchable offline): prints a
+/// `bench <name>: mean <t>s over <n> runs` line and records the numbers via
+/// [`write_bench_json`] under `BENCH_bench_<name>.json`.
+pub fn measure<T>(name: &str, runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(runs > 0, "need at least one run");
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let started = std::time::Instant::now();
+        std::hint::black_box(f());
+        samples.push(started.elapsed().as_secs_f64());
+    }
+    let mean = samples.iter().sum::<f64>() / runs as f64;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+    println!("bench {name}: mean {mean:.4}s (min {min:.4}s, max {max:.4}s) over {runs} runs");
+    #[derive(Debug)]
+    struct Sample {
+        name: String,
+        runs: usize,
+        mean_seconds: f64,
+        min_seconds: f64,
+        max_seconds: f64,
+    }
+    biochip_json::impl_json_struct!(Sample {
+        name,
+        runs,
+        mean_seconds,
+        min_seconds,
+        max_seconds
+    });
+    write_bench_json(
+        &format!("bench_{name}"),
+        &Sample {
+            name: name.to_owned(),
+            runs,
+            mean_seconds: mean,
+            min_seconds: min,
+            max_seconds: max,
+        },
+    );
+    mean
+}
+
 /// The benchmark set of Table 2 with the device inventory used for each
 /// assay (the paper does not report its device counts; these are chosen so
 /// that utilization is comparable to the reported execution times).
@@ -114,6 +176,14 @@ pub struct Fig9Row {
     pub valves: (usize, usize),
 }
 
+biochip_json::impl_json_struct!(Fig9Row {
+    assay,
+    execution_baseline,
+    execution_optimized,
+    edges,
+    valves,
+});
+
 /// Fig. 9: RA30, IVD and PCR synthesized from a makespan-only schedule and
 /// from a storage-optimized schedule.
 #[must_use]
@@ -125,18 +195,16 @@ pub fn fig9_rows() -> Vec<Fig9Row> {
                 .into_iter()
                 .find(|(n, _, _)| *n == name)
                 .expect("benchmark exists");
-            let baseline = SynthesisFlow::new(
-                config.clone().with_scheduler(SchedulerChoice::MakespanOnly),
-            )
-            .run(graph.clone())
-            .unwrap_or_else(|e| panic!("{name}: {e}"))
-            .report;
-            let optimized = SynthesisFlow::new(
-                config.with_scheduler(SchedulerChoice::StorageAware),
-            )
-            .run(graph)
-            .unwrap_or_else(|e| panic!("{name}: {e}"))
-            .report;
+            let baseline =
+                SynthesisFlow::new(config.clone().with_scheduler(SchedulerChoice::MakespanOnly))
+                    .run(graph.clone())
+                    .unwrap_or_else(|e| panic!("{name}: {e}"))
+                    .report;
+            let optimized =
+                SynthesisFlow::new(config.with_scheduler(SchedulerChoice::StorageAware))
+                    .run(graph)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"))
+                    .report;
             Fig9Row {
                 assay: name.to_owned(),
                 execution_baseline: baseline.execution_time,
@@ -173,7 +241,9 @@ pub fn fig11_snapshots() -> Vec<(u64, String)> {
         .into_iter()
         .find(|(n, _, _)| *n == "RA30")
         .expect("RA30 exists");
-    let outcome = SynthesisFlow::new(config).run(graph).expect("RA30 synthesizes");
+    let outcome = SynthesisFlow::new(config)
+        .run(graph)
+        .expect("RA30 synthesizes");
     let storage = outcome.architecture.storage_routes();
     let times: Vec<u64> = if let Some(store) = storage.first() {
         let (from, until) = store.task.storage_interval.unwrap_or((35, 45));
@@ -235,9 +305,15 @@ mod tests {
     fn pcr_and_ivd_reports_have_the_paper_shape() {
         for name in ["PCR", "IVD"] {
             let report = run_benchmark(name);
-            assert!(report.edge_ratio < 1.0, "{name}: only part of the grid is kept");
+            assert!(
+                report.edge_ratio < 1.0,
+                "{name}: only part of the grid is kept"
+            );
             assert!(report.valve_ratio < 1.0, "{name}");
-            assert!(report.valve_ratio_vs_dedicated() < 1.0, "{name}: fewer valves than the baseline");
+            assert!(
+                report.valve_ratio_vs_dedicated() < 1.0,
+                "{name}: fewer valves than the baseline"
+            );
         }
     }
 
@@ -258,7 +334,10 @@ mod tests {
         assert_eq!(rows.len(), 6);
         for (name, exec_ratio, valve_ratio) in &rows {
             assert!(*valve_ratio < 1.0, "{name}: valves must beat the baseline");
-            assert!(*exec_ratio <= 1.5, "{name}: execution far above the baseline");
+            assert!(
+                *exec_ratio <= 1.5,
+                "{name}: execution far above the baseline"
+            );
         }
         // At least one assay shows a clear execution-time win, mirroring the
         // paper's 28 % improvement on its largest benchmark.

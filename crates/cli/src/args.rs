@@ -1,0 +1,228 @@
+//! A tiny dependency-free command-line option parser.
+//!
+//! Supports `--key value`, `--key=value` and boolean `--flag` options plus
+//! positional arguments, with unknown-option detection. Each subcommand
+//! declares the options it accepts up front, so `biochip run --mixerz 2`
+//! fails loudly instead of being ignored.
+
+use crate::CliError;
+
+/// Declaration of one accepted option.
+#[derive(Debug, Clone, Copy)]
+pub struct OptionSpec {
+    /// The long name including the leading dashes, e.g. `"--mixers"`.
+    pub name: &'static str,
+    /// Whether the option takes a value (`--mixers 2`) or is a flag.
+    pub takes_value: bool,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+/// Parsed arguments of one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    values: Vec<(String, String)>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Parses `argv` (without the program and subcommand names) against the
+    /// accepted option specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage [`CliError`] for unknown options or missing values.
+    pub fn parse(argv: &[String], specs: &[OptionSpec]) -> Result<Self, CliError> {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = argv.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if !arg.starts_with("--") {
+                parsed.positional.push(arg.clone());
+                continue;
+            }
+            let (name, inline_value) = match arg.split_once('=') {
+                Some((n, v)) => (n.to_owned(), Some(v.to_owned())),
+                None => (arg.clone(), None),
+            };
+            let spec = specs.iter().find(|s| s.name == name).ok_or_else(|| {
+                CliError::usage(format!(
+                    "unknown option `{name}`\n{}",
+                    render_options(specs)
+                ))
+            })?;
+            if spec.takes_value {
+                let value = match inline_value {
+                    Some(v) => v,
+                    None => iter
+                        .next()
+                        .ok_or_else(|| {
+                            CliError::usage(format!("option `{name}` requires a value"))
+                        })?
+                        .clone(),
+                };
+                parsed.values.push((name, value));
+            } else {
+                if inline_value.is_some() {
+                    return Err(CliError::usage(format!(
+                        "option `{name}` does not take a value"
+                    )));
+                }
+                parsed.flags.push(name);
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The last value given for an option, if any.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a boolean flag was given.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|n| n == name)
+    }
+
+    /// Positional (non-option) arguments.
+    #[must_use]
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A value parsed with [`str::parse`], with a descriptive error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage [`CliError`] if the value does not parse.
+    pub fn parse_value<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.value(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| CliError::usage(format!("invalid value `{raw}` for `{name}`: {e}"))),
+        }
+    }
+
+    /// A comma-separated list value, trimmed and with empty entries dropped.
+    #[must_use]
+    pub fn list_value(&self, name: &str) -> Option<Vec<String>> {
+        self.value(name).map(|raw| {
+            raw.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect()
+        })
+    }
+}
+
+/// Formats the accepted options as help text.
+#[must_use]
+pub fn render_options(specs: &[OptionSpec]) -> String {
+    let mut out = String::from("options:\n");
+    for spec in specs {
+        let value_hint = if spec.takes_value { " <value>" } else { "" };
+        out.push_str(&format!(
+            "  {:<26} {}\n",
+            format!("{}{value_hint}", spec.name),
+            spec.help
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPECS: &[OptionSpec] = &[
+        OptionSpec {
+            name: "--mixers",
+            takes_value: true,
+            help: "mixer count",
+        },
+        OptionSpec {
+            name: "--full",
+            takes_value: false,
+            help: "emit everything",
+        },
+    ];
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_values_flags_and_positionals() {
+        let parsed =
+            ParsedArgs::parse(&argv(&["--mixers", "3", "--full", "extra"]), SPECS).unwrap();
+        assert_eq!(parsed.value("--mixers"), Some("3"));
+        assert!(parsed.flag("--full"));
+        assert_eq!(parsed.positional(), &["extra".to_owned()]);
+        assert_eq!(parsed.parse_value::<usize>("--mixers").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn parses_equals_form() {
+        let parsed = ParsedArgs::parse(&argv(&["--mixers=4"]), SPECS).unwrap();
+        assert_eq!(parsed.value("--mixers"), Some("4"));
+    }
+
+    #[test]
+    fn last_value_wins() {
+        let parsed = ParsedArgs::parse(&argv(&["--mixers", "1", "--mixers", "2"]), SPECS).unwrap();
+        assert_eq!(parsed.parse_value::<usize>("--mixers").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert_eq!(
+            ParsedArgs::parse(&argv(&["--nope"]), SPECS)
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            ParsedArgs::parse(&argv(&["--mixers"]), SPECS)
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            ParsedArgs::parse(&argv(&["--full=1"]), SPECS)
+                .unwrap_err()
+                .code,
+            2
+        );
+        let err = ParsedArgs::parse(&argv(&["--mixers", "abc"]), SPECS)
+            .unwrap()
+            .parse_value::<usize>("--mixers")
+            .unwrap_err();
+        assert!(err.message.contains("abc"));
+    }
+
+    #[test]
+    fn list_values_split_on_commas() {
+        let specs = &[OptionSpec {
+            name: "--assays",
+            takes_value: true,
+            help: "",
+        }];
+        let parsed = ParsedArgs::parse(&argv(&["--assays", "pcr, ivd,,cpa"]), specs).unwrap();
+        assert_eq!(
+            parsed.list_value("--assays").unwrap(),
+            vec!["pcr".to_owned(), "ivd".to_owned(), "cpa".to_owned()]
+        );
+    }
+}

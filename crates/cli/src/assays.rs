@@ -1,0 +1,134 @@
+//! Resolution of assay names and assay input files.
+
+use biochip_synth::assay::{library, random, text, SequencingGraph};
+
+use crate::CliError;
+
+/// The benchmark names the CLI accepts, with their aliases.
+///
+/// Canonical names match the paper's Table 2; the aliases let users write
+/// the assay's plain-English name (`invitro` for IVD, `protein` for CPA).
+pub const LIBRARY: &[(&str, &[&str])] = &[
+    ("PCR", &["pcr"]),
+    ("IVD", &["ivd", "invitro", "in-vitro"]),
+    ("CPA", &["cpa", "protein"]),
+    ("RA30", &["ra30"]),
+    ("RA70", &["ra70"]),
+    ("RA100", &["ra100"]),
+];
+
+/// Resolves a library assay by name or alias (case-insensitive).
+///
+/// # Errors
+///
+/// Returns a usage [`CliError`] listing the known assays when the name does
+/// not resolve.
+pub fn by_name(name: &str) -> Result<SequencingGraph, CliError> {
+    let lower = name.to_lowercase();
+    let canonical = LIBRARY
+        .iter()
+        .find(|(canon, aliases)| canon.to_lowercase() == lower || aliases.contains(&lower.as_str()))
+        .map(|(canon, _)| *canon)
+        .ok_or_else(|| {
+            let known: Vec<&str> = LIBRARY.iter().map(|(c, _)| *c).collect();
+            CliError::usage(format!(
+                "unknown assay `{name}` (known: {})",
+                known.join(", ")
+            ))
+        })?;
+    Ok(match canonical {
+        "PCR" => library::pcr(),
+        "IVD" => library::ivd(),
+        "CPA" => library::cpa(),
+        "RA30" => random::ra30(),
+        "RA70" => random::ra70(),
+        "RA100" => random::ra100(),
+        _ => unreachable!("LIBRARY names are exhaustive"),
+    })
+}
+
+/// Loads an assay from a file: `.json` files hold a serialized
+/// [`SequencingGraph`], anything else is parsed as the line-oriented
+/// `assay`/`op`/`dep` text format.
+///
+/// # Errors
+///
+/// Returns a runtime [`CliError`] on I/O, parse or validation failures.
+pub fn from_file(path: &str) -> Result<SequencingGraph, CliError> {
+    let contents = crate::read_file(path)?;
+    let graph: SequencingGraph = if path.ends_with(".json") {
+        biochip_json::from_str(&contents)
+            .map_err(|e| CliError::runtime(format!("`{path}` is not a valid assay JSON: {e}")))?
+    } else {
+        text::parse(&contents)
+            .map_err(|e| CliError::runtime(format!("`{path}` is not a valid assay: {e}")))?
+    };
+    graph
+        .validate()
+        .map_err(|e| CliError::runtime(format!("`{path}` contains an invalid assay: {e}")))?;
+    Ok(graph)
+}
+
+/// Resolves the assay for a command accepting `--assay NAME` or
+/// `--input FILE` (exactly one of the two).
+///
+/// # Errors
+///
+/// Returns a usage [`CliError`] when neither or both are given, and
+/// propagates name/file resolution failures.
+pub fn resolve(assay: Option<&str>, input: Option<&str>) -> Result<SequencingGraph, CliError> {
+    match (assay, input) {
+        (Some(name), None) => by_name(name),
+        (None, Some(path)) => from_file(path),
+        (Some(_), Some(_)) => Err(CliError::usage(
+            "give either --assay or --input, not both".to_owned(),
+        )),
+        (None, None) => Err(CliError::usage(
+            "an assay is required: --assay <name> or --input <file>".to_owned(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_names_and_aliases_resolve() {
+        for (name, ops) in [("pcr", 7), ("PCR", 7), ("invitro", 12), ("protein", 55)] {
+            let g = by_name(name).unwrap();
+            assert_eq!(g.device_operations().len(), ops, "{name}");
+        }
+        assert_eq!(by_name("ra30").unwrap().num_operations(), 30);
+    }
+
+    #[test]
+    fn unknown_name_lists_alternatives() {
+        let err = by_name("nope").unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("PCR"));
+    }
+
+    #[test]
+    fn resolve_requires_exactly_one_source() {
+        assert!(resolve(None, None).is_err());
+        assert!(resolve(Some("pcr"), Some("x.assay")).is_err());
+        assert!(resolve(Some("pcr"), None).is_ok());
+    }
+
+    #[test]
+    fn text_files_round_trip_through_from_file() {
+        let dir = std::env::temp_dir().join("biochip-cli-assay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mini.assay");
+        let g = by_name("pcr").unwrap();
+        std::fs::write(&path, biochip_synth::assay::text::to_text(&g)).unwrap();
+        let loaded = from_file(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, g);
+
+        let json_path = dir.join("mini.json");
+        std::fs::write(&json_path, biochip_json::to_string_pretty(&g)).unwrap();
+        let loaded = from_file(json_path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, g);
+    }
+}

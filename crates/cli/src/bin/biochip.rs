@@ -1,0 +1,36 @@
+//! The `biochip` binary: see [`biochip_cli::commands::USAGE`].
+
+use std::process::ExitCode;
+
+/// Whether a panic payload is the `println!` broken-pipe panic (Rust ignores
+/// SIGPIPE, so `biochip ... | head` closes stdout under us).
+fn is_broken_pipe(payload: &(dyn std::any::Any + Send)) -> bool {
+    let message = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("");
+    message.contains("Broken pipe")
+}
+
+fn main() -> ExitCode {
+    // Suppress the default backtrace for broken-pipe panics; downstream
+    // closing the pipe early (`| head`) is normal, not a crash.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !is_broken_pipe(info.payload()) {
+            default_hook(info);
+        }
+    }));
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match std::panic::catch_unwind(|| biochip_cli::commands::dispatch(&argv)) {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(error)) => {
+            eprintln!("biochip: {error}");
+            ExitCode::from(u8::try_from(error.code).unwrap_or(1))
+        }
+        Err(payload) if is_broken_pipe(payload.as_ref()) => ExitCode::SUCCESS,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}

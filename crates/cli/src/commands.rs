@@ -1,0 +1,697 @@
+//! Implementation of the `biochip` subcommands.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use biochip_synth::arch::{ArchitectureSynthesizer, SynthesisOptions};
+use biochip_synth::layout::{generate_layout, render_ascii};
+use biochip_synth::sim::{replay, simulate_dedicated_storage};
+use biochip_synth::{SchedulerChoice, SynthesisConfig, SynthesisFlow, SynthesisReport};
+
+use crate::args::{render_options, OptionSpec, ParsedArgs};
+use crate::assays;
+use crate::batch::{run_batch, BatchJob};
+use crate::state::{PipelineState, StageTimings};
+use crate::{read_file, write_file, CliError};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+biochip — flow-based microfluidic biochip synthesis (Liu et al., DAC'17)
+
+usage: biochip <command> [options]
+
+commands:
+  run       full pipeline on one assay (schedule → synth → layout → simulate)
+  schedule  scheduling & binding only; writes a pipeline-state JSON
+  synth     architectural synthesis + physical design from a schedule state
+  simulate  replay a synthesized chip; completes the pipeline state
+  batch     fan assays × configurations across a thread pool
+  bench     reproduce the paper's Table 2 / Fig 8-10 numbers
+  assays    list the built-in benchmark assays
+
+run `biochip <command> --help` for the options of one command.
+";
+
+/// Entry point: dispatches `argv` (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] carrying the message and exit code on any failure.
+pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
+    let Some(command) = argv.first() else {
+        return Err(CliError::usage(USAGE.to_owned()));
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "run" => cmd_run(rest),
+        "schedule" => cmd_schedule(rest),
+        "synth" => cmd_synth(rest),
+        "simulate" => cmd_simulate(rest),
+        "batch" => cmd_batch(rest),
+        "bench" => cmd_bench(rest),
+        "assays" => cmd_assays(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared configuration options
+// ---------------------------------------------------------------------------
+
+const CONFIG_SPECS: &[OptionSpec] = &[
+    OptionSpec {
+        name: "--assay",
+        takes_value: true,
+        help: "library assay (PCR, IVD, CPA, RA30, RA70, RA100; aliases invitro/protein)",
+    },
+    OptionSpec {
+        name: "--input",
+        takes_value: true,
+        help: "assay file (.json = serialized graph, otherwise text format)",
+    },
+    OptionSpec {
+        name: "--mixers",
+        takes_value: true,
+        help: "number of mixers (default 2)",
+    },
+    OptionSpec {
+        name: "--detectors",
+        takes_value: true,
+        help: "number of detectors (default 2)",
+    },
+    OptionSpec {
+        name: "--heaters",
+        takes_value: true,
+        help: "number of heaters (default 1)",
+    },
+    OptionSpec {
+        name: "--scheduler",
+        takes_value: true,
+        help: "auto | ilp | storage | makespan (default auto)",
+    },
+    OptionSpec {
+        name: "--transport",
+        takes_value: true,
+        help: "device-to-device transport time u_c in seconds",
+    },
+    OptionSpec {
+        name: "--grid-size",
+        takes_value: true,
+        help: "fixed connection-grid side length (default: derived)",
+    },
+    OptionSpec {
+        name: "--max-grid-size",
+        takes_value: true,
+        help: "largest grid the router may grow to (default 12)",
+    },
+    OptionSpec {
+        name: "--ilp-time-limit",
+        takes_value: true,
+        help: "ILP scheduler wall-clock limit in seconds (default 15)",
+    },
+    OptionSpec {
+        name: "--channel-pitch",
+        takes_value: true,
+        help: "minimum channel pitch for physical design (default 1)",
+    },
+];
+
+fn parse_scheduler(raw: &str) -> Result<SchedulerChoice, CliError> {
+    match raw.to_lowercase().as_str() {
+        "auto" => Ok(SchedulerChoice::Auto),
+        "ilp" => Ok(SchedulerChoice::Ilp),
+        "storage" | "storage-aware" | "list" => Ok(SchedulerChoice::StorageAware),
+        "makespan" | "makespan-only" => Ok(SchedulerChoice::MakespanOnly),
+        other => Err(CliError::usage(format!(
+            "unknown scheduler `{other}` (expected auto, ilp, storage or makespan)"
+        ))),
+    }
+}
+
+fn config_from_args(parsed: &ParsedArgs) -> Result<SynthesisConfig, CliError> {
+    let mut config = SynthesisConfig::default();
+    if let Some(mixers) = parsed.parse_value::<usize>("--mixers")? {
+        config = config.with_mixers(mixers);
+    }
+    if let Some(detectors) = parsed.parse_value::<usize>("--detectors")? {
+        config = config.with_detectors(detectors);
+    }
+    if let Some(heaters) = parsed.parse_value::<usize>("--heaters")? {
+        config = config.with_heaters(heaters);
+    }
+    if let Some(raw) = parsed.value("--scheduler") {
+        config = config.with_scheduler(parse_scheduler(raw)?);
+    }
+    if let Some(transport) = parsed.parse_value::<u64>("--transport")? {
+        config = config.with_transport_time(transport);
+    }
+    if let Some(side) = parsed.parse_value::<usize>("--grid-size")? {
+        config.synthesis.grid_size = Some(side);
+    }
+    if let Some(side) = parsed.parse_value::<usize>("--max-grid-size")? {
+        config.synthesis.max_grid_size = side;
+    }
+    if let Some(secs) = parsed.parse_value::<u64>("--ilp-time-limit")? {
+        config.ilp_time_limit = Duration::from_secs(secs);
+    }
+    if let Some(pitch) = parsed.parse_value::<u64>("--channel-pitch")? {
+        config.layout.channel_pitch = pitch.max(1);
+    }
+    Ok(config)
+}
+
+fn help_requested(argv: &[String]) -> bool {
+    argv.iter().any(|a| a == "--help" || a == "-h")
+}
+
+fn print_help(command: &str, summary: &str, specs: &[OptionSpec]) {
+    println!(
+        "usage: biochip {command} [options]\n\n{summary}\n\n{}",
+        render_options(specs)
+    );
+}
+
+fn parse_with(
+    argv: &[String],
+    extra: &[OptionSpec],
+) -> Result<(ParsedArgs, Vec<OptionSpec>), CliError> {
+    let mut specs: Vec<OptionSpec> = CONFIG_SPECS.to_vec();
+    specs.extend_from_slice(extra);
+    let parsed = ParsedArgs::parse(argv, &specs)?;
+    if let Some(stray) = parsed.positional().first() {
+        return Err(CliError::usage(format!("unexpected argument `{stray}`")));
+    }
+    Ok((parsed, specs))
+}
+
+fn emit(path: Option<&str>, contents: &str, what: &str) -> Result<(), CliError> {
+    match path {
+        Some(path) => {
+            write_file(path, contents)?;
+            eprintln!("wrote {what} to {path}");
+            Ok(())
+        }
+        None => {
+            println!("{contents}");
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// biochip run
+// ---------------------------------------------------------------------------
+
+fn cmd_run(argv: &[String]) -> Result<(), CliError> {
+    let extra = [
+        OptionSpec {
+            name: "--out",
+            takes_value: true,
+            help: "write the report JSON here (default: stdout summary only)",
+        },
+        OptionSpec {
+            name: "--full",
+            takes_value: false,
+            help: "emit the complete pipeline state instead of just the report",
+        },
+        OptionSpec {
+            name: "--render",
+            takes_value: false,
+            help: "print an ASCII rendering of the synthesized chip (stderr)",
+        },
+    ];
+    if help_requested(argv) {
+        let (_, specs) = parse_with(&[], &extra)?;
+        print_help(
+            "run",
+            "Runs the full synthesis pipeline on one assay.",
+            &specs,
+        );
+        return Ok(());
+    }
+    let (parsed, _) = parse_with(argv, &extra)?;
+    let graph = assays::resolve(parsed.value("--assay"), parsed.value("--input"))?;
+    let config = config_from_args(&parsed)?;
+
+    let flow = SynthesisFlow::new(config.clone());
+    let outcome = flow
+        .run(graph)
+        .map_err(|e| CliError::runtime(format!("synthesis failed: {e}")))?;
+
+    eprintln!("{}", outcome.report);
+    if parsed.flag("--render") {
+        // The rendering goes to stderr alongside the summary so that stdout
+        // stays parseable JSON even without --out.
+        eprintln!("{}", render_ascii(&outcome.architecture, &HashSet::new()));
+    }
+
+    let json = if parsed.flag("--full") {
+        PipelineState::from_outcome(config, &outcome).to_json_text()
+    } else {
+        biochip_json::to_string_pretty(&outcome.report)
+    };
+    emit(parsed.value("--out"), &json, "report")
+}
+
+// ---------------------------------------------------------------------------
+// biochip schedule / synth / simulate — stage-at-a-time with file handoff
+// ---------------------------------------------------------------------------
+
+fn cmd_schedule(argv: &[String]) -> Result<(), CliError> {
+    let extra = [OptionSpec {
+        name: "--out",
+        takes_value: true,
+        help: "write the pipeline state here (default: stdout)",
+    }];
+    if help_requested(argv) {
+        let (_, specs) = parse_with(&[], &extra)?;
+        print_help("schedule", "Runs scheduling & binding only.", &specs);
+        return Ok(());
+    }
+    let (parsed, _) = parse_with(argv, &extra)?;
+    let graph = assays::resolve(parsed.value("--assay"), parsed.value("--input"))?;
+    let config = config_from_args(&parsed)?;
+
+    let flow = SynthesisFlow::new(config.clone());
+    let problem = flow.problem_for(graph);
+    let started = Instant::now();
+    let schedule = flow
+        .schedule(&problem)
+        .map_err(|e| CliError::runtime(format!("scheduling failed: {e}")))?;
+    let scheduling_time = started.elapsed();
+
+    eprintln!(
+        "scheduled {}: makespan {}s, {} operations",
+        problem.graph().name(),
+        schedule.makespan(),
+        schedule.len()
+    );
+
+    let mut state = PipelineState::new(problem.graph().name().to_owned(), config);
+    state.timings.scheduling = scheduling_time;
+    state.problem = Some(problem);
+    state.schedule = Some(schedule);
+    emit(
+        parsed.value("--out"),
+        &state.to_json_text(),
+        "pipeline state",
+    )
+}
+
+fn stage_input(parsed: &ParsedArgs) -> Result<PipelineState, CliError> {
+    let path = parsed
+        .value("--in")
+        .ok_or_else(|| CliError::usage("--in <state.json> is required".to_owned()))?;
+    PipelineState::from_json_text(&read_file(path)?, path)
+}
+
+const STAGE_SPECS: &[OptionSpec] = &[
+    OptionSpec {
+        name: "--in",
+        takes_value: true,
+        help: "pipeline-state JSON from the previous stage",
+    },
+    OptionSpec {
+        name: "--out",
+        takes_value: true,
+        help: "write the updated pipeline state here (default: stdout)",
+    },
+];
+
+fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
+    if help_requested(argv) {
+        print_help(
+            "synth",
+            "Architectural synthesis + physical design from a scheduled state.",
+            STAGE_SPECS,
+        );
+        return Ok(());
+    }
+    let parsed = ParsedArgs::parse(argv, STAGE_SPECS)?;
+    let mut state = stage_input(&parsed)?;
+    let problem = state.require_problem()?.clone();
+    let schedule = state.require_schedule()?.clone();
+    schedule
+        .validate(&problem)
+        .map_err(|e| CliError::runtime(format!("state schedule is inconsistent: {e}")))?;
+
+    let options: SynthesisOptions = state.config.synthesis.clone();
+    let started = Instant::now();
+    let architecture = ArchitectureSynthesizer::new(options)
+        .synthesize(&problem, &schedule)
+        .map_err(|e| CliError::runtime(format!("architectural synthesis failed: {e}")))?;
+    state.timings.architecture = started.elapsed();
+
+    let started = Instant::now();
+    let layout = generate_layout(&architecture, &state.config.layout);
+    state.timings.layout = started.elapsed();
+
+    eprintln!(
+        "synthesized {}: grid {}, {} kept edges, {} valves, compressed layout {}",
+        state.assay,
+        architecture.grid().dimensions(),
+        architecture.used_edge_count(),
+        architecture.valve_count(),
+        layout.compressed
+    );
+
+    state.architecture = Some(architecture);
+    state.layout = Some(layout);
+    emit(
+        parsed.value("--out"),
+        &state.to_json_text(),
+        "pipeline state",
+    )
+}
+
+fn cmd_simulate(argv: &[String]) -> Result<(), CliError> {
+    if help_requested(argv) {
+        print_help(
+            "simulate",
+            "Replays the synthesized chip and completes the pipeline state.",
+            STAGE_SPECS,
+        );
+        return Ok(());
+    }
+    let parsed = ParsedArgs::parse(argv, STAGE_SPECS)?;
+    let mut state = stage_input(&parsed)?;
+    let problem = state.require_problem()?.clone();
+    let schedule = state.require_schedule()?.clone();
+    let architecture = state.require_architecture()?.clone();
+    let layout = state.require_layout()?.clone();
+
+    let execution = replay(&problem, &schedule, &architecture);
+    let dedicated = simulate_dedicated_storage(&problem, &schedule);
+    let StageTimings {
+        scheduling,
+        architecture: architecture_time,
+        layout: layout_time,
+    } = state.timings;
+    let report = SynthesisReport::collect(
+        &problem,
+        &schedule,
+        &architecture,
+        &layout,
+        &execution,
+        &dedicated,
+        scheduling,
+        architecture_time,
+        layout_time,
+    );
+
+    eprintln!("{report}");
+
+    state.execution = Some(execution);
+    state.dedicated_baseline = Some(dedicated);
+    state.report = Some(report);
+    emit(
+        parsed.value("--out"),
+        &state.to_json_text(),
+        "pipeline state",
+    )
+}
+
+// ---------------------------------------------------------------------------
+// biochip batch
+// ---------------------------------------------------------------------------
+
+fn cmd_batch(argv: &[String]) -> Result<(), CliError> {
+    let extra = [
+        OptionSpec {
+            name: "--assays",
+            takes_value: true,
+            help: "comma-separated assay names (default: PCR,IVD,CPA,RA30)",
+        },
+        OptionSpec {
+            name: "--mixer-counts",
+            takes_value: true,
+            help: "comma-separated mixer counts to sweep (default: 1,2,3)",
+        },
+        OptionSpec {
+            name: "--schedulers",
+            takes_value: true,
+            help: "comma-separated scheduler choices to sweep (default: the --scheduler value)",
+        },
+        OptionSpec {
+            name: "--threads",
+            takes_value: true,
+            help: "worker threads (default: available parallelism)",
+        },
+        OptionSpec {
+            name: "--out",
+            takes_value: true,
+            help: "write the aggregate batch report here (default: stdout)",
+        },
+    ];
+    if help_requested(argv) {
+        let (_, specs) = parse_with(&[], &extra)?;
+        print_help(
+            "batch",
+            "Fans assays × configurations across a thread pool.",
+            &specs,
+        );
+        return Ok(());
+    }
+    let (parsed, _) = parse_with(argv, &extra)?;
+    if parsed.value("--assay").is_some() || parsed.value("--input").is_some() {
+        return Err(CliError::usage(
+            "batch sweeps --assays (plural); --assay/--input apply to single runs".to_owned(),
+        ));
+    }
+    let base_config = config_from_args(&parsed)?;
+
+    let assay_names = parsed
+        .list_value("--assays")
+        .unwrap_or_else(|| vec!["PCR".into(), "IVD".into(), "CPA".into(), "RA30".into()]);
+    let mixer_counts: Vec<usize> = match parsed.list_value("--mixer-counts") {
+        Some(raw) => raw
+            .iter()
+            .map(|s| {
+                s.parse::<usize>()
+                    .map_err(|e| CliError::usage(format!("invalid mixer count `{s}`: {e}")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![1, 2, 3],
+    };
+    let schedulers: Vec<SchedulerChoice> = match parsed.list_value("--schedulers") {
+        Some(raw) => raw
+            .iter()
+            .map(|s| parse_scheduler(s))
+            .collect::<Result<_, _>>()?,
+        None => vec![base_config.scheduler],
+    };
+    if assay_names.is_empty() || mixer_counts.is_empty() || schedulers.is_empty() {
+        return Err(CliError::usage(
+            "batch needs at least one assay, mixer count and scheduler".to_owned(),
+        ));
+    }
+
+    // Resolve every assay once up front so name errors surface before any
+    // thread is spawned.
+    let mut graphs = Vec::with_capacity(assay_names.len());
+    for name in &assay_names {
+        graphs.push((name.clone(), assays::by_name(name)?));
+    }
+
+    let mut jobs = Vec::new();
+    for (_, graph) in &graphs {
+        for &mixers in &mixer_counts {
+            for &scheduler in &schedulers {
+                jobs.push(BatchJob {
+                    id: jobs.len(),
+                    assay: graph.name().to_owned(),
+                    graph: graph.clone(),
+                    config: base_config
+                        .clone()
+                        .with_mixers(mixers)
+                        .with_scheduler(scheduler),
+                });
+            }
+        }
+    }
+
+    let threads = match parsed.parse_value::<usize>("--threads")? {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+    };
+
+    eprintln!(
+        "batch: {} jobs ({} assays x {} mixer counts x {} schedulers) on {} threads",
+        jobs.len(),
+        graphs.len(),
+        mixer_counts.len(),
+        schedulers.len(),
+        threads.min(jobs.len()),
+    );
+    let report = run_batch(jobs, threads);
+    eprintln!(
+        "batch finished: {}/{} succeeded in {:.2}s wall ({:.2}s cpu)",
+        report.succeeded, report.jobs, report.wall_seconds, report.cpu_seconds
+    );
+    for failure in report.failures() {
+        eprintln!(
+            "  FAILED {} (mixers={}, scheduler={}): {}",
+            failure.assay,
+            failure.mixers,
+            failure.scheduler,
+            failure.error.as_deref().unwrap_or("unknown")
+        );
+    }
+
+    emit(
+        parsed.value("--out"),
+        &biochip_json::to_string_pretty(&report),
+        "batch report",
+    )?;
+    if report.failed > 0 {
+        return Err(CliError::runtime(format!(
+            "{} batch job(s) failed",
+            report.failed
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// biochip bench
+// ---------------------------------------------------------------------------
+
+fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
+    let specs = [
+        OptionSpec {
+            name: "--what",
+            takes_value: true,
+            help: "table2 | fig8 | fig9 | fig10 (default table2)",
+        },
+        OptionSpec {
+            name: "--format",
+            takes_value: true,
+            help: "json | csv | text (default text)",
+        },
+        OptionSpec {
+            name: "--out",
+            takes_value: true,
+            help: "write the result here (default: stdout)",
+        },
+    ];
+    if help_requested(argv) {
+        print_help(
+            "bench",
+            "Reproduces the paper's evaluation numbers.",
+            &specs,
+        );
+        return Ok(());
+    }
+    let parsed = ParsedArgs::parse(argv, &specs)?;
+    let what = parsed.value("--what").unwrap_or("table2");
+    let format = parsed.value("--format").unwrap_or("text");
+    let contents = match (what, format) {
+        ("table2", "text") => biochip_bench::format_table2(&biochip_bench::table2_rows()),
+        ("table2", "json") => biochip_json::to_string_pretty(&biochip_bench::table2_rows()),
+        ("table2", "csv") => table2_csv(&biochip_bench::table2_rows()),
+        ("fig8", "json") => biochip_json::to_string_pretty(&biochip_bench::fig8_rows()),
+        ("fig8", "csv" | "text") => {
+            ratio_csv("edge_ratio,valve_ratio", &biochip_bench::fig8_rows())
+        }
+        ("fig9", "json") => biochip_json::to_string_pretty(&biochip_bench::fig9_rows()),
+        ("fig9", "csv" | "text") => fig9_csv(&biochip_bench::fig9_rows()),
+        ("fig10", "json") => biochip_json::to_string_pretty(&biochip_bench::fig10_rows()),
+        ("fig10", "csv" | "text") => {
+            ratio_csv("execution_ratio,valve_ratio", &biochip_bench::fig10_rows())
+        }
+        (w, f) if !matches!(w, "table2" | "fig8" | "fig9" | "fig10") => {
+            return Err(CliError::usage(format!(
+                "unknown bench target `{f}`-formatted `{w}` (expected table2, fig8, fig9 or fig10)"
+            )));
+        }
+        (_, f) => {
+            return Err(CliError::usage(format!(
+                "unknown format `{f}` (expected json, csv or text)"
+            )));
+        }
+    };
+    emit(parsed.value("--out"), &contents, "bench results")
+}
+
+fn table2_csv(rows: &[SynthesisReport]) -> String {
+    let mut out = String::from(
+        "assay,operations,execution_time_s,grid,used_edges,valves,dims_scaled,dims_expanded,dims_compressed,stored_samples,peak_storage,scheduling_s,architecture_s,layout_s\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3}\n",
+            r.assay,
+            r.operations,
+            r.execution_time,
+            r.grid,
+            r.used_edges,
+            r.valves,
+            r.dims_scaled,
+            r.dims_expanded,
+            r.dims_compressed,
+            r.stored_samples,
+            r.peak_storage,
+            r.scheduling_time.as_secs_f64(),
+            r.architecture_time.as_secs_f64(),
+            r.layout_time.as_secs_f64(),
+        ));
+    }
+    out
+}
+
+fn ratio_csv(header: &str, rows: &[(String, f64, f64)]) -> String {
+    let mut out = format!("assay,{header}\n");
+    for (assay, a, b) in rows {
+        out.push_str(&format!("{assay},{a:.4},{b:.4}\n"));
+    }
+    out
+}
+
+fn fig9_csv(rows: &[biochip_bench::Fig9Row]) -> String {
+    let mut out = String::from(
+        "assay,execution_baseline_s,execution_optimized_s,edges_baseline,edges_optimized,valves_baseline,valves_optimized\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            r.assay,
+            r.execution_baseline,
+            r.execution_optimized,
+            r.edges.0,
+            r.edges.1,
+            r.valves.0,
+            r.valves.1,
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// biochip assays
+// ---------------------------------------------------------------------------
+
+fn cmd_assays(argv: &[String]) -> Result<(), CliError> {
+    if help_requested(argv) {
+        println!("usage: biochip assays\n\nLists the built-in benchmark assays.");
+        return Ok(());
+    }
+    println!("name     aliases              device-ops  depth  critical-path");
+    for (canonical, aliases) in assays::LIBRARY {
+        let graph = assays::by_name(canonical)?;
+        println!(
+            "{:<8} {:<20} {:<11} {:<6} {}s",
+            canonical,
+            aliases.join(","),
+            graph.device_operations().len(),
+            graph.depth(),
+            graph.critical_path(),
+        );
+    }
+    Ok(())
+}

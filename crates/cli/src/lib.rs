@@ -1,0 +1,76 @@
+//! Library backing the `biochip` command-line driver.
+//!
+//! The binary wires the workspace's pipeline crates to the file system and
+//! the shell:
+//!
+//! * [`assays`] — resolves `--assay pcr` style names against the paper's
+//!   benchmark library and loads assay files (line-oriented text format or
+//!   JSON),
+//! * [`state`] — the [`state::PipelineState`] JSON document that stage
+//!   commands (`schedule` → `synth` → `simulate`) hand to each other,
+//! * [`batch`] — the parallel batch-synthesis runner behind `biochip batch`,
+//! * [`args`] — a tiny dependency-free option parser,
+//! * [`commands`] — one entry point per subcommand.
+//!
+//! Everything here is deliberately a library so that integration tests (and
+//! a future server front end) can drive the exact code paths of the binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod assays;
+pub mod batch;
+pub mod commands;
+pub mod state;
+
+use std::fmt;
+
+/// A command-line failure: a message plus the process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable description printed to stderr.
+    pub message: String,
+    /// Process exit code (`2` for usage errors, `1` for runtime failures).
+    pub code: i32,
+}
+
+impl CliError {
+    /// A runtime failure (exit code 1).
+    #[must_use]
+    pub fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+
+    /// A usage error (exit code 2).
+    #[must_use]
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Reads a whole file, wrapping I/O errors with the path.
+pub fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read `{path}`: {e}")))
+}
+
+/// Writes a whole file, wrapping I/O errors with the path.
+pub fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents)
+        .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))
+}

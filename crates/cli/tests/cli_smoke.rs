@@ -1,0 +1,191 @@
+//! End-to-end smoke tests that exercise the real `biochip` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use biochip_cli::batch::BatchReport;
+use biochip_cli::state::PipelineState;
+use biochip_synth::SynthesisReport;
+
+fn biochip(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_biochip"))
+        .args(args)
+        .output()
+        .expect("binary must spawn")
+}
+
+fn tmp_path(name: &str) -> String {
+    let mut path = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&path).unwrap();
+    path.push(name);
+    path.to_str().unwrap().to_owned()
+}
+
+fn assert_success(output: &Output, context: &str) {
+    assert!(
+        output.status.success(),
+        "{context} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn run_pcr_emits_a_valid_report() {
+    let out = tmp_path("report.json");
+    let output = biochip(&[
+        "run",
+        "--assay",
+        "pcr",
+        "--mixers",
+        "2",
+        "--scheduler",
+        "storage",
+        "--out",
+        &out,
+    ]);
+    assert_success(&output, "biochip run");
+
+    let text = std::fs::read_to_string(&out).unwrap();
+    let report: SynthesisReport =
+        biochip_json::from_str(&text).expect("report JSON must deserialize");
+    assert_eq!(report.assay, "PCR");
+    assert_eq!(report.operations, 7);
+    assert!(report.execution_time > 0);
+    assert!(report.valves > 0);
+
+    // The numbers must match an in-process run of the same configuration.
+    let outcome = biochip_synth::SynthesisFlow::new(
+        biochip_synth::SynthesisConfig::default()
+            .with_mixers(2)
+            .with_scheduler(biochip_synth::SchedulerChoice::StorageAware),
+    )
+    .run(biochip_synth::assay::library::pcr())
+    .unwrap();
+    assert_eq!(report.execution_time, outcome.report.execution_time);
+    assert_eq!(report.used_edges, outcome.report.used_edges);
+    assert_eq!(report.valves, outcome.report.valves);
+}
+
+#[test]
+fn stage_commands_hand_off_through_files() {
+    let scheduled = tmp_path("stage-scheduled.json");
+    let synthesized = tmp_path("stage-synthesized.json");
+    let simulated = tmp_path("stage-simulated.json");
+
+    let output = biochip(&[
+        "schedule",
+        "--assay",
+        "ivd",
+        "--scheduler",
+        "storage",
+        "--out",
+        &scheduled,
+    ]);
+    assert_success(&output, "biochip schedule");
+
+    let output = biochip(&["synth", "--in", &scheduled, "--out", &synthesized]);
+    assert_success(&output, "biochip synth");
+
+    let output = biochip(&["simulate", "--in", &synthesized, "--out", &simulated]);
+    assert_success(&output, "biochip simulate");
+
+    let state =
+        PipelineState::from_json_text(&std::fs::read_to_string(&simulated).unwrap(), "state")
+            .unwrap();
+    assert_eq!(state.assay, "IVD");
+    let report = state.report.expect("simulate completes the report");
+    assert_eq!(report.operations, 12);
+    let schedule = state.schedule.expect("schedule stage output survives");
+    let problem = state.problem.expect("problem survives");
+    assert!(schedule.validate(&problem).is_ok());
+    assert!(state
+        .architecture
+        .expect("architecture survives")
+        .verify()
+        .is_ok());
+}
+
+#[test]
+fn batch_sweeps_the_acceptance_grid_without_panics() {
+    let out = tmp_path("batch.json");
+    let output = biochip(&[
+        "batch",
+        "--assays",
+        "pcr,invitro,protein,RA30",
+        "--mixer-counts",
+        "1,2,3",
+        "--scheduler",
+        "storage",
+        "--threads",
+        "4",
+        "--out",
+        &out,
+    ]);
+    assert_success(&output, "biochip batch");
+
+    let report: BatchReport =
+        biochip_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(report.jobs, 12);
+    assert_eq!(report.succeeded, 12);
+    assert_eq!(report.failed, 0);
+    let assays: std::collections::HashSet<&str> =
+        report.results.iter().map(|r| r.assay.as_str()).collect();
+    assert_eq!(assays, ["PCR", "IVD", "CPA", "RA30"].into_iter().collect());
+    for mixers in 1..=3 {
+        assert_eq!(
+            report.results.iter().filter(|r| r.mixers == mixers).count(),
+            4
+        );
+    }
+}
+
+#[test]
+fn run_accepts_text_assay_files() {
+    let assay_file = tmp_path("custom.assay");
+    std::fs::write(
+        &assay_file,
+        "assay custom\nop a input 0\nop b input 0\nop m mix 30\ndep a m\ndep b m\n",
+    )
+    .unwrap();
+    let out = tmp_path("custom-report.json");
+    let output = biochip(&["run", "--input", &assay_file, "--out", &out]);
+    assert_success(&output, "biochip run --input");
+    let report: SynthesisReport =
+        biochip_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(report.assay, "custom");
+    assert_eq!(report.operations, 1);
+}
+
+#[test]
+fn usage_errors_exit_with_code_two() {
+    let output = biochip(&["run", "--assay", "nope"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown assay"));
+
+    let output = biochip(&["run", "--frobnicate"]);
+    assert_eq!(output.status.code(), Some(2));
+
+    let output = biochip(&["definitely-not-a-command"]);
+    assert_eq!(output.status.code(), Some(2));
+
+    let output = biochip(&[]);
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn help_is_available_everywhere() {
+    for args in [
+        vec!["--help"],
+        vec!["run", "--help"],
+        vec!["schedule", "--help"],
+        vec!["synth", "--help"],
+        vec!["simulate", "--help"],
+        vec!["batch", "--help"],
+        vec!["bench", "--help"],
+    ] {
+        let output = biochip(&args);
+        assert_success(&output, &format!("{args:?}"));
+        assert!(!output.stdout.is_empty(), "{args:?} printed nothing");
+    }
+}

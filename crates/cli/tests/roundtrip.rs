@@ -1,0 +1,92 @@
+//! JSON round-trips of every pipeline stage's types: each stage result is
+//! serialized, deserialized, and the *deserialized* value is fed to the next
+//! stage — proving the interchange formats carry everything downstream
+//! stages need.
+
+use biochip_synth::arch::{Architecture, ArchitectureSynthesizer, SynthesisOptions};
+use biochip_synth::assay::{library, SequencingGraph};
+use biochip_synth::layout::{generate_layout, LayoutOptions, PhysicalDesign};
+use biochip_synth::schedule::{
+    ListScheduler, Schedule, ScheduleProblem, Scheduler, SchedulingStrategy,
+};
+use biochip_synth::sim::{replay, ExecutionReport, Snapshot};
+use biochip_synth::{SynthesisConfig, SynthesisFlow, SynthesisReport};
+
+fn reload<T: biochip_json::Serialize + biochip_json::Deserialize>(value: &T) -> T {
+    let text = biochip_json::to_string_pretty(value);
+    biochip_json::from_str(&text).expect("serialized value must deserialize")
+}
+
+#[test]
+fn assay_graph_round_trips_for_every_benchmark() {
+    for (name, graph) in library::paper_benchmarks() {
+        let back: SequencingGraph = reload(&graph);
+        assert_eq!(back, graph, "{name}");
+        assert!(back.validate().is_ok(), "{name}");
+    }
+}
+
+#[test]
+fn pipeline_stages_chain_through_json() {
+    // Stage 1: problem + schedule.
+    let problem = ScheduleProblem::new(library::pcr()).with_mixers(2);
+    let problem: ScheduleProblem = reload(&problem);
+    let schedule = ListScheduler::new(SchedulingStrategy::StorageAware)
+        .schedule(&problem)
+        .unwrap();
+    let schedule: Schedule = reload(&schedule);
+    assert!(schedule.validate(&problem).is_ok());
+
+    // Stage 2: architecture from the *deserialized* problem and schedule.
+    let architecture = ArchitectureSynthesizer::new(SynthesisOptions::default())
+        .synthesize(&problem, &schedule)
+        .unwrap();
+    let architecture: Architecture = reload(&architecture);
+    assert!(architecture.verify().is_ok());
+    assert!(architecture.used_edge_count() > 0);
+
+    // Stage 3: layout and execution report from the deserialized architecture.
+    let layout = generate_layout(&architecture, &LayoutOptions::default());
+    let layout: PhysicalDesign = reload(&layout);
+    assert!(layout.compressed.area() <= layout.expanded.area());
+
+    let execution = replay(&problem, &schedule, &architecture);
+    let back: ExecutionReport = reload(&execution);
+    assert_eq!(back, execution);
+}
+
+#[test]
+fn full_outcome_report_and_snapshot_round_trip() {
+    let config = SynthesisConfig::default().with_mixers(2);
+    let outcome = SynthesisFlow::new(config).run(library::ivd()).unwrap();
+
+    let report: SynthesisReport = reload(&outcome.report);
+    assert_eq!(report, outcome.report);
+
+    let t = outcome.schedule.makespan() / 2;
+    let snapshot = biochip_synth::sim::snapshot_at(&outcome.architecture, t);
+    let back: Snapshot = reload(&snapshot);
+    assert_eq!(back, snapshot);
+    assert_eq!(back.active_edges(), snapshot.active_edges());
+}
+
+#[test]
+fn config_round_trip_preserves_every_knob() {
+    let config = SynthesisConfig::default()
+        .with_mixers(3)
+        .with_detectors(1)
+        .with_heaters(2)
+        .with_scheduler(biochip_synth::SchedulerChoice::MakespanOnly)
+        .with_transport_time(7);
+    let back: SynthesisConfig = reload(&config);
+    assert_eq!(back, config);
+}
+
+#[test]
+fn malformed_documents_are_rejected_with_context() {
+    let err = biochip_json::from_str::<SynthesisReport>("{\"assay\": \"PCR\"}").unwrap_err();
+    assert!(err.to_string().contains("operations"), "{err}");
+
+    let err = biochip_json::from_str::<Schedule>("[1, 2]").unwrap_err();
+    assert!(err.to_string().contains("assignments"), "{err}");
+}

@@ -8,7 +8,7 @@ use crate::error::SolveError;
 use crate::model::{Model, VarId};
 use crate::options::SolverOptions;
 use crate::simplex::{solve_relaxation_with_bounds, LpOutcome};
-use crate::solution::{SolveStatus, Solution};
+use crate::solution::{Solution, SolveStatus};
 
 /// Result of a MILP solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -392,6 +392,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn equality_constrained_assignment() {
         // Assign 3 tasks to 3 machines, each machine at most one task,
         // minimizing cost.

@@ -50,7 +50,7 @@ pub use error::SolveError;
 pub use model::{Constraint, ConstraintOp, LinExpr, Model, VarId, VarKind, Variable};
 pub use options::SolverOptions;
 pub use simplex::{solve_relaxation, LpOutcome};
-pub use solution::{SolveStatus, Solution};
+pub use solution::{Solution, SolveStatus};
 
 /// Numerical tolerance used throughout the solver for feasibility and
 /// integrality tests.

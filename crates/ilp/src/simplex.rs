@@ -264,8 +264,8 @@ impl Tableau {
         // Phase 1: minimize the sum of artificial variables.
         if self.n_total > self.artificial_start {
             let mut phase1 = vec![0.0; self.n_total + 1];
-            for col in self.artificial_start..self.n_total {
-                phase1[col] = 1.0;
+            for cell in &mut phase1[self.artificial_start..self.n_total] {
+                *cell = 1.0;
             }
             self.objective = phase1;
             self.price_out_basis();
@@ -315,8 +315,8 @@ impl Tableau {
             if self.basis[row_idx] < self.artificial_start {
                 continue;
             }
-            let pivot_col = (0..self.artificial_start)
-                .find(|&col| self.rows[row_idx][col].abs() > 1e-9);
+            let pivot_col =
+                (0..self.artificial_start).find(|&col| self.rows[row_idx][col].abs() > 1e-9);
             if let Some(col) = pivot_col {
                 self.pivot(row_idx, col);
             }
@@ -347,9 +347,7 @@ impl Tableau {
         // point violating the original constraints.
         let candidates = 0..self.artificial_start;
         if bland {
-            candidates
-                .clone()
-                .find(|&c| self.objective[c] < -EPSILON)
+            candidates.clone().find(|&c| self.objective[c] < -EPSILON)
         } else {
             let mut best = None;
             let mut best_value = -EPSILON;

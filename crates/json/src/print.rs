@@ -1,0 +1,146 @@
+//! Compact and pretty JSON printers.
+
+use std::fmt::Write as _;
+
+use crate::Json;
+
+impl Json {
+    /// Renders the value as compact single-line JSON.
+    #[must_use]
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Renders the value with two-space indentation.
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out
+    }
+}
+
+fn write_value(out: &mut String, value: &Json, indent: Option<usize>, depth: usize) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Number(n) => write_number(out, *n),
+        Json::String(s) => write_string(out, s),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Json::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; null is the conventional stand-in.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_round_trips() {
+        let text = r#"{"name":"pcr","ops":[1,2,3],"ok":true,"ratio":0.5,"none":null}"#;
+        let value = parse(text).unwrap();
+        assert_eq!(value.to_compact(), text);
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let value = Json::object([
+            ("a", Json::array([Json::Number(1.0), Json::Bool(false)])),
+            ("b", Json::object([("nested", Json::Null)])),
+        ]);
+        let pretty = value.to_pretty();
+        assert!(pretty.contains("\n  \"a\": ["));
+        assert_eq!(parse(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let value = Json::String("a\"b\\c\n\u{1}".into());
+        let printed = value.to_compact();
+        assert_eq!(printed, r#""a\"b\\c\n\u0001""#);
+        assert_eq!(parse(&printed).unwrap(), value);
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(Json::Number(42.0).to_compact(), "42");
+        assert_eq!(Json::Number(-3.25).to_compact(), "-3.25");
+    }
+}

@@ -89,7 +89,8 @@ pub fn compress_layout(
     // Number of one-unit compression iterations needed to go from the
     // expanded bounding box to the compressed one.
     let compression_iterations = (expanded.width.saturating_sub(compressed.width)
-        + expanded.height.saturating_sub(compressed.height)) as usize;
+        + expanded.height.saturating_sub(compressed.height))
+        as usize;
 
     // Physical device positions: prefix sums of compressed track widths.
     let col_offset = |col: usize| -> u64 {

@@ -23,10 +23,7 @@ pub fn render_ascii(architecture: &Architecture, highlight: &HashSet<GridEdgeId>
         let coord = grid.coord(node);
         let (r, c) = (coord.row * 2, coord.col * 2);
         let is_device = placement.device_at(node).is_some();
-        let touched = grid
-            .incident_edges(node)
-            .iter()
-            .any(|e| used.contains(e));
+        let touched = grid.incident_edges(node).iter().any(|e| used.contains(e));
         canvas[r][c] = if is_device {
             'D'
         } else if touched {

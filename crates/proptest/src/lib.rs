@@ -1,0 +1,242 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot fetch crates, so this crate re-implements the
+//! subset of proptest the workspace's tests use: the [`proptest!`] macro over
+//! named strategies, `prop_assert!`/`prop_assert_eq!`, integer range
+//! strategies, tuples of strategies, [`collection::vec`] and [`bool::ANY`].
+//!
+//! Instead of proptest's adaptive exploration and shrinking, each property
+//! runs a fixed number of cases ([`CASES`]) drawn from a deterministic
+//! generator seeded by the test's name — every run explores the same inputs,
+//! so failures are always reproducible. A failing case prints its index
+//! before propagating the panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Number of cases each property runs.
+pub const CASES: usize = 48;
+
+/// Creates the deterministic generator for one property, seeded by name.
+#[must_use]
+pub fn test_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test name gives a stable per-test seed.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// A source of random test values.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + Copy> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::Strategy;
+
+    /// Strategy producing vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A vector strategy: each case draws a length from `size`, then that
+    /// many elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                self.size.sample(rng)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over booleans.
+pub mod bool {
+    use super::Strategy;
+
+    /// The strategy producing uniformly random booleans.
+    pub struct Any;
+
+    /// Uniformly random booleans (stand-in for `proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> bool {
+            rand::Rng::next_u64(rng) & 1 == 1
+        }
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Per-block configuration, set with `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property in the block runs.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: CASES }
+    }
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the `fn name(arg in strategy, ...) { body }` form, optionally
+/// preceded by `#![proptest_config(ProptestConfig::with_cases(n))]`; each
+/// function becomes one `#[test]` running the configured number of cases
+/// ([`CASES`] by default).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::__proptest_impl!(($cfg).cases; $($rest)+);
+    };
+    ($($rest:tt)+) => {
+        $crate::__proptest_impl!($crate::CASES; $($rest)+);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cases:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_rng(stringify!($name));
+                let cases: usize = $cases;
+                for case in 0..cases {
+                    $(let $arg = $crate::Strategy::sample(&$strategy, &mut rng);)+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "property `{}` failed on case {}/{}",
+                            stringify!($name),
+                            case + 1,
+                            cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..10, m in 0u64..=5) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!(m <= 5);
+        }
+
+        #[test]
+        fn vectors_respect_size_bounds(
+            items in crate::collection::vec((0u64..50, 1u64..10), 0..8),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(items.len() < 8);
+            for (a, b) in &items {
+                prop_assert!(*a < 50 && (1..10).contains(b));
+            }
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn same_test_name_gives_same_stream() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let strat = 0u64..1000;
+        for _ in 0..32 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment cannot fetch crates, so this crate provides the
+//! small slice of the `rand` 0.8 API the workspace uses: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] /
+//! [`Rng::gen_bool`], and [`seq::SliceRandom`]. The generator is
+//! xoshiro256++ seeded through SplitMix64 — not the real `StdRng` (ChaCha12),
+//! so the streams differ from upstream `rand`, but they are deterministic in
+//! the seed, which is all the workspace's reproducibility guarantees need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Random number generator implementations.
+pub mod rngs {
+    /// A deterministic generator (xoshiro256++), seedable from a `u64`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as recommended by the
+            // xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+
+        pub(crate) fn next_raw(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+/// Types seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_u64(seed)
+    }
+}
+
+/// Integer types that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Converts to the `u64` sampling domain.
+    fn to_u64(self) -> u64;
+    /// Converts back from the `u64` sampling domain.
+    fn from_u64(value: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),+) => {
+        $(
+            impl SampleUniform for $ty {
+                fn to_u64(self) -> u64 {
+                    self as u64
+                }
+                fn from_u64(value: u64) -> Self {
+                    value as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+// Signed types map through an order-preserving bias (MIN -> 0) so that
+// ranges crossing zero keep `to_u64(lo) <= to_u64(hi)`.
+macro_rules! impl_sample_uniform_signed {
+    ($($ty:ty => $wide:ty),+) => {
+        $(
+            impl SampleUniform for $ty {
+                fn to_u64(self) -> u64 {
+                    (self as $wide).wrapping_sub(<$ty>::MIN as $wide) as u64
+                }
+                fn from_u64(value: u64) -> Self {
+                    ((value as $wide).wrapping_add(<$ty>::MIN as $wide)) as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_sample_uniform_signed!(i32 => i64, i64 => i128);
+
+/// Ranges accepted by [`Rng::gen_range`]: `lo..hi` and `lo..=hi`.
+pub trait SampleRange<T: SampleUniform> {
+    /// The inclusive `(low, high)` bounds of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn inclusive_bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn inclusive_bounds(self) -> (T, T) {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "cannot sample from an empty range");
+        (self.start, T::from_u64(hi - 1))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn inclusive_bounds(self) -> (T, T) {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(
+            lo.to_u64() <= hi.to_u64(),
+            "cannot sample from an empty range"
+        );
+        (lo, hi)
+    }
+}
+
+/// The random-value interface.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from the given range.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let (lo, hi) = range.inclusive_bounds();
+        let (lo, hi) = (lo.to_u64(), hi.to_u64());
+        let span = hi - lo + 1; // hi is inclusive; span == 0 means the full u64 domain
+        let value = if span == 0 {
+            self.next_u64()
+        } else {
+            // Multiply-shift mapping of 64 random bits onto the span; the
+            // bias is < span / 2^64, negligible for the small spans used here.
+            lo + (((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64)
+        };
+        T::from_u64(value)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let p = p.clamp(0.0, 1.0);
+        // 53 random bits → uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+}
+
+/// Sequence-related random helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Random helpers on slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// A uniformly random element, or `None` if the slice is empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = rngs::StdRng::seed_from_u64(1);
+        let mut b = rngs::StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: u32 = rng.gen_range(0..=2);
+            assert!(y <= 2);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = rngs::StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = rngs::StdRng::seed_from_u64(0);
+        let _: usize = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn signed_ranges_crossing_zero_work() {
+        let mut rng = rngs::StdRng::seed_from_u64(11);
+        let mut seen_negative = false;
+        let mut seen_positive = false;
+        for _ in 0..500 {
+            let x: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+            seen_negative |= x < 0;
+            seen_positive |= x > 0;
+            let y: i64 = rng.gen_range(-3..=3);
+            assert!((-3..=3).contains(&y));
+        }
+        assert!(seen_negative && seen_positive);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = rngs::StdRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [10, 20, 30];
+        assert!(items.contains(items.choose(&mut rng).unwrap()));
+        let mut deck: Vec<u32> = (0..52).collect();
+        deck.shuffle(&mut rng);
+        let mut sorted = deck.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..52).collect::<Vec<u32>>());
+    }
+}

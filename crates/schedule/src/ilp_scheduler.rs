@@ -67,14 +67,12 @@ impl Scheduler for IlpScheduler {
         let warm_objective = schedule_objective(problem, &heuristic, self.makespan_only);
 
         let formulation = Formulation::build(problem, self.makespan_only);
-        let options = self
-            .options
-            .clone()
-            .with_warm_start(warm_objective + 1.0);
-        let result = biochip_ilp::solve(&formulation.model, &options)
-            .map_err(|e| ScheduleError::SolverFailed {
+        let options = self.options.clone().with_warm_start(warm_objective + 1.0);
+        let result = biochip_ilp::solve(&formulation.model, &options).map_err(|e| {
+            ScheduleError::SolverFailed {
                 reason: e.to_string(),
-            })?;
+            }
+        })?;
 
         match result.solution {
             Some(solution) => {
@@ -177,11 +175,7 @@ impl Formulation {
             let same = model.add_continuous(format!("same_e{edge_idx}"), 0.0, 1.0);
             let mut same_upper = vec![(same, -1.0)];
             for device in &shared {
-                let w = model.add_continuous(
-                    format!("w_e{edge_idx}_{}", device.index()),
-                    0.0,
-                    1.0,
-                );
+                let w = model.add_continuous(format!("w_e{edge_idx}_{}", device.index()), 0.0, 1.0);
                 model.add_le(
                     format!("w_le_parent_e{edge_idx}_{}", device.index()),
                     [(w, 1.0), (assign[&(edge.parent, *device)], -1.0)],
@@ -230,7 +224,8 @@ impl Formulation {
         let reachable = reachability(graph);
         for (a_idx, &op_a) in ops.iter().enumerate() {
             for &op_b in ops.iter().skip(a_idx + 1) {
-                if reachable[op_a.index()].contains(&op_b) || reachable[op_b.index()].contains(&op_a)
+                if reachable[op_a.index()].contains(&op_b)
+                    || reachable[op_b.index()].contains(&op_a)
                 {
                     continue;
                 }
@@ -418,8 +413,12 @@ mod tests {
         let c = g.add_operation_with_duration("c", OperationKind::Mix, 10);
         g.add_dependency(a, b).unwrap();
         g.add_dependency(b, c).unwrap();
-        let problem = ScheduleProblem::new(g).with_mixers(2).with_transport_time(5);
-        let s = IlpScheduler::new(fast_options()).schedule(&problem).unwrap();
+        let problem = ScheduleProblem::new(g)
+            .with_mixers(2)
+            .with_transport_time(5);
+        let s = IlpScheduler::new(fast_options())
+            .schedule(&problem)
+            .unwrap();
         s.validate(&problem).unwrap();
         // A chain gains nothing from the second mixer; optimum keeps it on
         // one device: 30 s.
@@ -432,8 +431,12 @@ mod tests {
         for i in 0..4 {
             g.add_operation_with_duration(format!("m{i}"), OperationKind::Mix, 15);
         }
-        let problem = ScheduleProblem::new(g).with_mixers(2).with_transport_time(5);
-        let s = IlpScheduler::new(fast_options()).schedule(&problem).unwrap();
+        let problem = ScheduleProblem::new(g)
+            .with_mixers(2)
+            .with_transport_time(5);
+        let s = IlpScheduler::new(fast_options())
+            .schedule(&problem)
+            .unwrap();
         s.validate(&problem).unwrap();
         assert_eq!(s.makespan(), 30);
     }
@@ -444,7 +447,9 @@ mod tests {
             .with_mixers(2)
             .with_transport_time(5)
             .with_weights(1000.0, 1.0);
-        let with_storage = IlpScheduler::new(fast_options()).schedule(&problem).unwrap();
+        let with_storage = IlpScheduler::new(fast_options())
+            .schedule(&problem)
+            .unwrap();
         with_storage.validate(&problem).unwrap();
         let baseline = IlpScheduler::new(fast_options())
             .makespan_only()
@@ -463,7 +468,9 @@ mod tests {
         let problem = ScheduleProblem::new(library::pcr())
             .with_mixers(2)
             .with_transport_time(5);
-        let s = IlpScheduler::new(fast_options()).schedule(&problem).unwrap();
+        let s = IlpScheduler::new(fast_options())
+            .schedule(&problem)
+            .unwrap();
         s.validate(&problem).unwrap();
         // 7 mixes of 60 s on 2 mixers: four rounds on the busier mixer plus
         // at most one transport into the final mix -> 240..=250 s.
@@ -479,7 +486,9 @@ mod tests {
         let heuristic = ListScheduler::new(SchedulingStrategy::StorageAware)
             .schedule(&problem)
             .unwrap();
-        let ilp = IlpScheduler::new(fast_options()).schedule(&problem).unwrap();
+        let ilp = IlpScheduler::new(fast_options())
+            .schedule(&problem)
+            .unwrap();
         assert!(
             schedule_objective(&problem, &ilp, false)
                 <= schedule_objective(&problem, &heuristic, false) + 1e-9
@@ -489,7 +498,9 @@ mod tests {
     #[test]
     fn invalid_problem_is_rejected() {
         let problem = ScheduleProblem::new(library::ivd()).with_mixers(1);
-        assert!(IlpScheduler::new(fast_options()).schedule(&problem).is_err());
+        assert!(IlpScheduler::new(fast_options())
+            .schedule(&problem)
+            .is_err());
     }
 
     #[test]

@@ -88,11 +88,8 @@ impl Scheduler for ListScheduler {
                     None => true,
                     Some(current) => match self.strategy {
                         SchedulingStrategy::MakespanOnly => {
-                            let key_new = (
-                                std::cmp::Reverse(priority[op.index()]),
-                                candidate.start,
-                                op,
-                            );
+                            let key_new =
+                                (std::cmp::Reverse(priority[op.index()]), candidate.start, op);
                             let key_old = (
                                 std::cmp::Reverse(priority[current.op.index()]),
                                 current.start,
@@ -124,7 +121,12 @@ impl Scheduler for ListScheduler {
 
             let chosen = best.expect("ready set is non-empty");
             let duration = graph.operation(chosen.op).duration;
-            schedule.assign(chosen.op, chosen.device, chosen.start, chosen.start + duration);
+            schedule.assign(
+                chosen.op,
+                chosen.device,
+                chosen.start,
+                chosen.start + duration,
+            );
             device_available[chosen.device.index()] = chosen.start + duration;
             scheduled.insert(chosen.op);
             remaining.retain(|&op| op != chosen.op);
@@ -247,7 +249,10 @@ mod tests {
                 .with_mixers(4)
                 .with_detectors(2)
                 .with_heaters(1);
-            for strategy in [SchedulingStrategy::MakespanOnly, SchedulingStrategy::StorageAware] {
+            for strategy in [
+                SchedulingStrategy::MakespanOnly,
+                SchedulingStrategy::StorageAware,
+            ] {
                 let s = ListScheduler::new(strategy).schedule(&problem).unwrap();
                 s.validate(&problem)
                     .unwrap_or_else(|e| panic!("{name} with {strategy:?}: {e}"));

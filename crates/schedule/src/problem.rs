@@ -44,7 +44,7 @@ pub struct Device {
 ///
 /// Corresponds to the "Inputs" of the paper's problem formulation
 /// (sequencing graph, execution times, maximum device counts).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleProblem {
     graph: SequencingGraph,
     devices: Vec<Device>,
@@ -191,12 +191,7 @@ impl ScheduleProblem {
             if self.compatible_devices(op).is_empty() {
                 return Err(ScheduleError::MissingDevice {
                     op,
-                    class: self
-                        .graph
-                        .operation(op)
-                        .kind
-                        .device_class()
-                        .to_string(),
+                    class: self.graph.operation(op).kind.device_class().to_string(),
                 });
             }
         }

@@ -117,7 +117,8 @@ impl Schedule {
     pub fn metrics(&self, problem: &ScheduleProblem) -> ScheduleMetrics {
         let requirements = self.storage_requirements(problem);
         let store_count = requirements.len();
-        let total_storage_time: Seconds = requirements.iter().map(StorageRequirement::duration).sum();
+        let total_storage_time: Seconds =
+            requirements.iter().map(StorageRequirement::duration).sum();
         let max_concurrent = max_concurrent_storage(&requirements);
         ScheduleMetrics {
             makespan: self.makespan(),
@@ -148,13 +149,12 @@ impl Schedule {
             let Some(assignment) = self.get(op) else {
                 return Err(ScheduleError::UnscheduledOperation { op });
             };
-            let device = problem
-                .devices()
-                .get(assignment.device.index())
-                .ok_or(ScheduleError::IncompatibleDevice {
+            let device = problem.devices().get(assignment.device.index()).ok_or(
+                ScheduleError::IncompatibleDevice {
                     op,
                     device: assignment.device,
-                })?;
+                },
+            )?;
             if device.class != graph.operation(op).kind.device_class() {
                 return Err(ScheduleError::IncompatibleDevice {
                     op,
@@ -212,7 +212,12 @@ impl Schedule {
 
 impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "schedule ({} operations, makespan {}s):", self.len(), self.makespan())?;
+        writeln!(
+            f,
+            "schedule ({} operations, makespan {}s):",
+            self.len(),
+            self.makespan()
+        )?;
         for a in self.iter() {
             writeln!(f, "  {} on {}: [{}, {}]", a.op, a.device, a.start, a.end)?;
         }
@@ -246,7 +251,9 @@ mod tests {
         let b = g.add_operation_with_duration("b", OperationKind::Mix, 10);
         g.add_dependency(a, b).unwrap();
         (
-            ScheduleProblem::new(g).with_mixers(2).with_transport_time(5),
+            ScheduleProblem::new(g)
+                .with_mixers(2)
+                .with_transport_time(5),
             a,
             b,
         )

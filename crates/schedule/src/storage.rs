@@ -127,7 +127,9 @@ mod tests {
         let _d = g.add_operation_with_duration("d", OperationKind::Mix, 10);
         g.add_dependency(a, b).unwrap();
         g.add_dependency(a, c).unwrap();
-        ScheduleProblem::new(g).with_mixers(2).with_transport_time(5)
+        ScheduleProblem::new(g)
+            .with_mixers(2)
+            .with_transport_time(5)
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the real `serde` cannot be
+//! fetched. This crate keeps the workspace's `#[derive(Serialize,
+//! Deserialize)]` attributes compiling by re-exporting
+//!
+//! * the [`Serialize`]/[`Deserialize`] traits of [`biochip_json`] (which
+//!   serialize through its [`Json`] value type instead of serde's
+//!   `Serializer`/`Deserializer` visitors), and
+//! * the matching derive macros from the in-repo `serde_derive` proc-macro
+//!   crate.
+//!
+//! Only the subset of serde used by this workspace is provided: plain
+//! derives on named-field structs, newtype structs and fieldless enums, with
+//! no `#[serde(...)]` attributes.
+
+#![forbid(unsafe_code)]
+
+pub use biochip_json::{Deserialize, Json, JsonError, Serialize};
+pub use serde_derive::{Deserialize, Serialize};

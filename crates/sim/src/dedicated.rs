@@ -154,7 +154,10 @@ mod tests {
         let schedule = ListScheduler::default().schedule(&problem).unwrap();
         let report = simulate_dedicated_storage(&problem, &schedule);
         if report.port_transfers > 2 {
-            assert!(report.total_port_delay > 0 || report.prolonged_makespan >= report.schedule_makespan);
+            assert!(
+                report.total_port_delay > 0
+                    || report.prolonged_makespan >= report.schedule_makespan
+            );
         }
     }
 

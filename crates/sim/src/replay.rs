@@ -39,8 +39,7 @@ pub fn replay(
     architecture: &Architecture,
 ) -> ExecutionReport {
     let schedule_makespan = schedule.makespan();
-    let effective_makespan =
-        schedule_makespan + architecture.max_transport_postponement();
+    let effective_makespan = schedule_makespan + architecture.max_transport_postponement();
 
     let storage_routes = architecture.storage_routes();
     let channel_cached_samples = storage_routes.len();

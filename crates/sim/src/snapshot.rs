@@ -50,7 +50,8 @@ pub fn snapshot_at(architecture: &Architecture, t: Seconds) -> Snapshot {
             moving_samples.push(route.task.sample);
         }
         if route.task.kind == TransportKind::Store {
-            if let (Some(edge), Some((from, until))) = (route.cache_edge, route.task.storage_interval)
+            if let (Some(edge), Some((from, until))) =
+                (route.cache_edge, route.task.storage_interval)
             {
                 if t >= from && t < until {
                     storing_edges.push(edge);

@@ -1,5 +1,6 @@
 //! The end-to-end synthesis pipeline.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -10,14 +11,12 @@ use biochip_schedule::{
     IlpScheduler, ListScheduler, Schedule, ScheduleError, ScheduleProblem, Scheduler,
     SchedulingStrategy,
 };
-use biochip_sim::{
-    replay, simulate_dedicated_storage, DedicatedExecutionReport, ExecutionReport,
-};
+use biochip_sim::{replay, simulate_dedicated_storage, DedicatedExecutionReport, ExecutionReport};
 
 use crate::report::SynthesisReport;
 
 /// Which scheduling engine the flow uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SchedulerChoice {
     /// Exact ILP for small assays, storage-aware list scheduling otherwise
     /// (threshold: 12 device operations).
@@ -33,7 +32,7 @@ pub enum SchedulerChoice {
 }
 
 /// Configuration of the end-to-end flow.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SynthesisConfig {
     /// Number of mixers on the chip.
     pub mixers: usize,
@@ -156,7 +155,7 @@ impl From<ArchError> for FlowError {
 }
 
 /// Everything the flow produces for one assay.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SynthesisOutcome {
     /// The scheduling problem (assay plus device inventory).
     pub problem: ScheduleProblem,
@@ -252,8 +251,8 @@ impl SynthesisFlow {
         let scheduling_time = schedule_start.elapsed();
 
         let arch_start = Instant::now();
-        let architecture =
-            ArchitectureSynthesizer::new(self.config.synthesis.clone()).synthesize(&problem, &schedule)?;
+        let architecture = ArchitectureSynthesizer::new(self.config.synthesis.clone())
+            .synthesize(&problem, &schedule)?;
         let architecture_time = arch_start.elapsed();
 
         let layout_start = Instant::now();
@@ -318,7 +317,10 @@ mod tests {
                     .with_scheduler(choice),
             );
             let outcome = flow.run(library::pcr()).unwrap();
-            assert!(outcome.schedule.validate(&outcome.problem).is_ok(), "{choice:?}");
+            assert!(
+                outcome.schedule.validate(&outcome.problem).is_ok(),
+                "{choice:?}"
+            );
         }
     }
 

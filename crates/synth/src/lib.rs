@@ -37,15 +37,15 @@ mod report;
 pub use flow::{FlowError, SchedulerChoice, SynthesisConfig, SynthesisFlow, SynthesisOutcome};
 pub use report::SynthesisReport;
 
+/// Re-export of the architectural-synthesis crate.
+pub use biochip_arch as arch;
 /// Re-export of the sequencing-graph crate.
 pub use biochip_assay as assay;
 /// Re-export of the MILP solver crate.
 pub use biochip_ilp as ilp;
-/// Re-export of the scheduling crate.
-pub use biochip_schedule as schedule;
-/// Re-export of the architectural-synthesis crate.
-pub use biochip_arch as arch;
 /// Re-export of the physical-design crate.
 pub use biochip_layout as layout;
+/// Re-export of the scheduling crate.
+pub use biochip_schedule as schedule;
 /// Re-export of the simulation crate.
 pub use biochip_sim as sim;

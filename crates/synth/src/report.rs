@@ -1,5 +1,6 @@
 //! Table-2-style summary of one synthesis run.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
 
@@ -11,7 +12,7 @@ use biochip_sim::{DedicatedExecutionReport, ExecutionReport};
 
 /// One row of the paper's Table 2 plus the derived figures used by Figs.
 /// 8–10.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SynthesisReport {
     /// Assay name.
     pub assay: String,
@@ -148,7 +149,7 @@ impl fmt::Display for SynthesisReport {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::flow::{SynthesisConfig, SynthesisFlow};
     use biochip_assay::library;
 

@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("assay: {pcr}");
 
     // 2. Scheduling & binding on two mixers: exact ILP vs. heuristic.
-    let problem = ScheduleProblem::new(pcr).with_mixers(2).with_transport_time(5);
+    let problem = ScheduleProblem::new(pcr)
+        .with_mixers(2)
+        .with_transport_time(5);
     let heuristic = ListScheduler::new(SchedulingStrategy::StorageAware).schedule(&problem)?;
     let ilp = IlpScheduler::new(Default::default()).schedule(&problem)?;
     println!(
@@ -27,11 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         heuristic.makespan(),
         ilp.makespan()
     );
-    let schedule = if ilp.makespan() <= heuristic.makespan() { ilp } else { heuristic };
+    let schedule = if ilp.makespan() <= heuristic.makespan() {
+        ilp
+    } else {
+        heuristic
+    };
 
     // 3. Architectural synthesis with distributed channel storage.
-    let architecture =
-        ArchitectureSynthesizer::new(SynthesisOptions::default()).synthesize(&problem, &schedule)?;
+    let architecture = ArchitectureSynthesizer::new(SynthesisOptions::default())
+        .synthesize(&problem, &schedule)?;
     architecture.verify()?;
     println!(
         "architecture: {} segments, {} valves, {} cached samples",
@@ -58,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 6. A snapshot in the middle of the assay (Fig. 11 style).
     let t = schedule.makespan() / 2;
     let snapshot = snapshot_at(&architecture, t);
-    println!("snapshot at {t}s: {} segments busy", snapshot.active_edges().len());
+    println!(
+        "snapshot at {t}s: {} segments busy",
+        snapshot.active_edges().len()
+    );
     let highlight: HashSet<_> = snapshot.active_edges();
     println!("{}", render_ascii(&architecture, &highlight));
     Ok(())

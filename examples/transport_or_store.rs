@@ -9,8 +9,14 @@ use biochip_synth::{SchedulerChoice, SynthesisConfig, SynthesisFlow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, choice) in [
-        ("execution time only (Fig. 2(b) style)", SchedulerChoice::MakespanOnly),
-        ("execution time + storage (Fig. 2(c) style)", SchedulerChoice::StorageAware),
+        (
+            "execution time only (Fig. 2(b) style)",
+            SchedulerChoice::MakespanOnly,
+        ),
+        (
+            "execution time + storage (Fig. 2(c) style)",
+            SchedulerChoice::StorageAware,
+        ),
     ] {
         let config = SynthesisConfig::default()
             .with_mixers(2)

@@ -8,7 +8,13 @@ use biochip_synth::layout::{generate_layout, render_ascii, LayoutOptions};
 use biochip_synth::schedule::{ListScheduler, ScheduleProblem, Scheduler};
 use biochip_synth::sim::snapshot_at;
 
-fn synthesize(name: &str) -> (ScheduleProblem, biochip_synth::schedule::Schedule, biochip_synth::arch::Architecture) {
+fn synthesize(
+    name: &str,
+) -> (
+    ScheduleProblem,
+    biochip_synth::schedule::Schedule,
+    biochip_synth::arch::Architecture,
+) {
     let graph = library::paper_benchmarks()
         .into_iter()
         .find(|(n, _)| *n == name)
@@ -51,11 +57,19 @@ fn every_stored_sample_is_fetched_from_its_cache_segment() {
 #[test]
 fn snapshots_only_highlight_kept_edges() {
     let (_, schedule, arch) = synthesize("RA30");
-    let kept: HashSet<_> = arch.connection_graph().used_edges().iter().copied().collect();
+    let kept: HashSet<_> = arch
+        .connection_graph()
+        .used_edges()
+        .iter()
+        .copied()
+        .collect();
     for t in (0..schedule.makespan()).step_by(25) {
         let snapshot = snapshot_at(&arch, t);
         for edge in snapshot.active_edges() {
-            assert!(kept.contains(&edge), "snapshot at {t}s uses an edge that was removed");
+            assert!(
+                kept.contains(&edge),
+                "snapshot at {t}s uses an edge that was removed"
+            );
         }
     }
 }

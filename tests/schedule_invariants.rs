@@ -3,9 +3,7 @@
 
 use biochip_synth::arch::{extract_transport_tasks, TransportKind};
 use biochip_synth::assay::library;
-use biochip_synth::schedule::{
-    ListScheduler, ScheduleProblem, Scheduler, SchedulingStrategy,
-};
+use biochip_synth::schedule::{ListScheduler, ScheduleProblem, Scheduler, SchedulingStrategy};
 
 #[test]
 fn store_fetch_tasks_match_storage_requirements() {
@@ -18,13 +16,23 @@ fn store_fetch_tasks_match_storage_requirements() {
         let schedule = ListScheduler::default().schedule(&problem).unwrap();
         let requirements = schedule.storage_requirements(&problem);
         let tasks = extract_transport_tasks(&problem, &schedule);
-        let stores = tasks.iter().filter(|t| t.kind == TransportKind::Store).count();
-        let fetches = tasks.iter().filter(|t| t.kind == TransportKind::Fetch).count();
+        let stores = tasks
+            .iter()
+            .filter(|t| t.kind == TransportKind::Store)
+            .count();
+        let fetches = tasks
+            .iter()
+            .filter(|t| t.kind == TransportKind::Fetch)
+            .count();
         assert_eq!(stores, requirements.len(), "{name}");
         assert_eq!(fetches, requirements.len(), "{name}");
         // Every task window lies inside the schedule horizon.
         for task in &tasks {
-            assert!(task.window_end <= schedule.makespan(), "{name}: {}", task.describe());
+            assert!(
+                task.window_end <= schedule.makespan(),
+                "{name}: {}",
+                task.describe()
+            );
         }
     }
 }
@@ -51,8 +59,7 @@ fn storage_optimization_saves_storage_on_the_paper_trio() {
             .schedule(&problem)
             .unwrap()
             .metrics(&problem);
-        saved_total +=
-            baseline.total_storage_time as i64 - optimized.total_storage_time as i64;
+        saved_total += baseline.total_storage_time as i64 - optimized.total_storage_time as i64;
         // Storage optimization may trade a little execution time (the paper
         // accepts this for RA30) but must stay within 35 % on this small device inventory.
         assert!(
@@ -60,7 +67,10 @@ fn storage_optimization_saves_storage_on_the_paper_trio() {
             "{name}: storage optimization costs too much execution time"
         );
     }
-    assert!(saved_total >= 0, "storage optimization should not increase total storage time");
+    assert!(
+        saved_total >= 0,
+        "storage optimization should not increase total storage time"
+    );
 }
 
 #[test]
