@@ -1,12 +1,23 @@
-//! Seeded random assay generation (the RA30 / RA70 / RA100 stress cases).
+//! Seeded random assay generation (the RA30 / RA70 / RA100 stress cases and
+//! the RA1K / RA10K scale family).
 //!
 //! The paper evaluates on three randomly generated assays with 30, 70 and 100
 //! operations but does not publish the generator. The generator here produces
 //! layered DAGs of mixing operations: operations are distributed over layers
-//! and every non-root operation draws one or two parents from earlier layers
+//! and every non-root operation draws its parents from earlier layers
 //! (biased towards the immediately preceding layer). This yields the same
 //! qualitative stress profile — many concurrently live intermediate samples
 //! that must be stored — while being fully reproducible via the seed.
+//!
+//! Beyond the paper's 100-operation ceiling, the *scale family*
+//! ([`ra1k`], [`ra10k`], or any size via [`RandomAssayConfig::scaled`])
+//! stresses the schedulers with thousands of operations, wider layers,
+//! configurable fan-in ([`RandomAssayConfig::with_max_fan_in`]) and fan-out
+//! ([`RandomAssayConfig::with_max_fan_out`]) and mixed operation durations
+//! ([`RandomAssayConfig::with_duration_choices`]). All extensions are
+//! RNG-stream compatible with the original generator: a configuration using
+//! only the paper-era knobs produces bit-identical graphs to earlier
+//! releases.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -25,11 +36,23 @@ pub struct RandomAssayConfig {
     pub seed: u64,
     /// Average number of operations per layer (controls parallelism).
     pub layer_width: usize,
-    /// Probability (in percent) that an operation has two parents instead of
-    /// one.
+    /// Probability (in percent) that an operation has more than one parent.
     pub two_parent_percent: u8,
-    /// Duration of each generated mixing operation.
+    /// Duration of each generated mixing operation (used when
+    /// [`duration_choices`](Self::duration_choices) is empty).
     pub mix_duration: Seconds,
+    /// Largest fan-in of a generated operation: when the multi-parent roll
+    /// succeeds, the parent count is drawn uniformly from `2..=max_fan_in`.
+    /// The default of 2 reproduces the paper-era one-or-two-parent graphs.
+    pub max_fan_in: usize,
+    /// Soft cap on the fan-out of a generated operation: parents that
+    /// already feed this many children are avoided when an alternative
+    /// exists. `0` (the default) leaves fan-out unbounded.
+    pub max_fan_out: usize,
+    /// Duration mix: when non-empty, each operation draws its duration
+    /// uniformly from these choices instead of using
+    /// [`mix_duration`](Self::mix_duration).
+    pub duration_choices: Vec<Seconds>,
 }
 
 impl RandomAssayConfig {
@@ -43,7 +66,23 @@ impl RandomAssayConfig {
             layer_width: 5,
             two_parent_percent: 70,
             mix_duration: 60,
+            max_fan_in: 2,
+            max_fan_out: 0,
+            duration_choices: Vec::new(),
         }
+    }
+
+    /// Creates a configuration for the scale family: wider layers (so the
+    /// ready set grows with assay size), fan-in up to 3 with a soft fan-out
+    /// cap of 6, and a mixed duration profile. This is the generator behind
+    /// [`ra1k`] and [`ra10k`] and the `biochip bench scale` size sweep.
+    #[must_use]
+    pub fn scaled(num_operations: usize, seed: u64) -> Self {
+        RandomAssayConfig::new(num_operations, seed)
+            .with_layer_width((num_operations / 100).max(8))
+            .with_max_fan_in(3)
+            .with_max_fan_out(6)
+            .with_duration_choices(vec![30, 60, 90, 120])
     }
 
     /// Sets the average layer width.
@@ -64,6 +103,29 @@ impl RandomAssayConfig {
     #[must_use]
     pub fn with_mix_duration(mut self, duration: Seconds) -> Self {
         self.mix_duration = duration;
+        self
+    }
+
+    /// Sets the largest fan-in (at least 2; 2 reproduces the paper-era
+    /// generator exactly).
+    #[must_use]
+    pub fn with_max_fan_in(mut self, fan_in: usize) -> Self {
+        self.max_fan_in = fan_in.max(2);
+        self
+    }
+
+    /// Sets the soft fan-out cap (`0` disables the cap).
+    #[must_use]
+    pub fn with_max_fan_out(mut self, fan_out: usize) -> Self {
+        self.max_fan_out = fan_out;
+        self
+    }
+
+    /// Sets the duration mix (an empty list falls back to
+    /// [`mix_duration`](Self::mix_duration)).
+    #[must_use]
+    pub fn with_duration_choices(mut self, choices: Vec<Seconds>) -> Self {
+        self.duration_choices = choices;
         self
     }
 }
@@ -105,10 +167,17 @@ pub fn generate(config: &RandomAssayConfig) -> SequencingGraph {
         };
         let mut layer = Vec::with_capacity(width);
         for _ in 0..width {
+            // Only a real duration *mix* consumes randomness, so paper-era
+            // configurations keep their historical RNG stream (and graphs).
+            let duration = match config.duration_choices.len() {
+                0 => config.mix_duration,
+                1 => config.duration_choices[0],
+                n => config.duration_choices[rng.gen_range(0..n)],
+            };
             let id = graph.add_operation_with_duration(
                 format!("o{}", created + 1),
                 OperationKind::Mix,
-                config.mix_duration,
+                duration,
             );
             layer.push(id);
             created += 1;
@@ -119,14 +188,27 @@ pub fn generate(config: &RandomAssayConfig) -> SequencingGraph {
         layers.push(layer);
     }
 
-    // Wire parents: every operation beyond the first layer takes one or two
-    // parents from earlier layers, biased towards the previous layer.
+    // Wire parents: every operation beyond the first layer takes one to
+    // `max_fan_in` parents from earlier layers, biased towards the previous
+    // layer.
+    let mut child_count = vec![0usize; config.num_operations];
     for li in 1..layers.len() {
         for &child in &layers[li] {
-            let two = rng.gen_range(0..100) < u32::from(config.two_parent_percent);
-            let wanted = if two { 2 } else { 1 };
+            let multi = rng.gen_range(0..100) < u32::from(config.two_parent_percent);
+            // Direct struct construction can bypass the `with_max_fan_in`
+            // clamp, so re-clamp here before sampling `2..=max`.
+            let wanted = match (multi, config.max_fan_in.max(2)) {
+                (false, _) => 1,
+                // The fan-in draw is skipped at the paper-era default of 2,
+                // keeping the historical RNG stream.
+                (true, 2) => 2,
+                (true, max) => rng.gen_range(2..=max),
+            };
             let mut chosen: Vec<OpId> = Vec::with_capacity(wanted);
-            while chosen.len() < wanted {
+            let attempt_budget = 8 * wanted + 16;
+            let mut attempts = 0;
+            while chosen.len() < wanted && attempts < attempt_budget {
+                attempts += 1;
                 // 75 %: previous layer, 25 %: any earlier layer.
                 let source_layer = if rng.gen_range(0..4) < 3 || li == 1 {
                     li - 1
@@ -136,17 +218,28 @@ pub fn generate(config: &RandomAssayConfig) -> SequencingGraph {
                 let candidate = *layers[source_layer]
                     .choose(&mut rng)
                     .expect("layers are non-empty");
-                if !chosen.contains(&candidate) {
-                    chosen.push(candidate);
-                } else if layers[source_layer].len() == 1 && wanted > 1 {
-                    // Cannot find a second distinct parent in a width-1 layer;
-                    // settle for one parent.
-                    break;
+                if chosen.contains(&candidate) {
+                    if layers[source_layer].len() == 1 && wanted > 1 {
+                        // Cannot find another distinct parent in a width-1
+                        // layer; settle for fewer parents.
+                        break;
+                    }
+                    continue;
                 }
+                // Soft fan-out cap: avoid saturated parents while the
+                // attempt budget allows looking for an alternative.
+                if config.max_fan_out > 0
+                    && child_count[candidate.index()] >= config.max_fan_out
+                    && attempts < attempt_budget / 2
+                {
+                    continue;
+                }
+                chosen.push(candidate);
             }
             for parent in chosen {
                 // Duplicate edges can only arise from the retry loop above and
                 // are prevented there, so this cannot fail.
+                child_count[parent.index()] += 1;
                 graph
                     .add_dependency(parent, child)
                     .expect("generator never creates duplicate or cyclic edges");
@@ -181,6 +274,25 @@ pub fn ra100() -> SequencingGraph {
     generate(&RandomAssayConfig::new(100, RA100_SEED))
 }
 
+/// Seed used for the RA1K scale benchmark.
+pub const RA1K_SEED: u64 = 1_000;
+/// Seed used for the RA10K scale benchmark.
+pub const RA10K_SEED: u64 = 10_000;
+
+/// The RA1K scale benchmark (1,000 operations, see
+/// [`RandomAssayConfig::scaled`]).
+#[must_use]
+pub fn ra1k() -> SequencingGraph {
+    generate(&RandomAssayConfig::scaled(1_000, RA1K_SEED))
+}
+
+/// The RA10K scale benchmark (10,000 operations, see
+/// [`RandomAssayConfig::scaled`]).
+#[must_use]
+pub fn ra10k() -> SequencingGraph {
+    generate(&RandomAssayConfig::scaled(10_000, RA10K_SEED))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +317,77 @@ mod tests {
         assert_eq!(ra30().num_operations(), 30);
         assert_eq!(ra70().num_operations(), 70);
         assert_eq!(ra100().num_operations(), 100);
+    }
+
+    #[test]
+    fn scale_presets_have_expected_shape() {
+        let g = ra1k();
+        assert_eq!(g.num_operations(), 1_000);
+        assert!(g.validate().is_ok());
+        // The duration mix actually mixes.
+        let durations: std::collections::HashSet<u64> =
+            g.iter().map(|(_, op)| op.duration).collect();
+        assert!(durations.len() > 1, "scale family mixes durations");
+        // Fan-in goes beyond the paper-era maximum of two somewhere.
+        assert!(g.ids().any(|id| g.parents(id).len() > 2));
+    }
+
+    #[test]
+    fn fan_in_and_fan_out_knobs_shape_the_graph() {
+        let cfg = RandomAssayConfig::new(200, 42)
+            .with_layer_width(10)
+            .with_two_parent_percent(100)
+            .with_max_fan_in(4)
+            .with_max_fan_out(3);
+        let g = generate(&cfg);
+        assert!(g.validate().is_ok());
+        for id in g.ids() {
+            assert!(g.parents(id).len() <= 4, "{id} exceeds max fan-in");
+        }
+        // The cap is soft, but it must visibly flatten the fan-out profile
+        // compared to the uncapped generator.
+        let uncapped = generate(&RandomAssayConfig {
+            max_fan_out: 0,
+            ..cfg.clone()
+        });
+        let max_out = |g: &SequencingGraph| g.ids().map(|id| g.children(id).len()).max().unwrap();
+        assert!(max_out(&g) <= max_out(&uncapped));
+    }
+
+    #[test]
+    fn direct_struct_fan_in_below_two_is_clamped_not_a_panic() {
+        // Struct-update syntax bypasses the `with_max_fan_in` clamp; the
+        // generator must re-clamp instead of sampling an empty range.
+        for max_fan_in in [0, 1] {
+            let cfg = RandomAssayConfig {
+                max_fan_in,
+                ..RandomAssayConfig::new(50, 7).with_two_parent_percent(100)
+            };
+            let g = generate(&cfg);
+            assert!(g.validate().is_ok());
+            assert_eq!(
+                g,
+                generate(&RandomAssayConfig::new(50, 7).with_two_parent_percent(100))
+            );
+        }
+    }
+
+    #[test]
+    fn paper_era_configs_are_stream_compatible() {
+        // The new knobs must not consume randomness at their defaults: a
+        // plain `new` configuration produces the same graph as one that sets
+        // the defaults explicitly.
+        let plain = generate(&RandomAssayConfig::new(60, 7));
+        let explicit = generate(
+            &RandomAssayConfig::new(60, 7)
+                .with_max_fan_in(2)
+                .with_max_fan_out(0)
+                .with_duration_choices(Vec::new()),
+        );
+        assert_eq!(plain, explicit);
+        // A single-choice duration mix is also draw-free.
+        let single = generate(&RandomAssayConfig::new(60, 7).with_duration_choices(vec![60]));
+        assert_eq!(plain, single);
     }
 
     #[test]

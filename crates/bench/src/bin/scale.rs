@@ -1,0 +1,25 @@
+//! Runs the scheduler scale sweep and writes `BENCH_scale.json`.
+//!
+//! Usage: `scale [SIZE...]` — positional graph sizes (default
+//! `100 1000 10000`). The mixer count is fixed at
+//! [`biochip_bench::DEFAULT_SCALE_MIXERS`] so the trajectory isolates
+//! graph-size effects.
+
+fn main() {
+    let sizes: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|arg| {
+            arg.parse()
+                .unwrap_or_else(|e| panic!("invalid size `{arg}`: {e}"))
+        })
+        .collect();
+    let sizes = if sizes.is_empty() {
+        biochip_bench::DEFAULT_SCALE_SIZES.to_vec()
+    } else {
+        sizes
+    };
+    let rows = biochip_bench::scale_rows(&sizes, biochip_bench::DEFAULT_SCALE_MIXERS);
+    println!("Scheduler scale sweep (list scheduler, both strategies)\n");
+    print!("{}", biochip_bench::format_scale(&rows));
+    biochip_bench::write_bench_json("scale", &rows);
+}

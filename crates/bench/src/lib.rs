@@ -10,6 +10,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scale;
+
+pub use scale::{
+    format_scale, scale_csv, scale_rows, ScaleRow, DEFAULT_SCALE_MIXERS, DEFAULT_SCALE_SIZES,
+};
+
 use biochip_synth::assay::{library, SequencingGraph};
 use biochip_synth::{SchedulerChoice, SynthesisConfig, SynthesisFlow, SynthesisReport};
 

@@ -15,6 +15,8 @@ pub const LIBRARY: &[(&str, &[&str])] = &[
     ("RA30", &["ra30"]),
     ("RA70", &["ra70"]),
     ("RA100", &["ra100"]),
+    ("RA1K", &["ra1k", "ra1000"]),
+    ("RA10K", &["ra10k", "ra10000"]),
 ];
 
 /// Resolves a library assay by name or alias (case-insensitive).
@@ -43,6 +45,12 @@ pub fn by_name(name: &str) -> Result<SequencingGraph, CliError> {
         "RA30" => random::ra30(),
         "RA70" => random::ra70(),
         "RA100" => random::ra100(),
+        // Scale-family workloads. These stress the *scheduler*; the paper's
+        // channel-storage architecture cannot cache their storage peaks, so
+        // full-flow `run`/`batch` fails cleanly in architectural synthesis.
+        // Prefer `biochip schedule` or `biochip bench scale`.
+        "RA1K" => random::ra1k(),
+        "RA10K" => random::ra10k(),
         _ => unreachable!("LIBRARY names are exhaustive"),
     })
 }

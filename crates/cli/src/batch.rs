@@ -231,11 +231,16 @@ mod tests {
         assert_eq!(report.succeeded, 6);
         assert_eq!(report.failed, 0);
         assert_eq!(report.threads, 3);
+        // Worker *utilization* is timing-dependent (in release mode on a
+        // single core, one worker can drain the whole queue before the
+        // others wake), so assert only the timing-independent invariants:
+        // every recorded worker id belongs to the pool.
         let workers: std::collections::HashSet<usize> =
             report.results.iter().map(|r| r.worker).collect();
+        assert!(!workers.is_empty());
         assert!(
-            workers.len() > 1,
-            "expected more than one worker, got {workers:?}"
+            workers.iter().all(|&w| w < 3),
+            "worker ids must index the pool, got {workers:?}"
         );
         // Results come back in submission order regardless of completion order.
         let ids: Vec<usize> = report.results.iter().map(|r| r.id).collect();

@@ -26,7 +26,7 @@ commands:
   synth     architectural synthesis + physical design from a schedule state
   simulate  replay a synthesized chip; completes the pipeline state
   batch     fan assays × configurations across a thread pool
-  bench     reproduce the paper's Table 2 / Fig 8-10 numbers
+  bench     reproduce the paper's Table 2 / Fig 8-10 numbers + scale sweep
   assays    list the built-in benchmark assays
 
 run `biochip <command> --help` for the options of one command.
@@ -567,7 +567,7 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
         OptionSpec {
             name: "--what",
             takes_value: true,
-            help: "table2 | fig8 | fig9 | fig10 (default table2)",
+            help: "table2 | fig8 | fig9 | fig10 | scale (default table2)",
         },
         OptionSpec {
             name: "--format",
@@ -579,19 +579,74 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
             takes_value: true,
             help: "write the result here (default: stdout)",
         },
+        OptionSpec {
+            name: "--sizes",
+            takes_value: true,
+            help: "scale only: comma-separated graph sizes (default 100,1000,10000)",
+        },
+        OptionSpec {
+            name: "--mixers",
+            takes_value: true,
+            help: "scale only: mixer count for the sweep (default 8)",
+        },
     ];
     if help_requested(argv) {
         print_help(
             "bench",
-            "Reproduces the paper's evaluation numbers.",
+            "Reproduces the paper's evaluation numbers; `bench scale` sweeps\n\
+             the list scheduler over the RA1K/RA10K-style scale workloads.",
             &specs,
         );
         return Ok(());
     }
     let parsed = ParsedArgs::parse(argv, &specs)?;
-    let what = parsed.value("--what").unwrap_or("table2");
+    // The target can be given positionally (`biochip bench scale`) or via
+    // `--what`; giving both (or several positionals) is ambiguous.
+    let what = match (parsed.positional(), parsed.value("--what")) {
+        ([], what) => what.unwrap_or("table2"),
+        ([one], None) => one.as_str(),
+        ([one], Some(what)) if one == what => what,
+        _ => {
+            return Err(CliError::usage(
+                "give one bench target: `biochip bench <target>` or `--what <target>`".to_owned(),
+            ));
+        }
+    };
+    if what != "scale" && (parsed.value("--sizes").is_some() || parsed.value("--mixers").is_some())
+    {
+        return Err(CliError::usage(
+            "--sizes/--mixers only apply to `biochip bench scale`".to_owned(),
+        ));
+    }
     let format = parsed.value("--format").unwrap_or("text");
     let contents = match (what, format) {
+        ("scale", "json" | "csv" | "text") => {
+            let sizes: Vec<usize> = match parsed.list_value("--sizes") {
+                Some(raw) => raw
+                    .iter()
+                    .map(|s| {
+                        s.parse::<usize>()
+                            .map_err(|e| CliError::usage(format!("invalid size `{s}`: {e}")))
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => biochip_bench::DEFAULT_SCALE_SIZES.to_vec(),
+            };
+            if sizes.is_empty() || sizes.contains(&0) {
+                return Err(CliError::usage(
+                    "--sizes needs at least one non-zero graph size".to_owned(),
+                ));
+            }
+            let mixers = parsed
+                .parse_value::<usize>("--mixers")?
+                .unwrap_or(biochip_bench::DEFAULT_SCALE_MIXERS)
+                .max(1);
+            let rows = biochip_bench::scale_rows(&sizes, mixers);
+            match format {
+                "json" => biochip_json::to_string_pretty(&rows),
+                "csv" => biochip_bench::scale_csv(&rows),
+                _ => biochip_bench::format_scale(&rows),
+            }
+        }
         ("table2", "text") => biochip_bench::format_table2(&biochip_bench::table2_rows()),
         ("table2", "json") => biochip_json::to_string_pretty(&biochip_bench::table2_rows()),
         ("table2", "csv") => table2_csv(&biochip_bench::table2_rows()),
@@ -605,9 +660,10 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
         ("fig10", "csv" | "text") => {
             ratio_csv("execution_ratio,valve_ratio", &biochip_bench::fig10_rows())
         }
-        (w, f) if !matches!(w, "table2" | "fig8" | "fig9" | "fig10") => {
+        (w, f) if !matches!(w, "table2" | "fig8" | "fig9" | "fig10" | "scale") => {
             return Err(CliError::usage(format!(
-                "unknown bench target `{f}`-formatted `{w}` (expected table2, fig8, fig9 or fig10)"
+                "unknown bench target `{f}`-formatted `{w}` \
+                 (expected table2, fig8, fig9, fig10 or scale)"
             )));
         }
         (_, f) => {

@@ -1,0 +1,137 @@
+//! Golden-file tests: committed fixtures pin the `biochip-pipeline/v1` JSON
+//! contract and other machine-readable CLI output, so the format cannot
+//! drift silently.
+//!
+//! On mismatch the test prints both documents; regenerate the fixtures with
+//!
+//! ```text
+//! BIOCHIP_BLESS=1 cargo test -p biochip-cli --test golden
+//! ```
+//!
+//! Wall-clock timing fields are normalized to `null` before comparison (and
+//! before blessing), so the fixtures are deterministic across machines.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use biochip_json::Json;
+
+fn biochip(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_biochip"))
+        .args(args)
+        .output()
+        .expect("binary must spawn")
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn blessing() -> bool {
+    std::env::var("BIOCHIP_BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Replaces every `timings` field (stage wall-clock times) with `null`,
+/// recursively, so fixtures compare structurally across machines.
+fn normalize(value: &mut Json) {
+    match value {
+        Json::Object(fields) => {
+            for (key, field) in fields.iter_mut() {
+                if key == "timings" {
+                    *field = Json::Null;
+                } else {
+                    normalize(field);
+                }
+            }
+        }
+        Json::Array(items) => {
+            for item in items.iter_mut() {
+                normalize(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Runs the CLI, normalizes its stdout and compares against (or blesses)
+/// the named fixture.
+fn check_golden(name: &str, args: &[&str], json: bool) {
+    let output = biochip(args);
+    assert!(
+        output.status.success(),
+        "{args:?} failed:\nstderr: {}",
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let raw = String::from_utf8(output.stdout).expect("stdout must be UTF-8");
+    let actual = if json {
+        let mut value = biochip_json::parse(&raw).expect("stdout must be valid JSON");
+        normalize(&mut value);
+        biochip_json::to_string_pretty(&value)
+    } else {
+        raw
+    };
+
+    let path = fixture_path(name);
+    if blessing() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read fixture {}: {e}\nrun `BIOCHIP_BLESS=1 cargo test -p biochip-cli \
+             --test golden` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        actual,
+        "`{args:?}` drifted from {} — if the change is intentional, regenerate with \
+         BIOCHIP_BLESS=1",
+        path.display(),
+    );
+}
+
+#[test]
+fn schedule_state_json_matches_fixture() {
+    // The stage hand-off document: the core of the biochip-pipeline/v1
+    // contract. Timings are normalized, everything else must be stable.
+    check_golden(
+        "schedule_pcr.json",
+        &[
+            "schedule",
+            "--assay",
+            "pcr",
+            "--mixers",
+            "2",
+            "--scheduler",
+            "storage",
+            "--transport",
+            "5",
+        ],
+        true,
+    );
+}
+
+#[test]
+fn bench_fig9_json_matches_fixture() {
+    // Fig. 9 rows carry no timing fields: fully deterministic, and they pin
+    // the scheduler's output makespans on three benchmark assays — a drift
+    // here means the schedules themselves changed.
+    check_golden(
+        "bench_fig9.json",
+        &["bench", "fig9", "--format", "json"],
+        true,
+    );
+}
+
+#[test]
+fn assays_listing_matches_fixture() {
+    // The assay catalogue (including the RA1K/RA10K scale family) with
+    // depth and critical-path analytics per assay.
+    check_golden("assays.txt", &["assays"], false);
+}

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use biochip_assay::{GraphError, OpId};
+use biochip_assay::{GraphError, OpId, Seconds};
 
 use crate::problem::DeviceId;
 
@@ -24,11 +24,6 @@ pub enum ScheduleError {
         /// Reason reported by the solver.
         reason: String,
     },
-    /// A schedule violates a structural constraint (used by validation).
-    InvalidSchedule {
-        /// Explanation of the violation.
-        reason: String,
-    },
     /// An operation is missing from a schedule.
     UnscheduledOperation {
         /// The missing operation.
@@ -40,6 +35,36 @@ pub enum ScheduleError {
         op: OpId,
         /// The offending device.
         device: DeviceId,
+    },
+    /// Two operations overlap in time on the same device.
+    OverlappingOperations {
+        /// The earlier-starting operation.
+        first: OpId,
+        /// The operation that starts before `first` ends.
+        second: OpId,
+        /// The device both are bound to.
+        device: DeviceId,
+    },
+    /// A child starts before its parent finished (plus the transport time
+    /// when producer and consumer sit on different devices).
+    PrecedenceViolation {
+        /// The producing operation.
+        parent: OpId,
+        /// The consuming operation.
+        child: OpId,
+        /// The earliest start the precedence constraint allows.
+        required_start: Seconds,
+        /// The start the schedule actually assigns.
+        actual_start: Seconds,
+    },
+    /// The scheduled interval does not match the operation's duration.
+    DurationMismatch {
+        /// The operation.
+        op: OpId,
+        /// The duration the operation needs.
+        expected: Seconds,
+        /// The length of the scheduled interval.
+        actual: Seconds,
     },
 }
 
@@ -53,14 +78,37 @@ impl fmt::Display for ScheduleError {
             ScheduleError::SolverFailed { reason } => {
                 write!(f, "ILP scheduling failed: {reason}")
             }
-            ScheduleError::InvalidSchedule { reason } => {
-                write!(f, "invalid schedule: {reason}")
-            }
             ScheduleError::UnscheduledOperation { op } => {
                 write!(f, "operation {op} is not scheduled")
             }
             ScheduleError::IncompatibleDevice { op, device } => {
                 write!(f, "operation {op} is bound to incompatible device {device}")
+            }
+            ScheduleError::OverlappingOperations {
+                first,
+                second,
+                device,
+            } => {
+                write!(f, "{first} and {second} overlap on device {device}")
+            }
+            ScheduleError::PrecedenceViolation {
+                parent,
+                child,
+                required_start,
+                actual_start,
+            } => {
+                write!(
+                    f,
+                    "{child} starts at {actual_start}s before its parent {parent} \
+                     allows a start at {required_start}s"
+                )
+            }
+            ScheduleError::DurationMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(f, "{op} is scheduled for {actual}s but needs {expected}s")
             }
         }
     }

@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 
 use biochip_assay::OpId;
-use biochip_ilp::{Model, SolverOptions, VarId};
+use biochip_ilp::{Model, SolveStatus, SolverOptions, VarId};
 
 use crate::error::ScheduleError;
 use crate::list_scheduler::{ListScheduler, SchedulingStrategy};
@@ -56,10 +56,19 @@ impl IlpScheduler {
         self.makespan_only = true;
         self
     }
-}
 
-impl Scheduler for IlpScheduler {
-    fn schedule(&self, problem: &ScheduleProblem) -> Result<Schedule, ScheduleError> {
+    /// Solves the scheduling problem and reports how the solve ended.
+    ///
+    /// Unlike [`Scheduler::schedule`], the returned [`IlpOutcome`] carries
+    /// the branch & bound [`SolveStatus`], which differential test oracles
+    /// use to tell a *proven optimal* schedule from a best-effort one: only
+    /// when `status == SolveStatus::Optimal` is the returned makespan (for
+    /// makespan-only objectives) a true lower bound for heuristics.
+    ///
+    /// # Errors
+    ///
+    /// Like [`Scheduler::schedule`].
+    pub fn solve(&self, problem: &ScheduleProblem) -> Result<IlpOutcome, ScheduleError> {
         problem.validate()?;
 
         // Warm start and fallback: the storage-aware list schedule.
@@ -74,28 +83,56 @@ impl Scheduler for IlpScheduler {
             }
         })?;
 
-        match result.solution {
+        let schedule = match result.solution {
             Some(solution) => {
                 let schedule = formulation.extract(problem, &solution);
                 schedule.validate(problem)?;
                 // Keep whichever of the two valid schedules scores better.
                 if schedule_objective(problem, &schedule, self.makespan_only) <= warm_objective {
-                    Ok(schedule)
+                    schedule
                 } else {
-                    Ok(heuristic)
+                    heuristic
                 }
             }
-            None => Ok(heuristic),
-        }
+            None => heuristic,
+        };
+        let objective = schedule_objective(problem, &schedule, self.makespan_only);
+        Ok(IlpOutcome {
+            schedule,
+            status: result.status,
+            objective,
+        })
     }
 }
 
-/// The paper's weighted objective evaluated on a concrete schedule.
-fn schedule_objective(problem: &ScheduleProblem, schedule: &Schedule, makespan_only: bool) -> f64 {
-    let makespan = schedule.makespan() as f64;
-    if makespan_only {
-        return problem.alpha() * makespan;
+/// Result of an [`IlpScheduler::solve`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpOutcome {
+    /// The best schedule found (never worse than the list-scheduler warm
+    /// start under the configured objective).
+    pub schedule: Schedule,
+    /// How the branch & bound ended. [`SolveStatus::Optimal`] proves the
+    /// solver's incumbent optimal; the returned schedule then attains the
+    /// optimal objective value.
+    pub status: SolveStatus,
+    /// The paper's weighted objective evaluated on `schedule`.
+    pub objective: f64,
+}
+
+impl Scheduler for IlpScheduler {
+    fn schedule(&self, problem: &ScheduleProblem) -> Result<Schedule, ScheduleError> {
+        self.solve(problem).map(|outcome| outcome.schedule)
     }
+}
+
+/// The paper's full weighted objective (eq. 6) evaluated on a concrete
+/// schedule: `α·t_E + β·Σ u_{i,j}` over the cross-device dependency edges.
+///
+/// This is the single source of truth for the objective — the ILP warm
+/// start, the best-of selection and the differential test oracles all score
+/// schedules through it.
+#[must_use]
+pub fn weighted_objective(problem: &ScheduleProblem, schedule: &Schedule) -> f64 {
     let graph = problem.graph();
     let mut storage = 0.0;
     for edge in graph.edges() {
@@ -105,7 +142,17 @@ fn schedule_objective(problem: &ScheduleProblem, schedule: &Schedule, makespan_o
             }
         }
     }
-    problem.alpha() * makespan + problem.beta() * storage
+    problem.alpha() * schedule.makespan() as f64 + problem.beta() * storage
+}
+
+/// The objective the configured engine optimizes: eq. 6, or its α-term only
+/// in makespan-only mode.
+fn schedule_objective(problem: &ScheduleProblem, schedule: &Schedule, makespan_only: bool) -> f64 {
+    if makespan_only {
+        problem.alpha() * schedule.makespan() as f64
+    } else {
+        weighted_objective(problem, schedule)
+    }
 }
 
 /// The ILP model plus the bookkeeping needed to read a schedule back out.

@@ -21,6 +21,21 @@
 //! requirements (store/fetch events, concurrent-storage peak) are derived for
 //! architectural synthesis.
 //!
+//! # Scale workloads
+//!
+//! The paper's evaluation stops at 100-operation assays; this crate is built
+//! to go far beyond it. The [`ListScheduler`] loop keeps an indexed ready
+//! queue (a binary heap keyed by downstream critical path, maintained
+//! incrementally via pending-parent counters) and per-device availability
+//! timelines ([`DeviceTimelines`]), so its cost is linear in graph size for
+//! bounded-width assays instead of the seed's quadratic rebuild — a
+//! 10,000-operation random assay (`biochip_assay::random::ra10k`) schedules
+//! in well under a second in release mode. See the [`ListScheduler`] module
+//! documentation for the exact per-step complexity and the deterministic
+//! tie-breaking order, and `cargo run --release -p biochip-bench --bin
+//! scale` (or `biochip bench scale`) for the throughput trajectory
+//! (`BENCH_scale.json`: ops/sec, makespan and peak storage vs. graph size).
+//!
 //! # Example
 //!
 //! ```
@@ -45,13 +60,16 @@ mod list_scheduler;
 mod problem;
 mod schedule;
 mod storage;
+mod timeline;
 
+pub use biochip_ilp::{SolveStatus, SolverOptions};
 pub use error::ScheduleError;
-pub use ilp_scheduler::IlpScheduler;
+pub use ilp_scheduler::{weighted_objective, IlpOutcome, IlpScheduler};
 pub use list_scheduler::{ListScheduler, SchedulingStrategy};
 pub use problem::{Device, DeviceId, ScheduleProblem};
 pub use schedule::{Schedule, ScheduleMetrics, ScheduledOperation};
 pub use storage::{concurrent_storage_profile, max_concurrent_storage, StorageRequirement};
+pub use timeline::{DeviceTimeline, DeviceTimelines};
 
 use biochip_assay::Seconds;
 

@@ -1,12 +1,46 @@
 //! Storage-aware list scheduling (the scalable heuristic engine).
+//!
+//! # Scheduling loop and complexity
+//!
+//! The scheduler keeps an *indexed ready queue*: a binary heap of operations
+//! whose device-operation parents are all scheduled, keyed by the downstream
+//! critical path (longest duration-weighted path to any sink). Readiness is
+//! maintained incrementally with per-operation pending-parent counters, and
+//! device availability is tracked by append-only per-device timelines
+//! ([`DeviceTimelines`]), so one scheduling step costs
+//! `O(W · (D + P) + log V)` where `W` is the number of candidates examined
+//! (the priority-tie group for [`SchedulingStrategy::MakespanOnly`], the
+//! whole ready set for [`SchedulingStrategy::StorageAware`]), `D` the
+//! compatible-device count and `P` the parent count. Over a whole assay this
+//! is `O(V · W · (D + P) + E + V log V)` — linear in graph size for the
+//! bounded-width graphs produced by `biochip_assay::random`, where the seed
+//! implementation rebuilt the ready list from scratch every iteration and
+//! was quadratic. A 10,000-operation random assay schedules in well under a
+//! second in release mode (`cargo run --release -p biochip-bench --bin
+//! scale`).
+//!
+//! # Deterministic tie-breaking
+//!
+//! Selection is a total order, so results are reproducible bit-for-bit
+//! across runs and platforms and never depend on container iteration order:
+//!
+//! * **Operation choice** — [`SchedulingStrategy::MakespanOnly`] picks the
+//!   ready operation with the *highest downstream critical path*, breaking
+//!   ties by *earliest achievable start* and then *lowest [`OpId`]*.
+//!   [`SchedulingStrategy::StorageAware`] first minimizes the *storage time
+//!   the placement adds*, then applies the same (priority, start, id) order.
+//! * **Device choice** — among compatible devices the one with the
+//!   *earliest achievable start* wins; ties go to the *lowest
+//!   [`DeviceId`]*.
 
-use std::collections::HashSet;
+use std::collections::BinaryHeap;
 
-use biochip_assay::{OpId, Seconds};
+use biochip_assay::{DeviceClass, OpId, Seconds};
 
 use crate::error::ScheduleError;
 use crate::problem::{DeviceId, ScheduleProblem};
 use crate::schedule::Schedule;
+use crate::timeline::DeviceTimelines;
 use crate::Scheduler;
 
 /// Priority rule used by the [`ListScheduler`].
@@ -28,7 +62,9 @@ pub enum SchedulingStrategy {
 /// to the [`SchedulingStrategy`] and bound to the compatible device on which
 /// they can start earliest. The resulting schedules always satisfy the
 /// precedence, duration and non-overlap constraints of the ILP formulation;
-/// they are generally not optimal but scale to the paper's largest assays.
+/// they are generally not optimal but scale far beyond the paper's largest
+/// assays (see the module docs above for the loop's complexity and
+/// tie-breaking rules).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ListScheduler {
     strategy: SchedulingStrategy,
@@ -48,92 +84,183 @@ impl ListScheduler {
     }
 }
 
+/// One entry of the ready queue.
+///
+/// The heap pops the operation with the highest downstream critical path,
+/// breaking ties towards the lowest operation id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReadyOp {
+    priority: Seconds,
+    op: OpId,
+}
+
+impl Ord for ReadyOp {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.op.cmp(&self.op))
+    }
+}
+
+impl PartialOrd for ReadyOp {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl Scheduler for ListScheduler {
     fn schedule(&self, problem: &ScheduleProblem) -> Result<Schedule, ScheduleError> {
         problem.validate()?;
         let graph = problem.graph();
         let uc = problem.transport_time();
         let device_ops: Vec<OpId> = graph.device_operations();
-        let device_op_set: HashSet<OpId> = device_ops.iter().copied().collect();
 
         // Critical-path priority: longest path (in seconds) from each
         // operation to any sink, including the operation itself.
         let priority = downstream_path_lengths(graph);
 
-        let mut schedule = Schedule::with_capacity(graph.num_operations());
-        let mut device_available: Vec<Seconds> = vec![0; problem.devices().len()];
-        let mut scheduled: HashSet<OpId> = HashSet::new();
-        let mut remaining: Vec<OpId> = device_ops.clone();
+        // Compatible devices per class, resolved once (device-id order).
+        let devices_by_class = DevicesByClass::new(problem);
 
-        while !remaining.is_empty() {
-            // Ready = all device-operation parents already scheduled.
-            let ready: Vec<OpId> = remaining
+        // Pending device-operation parents per operation; operations whose
+        // counter is zero are ready. Non-device parents (inputs) never
+        // occupy a device and do not gate readiness.
+        let mut pending = vec![0u32; graph.num_operations()];
+        for &op in &device_ops {
+            let count = graph
+                .parents(op)
                 .iter()
-                .copied()
-                .filter(|&op| {
-                    graph
-                        .parents(op)
-                        .iter()
-                        .all(|p| !device_op_set.contains(p) || scheduled.contains(p))
-                })
-                .collect();
-            debug_assert!(!ready.is_empty(), "a DAG always has a ready operation");
+                .filter(|p| graph.operation(**p).needs_device())
+                .count();
+            pending[op.index()] = u32::try_from(count).expect("parent count fits in u32");
+        }
+        let mut ready: BinaryHeap<ReadyOp> = device_ops
+            .iter()
+            .filter(|op| pending[op.index()] == 0)
+            .map(|&op| ReadyOp {
+                priority: priority[op.index()],
+                op,
+            })
+            .collect();
 
-            // Evaluate every ready operation: its best device, earliest start
-            // and the storage time its placement would add.
-            let mut best: Option<Candidate> = None;
-            for &op in &ready {
-                let candidate = evaluate(problem, &schedule, &device_available, op, uc);
-                let better = match &best {
-                    None => true,
-                    Some(current) => match self.strategy {
-                        SchedulingStrategy::MakespanOnly => {
-                            let key_new =
-                                (std::cmp::Reverse(priority[op.index()]), candidate.start, op);
-                            let key_old = (
-                                std::cmp::Reverse(priority[current.op.index()]),
-                                current.start,
-                                current.op,
-                            );
-                            key_new < key_old
-                        }
-                        SchedulingStrategy::StorageAware => {
-                            let key_new = (
-                                candidate.added_storage,
-                                std::cmp::Reverse(priority[op.index()]),
-                                candidate.start,
-                                op,
-                            );
-                            let key_old = (
-                                current.added_storage,
-                                std::cmp::Reverse(priority[current.op.index()]),
-                                current.start,
-                                current.op,
-                            );
-                            key_new < key_old
-                        }
-                    },
-                };
-                if better {
-                    best = Some(candidate);
+        let mut schedule = Schedule::with_capacity(graph.num_operations());
+        let mut timelines = DeviceTimelines::new(problem.devices().len());
+        // Scratch buffer for the priority-tie group (reused across steps).
+        let mut ties: Vec<ReadyOp> = Vec::new();
+
+        for _ in 0..device_ops.len() {
+            debug_assert!(!ready.is_empty(), "a DAG always has a ready operation");
+            let chosen = match self.strategy {
+                SchedulingStrategy::MakespanOnly => {
+                    select_makespan_only(&mut ready, &mut ties, |op| {
+                        evaluate(problem, &devices_by_class, &schedule, &timelines, op, uc)
+                    })
+                }
+                SchedulingStrategy::StorageAware => {
+                    select_storage_aware(&mut ready, &priority, |op| {
+                        evaluate(problem, &devices_by_class, &schedule, &timelines, op, uc)
+                    })
+                }
+            };
+
+            let duration = graph.operation(chosen.op).duration;
+            let end = chosen.start + duration;
+            schedule.assign(chosen.op, chosen.device, chosen.start, end);
+            timelines.book(chosen.device, chosen.op, chosen.start, end);
+
+            // Incrementally release children whose parents are now all done.
+            for &child in graph.children(chosen.op) {
+                if !graph.operation(child).needs_device() {
+                    continue;
+                }
+                pending[child.index()] -= 1;
+                if pending[child.index()] == 0 {
+                    ready.push(ReadyOp {
+                        priority: priority[child.index()],
+                        op: child,
+                    });
                 }
             }
-
-            let chosen = best.expect("ready set is non-empty");
-            let duration = graph.operation(chosen.op).duration;
-            schedule.assign(
-                chosen.op,
-                chosen.device,
-                chosen.start,
-                chosen.start + duration,
-            );
-            device_available[chosen.device.index()] = chosen.start + duration;
-            scheduled.insert(chosen.op);
-            remaining.retain(|&op| op != chosen.op);
         }
 
         Ok(schedule)
     }
+}
+
+/// Picks the next operation under [`SchedulingStrategy::MakespanOnly`].
+///
+/// Only the heap's top-priority tie group can win (lower-priority operations
+/// lose on the leading key regardless of their start time), so exactly that
+/// group is popped, evaluated and — minus the winner — pushed back.
+fn select_makespan_only(
+    ready: &mut BinaryHeap<ReadyOp>,
+    ties: &mut Vec<ReadyOp>,
+    mut eval: impl FnMut(OpId) -> Candidate,
+) -> Candidate {
+    let top = ready.pop().expect("ready queue is non-empty");
+    ties.clear();
+    while ready
+        .peek()
+        .is_some_and(|entry| entry.priority == top.priority)
+    {
+        ties.push(ready.pop().expect("peek guarantees an entry"));
+    }
+
+    let mut best = eval(top.op);
+    let mut best_entry = top;
+    for &entry in ties.iter() {
+        let candidate = eval(entry.op);
+        // Tie-break among equal priorities: earliest start, then lowest id.
+        if (candidate.start, candidate.op) < (best.start, best.op) {
+            // The previous best returns to the ready queue.
+            ready.push(best_entry);
+            best = candidate;
+            best_entry = entry;
+        } else {
+            ready.push(entry);
+        }
+    }
+    best
+}
+
+/// Picks the next operation under [`SchedulingStrategy::StorageAware`].
+///
+/// The added-storage key depends on the evolving schedule, so every ready
+/// operation is evaluated; the ready set is bounded by the graph's width,
+/// not its size. The chosen entry is removed from the heap in place.
+fn select_storage_aware(
+    ready: &mut BinaryHeap<ReadyOp>,
+    priority: &[Seconds],
+    mut eval: impl FnMut(OpId) -> Candidate,
+) -> Candidate {
+    let mut best: Option<Candidate> = None;
+    for entry in ready.iter() {
+        let candidate = eval(entry.op);
+        let better = match &best {
+            None => true,
+            Some(current) => {
+                let key_new = (
+                    candidate.added_storage,
+                    std::cmp::Reverse(priority[candidate.op.index()]),
+                    candidate.start,
+                    candidate.op,
+                );
+                let key_old = (
+                    current.added_storage,
+                    std::cmp::Reverse(priority[current.op.index()]),
+                    current.start,
+                    current.op,
+                );
+                key_new < key_old
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    let best = best.expect("ready queue is non-empty");
+    ready.retain(|entry| entry.op != best.op);
+    best
 }
 
 /// A candidate placement of one ready operation.
@@ -147,19 +274,46 @@ struct Candidate {
     added_storage: Seconds,
 }
 
-/// Picks the compatible device on which `op` can start earliest and computes
-/// the storage time that placement adds.
+/// Compatible device ids per device class, in device-id order.
+struct DevicesByClass {
+    classes: Vec<(DeviceClass, Vec<DeviceId>)>,
+}
+
+impl DevicesByClass {
+    fn new(problem: &ScheduleProblem) -> Self {
+        let mut classes: Vec<(DeviceClass, Vec<DeviceId>)> = Vec::new();
+        for device in problem.devices() {
+            match classes.iter_mut().find(|(c, _)| *c == device.class) {
+                Some((_, ids)) => ids.push(device.id),
+                None => classes.push((device.class, vec![device.id])),
+            }
+        }
+        DevicesByClass { classes }
+    }
+
+    fn devices(&self, class: DeviceClass) -> &[DeviceId] {
+        self.classes
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map_or(&[], |(_, ids)| ids.as_slice())
+    }
+}
+
+/// Picks the compatible device on which `op` can start earliest (ties go to
+/// the lowest device id) and computes the storage time that placement adds.
 fn evaluate(
     problem: &ScheduleProblem,
+    devices_by_class: &DevicesByClass,
     schedule: &Schedule,
-    device_available: &[Seconds],
+    timelines: &DeviceTimelines,
     op: OpId,
     uc: Seconds,
 ) -> Candidate {
     let graph = problem.graph();
+    let class = graph.operation(op).kind.device_class();
     let mut best: Option<(DeviceId, Seconds)> = None;
-    for device in problem.compatible_devices(op) {
-        let mut start = device_available[device.index()];
+    for &device in devices_by_class.devices(class) {
+        let mut start = timelines.next_free(device);
         for &parent in graph.parents(op) {
             if let Some(p) = schedule.get(parent) {
                 let gap = if p.device == device { 0 } else { uc };
@@ -220,6 +374,7 @@ mod tests {
     use super::*;
     use biochip_assay::{library, OperationKind, SequencingGraph};
     use proptest::prelude::*;
+    use std::collections::HashSet;
 
     #[test]
     fn pcr_on_one_mixer_is_serial() {
@@ -322,6 +477,79 @@ mod tests {
             .schedule(&problem)
             .unwrap();
         assert_eq!(s.makespan(), 20);
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic_and_documented() {
+        // Four identical independent mixes on two identical mixers: every
+        // (priority, start) key ties, so selection falls through to the
+        // documented order — lowest OpId first, lowest DeviceId first.
+        let mut g = SequencingGraph::new("ties");
+        let ids: Vec<OpId> = (0..4)
+            .map(|i| g.add_operation_with_duration(format!("m{i}"), OperationKind::Mix, 10))
+            .collect();
+        let problem = ScheduleProblem::new(g).with_mixers(2);
+        for strategy in [
+            SchedulingStrategy::MakespanOnly,
+            SchedulingStrategy::StorageAware,
+        ] {
+            let s = ListScheduler::new(strategy).schedule(&problem).unwrap();
+            // op0 claims device 0 at t=0, op1 device 1 at t=0 (both idle:
+            // start ties, lowest device id wins), op2 device 0 at t=10,
+            // op3 device 1 at t=10.
+            let expected = [
+                (DeviceId(0), 0),
+                (DeviceId(1), 0),
+                (DeviceId(0), 10),
+                (DeviceId(1), 10),
+            ];
+            for (op, (device, start)) in ids.iter().zip(expected) {
+                let a = s.get(*op).unwrap();
+                assert_eq!((a.device, a.start), (device, start), "{strategy:?} {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_runs_yield_identical_schedules() {
+        // Regression test for the determinism contract: the same problem
+        // must always produce the same schedule, operation for operation.
+        for seed in [7, 99, 1234] {
+            let g = biochip_assay::random::generate(
+                &biochip_assay::random::RandomAssayConfig::new(40, seed),
+            );
+            let problem = ScheduleProblem::new(g)
+                .with_mixers(3)
+                .with_transport_time(4);
+            for strategy in [
+                SchedulingStrategy::MakespanOnly,
+                SchedulingStrategy::StorageAware,
+            ] {
+                let first = ListScheduler::new(strategy).schedule(&problem).unwrap();
+                for _ in 0..3 {
+                    let again = ListScheduler::new(strategy).schedule(&problem).unwrap();
+                    assert_eq!(first, again, "{strategy:?} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ra1k_schedules_and_validates() {
+        // The scale family's smallest preset stays comfortably inside a
+        // debug-mode test budget thanks to the incremental ready queue.
+        let g = biochip_assay::random::ra1k();
+        let problem = ScheduleProblem::new(g)
+            .with_mixers(8)
+            .with_transport_time(3);
+        for strategy in [
+            SchedulingStrategy::MakespanOnly,
+            SchedulingStrategy::StorageAware,
+        ] {
+            let s = ListScheduler::new(strategy).schedule(&problem).unwrap();
+            s.validate(&problem).unwrap();
+            assert_eq!(s.len(), 1000);
+        }
     }
 
     proptest! {

@@ -163,11 +163,10 @@ impl Schedule {
             }
             let duration = graph.operation(op).duration;
             if assignment.end - assignment.start != duration {
-                return Err(ScheduleError::InvalidSchedule {
-                    reason: format!(
-                        "{op} is scheduled for {}s but needs {duration}s",
-                        assignment.end - assignment.start
-                    ),
+                return Err(ScheduleError::DurationMismatch {
+                    op,
+                    expected: duration,
+                    actual: assignment.end - assignment.start,
                 });
             }
         }
@@ -183,11 +182,11 @@ impl Schedule {
                 problem.transport_time()
             };
             if child.start < parent.end + required_gap {
-                return Err(ScheduleError::InvalidSchedule {
-                    reason: format!(
-                        "{} starts at {}s before its parent {} finishes at {}s (+{}s transport)",
-                        edge.child, child.start, edge.parent, parent.end, required_gap
-                    ),
+                return Err(ScheduleError::PrecedenceViolation {
+                    parent: edge.parent,
+                    child: edge.child,
+                    required_start: parent.end + required_gap,
+                    actual_start: child.start,
                 });
             }
         }
@@ -197,11 +196,10 @@ impl Schedule {
             let ops = self.operations_on(device.id);
             for pair in ops.windows(2) {
                 if pair[0].overlaps(&pair[1]) {
-                    return Err(ScheduleError::InvalidSchedule {
-                        reason: format!(
-                            "{} and {} overlap on device {}",
-                            pair[0].op, pair[1].op, device.id
-                        ),
+                    return Err(ScheduleError::OverlappingOperations {
+                        first: pair[0].op,
+                        second: pair[1].op,
+                        device: device.id,
                     });
                 }
             }
@@ -291,7 +289,11 @@ mod tests {
         s.assign(b, DeviceId(1), 20, 30);
         assert!(matches!(
             s.validate(&p),
-            Err(ScheduleError::InvalidSchedule { .. })
+            Err(ScheduleError::DurationMismatch {
+                expected: 10,
+                actual: 12,
+                ..
+            })
         ));
     }
 
@@ -304,7 +306,11 @@ mod tests {
         s.assign(b, DeviceId(1), 12, 22);
         assert!(matches!(
             s.validate(&p),
-            Err(ScheduleError::InvalidSchedule { .. })
+            Err(ScheduleError::PrecedenceViolation {
+                required_start: 15,
+                actual_start: 12,
+                ..
+            })
         ));
         // Same device: no transport needed, 10 s start is fine.
         let mut s = Schedule::with_capacity(p.graph().num_operations());
@@ -315,13 +321,21 @@ mod tests {
 
     #[test]
     fn validate_rejects_device_overlap() {
-        let (p, a, b) = two_op_problem();
+        // Two *independent* mixes: the overlap is the only violation, so the
+        // dedicated variant (not a precedence error) must surface.
+        let mut g = SequencingGraph::new("overlap");
+        let a = g.add_operation_with_duration("a", OperationKind::Mix, 10);
+        let b = g.add_operation_with_duration("b", OperationKind::Mix, 10);
+        let p = ScheduleProblem::new(g).with_mixers(1);
         let mut s = Schedule::with_capacity(p.graph().num_operations());
         s.assign(a, DeviceId(0), 0, 10);
         s.assign(b, DeviceId(0), 5, 15);
         assert!(matches!(
             s.validate(&p),
-            Err(ScheduleError::InvalidSchedule { .. })
+            Err(ScheduleError::OverlappingOperations {
+                device: DeviceId(0),
+                ..
+            })
         ));
     }
 

@@ -1,0 +1,195 @@
+//! Per-device availability timelines for the list scheduler.
+//!
+//! A [`DeviceTimeline`] records the busy intervals of one device in start
+//! order. The list scheduler only ever appends at the end of a timeline (it
+//! never schedules into an earlier idle gap), so querying the earliest
+//! feasible start on a device is `O(1)` via [`DeviceTimeline::next_free`],
+//! and the full interval history stays available for diagnostics and future
+//! gap-filling engines.
+
+use biochip_assay::{OpId, Seconds};
+
+use crate::problem::DeviceId;
+
+/// One device's busy intervals, in non-decreasing start order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceTimeline {
+    /// Busy intervals `(op, start, end)` in append order.
+    intervals: Vec<(OpId, Seconds, Seconds)>,
+}
+
+impl DeviceTimeline {
+    /// Creates an empty timeline.
+    #[must_use]
+    pub fn new() -> Self {
+        DeviceTimeline::default()
+    }
+
+    /// The earliest time at which the device is free forever after: the end
+    /// of the last busy interval, or `0` for an idle device.
+    #[must_use]
+    pub fn next_free(&self) -> Seconds {
+        self.intervals.last().map_or(0, |&(_, _, end)| end)
+    }
+
+    /// Appends a busy interval at the end of the timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is inverted or starts before [`next_free`]
+    /// (the append-only discipline of the list scheduler).
+    ///
+    /// [`next_free`]: DeviceTimeline::next_free
+    pub fn push(&mut self, op: OpId, start: Seconds, end: Seconds) {
+        assert!(end >= start, "interval must end after it starts");
+        assert!(
+            start >= self.next_free(),
+            "timeline is append-only: {op} starts at {start}s before the device is free at {}s",
+            self.next_free()
+        );
+        self.intervals.push((op, start, end));
+    }
+
+    /// Number of intervals on this timeline.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the device was never used.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The busy intervals `(op, start, end)` in start order.
+    #[must_use]
+    pub fn intervals(&self) -> &[(OpId, Seconds, Seconds)] {
+        &self.intervals
+    }
+
+    /// Total busy time of the device.
+    #[must_use]
+    pub fn busy_time(&self) -> Seconds {
+        self.intervals.iter().map(|&(_, s, e)| e - s).sum()
+    }
+}
+
+/// The availability timelines of every device of a scheduling problem,
+/// indexed by [`DeviceId::index`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceTimelines {
+    timelines: Vec<DeviceTimeline>,
+}
+
+impl DeviceTimelines {
+    /// Creates idle timelines for `num_devices` devices.
+    #[must_use]
+    pub fn new(num_devices: usize) -> Self {
+        DeviceTimelines {
+            timelines: vec![DeviceTimeline::new(); num_devices],
+        }
+    }
+
+    /// The earliest free time of one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device id is out of range.
+    #[must_use]
+    pub fn next_free(&self, device: DeviceId) -> Seconds {
+        self.timelines[device.index()].next_free()
+    }
+
+    /// Books an operation at the end of a device's timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device id is out of range or the interval violates the
+    /// append-only discipline (see [`DeviceTimeline::push`]).
+    pub fn book(&mut self, device: DeviceId, op: OpId, start: Seconds, end: Seconds) {
+        self.timelines[device.index()].push(op, start, end);
+    }
+
+    /// One device's timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device id is out of range.
+    #[must_use]
+    pub fn timeline(&self, device: DeviceId) -> &DeviceTimeline {
+        &self.timelines[device.index()]
+    }
+
+    /// Iterator over all timelines in device-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, &DeviceTimeline)> {
+        self.timelines
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (DeviceId(i), t))
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.timelines.len()
+    }
+
+    /// Whether there are no devices at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.timelines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_timeline_is_free_at_zero() {
+        let t = DeviceTimeline::new();
+        assert_eq!(t.next_free(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.busy_time(), 0);
+    }
+
+    #[test]
+    fn appending_advances_next_free() {
+        let mut t = DeviceTimeline::new();
+        t.push(OpId(0), 0, 10);
+        t.push(OpId(1), 15, 25);
+        assert_eq!(t.next_free(), 25);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.busy_time(), 20);
+        assert_eq!(t.intervals()[1], (OpId(1), 15, 25));
+    }
+
+    #[test]
+    #[should_panic(expected = "append-only")]
+    fn out_of_order_push_panics() {
+        let mut t = DeviceTimeline::new();
+        t.push(OpId(0), 0, 10);
+        t.push(OpId(1), 5, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "end after it starts")]
+    fn inverted_interval_panics() {
+        let mut t = DeviceTimeline::new();
+        t.push(OpId(0), 10, 5);
+    }
+
+    #[test]
+    fn timelines_index_by_device() {
+        let mut ts = DeviceTimelines::new(2);
+        assert_eq!(ts.len(), 2);
+        assert!(!ts.is_empty());
+        ts.book(DeviceId(1), OpId(3), 0, 30);
+        assert_eq!(ts.next_free(DeviceId(0)), 0);
+        assert_eq!(ts.next_free(DeviceId(1)), 30);
+        assert_eq!(ts.timeline(DeviceId(1)).len(), 1);
+        let busy: Vec<usize> = ts.iter().map(|(_, t)| t.len()).collect();
+        assert_eq!(busy, vec![0, 1]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for [`Schedule::validate`]: randomized schedules with
+//! injected violations must be rejected with the *matching*
+//! [`ScheduleError`] variant.
+//!
+//! Each property builds a valid randomized schedule first (so the injected
+//! defect is the only violation), then perturbs exactly one assignment.
+//! Graph shapes are chosen so no earlier-checked constraint can mask the
+//! injected one: overlap/duration/device injections use independent
+//! operations (no precedence edges), the precedence injection uses a chain.
+
+use biochip_assay::{OperationKind, SequencingGraph};
+use biochip_schedule::{
+    DeviceId, ListScheduler, Schedule, ScheduleError, ScheduleProblem, Scheduler,
+    SchedulingStrategy,
+};
+use proptest::prelude::*;
+
+/// `n` independent mixes (no dependency edges) with the given durations.
+fn independent_graph(durations: &[u64]) -> SequencingGraph {
+    let mut g = SequencingGraph::new("independent");
+    for (i, &d) in durations.iter().enumerate() {
+        g.add_operation_with_duration(format!("m{i}"), OperationKind::Mix, d.max(1));
+    }
+    g
+}
+
+/// A dependency chain `m0 -> m1 -> ... -> m{n-1}`.
+fn chain_graph(durations: &[u64]) -> SequencingGraph {
+    let mut g = SequencingGraph::new("chain");
+    let ids: Vec<_> = durations
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| g.add_operation_with_duration(format!("m{i}"), OperationKind::Mix, d.max(1)))
+        .collect();
+    for pair in ids.windows(2) {
+        g.add_dependency(pair[0], pair[1]).unwrap();
+    }
+    g
+}
+
+/// A valid schedule to perturb, produced by the real scheduler.
+fn valid_schedule(problem: &ScheduleProblem) -> Schedule {
+    let s = ListScheduler::new(SchedulingStrategy::MakespanOnly)
+        .schedule(problem)
+        .expect("base schedule must exist");
+    s.validate(problem).expect("base schedule must be valid");
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn injected_overlap_is_rejected_as_overlap(
+        durations in proptest::collection::vec(1u64..50, 4..10),
+        mixers in 1usize..3,
+    ) {
+        let problem = ScheduleProblem::new(independent_graph(&durations)).with_mixers(mixers);
+        let mut s = valid_schedule(&problem);
+        // Find a device executing at least two operations and slide the
+        // later one into the earlier one's interval (duration preserved).
+        let device = problem
+            .devices()
+            .iter()
+            .map(|d| d.id)
+            .find(|&d| s.operations_on(d).len() >= 2)
+            .expect("more ops than devices guarantees a busy device");
+        let ops = s.operations_on(device);
+        let (first, second) = (ops[0], ops[1]);
+        s.assign(second.op, device, first.start, first.start + (second.end - second.start));
+        prop_assert!(matches!(
+            s.validate(&problem),
+            Err(ScheduleError::OverlappingOperations { device: d, .. }) if d == device
+        ));
+    }
+
+    #[test]
+    fn injected_precedence_inversion_is_rejected_as_precedence(
+        durations in proptest::collection::vec(1u64..50, 2..8),
+        mixers in 1usize..4,
+        uc in 0u64..10,
+        shift in 1u64..20,
+    ) {
+        let problem = ScheduleProblem::new(chain_graph(&durations))
+            .with_mixers(mixers)
+            .with_transport_time(uc);
+        let mut s = valid_schedule(&problem);
+        // Pull the chain's last operation ahead of its parent's finish.
+        let graph = problem.graph();
+        let last = graph.id_by_name(&format!("m{}", durations.len() - 1)).unwrap();
+        let parent = graph.parents(last)[0];
+        let parent_end = s.get(parent).unwrap().end;
+        let child = *s.get(last).unwrap();
+        let duration = child.end - child.start;
+        let new_start = parent_end.saturating_sub(shift.min(parent_end));
+        s.assign(last, child.device, new_start, new_start + duration);
+        prop_assert!(matches!(
+            s.validate(&problem),
+            Err(ScheduleError::PrecedenceViolation { parent: p, child: c, .. })
+                if p == parent && c == last
+        ));
+    }
+
+    #[test]
+    fn injected_duration_mismatch_is_rejected_as_duration(
+        durations in proptest::collection::vec(1u64..50, 1..8),
+        mixers in 1usize..4,
+        victim in 0usize..8,
+        stretch in 1u64..25,
+    ) {
+        let problem = ScheduleProblem::new(independent_graph(&durations)).with_mixers(mixers);
+        let mut s = valid_schedule(&problem);
+        let ops = problem.graph().device_operations();
+        let victim = ops[victim % ops.len()];
+        let a = *s.get(victim).unwrap();
+        s.assign(victim, a.device, a.start, a.end + stretch);
+        prop_assert!(matches!(
+            s.validate(&problem),
+            Err(ScheduleError::DurationMismatch { op, expected, actual })
+                if op == victim
+                    && expected == a.end - a.start
+                    && actual == a.end - a.start + stretch
+        ));
+    }
+
+    #[test]
+    fn injected_unknown_device_is_rejected_as_incompatible(
+        durations in proptest::collection::vec(1u64..50, 1..8),
+        mixers in 1usize..4,
+        victim in 0usize..8,
+        beyond in 0usize..5,
+    ) {
+        let problem = ScheduleProblem::new(independent_graph(&durations)).with_mixers(mixers);
+        let mut s = valid_schedule(&problem);
+        let ops = problem.graph().device_operations();
+        let victim = ops[victim % ops.len()];
+        let a = *s.get(victim).unwrap();
+        // A device id past the inventory: unknown to the problem.
+        let bogus = DeviceId(problem.devices().len() + beyond);
+        s.assign(victim, bogus, a.start, a.end);
+        prop_assert!(matches!(
+            s.validate(&problem),
+            Err(ScheduleError::IncompatibleDevice { op, device })
+                if op == victim && device == bogus
+        ));
+    }
+
+    #[test]
+    fn missing_assignment_is_rejected_as_unscheduled(
+        durations in proptest::collection::vec(1u64..50, 1..8),
+        mixers in 1usize..4,
+        victim in 0usize..8,
+    ) {
+        let problem = ScheduleProblem::new(independent_graph(&durations)).with_mixers(mixers);
+        let full = valid_schedule(&problem);
+        let ops = problem.graph().device_operations();
+        let victim = ops[victim % ops.len()];
+        // Rebuild the schedule without the victim's assignment.
+        let mut s = Schedule::with_capacity(problem.graph().num_operations());
+        for a in full.iter().filter(|a| a.op != victim) {
+            s.assign(a.op, a.device, a.start, a.end);
+        }
+        prop_assert!(matches!(
+            s.validate(&problem),
+            Err(ScheduleError::UnscheduledOperation { op }) if op == victim
+        ));
+    }
+
+    #[test]
+    fn unperturbed_schedules_stay_valid(
+        durations in proptest::collection::vec(1u64..50, 1..10),
+        mixers in 1usize..4,
+        uc in 0u64..10,
+    ) {
+        // Control property: without an injection, validation accepts both
+        // graph shapes under every inventory.
+        for graph in [independent_graph(&durations), chain_graph(&durations)] {
+            let problem = ScheduleProblem::new(graph)
+                .with_mixers(mixers)
+                .with_transport_time(uc);
+            let s = valid_schedule(&problem);
+            prop_assert!(s.validate(&problem).is_ok());
+        }
+    }
+}
