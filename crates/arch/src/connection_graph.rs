@@ -1,6 +1,6 @@
 //! The synthesis result: a planar connection graph plus the routed paths.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -9,6 +9,7 @@ use crate::grid::{ConnectionGrid, GridEdgeId, NodeId};
 use crate::placement::Placement;
 use crate::reservation::Interval;
 use crate::routing::RoutedPath;
+use crate::synthesis::SynthesisStats;
 use crate::transport::{TransportKind, TransportTask};
 
 /// One transportation task together with the path that realizes it.
@@ -146,6 +147,7 @@ impl ConnectionGraph {
 pub struct Architecture {
     connection_graph: ConnectionGraph,
     routes: Vec<RoutedTransport>,
+    stats: SynthesisStats,
 }
 
 impl Architecture {
@@ -155,7 +157,21 @@ impl Architecture {
         Architecture {
             connection_graph,
             routes,
+            stats: SynthesisStats::default(),
         }
+    }
+
+    /// Attaches the synthesis work counters (see [`SynthesisStats`]).
+    #[must_use]
+    pub fn with_stats(mut self, stats: SynthesisStats) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Per-stage work counters of the synthesis that produced this chip.
+    #[must_use]
+    pub fn stats(&self) -> &SynthesisStats {
+        &self.stats
     }
 
     /// The planar connection graph (devices, switches, kept segments).
@@ -329,41 +345,72 @@ impl Architecture {
             }
         }
 
-        // Pairwise conflicts between concurrently occupied paths.
-        for (i, a) in self.routes.iter().enumerate() {
-            for b in self.routes.iter().skip(i + 1) {
-                if !a.path.window.overlaps(&b.path.window) {
-                    continue;
+        // Conflicts between concurrently occupied paths, checked per
+        // resource: two paths can only collide on an edge (or interior node)
+        // that both of them use, so it suffices to sort each resource's
+        // occupations by window start and sweep for overlaps — linear in the
+        // total path length instead of quadratic in the number of routes.
+        let mut edge_usage: HashMap<GridEdgeId, Vec<(Interval, usize)>> = HashMap::new();
+        let mut node_usage: HashMap<NodeId, Vec<(Interval, usize)>> = HashMap::new();
+        for (i, route) in self.routes.iter().enumerate() {
+            let window = route.path.window;
+            if window.is_empty() {
+                continue;
+            }
+            for &edge in &route.path.edges {
+                edge_usage.entry(edge).or_default().push((window, i));
+            }
+            if route.path.nodes.len() > 2 {
+                for &node in &route.path.nodes[1..route.path.nodes.len() - 1] {
+                    node_usage.entry(node).or_default().push((window, i));
                 }
-                for edge in &a.path.edges {
-                    if b.path.edges.contains(edge) {
-                        return Err(ArchError::Inconsistent {
-                            reason: format!(
-                                "edge {edge} shared by concurrent paths ({} / {})",
-                                a.task.describe(),
-                                b.task.describe()
-                            ),
-                        });
+            }
+        }
+        let sweep = |usage: &mut Vec<(Interval, usize)>| -> Option<(usize, usize)> {
+            usage.sort_unstable_by_key(|(w, i)| (w.start, w.end, *i));
+            let mut frontier: Option<(Interval, usize)> = None;
+            for &(window, i) in usage.iter() {
+                if let Some((held, holder)) = frontier {
+                    // A route may touch the same resource twice in its own
+                    // window (hand-built paths); only cross-route overlaps
+                    // are conflicts, matching the old pairwise check.
+                    if window.start < held.end && holder != i {
+                        return Some((holder, i));
                     }
                 }
-                let interior_a: HashSet<NodeId> = interior_nodes(&a.path);
-                for node in interior_nodes(&b.path) {
-                    if interior_a.contains(&node) {
-                        return Err(ArchError::Inconsistent {
-                            reason: format!(
-                                "node {node} shared by concurrent paths ({} / {})",
-                                a.task.describe(),
-                                b.task.describe()
-                            ),
-                        });
-                    }
+                if frontier.is_none_or(|(held, _)| window.end > held.end) {
+                    frontier = Some((window, i));
                 }
+            }
+            None
+        };
+        for (edge, usage) in &mut edge_usage {
+            if let Some((a, b)) = sweep(usage) {
+                return Err(ArchError::Inconsistent {
+                    reason: format!(
+                        "edge {edge} shared by concurrent paths ({} / {})",
+                        self.routes[a].task.describe(),
+                        self.routes[b].task.describe()
+                    ),
+                });
+            }
+        }
+        for (node, usage) in &mut node_usage {
+            if let Some((a, b)) = sweep(usage) {
+                return Err(ArchError::Inconsistent {
+                    reason: format!(
+                        "node {node} shared by concurrent paths ({} / {})",
+                        self.routes[a].task.describe(),
+                        self.routes[b].task.describe()
+                    ),
+                });
             }
         }
 
         // Storage exclusivity: no path may use a cached segment while the
-        // sample rests in it.
-        for store in &self.routes {
+        // sample rests in it. Only the paths that traverse the cached
+        // segment (already grouped in `edge_usage`) need checking.
+        for (i, store) in self.routes.iter().enumerate() {
             let (Some(cache), Some((from, until))) =
                 (store.cache_edge, store.task.storage_interval)
             else {
@@ -373,15 +420,12 @@ impl Architecture {
                 continue;
             }
             let storage = Interval::new(from, until);
-            for other in &self.routes {
-                if std::ptr::eq(store, other) {
-                    continue;
-                }
-                if other.path.window.overlaps(&storage) && other.path.edges.contains(&cache) {
+            for &(window, other) in edge_usage.get(&cache).map_or(&[][..], Vec::as_slice) {
+                if other != i && window.overlaps(&storage) {
                     return Err(ArchError::Inconsistent {
                         reason: format!(
                             "segment {cache} is used by {} while caching sample {}",
-                            other.task.describe(),
+                            self.routes[other].task.describe(),
                             store.task.sample
                         ),
                     });
@@ -401,17 +445,6 @@ impl Architecture {
         }
         Ok(())
     }
-}
-
-/// Nodes of a path excluding its two endpoints.
-fn interior_nodes(path: &RoutedPath) -> HashSet<NodeId> {
-    if path.nodes.len() <= 2 {
-        return HashSet::new();
-    }
-    path.nodes[1..path.nodes.len() - 1]
-        .iter()
-        .copied()
-        .collect()
 }
 
 #[cfg(test)]

@@ -19,6 +19,28 @@
 //!    paper compares (valve cost of a multiplexer-addressed cell bank and its
 //!    port-bandwidth limit) ([`dedicated`]).
 //!
+//! # Scaling to 10k-op assays
+//!
+//! Place & route runs on indexed data structures so the 1k/10k-operation
+//! transport-task streams produced by the list scheduler are absorbed
+//! without quadratic hot paths:
+//!
+//! * every grid edge and node owns a sorted, coalesced **reservation
+//!   calendar** ([`ReservationCalendar`]) with `O(log n)` occupancy queries
+//!   and a [`first_free`](ReservationCalendar::first_free) primitive that
+//!   hands the router feasible windows directly,
+//! * store tasks pick their cache segment through a per-device-pair
+//!   **segment index** (distance-sorted, lazily priced) instead of scanning
+//!   every grid edge,
+//! * placement refinement prices annealing moves by **delta cost** from the
+//!   traffic-matrix rows of the touched devices,
+//! * [`Router::route`] is an explicit staged pipeline — window selection →
+//!   path search → commit — whose per-stage effort ([`RouterStats`]) is
+//!   surfaced through [`SynthesisStats`] and the synthesis report, and
+//! * the connection grid is sized from the schedule's **peak concurrent
+//!   storage**, so scale assays get a grid with enough channel segments to
+//!   cache their samples up front.
+//!
 //! # Example
 //!
 //! ```
@@ -46,6 +68,7 @@ mod ilp_route;
 mod placement;
 mod reservation;
 mod routing;
+mod segment_index;
 mod synthesis;
 mod transport;
 
@@ -55,9 +78,9 @@ pub use error::ArchError;
 pub use grid::{ConnectionGrid, GridCoord, GridEdgeId, NodeId};
 pub use ilp_route::{route_with_ilp, IlpRoutingProblem};
 pub use placement::{place_devices, Placement, PlacementOptions};
-pub use reservation::{Interval, ReservationTable};
-pub use routing::{Router, RoutingOptions};
-pub use synthesis::{ArchitectureSynthesizer, SynthesisOptions};
+pub use reservation::{Interval, ReservationCalendar, ReservationTable};
+pub use routing::{RoutedPath, Router, RouterStats, RoutingOptions};
+pub use synthesis::{ArchitectureSynthesizer, SynthesisOptions, SynthesisStats};
 pub use transport::{extract_transport_tasks, TransportKind, TransportTask};
 
 /// Re-exported scheduling types used in this crate's public API.

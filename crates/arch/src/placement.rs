@@ -6,6 +6,12 @@
 //! followed by an optional simulated-annealing refinement (seeded, hence
 //! deterministic) that swaps/moves devices to reduce the total
 //! traffic-weighted Manhattan distance.
+//!
+//! The refinement evaluates every candidate move **incrementally**: a swap or
+//! move only changes the cost terms of the touched devices, so the delta is
+//! computed from the affected [`TrafficMatrix`] rows in `O(devices)` instead
+//! of recomputing the full `O(devices²)` [`Placement::weighted_cost`] per
+//! step.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -197,16 +203,36 @@ pub fn place_devices(
     }
     let traffic = TrafficMatrix::from_tasks(num_devices, tasks);
 
-    // Candidate positions: prefer nodes with even coordinates so devices are
-    // separated by switch nodes (this keeps segments free for caching), then
-    // fall back to all nodes.
+    // Candidate positions: prefer nodes on a regular sub-lattice so devices
+    // are separated by switch nodes (this keeps segments free for caching),
+    // then fall back to all nodes. Small grids use the paper's every-other-
+    // node spacing; storage-sized grids (side ≥ 12 with room to spare)
+    // spread devices four apart so the corridors between them are several
+    // channels wide — transit, caching and zero-slack port traffic then
+    // stop competing for the same single-segment alleys.
+    let side = grid.rows().max(grid.cols());
+    let wide_lattice_fits = (side / 4 + 1).pow(2) >= num_devices;
+    let spacing = if side >= 12 && wide_lattice_fits {
+        4
+    } else {
+        2
+    };
     let mut preferred: Vec<NodeId> = grid
         .nodes()
         .filter(|&n| {
             let c = grid.coord(n);
-            c.row.is_multiple_of(2) && c.col.is_multiple_of(2)
+            c.row.is_multiple_of(spacing) && c.col.is_multiple_of(spacing)
         })
         .collect();
+    if preferred.len() < num_devices {
+        preferred = grid
+            .nodes()
+            .filter(|&n| {
+                let c = grid.coord(n);
+                c.row.is_multiple_of(2) && c.col.is_multiple_of(2)
+            })
+            .collect();
+    }
     if preferred.len() < num_devices {
         preferred = grid.nodes().collect();
     }
@@ -252,9 +278,38 @@ pub fn place_devices(
     Ok(placement)
 }
 
+/// Cost delta of moving one device to `to`, with `ignore` (the swap partner,
+/// if any) excluded because its own terms are accounted for by the caller.
+fn move_delta(
+    grid: &ConnectionGrid,
+    traffic: &TrafficMatrix,
+    nodes: &[NodeId],
+    device: usize,
+    to: NodeId,
+    ignore: Option<usize>,
+) -> i64 {
+    let from = nodes[device];
+    let mut delta = 0i64;
+    for (other, &other_node) in nodes.iter().enumerate() {
+        if other == device || Some(other) == ignore {
+            continue;
+        }
+        let weight = traffic.weight(DeviceId(device), DeviceId(other)) as i64;
+        if weight > 0 {
+            delta += weight
+                * (grid.distance(to, other_node) as i64 - grid.distance(from, other_node) as i64);
+        }
+    }
+    delta
+}
+
 /// Simulated-annealing refinement: swap two devices or move one device to a
 /// free preferred node, accepting uphill moves with a temperature-dependent
 /// probability.
+///
+/// Each candidate move is priced by its **delta cost** — only the traffic
+/// rows of the touched devices are visited — and applied in place; the full
+/// quadratic cost is never recomputed inside the loop.
 fn refine(
     grid: &ConnectionGrid,
     traffic: &TrafficMatrix,
@@ -263,47 +318,73 @@ fn refine(
     options: &PlacementOptions,
 ) {
     let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut current_cost = placement.weighted_cost(grid, traffic);
-    let mut best = placement.clone();
+    let initial_cost = placement.weighted_cost(grid, traffic) as i64;
+    let mut current_cost = initial_cost;
+    let mut best = placement.node_of_device.clone();
     let mut best_cost = current_cost;
+    let mut occupied: std::collections::HashSet<NodeId> =
+        placement.node_of_device.iter().copied().collect();
     let moves = options.annealing_moves.max(1);
     for step in 0..moves {
         let temperature = 1.0 - (step as f64 / moves as f64);
-        let mut candidate = placement.clone();
-        if rng.gen_bool(0.5) && placement.len() >= 2 {
+        let nodes = &mut placement.node_of_device;
+        let (delta, action) = if rng.gen_bool(0.5) && nodes.len() >= 2 {
             // Swap two devices.
-            let a = rng.gen_range(0..placement.len());
-            let mut b = rng.gen_range(0..placement.len());
+            let a = rng.gen_range(0..nodes.len());
+            let mut b = rng.gen_range(0..nodes.len());
             while b == a {
-                b = rng.gen_range(0..placement.len());
+                b = rng.gen_range(0..nodes.len());
             }
-            candidate.node_of_device.swap(a, b);
+            let delta = move_delta(grid, traffic, nodes, a, nodes[b], Some(b))
+                + move_delta(grid, traffic, nodes, b, nodes[a], Some(a));
+            (delta, Action::Swap(a, b))
         } else {
-            // Move one device to a free candidate node.
-            let d = rng.gen_range(0..placement.len());
+            // Move one device to a free candidate node. The free list is
+            // materialized exactly as before the delta-cost rewrite so the
+            // seeded RNG stream — and therefore every placement — stays
+            // bit-identical to the original annealer's.
+            let d = rng.gen_range(0..nodes.len());
             let free: Vec<NodeId> = candidates
                 .iter()
                 .copied()
-                .filter(|n| !candidate.node_of_device.contains(n))
+                .filter(|n| !occupied.contains(n))
                 .collect();
             if free.is_empty() {
                 continue;
             }
-            candidate.node_of_device[d] = free[rng.gen_range(0..free.len())];
-        }
-        let cost = candidate.weighted_cost(grid, traffic);
-        let accept =
-            cost <= current_cost || rng.gen_bool((0.05 + 0.4 * temperature).clamp(0.0, 1.0));
+            let to = free[rng.gen_range(0..free.len())];
+            let delta = move_delta(grid, traffic, nodes, d, to, None);
+            (delta, Action::Move(d, to))
+        };
+        let accept = delta <= 0 || rng.gen_bool((0.05 + 0.4 * temperature).clamp(0.0, 1.0));
         if accept {
-            *placement = candidate;
-            current_cost = cost;
-            if cost < best_cost {
-                best = placement.clone();
-                best_cost = cost;
+            match action {
+                Action::Swap(a, b) => nodes.swap(a, b),
+                Action::Move(d, to) => {
+                    occupied.remove(&nodes[d]);
+                    occupied.insert(to);
+                    nodes[d] = to;
+                }
+            }
+            current_cost += delta;
+            if current_cost < best_cost {
+                best.copy_from_slice(nodes);
+                best_cost = current_cost;
             }
         }
     }
-    *placement = best;
+    placement.node_of_device = best;
+    debug_assert_eq!(
+        placement.weighted_cost(grid, traffic) as i64,
+        best_cost,
+        "delta-cost bookkeeping diverged from the full recompute"
+    );
+}
+
+/// A candidate annealing move, applied only after acceptance.
+enum Action {
+    Swap(usize, usize),
+    Move(usize, NodeId),
 }
 
 #[cfg(test)]
@@ -417,6 +498,34 @@ mod tests {
         assert_eq!(p.device_at(node), Some(DeviceId(1)));
         let free = grid.nodes().find(|n| p.device_at(*n).is_none()).unwrap();
         assert_eq!(p.device_at(free), None);
+    }
+
+    #[test]
+    fn move_delta_matches_full_recompute() {
+        let grid = ConnectionGrid::square(5);
+        let tasks = vec![task(0, 1), task(0, 1), task(1, 2), task(2, 3), task(0, 3)];
+        let traffic = TrafficMatrix::from_tasks(4, &tasks);
+        let placement = Placement::from_nodes(vec![NodeId(0), NodeId(6), NodeId(12), NodeId(24)]);
+        let base = placement.weighted_cost(&grid, &traffic) as i64;
+        // Move device 2 to a free node.
+        let mut moved = placement.clone();
+        let delta = move_delta(
+            &grid,
+            &traffic,
+            &placement.node_of_device,
+            2,
+            NodeId(20),
+            None,
+        );
+        moved.node_of_device[2] = NodeId(20);
+        assert_eq!(moved.weighted_cost(&grid, &traffic) as i64, base + delta);
+        // Swap devices 0 and 3.
+        let nodes = &placement.node_of_device;
+        let delta = move_delta(&grid, &traffic, nodes, 0, nodes[3], Some(3))
+            + move_delta(&grid, &traffic, nodes, 3, nodes[0], Some(0));
+        let mut swapped = placement.clone();
+        swapped.node_of_device.swap(0, 3);
+        assert_eq!(swapped.weighted_cost(&grid, &traffic) as i64, base + delta);
     }
 
     #[test]

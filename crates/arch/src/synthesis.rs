@@ -8,8 +8,24 @@ use crate::connection_graph::{Architecture, ConnectionGraph};
 use crate::error::ArchError;
 use crate::grid::ConnectionGrid;
 use crate::placement::{place_devices, PlacementOptions};
-use crate::routing::{Router, RoutingOptions};
+use crate::routing::{Router, RouterStats, RoutingOptions};
 use crate::transport::extract_transport_tasks;
+
+/// Work counters of one synthesis run: the staged router's per-stage
+/// counters plus the grid-search effort around it. Surfaced through
+/// `SynthesisReport` and the `bench arch` scale sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SynthesisStats {
+    /// Per-stage counters of the router that produced the final chip.
+    pub router: RouterStats,
+    /// Placement + routing attempts across grid sizes (1 = first grid fit).
+    pub grids_tried: usize,
+    /// Whether the deadline-relaxed last-resort pass was needed.
+    pub relaxed_pass: bool,
+    /// Largest reservation calendar of any edge/node — the `n` of the
+    /// router's `O(log n)` calendar queries.
+    pub peak_calendar_len: usize,
+}
 
 /// Options of the architectural synthesizer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -18,7 +34,10 @@ pub struct SynthesisOptions {
     /// count (the paper uses 4×4 for up to four devices and 5×5 for five).
     pub grid_size: Option<usize>,
     /// Largest grid side length the synthesizer may grow to when routing on
-    /// the initial grid fails.
+    /// the initial grid fails. A hard cap, with one exception: when the
+    /// storage-derived initial size already exceeds it (scale assays whose
+    /// peak concurrent storage demands a bigger grid than this cap), the
+    /// search may grow a further quarter above that derived size.
     pub max_grid_size: usize,
     /// Allow postponing individual transports past their deadline (reported
     /// via [`Architecture::transport_postponement`]) as a last resort when
@@ -99,35 +118,83 @@ impl ArchitectureSynthesizer {
         let tasks = extract_transport_tasks(problem, schedule);
         let num_devices = problem.devices().len();
 
+        let peak_storage = schedule.metrics(problem).max_concurrent_storage;
         let initial = self
             .options
             .grid_size
-            .unwrap_or_else(|| default_grid_size(num_devices));
-        let max = self.options.max_grid_size.max(initial);
+            .unwrap_or_else(|| default_grid_size(num_devices, peak_storage));
+        // `max_grid_size` stays a hard cap for caller-pinned and small
+        // derived sizes. Only when the *derived* storage-sized initial
+        // already exceeds the configured maximum does the search get a
+        // quarter of growth headroom above it — otherwise scale assays
+        // could never be attempted at all.
+        let max = if self.options.grid_size.is_none() && initial > self.options.max_grid_size {
+            initial + initial.div_ceil(4)
+        } else {
+            self.options.max_grid_size.max(initial)
+        };
 
         let mut last_error = ArchError::GridTooSmall {
             devices: num_devices,
             nodes: 0,
         };
-        for size in initial..=max {
-            let grid = ConnectionGrid::square(size);
-            match self.try_grid(&grid, problem, &tasks, &self.options.routing) {
-                Ok(architecture) => return Ok(architecture),
-                Err(e) => last_error = e,
-            }
-        }
-        if self.options.allow_postponement {
-            // Last resort: permit postponing transports whose deadlines
-            // cannot all be met (more simultaneous movements at a device
-            // than it has ports). The overrun is reported, not hidden.
+        // Last resort: permit postponing transports whose deadlines cannot
+        // all be met (more simultaneous movements at a device than it has
+        // ports). The overrun is reported, not hidden.
+        let relaxed_routing = {
             let mut relaxed = self.options.routing.clone();
             relaxed.max_deadline_overrun = 8 * problem.transport_time().max(1);
+            relaxed
+        };
+        // Paper-scale grids prefer growing the grid over postponing (every
+        // size strictly first, then every size with postponement).
+        // Storage-sized grids run one pass per size with postponement armed:
+        // the router escalates to overrun windows per task, so tasks that
+        // fit their slack are routed exactly as in a strict pass, and a
+        // grown grid rarely resolves a zero-slack port conflict anyway —
+        // while each extra pass re-routes tens of thousands of tasks.
+        let scale_side = crate::segment_index::SCALE_GRID_SIDE;
+        let scale = initial >= scale_side;
+        let mut attempts: Vec<(usize, bool)> = Vec::new();
+        if scale {
             for size in initial..=max {
-                let grid = ConnectionGrid::square(size);
-                match self.try_grid(&grid, problem, &tasks, &relaxed) {
-                    Ok(architecture) => return Ok(architecture),
-                    Err(e) => last_error = e,
+                attempts.push((size, self.options.allow_postponement));
+            }
+        } else {
+            // Exhaust paper-scale grids first — strict, then with
+            // postponement — before growing into storage-sized grids whose
+            // scale-mode heuristics produce different (larger) chips. This
+            // keeps every assay the pre-refactor flow could synthesize on a
+            // small grid on exactly that grid.
+            let small_max = max.min(scale_side - 1);
+            for size in initial..=small_max {
+                attempts.push((size, false));
+            }
+            if self.options.allow_postponement {
+                for size in initial..=small_max {
+                    attempts.push((size, true));
                 }
+            }
+            for size in scale_side..=max {
+                attempts.push((size, self.options.allow_postponement));
+            }
+        }
+        for (grids_tried, &(size, relaxed_pass)) in attempts.iter().enumerate() {
+            let routing = if relaxed_pass {
+                &relaxed_routing
+            } else {
+                &self.options.routing
+            };
+            let grid = ConnectionGrid::square(size);
+            match self.try_grid(&grid, problem, &tasks, routing) {
+                Ok((architecture, mut stats)) => {
+                    stats.grids_tried = grids_tried + 1;
+                    stats.relaxed_pass = relaxed_pass;
+                    let architecture = architecture.with_stats(stats);
+                    architecture.verify()?;
+                    return Ok(architecture);
+                }
+                Err(e) => last_error = e,
             }
         }
         Err(last_error)
@@ -140,7 +207,7 @@ impl ArchitectureSynthesizer {
         problem: &ScheduleProblem,
         tasks: &[crate::transport::TransportTask],
         routing: &RoutingOptions,
-    ) -> Result<Architecture, ArchError> {
+    ) -> Result<(Architecture, SynthesisStats), ArchError> {
         let placement = place_devices(
             grid,
             problem.devices().len(),
@@ -152,21 +219,59 @@ impl ArchitectureSynthesizer {
         for task in tasks {
             routes.push(router.route(task)?);
         }
+        let stats = SynthesisStats {
+            router: router.stats(),
+            grids_tried: 0,
+            relaxed_pass: false,
+            peak_calendar_len: router.reservations().peak_calendar_len(),
+        };
         let used = router.used_edges().iter().copied().collect::<Vec<_>>();
         let connection_graph = ConnectionGraph::new(grid.clone(), placement, used);
         let architecture = Architecture::new(connection_graph, routes);
-        architecture.verify()?;
-        Ok(architecture)
+        Ok((architecture, stats))
     }
 }
 
-/// Grid side length used when the caller does not fix one: devices are spread
-/// on every other node, so a side of `2·ceil(sqrt(D))` leaves enough switch
-/// nodes and segments around each device, with the paper's 4×4 as a floor.
+/// Grid side length used when the caller does not fix one.
+///
+/// Two demands size the grid: devices are spread on every other node, so a
+/// side of `2·ceil(sqrt(D))` leaves enough switch nodes and segments around
+/// each device (with the paper's 4×4 as a floor); and every concurrently
+/// stored sample occupies a whole channel segment, so the grid must offer
+/// comfortably more segments than the schedule's peak concurrent storage —
+/// the demand that dominates for the 1k/10k-op scale assays, whose storage
+/// peaks dwarf their device counts.
 #[must_use]
-fn default_grid_size(num_devices: usize) -> usize {
-    let side = (num_devices as f64).sqrt().ceil() as usize;
-    (2 * side).max(4)
+fn default_grid_size(num_devices: usize, peak_storage: usize) -> usize {
+    let side_for = |needed_edges: usize| {
+        // A size-s square grid has 2·s·(s−1) segments.
+        let mut side = 2;
+        while 2 * side * (side - 1) < needed_edges {
+            side += 1;
+        }
+        side
+    };
+    let device_side = 2 * (num_devices as f64).sqrt().ceil() as usize;
+    // Demand 3× the storage peak so transport paths keep room to move
+    // between cached samples (the cache spread and egress guards need free
+    // neighbours around every cached segment).
+    let needed_edges = 3 * peak_storage + 8;
+    let side = device_side.max(side_for(needed_edges)).max(4);
+    if side < crate::segment_index::SCALE_GRID_SIDE {
+        return side;
+    }
+    // Storage-sized grids cache on the vertical even-column **comb** only
+    // (see `segment_index`), and the device cluster's interior is priced
+    // out of the cache supply: size the grid so the comb outside the
+    // cluster box holds 1.25× the storage peak.
+    let cluster_side = 4 * (num_devices as f64).sqrt().ceil() as usize + 1;
+    let cluster_comb = cluster_side.div_ceil(2) * cluster_side.saturating_sub(1);
+    let needed_comb = peak_storage + peak_storage / 4 + cluster_comb + 8;
+    let mut comb_side = side;
+    while comb_side.div_ceil(2) * (comb_side - 1) < needed_comb {
+        comb_side += 1;
+    }
+    device_side.max(comb_side)
 }
 
 #[cfg(test)]
@@ -255,10 +360,19 @@ mod tests {
 
     #[test]
     fn default_grid_sizes() {
-        assert_eq!(default_grid_size(1), 4);
-        assert_eq!(default_grid_size(4), 4);
-        assert_eq!(default_grid_size(5), 6);
-        assert_eq!(default_grid_size(9), 6);
+        // Device-count-dominated sizing (small storage peaks).
+        assert_eq!(default_grid_size(1, 0), 4);
+        assert_eq!(default_grid_size(4, 0), 4);
+        assert_eq!(default_grid_size(5, 0), 6);
+        assert_eq!(default_grid_size(9, 0), 6);
+        // Storage-dominated sizing: the grid must offer 3× the peak
+        // concurrent storage in segments.
+        assert_eq!(default_grid_size(2, 20), 7); // 68 edges needed, 2·7·6 = 84
+        let side = default_grid_size(8, 1_062); // the RA10K storage peak
+                                                // The even-column storage comb must hold 1.25× the peak on top
+                                                // of the cluster-interior exclusion.
+        assert!(side.div_ceil(2) * (side - 1) >= 1_062 + 1_062 / 4);
+        assert!(side < 60, "sizing exploded: {side}");
     }
 
     #[test]

@@ -119,6 +119,28 @@ pub fn extract_transport_tasks(
 ) -> Vec<TransportTask> {
     let graph = problem.graph();
     let uc = problem.transport_time();
+    // Per-device sorted operation start times, built once: the store-deadline
+    // rule needs "the producing device's next operation" per cross-device
+    // edge, and a per-edge scan over the whole schedule is quadratic at
+    // 10k-op scale.
+    let mut starts_on_device: Vec<Vec<Seconds>> = vec![Vec::new(); problem.devices().len()];
+    for assignment in schedule.iter() {
+        if let Some(starts) = starts_on_device.get_mut(assignment.device.index()) {
+            starts.push(assignment.start);
+        }
+    }
+    for starts in &mut starts_on_device {
+        starts.sort_unstable();
+    }
+    let next_op_on = |device: DeviceId, at: Seconds| -> Seconds {
+        starts_on_device
+            .get(device.index())
+            .and_then(|starts| {
+                let idx = starts.partition_point(|&s| s < at);
+                starts.get(idx).copied()
+            })
+            .unwrap_or(Seconds::MAX)
+    };
     let mut tasks = Vec::new();
     let mut sample = 0usize;
     for edge in graph.edges() {
@@ -134,13 +156,7 @@ pub fn extract_transport_tasks(
             // Store right after the producer ends. The store may slide later
             // as long as the sample is out of the device before the device's
             // next operation and in its cache segment before the fetch.
-            let producer_next_op = schedule
-                .operations_on(parent.device)
-                .iter()
-                .map(|a| a.start)
-                .filter(|&s| s >= parent.end)
-                .min()
-                .unwrap_or(Seconds::MAX);
+            let producer_next_op = next_op_on(parent.device, parent.end);
             let store_deadline = (child.start - uc).min(producer_next_op);
             tasks.push(TransportTask {
                 sample,

@@ -1,0 +1,28 @@
+//! Runs the architectural-synthesis scale sweep and writes
+//! `BENCH_arch.json`.
+//!
+//! Usage: `arch [SIZE...]` — positional graph sizes (default
+//! `100 1000 10000`). The mixer count is fixed at
+//! [`biochip_bench::DEFAULT_ARCH_MIXERS`] so the trajectory isolates
+//! graph-size effects. Compare against the committed
+//! `BENCH_arch_baseline.json` (pre-refactor router) for the
+//! routed-tasks/sec trajectory.
+
+fn main() {
+    let sizes: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|arg| {
+            arg.parse()
+                .unwrap_or_else(|e| panic!("invalid size `{arg}`: {e}"))
+        })
+        .collect();
+    let sizes = if sizes.is_empty() {
+        biochip_bench::DEFAULT_ARCH_SIZES.to_vec()
+    } else {
+        sizes
+    };
+    let rows = biochip_bench::arch_scale_rows(&sizes, biochip_bench::DEFAULT_ARCH_MIXERS);
+    println!("Architectural synthesis scale sweep (place & route)\n");
+    print!("{}", biochip_bench::format_arch_scale(&rows));
+    biochip_bench::write_bench_json("arch", &rows);
+}

@@ -10,8 +10,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arch_scale;
 pub mod scale;
 
+pub use arch_scale::{
+    arch_scale_csv, arch_scale_rows, format_arch_scale, ArchScaleRow, DEFAULT_ARCH_MIXERS,
+    DEFAULT_ARCH_SIZES,
+};
 pub use scale::{
     format_scale, scale_csv, scale_rows, ScaleRow, DEFAULT_SCALE_MIXERS, DEFAULT_SCALE_SIZES,
 };

@@ -45,10 +45,9 @@ pub fn by_name(name: &str) -> Result<SequencingGraph, CliError> {
         "RA30" => random::ra30(),
         "RA70" => random::ra70(),
         "RA100" => random::ra100(),
-        // Scale-family workloads. These stress the *scheduler*; the paper's
-        // channel-storage architecture cannot cache their storage peaks, so
-        // full-flow `run`/`batch` fails cleanly in architectural synthesis.
-        // Prefer `biochip schedule` or `biochip bench scale`.
+        // Scale-family workloads: the full pipeline handles these end to
+        // end (the storage-sized connection grid caches their storage
+        // peaks); RA10K takes a few seconds in release builds.
         "RA1K" => random::ra1k(),
         "RA10K" => random::ra10k(),
         _ => unreachable!("LIBRARY names are exhaustive"),

@@ -68,7 +68,7 @@ const CONFIG_SPECS: &[OptionSpec] = &[
     OptionSpec {
         name: "--assay",
         takes_value: true,
-        help: "library assay (PCR, IVD, CPA, RA30, RA70, RA100; aliases invitro/protein)",
+        help: "library assay (PCR, IVD, CPA, RA30-RA100, RA1K, RA10K; aliases invitro/protein)",
     },
     OptionSpec {
         name: "--input",
@@ -116,6 +116,16 @@ const CONFIG_SPECS: &[OptionSpec] = &[
         help: "ILP scheduler wall-clock limit in seconds (default 15)",
     },
     OptionSpec {
+        name: "--annealing-moves",
+        takes_value: true,
+        help: "placement refinement moves (default 2000; 0 disables refinement)",
+    },
+    OptionSpec {
+        name: "--window-candidates",
+        takes_value: true,
+        help: "max candidate start times per transport window (default 16)",
+    },
+    OptionSpec {
         name: "--channel-pitch",
         takes_value: true,
         help: "minimum channel pitch for physical design (default 1)",
@@ -159,6 +169,13 @@ fn config_from_args(parsed: &ParsedArgs) -> Result<SynthesisConfig, CliError> {
     }
     if let Some(secs) = parsed.parse_value::<u64>("--ilp-time-limit")? {
         config.ilp_time_limit = Duration::from_secs(secs);
+    }
+    if let Some(moves) = parsed.parse_value::<usize>("--annealing-moves")? {
+        config.synthesis.placement.refine = moves > 0;
+        config.synthesis.placement.annealing_moves = moves.max(1);
+    }
+    if let Some(candidates) = parsed.parse_value::<usize>("--window-candidates")? {
+        config.synthesis.routing.max_window_candidates = candidates.max(1);
     }
     if let Some(pitch) = parsed.parse_value::<u64>("--channel-pitch")? {
         config.layout.channel_pitch = pitch.max(1);
@@ -567,7 +584,7 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
         OptionSpec {
             name: "--what",
             takes_value: true,
-            help: "table2 | fig8 | fig9 | fig10 | scale (default table2)",
+            help: "table2 | fig8 | fig9 | fig10 | scale | arch (default table2)",
         },
         OptionSpec {
             name: "--format",
@@ -582,19 +599,20 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
         OptionSpec {
             name: "--sizes",
             takes_value: true,
-            help: "scale only: comma-separated graph sizes (default 100,1000,10000)",
+            help: "scale/arch only: comma-separated graph sizes (default 100,1000,10000)",
         },
         OptionSpec {
             name: "--mixers",
             takes_value: true,
-            help: "scale only: mixer count for the sweep (default 8)",
+            help: "scale/arch only: mixer count for the sweep (default 8)",
         },
     ];
     if help_requested(argv) {
         print_help(
             "bench",
             "Reproduces the paper's evaluation numbers; `bench scale` sweeps\n\
-             the list scheduler over the RA1K/RA10K-style scale workloads.",
+             the list scheduler and `bench arch` sweeps place & route over\n\
+             the RA1K/RA10K-style scale workloads.",
             &specs,
         );
         return Ok(());
@@ -612,15 +630,16 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
             ));
         }
     };
-    if what != "scale" && (parsed.value("--sizes").is_some() || parsed.value("--mixers").is_some())
+    if !matches!(what, "scale" | "arch")
+        && (parsed.value("--sizes").is_some() || parsed.value("--mixers").is_some())
     {
         return Err(CliError::usage(
-            "--sizes/--mixers only apply to `biochip bench scale`".to_owned(),
+            "--sizes/--mixers only apply to `biochip bench scale` or `bench arch`".to_owned(),
         ));
     }
     let format = parsed.value("--format").unwrap_or("text");
     let contents = match (what, format) {
-        ("scale", "json" | "csv" | "text") => {
+        ("scale" | "arch", "json" | "csv" | "text") => {
             let sizes: Vec<usize> = match parsed.list_value("--sizes") {
                 Some(raw) => raw
                     .iter()
@@ -640,11 +659,20 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
                 .parse_value::<usize>("--mixers")?
                 .unwrap_or(biochip_bench::DEFAULT_SCALE_MIXERS)
                 .max(1);
-            let rows = biochip_bench::scale_rows(&sizes, mixers);
-            match format {
-                "json" => biochip_json::to_string_pretty(&rows),
-                "csv" => biochip_bench::scale_csv(&rows),
-                _ => biochip_bench::format_scale(&rows),
+            if what == "arch" {
+                let rows = biochip_bench::arch_scale_rows(&sizes, mixers);
+                match format {
+                    "json" => biochip_json::to_string_pretty(&rows),
+                    "csv" => biochip_bench::arch_scale_csv(&rows),
+                    _ => biochip_bench::format_arch_scale(&rows),
+                }
+            } else {
+                let rows = biochip_bench::scale_rows(&sizes, mixers);
+                match format {
+                    "json" => biochip_json::to_string_pretty(&rows),
+                    "csv" => biochip_bench::scale_csv(&rows),
+                    _ => biochip_bench::format_scale(&rows),
+                }
             }
         }
         ("table2", "text") => biochip_bench::format_table2(&biochip_bench::table2_rows()),
@@ -660,10 +688,10 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
         ("fig10", "csv" | "text") => {
             ratio_csv("execution_ratio,valve_ratio", &biochip_bench::fig10_rows())
         }
-        (w, f) if !matches!(w, "table2" | "fig8" | "fig9" | "fig10" | "scale") => {
+        (w, f) if !matches!(w, "table2" | "fig8" | "fig9" | "fig10" | "scale" | "arch") => {
             return Err(CliError::usage(format!(
                 "unknown bench target `{f}`-formatted `{w}` \
-                 (expected table2, fig8, fig9, fig10 or scale)"
+                 (expected table2, fig8, fig9, fig10, scale or arch)"
             )));
         }
         (_, f) => {

@@ -53,6 +53,22 @@ pub struct SynthesisReport {
     pub architecture_time: Duration,
     /// Physical-design runtime (`t_p`).
     pub layout_time: Duration,
+    /// Placement + routing attempts across grid sizes (1 = first grid fit).
+    pub grids_tried: usize,
+    /// Staged router, window-selection stage: candidate windows evaluated.
+    pub windows_tried: usize,
+    /// Staged router, path-search stage: Dijkstra invocations.
+    pub path_searches: usize,
+    /// Staged router, path-search stage: total nodes expanded.
+    pub nodes_expanded: usize,
+    /// Staged router, store stage: cache segments priced via the index.
+    pub segments_priced: usize,
+    /// Staged router, commit stage: transports committed past their
+    /// schedule-derived deadline.
+    pub postponed_transports: usize,
+    /// Largest reservation calendar over all grid edges and nodes — the `n`
+    /// of the router's `O(log n)` occupancy queries.
+    pub peak_calendar: usize,
 }
 
 impl SynthesisReport {
@@ -72,6 +88,7 @@ impl SynthesisReport {
     ) -> Self {
         let metrics = schedule.metrics(problem);
         let cg = architecture.connection_graph();
+        let stats = architecture.stats();
         SynthesisReport {
             assay: problem.graph().name().to_owned(),
             operations: problem.graph().device_operations().len(),
@@ -92,6 +109,13 @@ impl SynthesisReport {
             scheduling_time,
             architecture_time,
             layout_time,
+            grids_tried: stats.grids_tried,
+            windows_tried: stats.router.windows_tried,
+            path_searches: stats.router.path_searches,
+            nodes_expanded: stats.router.nodes_expanded,
+            segments_priced: stats.router.segments_priced,
+            postponed_transports: stats.router.postponed_tasks,
+            peak_calendar: stats.peak_calendar_len,
         }
     }
 
@@ -138,11 +162,23 @@ impl fmt::Display for SynthesisReport {
             self.stored_samples,
             self.peak_storage
         )?;
-        write!(
+        writeln!(
             f,
             "  vs. dedicated storage: time x{:.2}, valves x{:.2}",
             self.execution_ratio_vs_dedicated(),
             self.valve_ratio_vs_dedicated()
+        )?;
+        write!(
+            f,
+            "  router: {} windows, {} searches ({} nodes), {} segments priced, \
+             {} postponed, peak calendar {}, {} grid attempt(s)",
+            self.windows_tried,
+            self.path_searches,
+            self.nodes_expanded,
+            self.segments_priced,
+            self.postponed_transports,
+            self.peak_calendar,
+            self.grids_tried
         )
     }
 }
@@ -168,5 +204,12 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("IVD"));
         assert!(text.contains("dedicated"));
+        // The staged router's per-stage counters are surfaced.
+        assert!(report.grids_tried >= 1);
+        assert!(report.windows_tried >= outcome.architecture.routes().len());
+        assert!(report.path_searches > 0);
+        assert!(report.nodes_expanded > 0);
+        assert!(report.peak_calendar > 0);
+        assert!(text.contains("router:"));
     }
 }
