@@ -239,9 +239,70 @@ pub fn paper_benchmarks() -> Vec<(&'static str, SequencingGraph)> {
     ]
 }
 
+/// The named assays [`by_name`] resolves, with their accepted aliases.
+///
+/// Canonical names match the paper's Table 2 plus the scale family; the
+/// aliases let callers write the assay's plain-English name (`invitro` for
+/// IVD, `protein` for CPA).
+pub const NAMED_ASSAYS: &[(&str, &[&str])] = &[
+    ("PCR", &["pcr"]),
+    ("IVD", &["ivd", "invitro", "in-vitro"]),
+    ("CPA", &["cpa", "protein"]),
+    ("RA30", &["ra30"]),
+    ("RA70", &["ra70"]),
+    ("RA100", &["ra100"]),
+    ("RA1K", &["ra1k", "ra1000"]),
+    ("RA10K", &["ra10k", "ra10000"]),
+];
+
+/// Resolves a name or alias (case-insensitive) to its canonical benchmark
+/// name, or `None` for unknown names.
+#[must_use]
+pub fn canonical_name(name: &str) -> Option<&'static str> {
+    let lower = name.to_lowercase();
+    NAMED_ASSAYS
+        .iter()
+        .find(|(canon, aliases)| canon.to_lowercase() == lower || aliases.contains(&lower.as_str()))
+        .map(|(canon, _)| *canon)
+}
+
+/// Resolves a benchmark assay by canonical name or alias (case-insensitive),
+/// returning `None` for unknown names. The CLI and the job service both
+/// resolve submissions through this single table.
+#[must_use]
+pub fn by_name(name: &str) -> Option<SequencingGraph> {
+    let canonical = canonical_name(name)?;
+    Some(match canonical {
+        "PCR" => pcr(),
+        "IVD" => ivd(),
+        "CPA" => cpa(),
+        "RA30" => crate::random::ra30(),
+        "RA70" => crate::random::ra70(),
+        "RA100" => crate::random::ra100(),
+        // Scale-family workloads: the full pipeline handles these end to
+        // end; RA10K takes a few seconds in release builds.
+        "RA1K" => crate::random::ra1k(),
+        "RA10K" => crate::random::ra10k(),
+        _ => unreachable!("NAMED_ASSAYS names are exhaustive"),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn by_name_resolves_canonicals_and_aliases() {
+        for (canonical, aliases) in NAMED_ASSAYS {
+            let graph = by_name(canonical).unwrap();
+            assert!(graph.validate().is_ok(), "{canonical}");
+            for alias in *aliases {
+                assert_eq!(by_name(alias), Some(graph.clone()), "{alias}");
+            }
+        }
+        assert_eq!(by_name("invitro").unwrap(), ivd());
+        assert!(by_name("nope").is_none());
+    }
 
     #[test]
     fn pcr_matches_paper_shape() {

@@ -1,6 +1,8 @@
 //! Timing bench: full Table 2 regeneration (heuristic scheduler).
 fn main() {
     biochip_bench::measure("table2_heuristic", 3, || {
-        ["PCR", "IVD", "CPA", "RA30", "RA70", "RA100"].map(biochip_bench::run_benchmark_heuristic)
+        ["PCR", "IVD", "CPA", "RA30", "RA70", "RA100"].map(|name| {
+            biochip_bench::run_benchmark_heuristic(name).expect("benchmark set synthesizes")
+        })
     });
 }

@@ -9,17 +9,17 @@
 //! routed-tasks/sec trajectory.
 
 fn main() {
-    let sizes: Vec<usize> = std::env::args()
-        .skip(1)
-        .map(|arg| {
-            arg.parse()
-                .unwrap_or_else(|e| panic!("invalid size `{arg}`: {e}"))
-        })
-        .collect();
-    let sizes = if sizes.is_empty() {
-        biochip_bench::DEFAULT_ARCH_SIZES.to_vec()
-    } else {
-        sizes
+    let sizes = match biochip_bench::parse_size_args(
+        std::env::args().skip(1),
+        biochip_bench::DEFAULT_ARCH_SIZES,
+    ) {
+        Ok(sizes) => sizes,
+        Err(message) => {
+            eprintln!(
+                "{message}\nusage: arch [SIZE...]   (positive graph sizes, default 100 1000 10000)"
+            );
+            std::process::exit(2);
+        }
     };
     let rows = biochip_bench::arch_scale_rows(&sizes, biochip_bench::DEFAULT_ARCH_MIXERS);
     println!("Architectural synthesis scale sweep (place & route)\n");

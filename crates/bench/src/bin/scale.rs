@@ -6,17 +6,15 @@
 //! graph-size effects.
 
 fn main() {
-    let sizes: Vec<usize> = std::env::args()
-        .skip(1)
-        .map(|arg| {
-            arg.parse()
-                .unwrap_or_else(|e| panic!("invalid size `{arg}`: {e}"))
-        })
-        .collect();
-    let sizes = if sizes.is_empty() {
-        biochip_bench::DEFAULT_SCALE_SIZES.to_vec()
-    } else {
-        sizes
+    let sizes = match biochip_bench::parse_size_args(
+        std::env::args().skip(1),
+        biochip_bench::DEFAULT_SCALE_SIZES,
+    ) {
+        Ok(sizes) => sizes,
+        Err(message) => {
+            eprintln!("{message}\nusage: scale [SIZE...]   (positive graph sizes, default 100 1000 10000)");
+            std::process::exit(2);
+        }
     };
     let rows = biochip_bench::scale_rows(&sizes, biochip_bench::DEFAULT_SCALE_MIXERS);
     println!("Scheduler scale sweep (list scheduler, both strategies)\n");

@@ -1,0 +1,39 @@
+//! Runs the job-service warm-vs-cold loopback bench and writes
+//! `BENCH_serve.json`.
+//!
+//! Usage: `serve [WARM_JOBS] [WORKERS]` — defaults: 200 warm submissions,
+//! 2 workers. The cold number is one full RA1K synthesis over HTTP; the
+//! warm number replays the identical submission against the
+//! content-addressed result cache.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut parse_or_usage = |what: &str, default: usize| -> usize {
+        match args.next() {
+            None => default,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!(
+                        "invalid {what} `{raw}`\nusage: serve [WARM_JOBS] [WORKERS]   (positive integers)"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        }
+    };
+    let warm_jobs = parse_or_usage("warm-job count", 200);
+    let workers = parse_or_usage("worker count", 2);
+
+    match biochip_bench::run_serve_bench(warm_jobs, workers) {
+        Ok(report) => {
+            println!("Job-service loopback bench (cold synthesis vs. cached resubmission)\n");
+            print!("{}", biochip_bench::format_serve(&report));
+            biochip_bench::write_bench_json("serve", &report);
+        }
+        Err(message) => {
+            eprintln!("serve bench failed: {message}");
+            std::process::exit(1);
+        }
+    }
+}

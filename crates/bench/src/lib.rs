@@ -12,6 +12,7 @@
 
 pub mod arch_scale;
 pub mod scale;
+pub mod serve_bench;
 
 pub use arch_scale::{
     arch_scale_csv, arch_scale_rows, format_arch_scale, ArchScaleRow, DEFAULT_ARCH_MIXERS,
@@ -20,9 +21,74 @@ pub use arch_scale::{
 pub use scale::{
     format_scale, scale_csv, scale_rows, ScaleRow, DEFAULT_SCALE_MIXERS, DEFAULT_SCALE_SIZES,
 };
+pub use serve_bench::{format_serve, run_serve_bench, ServeBenchReport};
+
+use std::fmt;
 
 use biochip_synth::assay::{library, SequencingGraph};
-use biochip_synth::{SchedulerChoice, SynthesisConfig, SynthesisFlow, SynthesisReport};
+use biochip_synth::{FlowError, SchedulerChoice, SynthesisConfig, SynthesisFlow, SynthesisReport};
+
+/// A benchmark-harness failure on user-supplied input (an unknown benchmark
+/// name, a synthesis failure of a requested run).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchError {
+    /// The requested name is not part of the benchmark set.
+    UnknownBenchmark {
+        /// The name that did not resolve.
+        name: String,
+        /// The names that would have.
+        known: Vec<&'static str>,
+    },
+    /// Synthesis of the named benchmark failed.
+    Synthesis {
+        /// The benchmark being synthesized.
+        name: String,
+        /// The flow failure.
+        error: FlowError,
+    },
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::UnknownBenchmark { name, known } => {
+                write!(
+                    f,
+                    "unknown benchmark `{name}` (known: {})",
+                    known.join(", ")
+                )
+            }
+            BenchError::Synthesis { name, error } => write!(f, "{name}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+/// Parses positional size arguments for the `scale`/`arch` bins, falling
+/// back to `defaults` when none are given.
+///
+/// # Errors
+///
+/// Returns a usage message (for stderr + exit code 2) when an argument is
+/// not a positive integer — the bins must not panic on user input.
+pub fn parse_size_args(
+    args: impl IntoIterator<Item = String>,
+    defaults: &[usize],
+) -> Result<Vec<usize>, String> {
+    let mut sizes = Vec::new();
+    for arg in args {
+        match arg.parse::<usize>() {
+            Ok(size) if size > 0 => sizes.push(size),
+            Ok(_) => return Err(format!("invalid size `{arg}`: must be positive")),
+            Err(e) => return Err(format!("invalid size `{arg}`: {e}")),
+        }
+    }
+    if sizes.is_empty() {
+        sizes = defaults.to_vec();
+    }
+    Ok(sizes)
+}
 
 /// Writes a machine-readable benchmark artifact as `BENCH_<name>.json`.
 ///
@@ -109,42 +175,54 @@ pub fn paper_configs() -> Vec<(&'static str, SequencingGraph, SynthesisConfig)> 
         .collect()
 }
 
-/// Runs the full flow for one named benchmark with its Table-2 configuration.
-///
-/// # Panics
-///
-/// Panics if the named assay is not part of the benchmark set or synthesis
-/// fails (the benchmark set is expected to always synthesize).
-#[must_use]
-pub fn run_benchmark(name: &str) -> SynthesisReport {
-    let (_, graph, config) = paper_configs()
+fn benchmark_config(name: &str) -> Result<(SequencingGraph, SynthesisConfig), BenchError> {
+    paper_configs()
         .into_iter()
         .find(|(n, _, _)| *n == name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    SynthesisFlow::new(config)
+        .map(|(_, graph, config)| (graph, config))
+        .ok_or_else(|| BenchError::UnknownBenchmark {
+            name: name.to_owned(),
+            known: paper_configs().iter().map(|(n, _, _)| *n).collect(),
+        })
+}
+
+/// Runs the full flow for one named benchmark with its Table-2 configuration.
+///
+/// # Errors
+///
+/// Returns a [`BenchError`] when the name is not part of the benchmark set
+/// or its synthesis fails — both reachable from user-supplied benchmark
+/// names, so neither panics.
+pub fn run_benchmark(name: &str) -> Result<SynthesisReport, BenchError> {
+    let (graph, config) = benchmark_config(name)?;
+    Ok(SynthesisFlow::new(config)
         .run(graph)
-        .unwrap_or_else(|e| panic!("{name}: {e}"))
-        .report
+        .map_err(|error| BenchError::Synthesis {
+            name: name.to_owned(),
+            error,
+        })?
+        .report)
 }
 
 /// Like [`run_benchmark`] but forcing the heuristic (storage-aware list)
-/// scheduler — used by the Criterion benches so that a single iteration does
+/// scheduler — used by the timing benches so that a single iteration does
 /// not include the ILP solver's multi-second time limit.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the named assay is not part of the benchmark set or synthesis
-/// fails.
-#[must_use]
-pub fn run_benchmark_heuristic(name: &str) -> SynthesisReport {
-    let (_, graph, config) = paper_configs()
-        .into_iter()
-        .find(|(n, _, _)| *n == name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    SynthesisFlow::new(config.with_scheduler(SchedulerChoice::StorageAware))
-        .run(graph)
-        .unwrap_or_else(|e| panic!("{name}: {e}"))
-        .report
+/// Returns a [`BenchError`] when the name is not part of the benchmark set
+/// or its synthesis fails.
+pub fn run_benchmark_heuristic(name: &str) -> Result<SynthesisReport, BenchError> {
+    let (graph, config) = benchmark_config(name)?;
+    Ok(
+        SynthesisFlow::new(config.with_scheduler(SchedulerChoice::StorageAware))
+            .run(graph)
+            .map_err(|error| BenchError::Synthesis {
+                name: name.to_owned(),
+                error,
+            })?
+            .report,
+    )
 }
 
 /// Table 2: one report per benchmark assay (scheduling, architectural
@@ -313,9 +391,32 @@ mod tests {
     }
 
     #[test]
+    fn unknown_benchmark_names_error_instead_of_panicking() {
+        let err = run_benchmark("NOPE").unwrap_err();
+        assert!(matches!(err, BenchError::UnknownBenchmark { .. }));
+        assert!(err.to_string().contains("PCR"), "{err}");
+        let err = run_benchmark_heuristic("NOPE").unwrap_err();
+        assert!(matches!(err, BenchError::UnknownBenchmark { .. }));
+    }
+
+    #[test]
+    fn size_args_parse_or_report_usage() {
+        let ok = parse_size_args(["10".to_owned(), "20".to_owned()], &[1]).unwrap();
+        assert_eq!(ok, vec![10, 20]);
+        assert_eq!(parse_size_args([], &[100, 1000]).unwrap(), vec![100, 1000]);
+        assert!(parse_size_args(["ten".to_owned()], &[1])
+            .unwrap_err()
+            .contains("ten"));
+        assert!(parse_size_args(["0".to_owned()], &[1])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_size_args(["-3".to_owned()], &[1]).is_err());
+    }
+
+    #[test]
     fn pcr_and_ivd_reports_have_the_paper_shape() {
         for name in ["PCR", "IVD"] {
-            let report = run_benchmark(name);
+            let report = run_benchmark(name).unwrap();
             assert!(
                 report.edge_ratio < 1.0,
                 "{name}: only part of the grid is kept"
@@ -366,7 +467,7 @@ mod tests {
 
     #[test]
     fn table2_formatting_contains_every_assay() {
-        let rows = vec![run_benchmark("PCR")];
+        let rows = vec![run_benchmark("PCR").unwrap()];
         let text = format_table2(&rows);
         assert!(text.contains("PCR"));
         assert!(text.lines().count() >= 2);

@@ -1,0 +1,205 @@
+//! Loopback load generator for the job service: warm vs. cold throughput.
+//!
+//! Starts an in-process [`biochip_server::Server`], submits an RA1K job
+//! cold (full synthesis), then replays the identical submission `warm_jobs`
+//! times against the content-addressed cache, all over real loopback HTTP.
+//! The headline number is the warm/cold speedup — the factor a production
+//! deployment gains on repeated assays — written to `BENCH_serve.json`.
+
+use std::time::{Duration, Instant};
+
+use biochip_json::impl_json_struct;
+use biochip_server::{client, ServeOptions, Server};
+
+/// The submission the bench replays: RA1K under the 8-mixer configuration
+/// the scale smoke runs use (the CI baseline for RA1K cold synthesis).
+#[must_use]
+pub fn bench_submission() -> String {
+    let config = biochip_synth::SynthesisConfig::default().with_mixers(8);
+    format!(
+        r#"{{"assay": "RA1K", "config": {}}}"#,
+        biochip_json::to_string(&config)
+    )
+}
+
+/// Generous per-job timeout (RA1K cold is ~0.1 s release, seconds debug).
+const JOB_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Results of one warm-vs-cold loopback run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchReport {
+    /// The assay submitted.
+    pub assay: String,
+    /// Worker threads the server ran.
+    pub workers: usize,
+    /// Warm submissions measured.
+    pub warm_jobs: usize,
+    /// Wall seconds for the cold (synthesizing) job, end to end over HTTP.
+    pub cold_seconds: f64,
+    /// Wall seconds per warm (cache-served) job, end to end over HTTP.
+    pub warm_seconds_per_job: f64,
+    /// Cold jobs/sec (1 / cold_seconds).
+    pub cold_jobs_per_sec: f64,
+    /// Warm jobs/sec.
+    pub warm_jobs_per_sec: f64,
+    /// warm_jobs_per_sec / cold_jobs_per_sec.
+    pub speedup: f64,
+    /// Cache hits observed by the server.
+    pub cache_hits: usize,
+    /// Cache misses observed by the server.
+    pub cache_misses: usize,
+}
+
+impl_json_struct!(ServeBenchReport {
+    assay,
+    workers,
+    warm_jobs,
+    cold_seconds,
+    warm_seconds_per_job,
+    cold_jobs_per_sec,
+    warm_jobs_per_sec,
+    speedup,
+    cache_hits,
+    cache_misses,
+});
+
+/// Runs the warm-vs-cold loopback measurement.
+///
+/// # Errors
+///
+/// Returns a message when the server cannot start or a job misbehaves.
+///
+/// # Panics
+///
+/// Panics only if the spawned server thread itself panicked.
+pub fn run_serve_bench(warm_jobs: usize, workers: usize) -> Result<ServeBenchReport, String> {
+    let server = Server::bind(&ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        cache_capacity: 8,
+    })
+    .map_err(|e| format!("cannot start the server: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = server.handle().map_err(|e| e.to_string())?;
+    let join = std::thread::spawn(move || server.run());
+
+    let submission = bench_submission();
+
+    // Cold: submission + synthesis + polling until done.
+    let cold_started = Instant::now();
+    let accepted = client::submit(addr, &submission)?;
+    let cold_id = client::job_id(&accepted)?;
+    let done = client::wait_for_job(addr, cold_id, JOB_TIMEOUT)?;
+    let cold_seconds = cold_started.elapsed().as_secs_f64();
+    let status = done
+        .get("status")
+        .and_then(|s| s.expect_str().ok())
+        .unwrap_or("?");
+    if status != "done" {
+        return Err(format!("cold job ended {status}: {}", done.to_compact()));
+    }
+    let assay = done
+        .get("assay")
+        .and_then(|s| s.expect_str().ok())
+        .unwrap_or("?")
+        .to_owned();
+
+    // Warm: the identical submission is answered from the cache at
+    // acceptance time — each round trip still pays full HTTP cost.
+    let warm_started = Instant::now();
+    for _ in 0..warm_jobs {
+        let accepted = client::submit(addr, &submission)?;
+        let cached = accepted.get("cached") == Some(&biochip_json::Json::Bool(true));
+        let status = accepted
+            .get("status")
+            .and_then(|s| s.expect_str().ok())
+            .unwrap_or("?");
+        if !cached || status != "done" {
+            return Err(format!(
+                "warm submission was not a cache hit: {}",
+                accepted.to_compact()
+            ));
+        }
+    }
+    let warm_elapsed = warm_started.elapsed().as_secs_f64();
+    let warm_seconds_per_job = warm_elapsed / warm_jobs.max(1) as f64;
+
+    let (_, stats) = client::get(addr, "/stats").map_err(|e| e.to_string())?;
+    let stats = biochip_json::parse(&stats).map_err(|e| e.to_string())?;
+    let cache_count = |field: &str| -> usize {
+        stats
+            .get("cache")
+            .and_then(|c| c.get(field))
+            .and_then(|v| v.expect_number().ok())
+            .unwrap_or(0.0) as usize
+    };
+
+    handle.stop();
+    join.join().expect("server thread exits cleanly");
+
+    let workers = stats
+        .get("pool")
+        .and_then(|p| p.get("workers"))
+        .and_then(|v| v.expect_number().ok())
+        .unwrap_or(workers as f64) as usize;
+    Ok(ServeBenchReport {
+        assay,
+        workers,
+        warm_jobs,
+        cold_seconds,
+        warm_seconds_per_job,
+        cold_jobs_per_sec: 1.0 / cold_seconds.max(f64::EPSILON),
+        warm_jobs_per_sec: 1.0 / warm_seconds_per_job.max(f64::EPSILON),
+        speedup: cold_seconds / warm_seconds_per_job.max(f64::EPSILON),
+        cache_hits: cache_count("hits"),
+        cache_misses: cache_count("misses"),
+    })
+}
+
+/// Formats the report as the human-readable table the bin prints.
+#[must_use]
+pub fn format_serve(report: &ServeBenchReport) -> String {
+    format!(
+        "assay        {}\n\
+         workers      {}\n\
+         cold         {:.4} s/job  ({:.2} jobs/s)\n\
+         warm         {:.6} s/job  ({:.0} jobs/s, {} jobs)\n\
+         speedup      {:.0}x\n\
+         cache        {} hits / {} misses\n",
+        report.assay,
+        report.workers,
+        report.cold_seconds,
+        report.cold_jobs_per_sec,
+        report.warm_seconds_per_job,
+        report.warm_jobs_per_sec,
+        report.warm_jobs,
+        report.speedup,
+        report.cache_hits,
+        report.cache_misses,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_report_round_trips() {
+        let report = ServeBenchReport {
+            assay: "RA1000".to_owned(),
+            workers: 2,
+            warm_jobs: 50,
+            cold_seconds: 1.5,
+            warm_seconds_per_job: 0.001,
+            cold_jobs_per_sec: 1.0 / 1.5,
+            warm_jobs_per_sec: 1000.0,
+            speedup: 1500.0,
+            cache_hits: 50,
+            cache_misses: 1,
+        };
+        let back: ServeBenchReport =
+            biochip_json::from_str(&biochip_json::to_string_pretty(&report)).unwrap();
+        assert_eq!(back, report);
+        assert!(format_serve(&report).contains("speedup"));
+    }
+}

@@ -1,23 +1,12 @@
 //! Resolution of assay names and assay input files.
 
-use biochip_synth::assay::{library, random, text, SequencingGraph};
+use biochip_synth::assay::{library, text, SequencingGraph};
 
 use crate::CliError;
 
-/// The benchmark names the CLI accepts, with their aliases.
-///
-/// Canonical names match the paper's Table 2; the aliases let users write
-/// the assay's plain-English name (`invitro` for IVD, `protein` for CPA).
-pub const LIBRARY: &[(&str, &[&str])] = &[
-    ("PCR", &["pcr"]),
-    ("IVD", &["ivd", "invitro", "in-vitro"]),
-    ("CPA", &["cpa", "protein"]),
-    ("RA30", &["ra30"]),
-    ("RA70", &["ra70"]),
-    ("RA100", &["ra100"]),
-    ("RA1K", &["ra1k", "ra1000"]),
-    ("RA10K", &["ra10k", "ra10000"]),
-];
+/// The benchmark names the CLI accepts, with their aliases (shared with the
+/// job service through [`library::NAMED_ASSAYS`]).
+pub const LIBRARY: &[(&str, &[&str])] = library::NAMED_ASSAYS;
 
 /// Resolves a library assay by name or alias (case-insensitive).
 ///
@@ -26,31 +15,12 @@ pub const LIBRARY: &[(&str, &[&str])] = &[
 /// Returns a usage [`CliError`] listing the known assays when the name does
 /// not resolve.
 pub fn by_name(name: &str) -> Result<SequencingGraph, CliError> {
-    let lower = name.to_lowercase();
-    let canonical = LIBRARY
-        .iter()
-        .find(|(canon, aliases)| canon.to_lowercase() == lower || aliases.contains(&lower.as_str()))
-        .map(|(canon, _)| *canon)
-        .ok_or_else(|| {
-            let known: Vec<&str> = LIBRARY.iter().map(|(c, _)| *c).collect();
-            CliError::usage(format!(
-                "unknown assay `{name}` (known: {})",
-                known.join(", ")
-            ))
-        })?;
-    Ok(match canonical {
-        "PCR" => library::pcr(),
-        "IVD" => library::ivd(),
-        "CPA" => library::cpa(),
-        "RA30" => random::ra30(),
-        "RA70" => random::ra70(),
-        "RA100" => random::ra100(),
-        // Scale-family workloads: the full pipeline handles these end to
-        // end (the storage-sized connection grid caches their storage
-        // peaks); RA10K takes a few seconds in release builds.
-        "RA1K" => random::ra1k(),
-        "RA10K" => random::ra10k(),
-        _ => unreachable!("LIBRARY names are exhaustive"),
+    library::by_name(name).ok_or_else(|| {
+        let known: Vec<&str> = LIBRARY.iter().map(|(c, _)| *c).collect();
+        CliError::usage(format!(
+            "unknown assay `{name}` (known: {})",
+            known.join(", ")
+        ))
     })
 }
 

@@ -2,15 +2,14 @@
 
 use std::process::ExitCode;
 
+use biochip_cli::CliError;
+
 /// Whether a panic payload is the `println!` broken-pipe panic (Rust ignores
 /// SIGPIPE, so `biochip ... | head` closes stdout under us).
 fn is_broken_pipe(payload: &(dyn std::any::Any + Send)) -> bool {
-    let message = payload
-        .downcast_ref::<String>()
-        .map(String::as_str)
-        .or_else(|| payload.downcast_ref::<&str>().copied())
-        .unwrap_or("");
-    message.contains("Broken pipe")
+    biochip_pool::panic_message(payload)
+        .unwrap_or("")
+        .contains("Broken pipe")
 }
 
 fn main() -> ExitCode {
@@ -23,14 +22,40 @@ fn main() -> ExitCode {
         }
     }));
 
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match std::panic::catch_unwind(|| biochip_cli::commands::dispatch(&argv)) {
-        Ok(Ok(())) => ExitCode::SUCCESS,
-        Ok(Err(error)) => {
-            eprintln!("biochip: {error}");
-            ExitCode::from(u8::try_from(error.code).unwrap_or(1))
+    // `--json-errors` is a global pipeline-mode flag: any failure is also
+    // emitted as a structured biochip-error/v1 document on stdout, so a
+    // driving process parses errors the same way it parses results.
+    let mut json_errors = false;
+    let argv: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| {
+            if arg == "--json-errors" {
+                json_errors = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+
+    let outcome = std::panic::catch_unwind(|| biochip_cli::commands::dispatch(&argv));
+    let error = match outcome {
+        Ok(Ok(())) => return ExitCode::SUCCESS,
+        Ok(Err(error)) => error,
+        Err(payload) if is_broken_pipe(payload.as_ref()) => return ExitCode::SUCCESS,
+        Err(payload) => {
+            // A contained panic degrades into a structured error: report it
+            // and exit non-zero instead of crashing with a raw unwind.
+            let message = match biochip_pool::panic_message(payload.as_ref()) {
+                Some(message) => format!("internal error (panic): {message}"),
+                None => "internal error (panic)".to_owned(),
+            };
+            CliError { message, code: 101 }
         }
-        Err(payload) if is_broken_pipe(payload.as_ref()) => ExitCode::SUCCESS,
-        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    eprintln!("biochip: {error}");
+    if json_errors {
+        println!("{}", error.json_body());
     }
+    ExitCode::from(u8::try_from(error.code).unwrap_or(1))
 }

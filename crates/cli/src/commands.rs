@@ -26,10 +26,13 @@ commands:
   synth     architectural synthesis + physical design from a schedule state
   simulate  replay a synthesized chip; completes the pipeline state
   batch     fan assays × configurations across a thread pool
+  serve     run the persistent HTTP job service with a result cache
   bench     reproduce the paper's Table 2 / Fig 8-10 numbers + scale sweep
   assays    list the built-in benchmark assays
 
 run `biochip <command> --help` for the options of one command.
+The global flag --json-errors additionally prints failures as a
+structured biochip-error/v1 JSON document on stdout (pipeline mode).
 ";
 
 /// Entry point: dispatches `argv` (without the program name).
@@ -48,6 +51,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "synth" => cmd_synth(rest),
         "simulate" => cmd_simulate(rest),
         "batch" => cmd_batch(rest),
+        "serve" => cmd_serve(rest),
         "bench" => cmd_bench(rest),
         "assays" => cmd_assays(rest),
         "--help" | "-h" | "help" => {
@@ -403,7 +407,25 @@ fn cmd_simulate(argv: &[String]) -> Result<(), CliError> {
     let architecture = state.require_architecture()?.clone();
     let layout = state.require_layout()?.clone();
 
+    // A handoff document can come from anywhere (another binary version, a
+    // hand-edited file, a truncated upload): re-establish the invariants the
+    // earlier stages guaranteed before replaying, so inconsistencies surface
+    // as structured errors instead of panics or silently-wrong reports.
+    schedule
+        .validate(&problem)
+        .map_err(|e| CliError::runtime(format!("state schedule is inconsistent: {e}")))?;
+    architecture
+        .verify()
+        .map_err(|e| CliError::runtime(format!("state architecture is inconsistent: {e}")))?;
+
     let execution = replay(&problem, &schedule, &architecture);
+    if execution.clamped {
+        return Err(CliError::runtime(
+            "replay produced out-of-bounds numbers (clamped report); \
+             the state's architecture does not match its schedule"
+                .to_owned(),
+        ));
+    }
     let dedicated = simulate_dedicated_storage(&problem, &schedule);
     let StageTimings {
         scheduling,
@@ -572,6 +594,67 @@ fn cmd_batch(argv: &[String]) -> Result<(), CliError> {
             report.failed
         )));
     }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// biochip serve
+// ---------------------------------------------------------------------------
+
+fn cmd_serve(argv: &[String]) -> Result<(), CliError> {
+    let specs = [
+        OptionSpec {
+            name: "--addr",
+            takes_value: true,
+            help: "listen address (default 127.0.0.1:7078; port 0 picks a free port)",
+        },
+        OptionSpec {
+            name: "--workers",
+            takes_value: true,
+            help: "synthesis worker threads (default: available parallelism)",
+        },
+        OptionSpec {
+            name: "--cache-capacity",
+            takes_value: true,
+            help: "content-addressed result-cache entries (default 64)",
+        },
+    ];
+    if help_requested(argv) {
+        print_help(
+            "serve",
+            "Runs the persistent synthesis job service: POST /jobs,\n\
+             GET /jobs/:id, DELETE /jobs/:id, GET /results/:id, GET /stats.\n\
+             Results are cached under the canonical hash of the\n\
+             (problem, config) pair, so identical submissions are lookups.",
+            &specs,
+        );
+        return Ok(());
+    }
+    let parsed = ParsedArgs::parse(argv, &specs)?;
+    if let Some(stray) = parsed.positional().first() {
+        return Err(CliError::usage(format!("unexpected argument `{stray}`")));
+    }
+    let mut options = biochip_server::ServeOptions::default();
+    if let Some(addr) = parsed.value("--addr") {
+        options.addr = addr.to_owned();
+    }
+    if let Some(workers) = parsed.parse_value::<usize>("--workers")? {
+        options.workers = workers;
+    }
+    if let Some(capacity) = parsed.parse_value::<usize>("--cache-capacity")? {
+        options.cache_capacity = capacity;
+    }
+
+    let server = biochip_server::Server::bind(&options)
+        .map_err(|e| CliError::runtime(format!("cannot bind `{}`: {e}", options.addr)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::runtime(format!("cannot read bound address: {e}")))?;
+    eprintln!(
+        "biochip serve: listening on http://{addr} \
+         (POST /jobs, GET /jobs/:id, GET /results/:id, GET /stats)"
+    );
+    server.run();
     Ok(())
 }
 

@@ -53,6 +53,17 @@ impl CliError {
             code: 2,
         }
     }
+
+    /// The structured `biochip-error/v1` JSON body of this error — what a
+    /// pipeline-mode caller (`--json-errors`) parses instead of scraping
+    /// stderr. Rendered by the job service's [`biochip_server::error_body`]
+    /// so the CLI and the server can never drift apart on the shape; the
+    /// `code` field carries the process exit code here (an HTTP status on
+    /// the server).
+    #[must_use]
+    pub fn json_body(&self) -> String {
+        biochip_server::error_body(u16::try_from(self.code).unwrap_or(1), &self.message)
+    }
 }
 
 impl fmt::Display for CliError {

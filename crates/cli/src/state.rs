@@ -131,8 +131,15 @@ impl PipelineState {
         let state: PipelineState = biochip_json::from_str(text)
             .map_err(|e| CliError::runtime(format!("`{origin}` is not a pipeline state: {e}")))?;
         if state.schema != Self::SCHEMA {
+            // Distinguish "a pipeline state from another format version"
+            // from "some other document entirely" — the fixes differ.
+            let hint = if state.schema.starts_with("biochip-pipeline/") {
+                "; re-run the earlier stages with this binary"
+            } else {
+                "; this does not look like a stage handoff document"
+            };
             return Err(CliError::runtime(format!(
-                "`{origin}` has schema `{}`, expected `{}`",
+                "`{origin}` has schema `{}`, expected `{}`{hint}",
                 state.schema,
                 Self::SCHEMA
             )));

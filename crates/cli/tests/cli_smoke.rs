@@ -182,10 +182,137 @@ fn help_is_available_everywhere() {
         vec!["synth", "--help"],
         vec!["simulate", "--help"],
         vec!["batch", "--help"],
+        vec!["serve", "--help"],
         vec!["bench", "--help"],
     ] {
         let output = biochip(&args);
         assert_success(&output, &format!("{args:?}"));
         assert!(!output.stdout.is_empty(), "{args:?} printed nothing");
     }
+}
+
+#[test]
+fn json_errors_flag_emits_a_structured_error_body() {
+    let output = biochip(&[
+        "simulate",
+        "--json-errors",
+        "--in",
+        "/nonexistent/state.json",
+    ]);
+    assert_eq!(output.status.code(), Some(1));
+    let body = String::from_utf8_lossy(&output.stdout);
+    let parsed = biochip_json::parse(&body).expect("stdout is a JSON error document");
+    assert_eq!(
+        parsed.get("schema").unwrap().expect_str().unwrap(),
+        "biochip-error/v1"
+    );
+    assert_eq!(parsed.get("code").unwrap().expect_number().unwrap(), 1.0);
+    assert!(parsed
+        .get("error")
+        .unwrap()
+        .expect_str()
+        .unwrap()
+        .contains("cannot read"));
+
+    // Without the flag, stdout stays clean (errors only on stderr).
+    let output = biochip(&["simulate", "--in", "/nonexistent/state.json"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(output.stdout.is_empty());
+}
+
+#[test]
+fn stage_mismatched_handoffs_are_structured_errors() {
+    // A schedule-stage document fed to `simulate` (skipping `synth`).
+    let scheduled = tmp_path("mismatch-scheduled.json");
+    let output = biochip(&["schedule", "--assay", "pcr", "--out", &scheduled]);
+    assert_success(&output, "biochip schedule");
+
+    let output = biochip(&["simulate", "--json-errors", "--in", &scheduled]);
+    assert_eq!(output.status.code(), Some(1));
+    let parsed = biochip_json::parse(&String::from_utf8_lossy(&output.stdout))
+        .expect("structured error body");
+    let message = parsed
+        .get("error")
+        .unwrap()
+        .expect_str()
+        .unwrap()
+        .to_owned();
+    assert!(message.contains("biochip synth"), "{message}");
+
+    // A document from a future format version.
+    let from_the_future = tmp_path("mismatch-future.json");
+    let text = std::fs::read_to_string(&scheduled).unwrap();
+    std::fs::write(
+        &from_the_future,
+        text.replace("biochip-pipeline/v1", "biochip-pipeline/v999"),
+    )
+    .unwrap();
+    let output = biochip(&["simulate", "--json-errors", "--in", &from_the_future]);
+    assert_eq!(output.status.code(), Some(1));
+    let parsed = biochip_json::parse(&String::from_utf8_lossy(&output.stdout)).unwrap();
+    let message = parsed
+        .get("error")
+        .unwrap()
+        .expect_str()
+        .unwrap()
+        .to_owned();
+    assert!(message.contains("biochip-pipeline/v999"), "{message}");
+    assert!(message.contains("re-run the earlier stages"), "{message}");
+
+    // Not a pipeline document at all.
+    let garbage = tmp_path("mismatch-garbage.json");
+    std::fs::write(&garbage, "{\"hello\": 1}").unwrap();
+    let output = biochip(&["simulate", "--in", &garbage]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("not a pipeline state"));
+}
+
+#[test]
+fn serve_answers_loopback_jobs_end_to_end() {
+    use std::io::BufRead;
+
+    // Spawn `biochip serve` on an ephemeral port and scrape the bound
+    // address from its startup line.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_biochip"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve must spawn");
+    let stderr = child.stderr.take().unwrap();
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let first = lines
+        .next()
+        .expect("serve prints a startup line")
+        .expect("startup line is UTF-8");
+    let addr: std::net::SocketAddr = first
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("startup line names the address")
+        .parse()
+        .expect("address parses");
+
+    let run = || -> Result<(), String> {
+        let accepted = biochip_server::client::submit(addr, r#"{"assay": "PCR"}"#)?;
+        let id = biochip_server::client::job_id(&accepted)?;
+        let done =
+            biochip_server::client::wait_for_job(addr, id, std::time::Duration::from_secs(120))?;
+        let status = done
+            .get("status")
+            .and_then(|s| s.expect_str().ok())
+            .unwrap_or("?");
+        if status != "done" {
+            return Err(format!("job ended {status}"));
+        }
+        let (code, _) = biochip_server::client::get(addr, &format!("/results/{id}"))
+            .map_err(|e| e.to_string())?;
+        if code != 200 {
+            return Err(format!("GET /results answered {code}"));
+        }
+        Ok(())
+    };
+    let outcome = run();
+    child.kill().expect("serve stops on kill");
+    let _ = child.wait();
+    outcome.expect("loopback job must synthesize");
 }

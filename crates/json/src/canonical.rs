@@ -1,0 +1,189 @@
+//! Canonical form and content hashing of JSON values.
+//!
+//! The server's result cache is keyed by *what* was submitted, not by the
+//! bytes that happened to arrive: two submissions that serialize the same
+//! `(problem, config)` pair must map to the same cache entry even if their
+//! object keys were ordered differently or the documents were formatted
+//! differently. [`canonicalize`] produces the canonical form (object keys
+//! sorted recursively) and [`canonical_hash`] folds it into a 64-bit FNV-1a
+//! digest without materializing the canonical text.
+
+use crate::{Json, Serialize};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit hasher (dependency-free; `std::hash` hashers
+/// are not guaranteed stable across releases, cache keys must be).
+#[derive(Debug, Clone)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Returns the canonical form of a JSON value: object keys sorted
+/// (recursively), everything else unchanged. Arrays keep their order —
+/// JSON arrays are sequences, their order is meaning.
+#[must_use]
+pub fn canonicalize(value: &Json) -> Json {
+    match value {
+        Json::Object(pairs) => {
+            let mut sorted: Vec<(String, Json)> = pairs
+                .iter()
+                .map(|(k, v)| (k.clone(), canonicalize(v)))
+                .collect();
+            sorted.sort_by(|(a, _), (b, _)| a.cmp(b));
+            Json::Object(sorted)
+        }
+        Json::Array(items) => Json::Array(items.iter().map(canonicalize).collect()),
+        other => other.clone(),
+    }
+}
+
+fn hash_into(value: &Json, hasher: &mut Fnv) {
+    // Each kind gets a distinct tag byte so that e.g. the string "1" and the
+    // number 1 cannot collide structurally.
+    match value {
+        Json::Null => hasher.write(b"n"),
+        Json::Bool(false) => hasher.write(b"f"),
+        Json::Bool(true) => hasher.write(b"t"),
+        Json::Number(n) => {
+            hasher.write(b"#");
+            // Hash the printed form, not the raw bits: the printer is the
+            // single source of truth for number identity (it collapses
+            // 1.0 and 1, and maps non-finite values to null).
+            hasher.write(Json::Number(*n).to_compact().as_bytes());
+        }
+        Json::String(s) => {
+            hasher.write(b"\"");
+            hasher.write(s.as_bytes());
+            hasher.write(&[0]);
+        }
+        Json::Array(items) => {
+            hasher.write(b"[");
+            for item in items {
+                hash_into(item, hasher);
+            }
+            hasher.write(b"]");
+        }
+        Json::Object(pairs) => {
+            let mut keys: Vec<usize> = (0..pairs.len()).collect();
+            keys.sort_by(|&a, &b| pairs[a].0.cmp(&pairs[b].0));
+            hasher.write(b"{");
+            for i in keys {
+                let (k, v) = &pairs[i];
+                hasher.write(b"\"");
+                hasher.write(k.as_bytes());
+                hasher.write(&[0]);
+                hash_into(v, hasher);
+            }
+            hasher.write(b"}");
+        }
+    }
+}
+
+/// Hashes the canonical form of a JSON value (key order does not matter).
+#[must_use]
+pub fn canonical_hash(value: &Json) -> u64 {
+    let mut hasher = Fnv::new();
+    hash_into(value, &mut hasher);
+    hasher.0
+}
+
+/// Serializes a value and hashes its canonical JSON form.
+///
+/// This is the content address used by the result cache: equal values (in
+/// the JSON interchange sense) get equal keys regardless of field order or
+/// formatting.
+#[must_use]
+pub fn content_key<T: Serialize + ?Sized>(value: &T) -> u64 {
+    canonical_hash(&value.to_json())
+}
+
+/// [`content_key`] rendered as the fixed-width hex string used in URLs,
+/// reports and logs.
+#[must_use]
+pub fn content_key_hex<T: Serialize + ?Sized>(value: &T) -> String {
+    format!("{:016x}", content_key(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn key_order_does_not_change_the_hash() {
+        let a = parse(r#"{"x": 1, "y": {"b": 2, "a": 3}}"#).unwrap();
+        let b = parse(r#"{"y": {"a": 3, "b": 2}, "x": 1}"#).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        assert_eq!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn formatting_does_not_change_the_hash() {
+        let a = parse("{\"x\": [1, 2.0, true]}").unwrap();
+        let b = parse("{ \"x\" : [ 1.0,\n 2, true ] }").unwrap();
+        assert_eq!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn different_values_get_different_hashes() {
+        let base = parse(r#"{"x": 1, "y": 2}"#).unwrap();
+        for other in [
+            r#"{"x": 1, "y": 3}"#,
+            r#"{"x": 1}"#,
+            r#"{"x": 1, "y": "2"}"#,
+            r#"{"x": 1, "y": null}"#,
+            r#"[{"x": 1, "y": 2}]"#,
+        ] {
+            let other = parse(other).unwrap();
+            assert_ne!(
+                canonical_hash(&base),
+                canonical_hash(&other),
+                "{}",
+                other.to_compact()
+            );
+        }
+    }
+
+    #[test]
+    fn array_order_still_matters() {
+        let a = parse("[1, 2]").unwrap();
+        let b = parse("[2, 1]").unwrap();
+        assert_ne!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn structural_tags_prevent_flattening_collisions() {
+        // Without per-kind tags these would hash the same byte stream.
+        let a = parse(r#"["ab"]"#).unwrap();
+        let b = parse(r#"["a", "b"]"#).unwrap();
+        assert_ne!(canonical_hash(&a), canonical_hash(&b));
+        assert_ne!(
+            canonical_hash(&parse("\"1\"").unwrap()),
+            canonical_hash(&parse("1").unwrap())
+        );
+    }
+
+    #[test]
+    fn content_key_hex_is_stable_and_fixed_width() {
+        let key = content_key_hex(&parse(r#"{"assay": "PCR"}"#).unwrap());
+        assert_eq!(key.len(), 16);
+        assert_eq!(
+            key,
+            content_key_hex(&parse(r#"{ "assay" : "PCR" }"#).unwrap())
+        );
+    }
+}

@@ -33,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canonical;
 mod parse;
 mod print;
 mod traits;
 mod value;
 
+pub use canonical::{canonical_hash, canonicalize, content_key, content_key_hex};
 pub use parse::parse;
 pub use traits::{Deserialize, Serialize};
 pub use value::{Json, JsonError};

@@ -1,0 +1,37 @@
+//! Worker-pool machinery shared by `biochip batch` and `biochip serve`.
+//!
+//! Two execution shapes on the same principles (scoped or detached worker
+//! threads, an atomic/locked work queue, per-job panic containment):
+//!
+//! * [`batch`] — the one-shot runner: a fixed job list fanned over scoped
+//!   threads, aggregated into one [`batch::BatchReport`]. This is the
+//!   machinery that used to live inside the CLI crate; the server work
+//!   extracted it here so both front ends drive identical code.
+//! * [`shard`] — the persistent [`shard::ShardedPool`]: long-lived workers,
+//!   each owning its own queue, for the job service. Jobs are placed by
+//!   shard key (the server uses the content hash of the submission), so
+//!   identical submissions serialize on the same worker instead of being
+//!   computed twice concurrently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod shard;
+
+pub use batch::{run_batch, BatchJob, BatchJobResult, BatchReport, JobStatus};
+pub use shard::{PoolStats, ShardedPool};
+
+/// Best-effort extraction of a panic payload's message.
+///
+/// Both runners (and the `biochip` binary) contain panics and report them
+/// as per-job failures; this is the one place that knows how to read the
+/// payload (`String` and `&str` — what `panic!` produces; anything else
+/// yields `None`).
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<&str> {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+}

@@ -1,0 +1,288 @@
+//! A persistent sharded worker pool for long-running services.
+//!
+//! Unlike [`crate::batch::run_batch`], which fans a *fixed* job list over
+//! scoped threads and returns, this pool keeps its workers alive and accepts
+//! work for as long as the owner exists. Every worker owns one queue
+//! (a shard); submitters pick the shard by key. Routing identical keys to
+//! the same shard means identical submissions execute in order on one
+//! worker — the server exploits this so that a cache-miss burst of the same
+//! assay computes the result once instead of once per worker.
+//!
+//! A panicking job never takes a worker down: the handler runs under
+//! `catch_unwind` and the panic is counted, mirroring the batch runner's
+//! per-job containment.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use biochip_json::impl_json_struct;
+
+/// Aggregate counters of a [`ShardedPool`], for `GET /stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Worker threads (= shards).
+    pub workers: usize,
+    /// Jobs accepted so far.
+    pub submitted: usize,
+    /// Jobs whose handler returned normally.
+    pub completed: usize,
+    /// Jobs whose handler panicked (contained, worker survived).
+    pub panicked: usize,
+    /// Jobs currently sitting in shard queues.
+    pub queued: usize,
+}
+
+impl_json_struct!(PoolStats {
+    workers,
+    submitted,
+    completed,
+    panicked,
+    queued
+});
+
+struct Shard<T> {
+    queue: Mutex<VecDeque<T>>,
+    available: Condvar,
+}
+
+struct Shared<T> {
+    shards: Vec<Shard<T>>,
+    shutdown: AtomicBool,
+    submitted: AtomicUsize,
+    completed: AtomicUsize,
+    panicked: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    /// Pops the next job of `shard`, blocking until one arrives or the pool
+    /// shuts down. Jobs still queued at shutdown are drained (a submitted
+    /// job is a promise).
+    fn next_job(&self, shard: usize) -> Option<T> {
+        let shard = &self.shards[shard];
+        let mut queue = shard
+            .queue
+            .lock()
+            .expect("shard queue never poisoned: handlers run under catch_unwind");
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = shard
+                .available
+                .wait(queue)
+                .expect("shard queue never poisoned: handlers run under catch_unwind");
+        }
+    }
+}
+
+/// A fixed set of detached worker threads, each draining its own queue.
+///
+/// Dropping the pool shuts it down: workers finish the jobs already queued,
+/// then exit, and `drop` joins them.
+pub struct ShardedPool<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for ShardedPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPool")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> ShardedPool<T> {
+    /// Spawns `workers` threads (clamped to at least 1), each running
+    /// `handler(worker_index, job)` for every job routed to its shard.
+    ///
+    /// The handler runs under `catch_unwind`; a panic is counted and the
+    /// worker moves on to the next job.
+    pub fn new<F>(workers: usize, handler: F) -> Self
+    where
+        F: Fn(usize, T) + Send + Sync + 'static,
+    {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            shards: (0..workers)
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::new()),
+                    available: Condvar::new(),
+                })
+                .collect(),
+            shutdown: AtomicBool::new(false),
+            submitted: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+        });
+        let handler = Arc::new(handler);
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("biochip-worker-{index}"))
+                    .spawn(move || {
+                        while let Some(job) = shared.next_job(index) {
+                            let outcome = catch_unwind(AssertUnwindSafe(|| handler(index, job)));
+                            match outcome {
+                                Ok(()) => shared.completed.fetch_add(1, Ordering::Relaxed),
+                                Err(_) => shared.panicked.fetch_add(1, Ordering::Relaxed),
+                            };
+                        }
+                    })
+                    .expect("worker threads can always be spawned")
+            })
+            .collect();
+        ShardedPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads (= shards).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues a job on the shard selected by `key % workers`.
+    ///
+    /// Returns `false` (dropping the job) if the pool is already shutting
+    /// down — callers treat that as "service unavailable".
+    pub fn submit_keyed(&self, key: u64, job: T) -> bool {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        let index = (key % self.workers.len() as u64) as usize;
+        let shard = &self.shared.shards[index];
+        shard
+            .queue
+            .lock()
+            .expect("shard queue never poisoned: handlers run under catch_unwind")
+            .push_back(job);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        shard.available.notify_one();
+        true
+    }
+
+    /// Snapshot of the pool counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let queued = self
+            .shared
+            .shards
+            .iter()
+            .map(|s| {
+                s.queue
+                    .lock()
+                    .expect("shard queue never poisoned: handlers run under catch_unwind")
+                    .len()
+            })
+            .sum();
+        PoolStats {
+            workers: self.workers.len(),
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+            queued,
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for ShardedPool<T> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for shard in &self.shared.shards {
+            shard.available.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn wait_until(deadline_ms: u64, mut done: impl FnMut() -> bool) -> bool {
+        for _ in 0..deadline_ms / 5 {
+            if done() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        done()
+    }
+
+    #[test]
+    fn jobs_run_and_drain_on_drop() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let counter = Arc::clone(&counter);
+            ShardedPool::new(3, move |_, n: usize| {
+                counter.fetch_add(n, Ordering::Relaxed);
+            })
+        };
+        for n in 1..=10usize {
+            assert!(pool.submit_keyed(n as u64, n));
+        }
+        drop(pool); // joins workers, queued jobs included
+        assert_eq!(counter.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn identical_keys_land_on_one_worker() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let pool = {
+            let seen = Arc::clone(&seen);
+            ShardedPool::new(4, move |worker, _: ()| {
+                seen.lock().unwrap().push(worker);
+            })
+        };
+        for _ in 0..8 {
+            pool.submit_keyed(42, ());
+        }
+        drop(pool);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 8);
+        assert!(seen.iter().all(|&w| w == seen[0]), "{seen:?}");
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let counter = Arc::clone(&counter);
+            ShardedPool::new(1, move |_, boom: bool| {
+                assert!(!boom, "job asked to panic");
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        pool.submit_keyed(0, true); // panics, contained
+        pool.submit_keyed(0, false); // must still run on the same worker
+        assert!(wait_until(2000, || counter.load(Ordering::Relaxed) == 1));
+        let stats = pool.stats();
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn stats_serialize() {
+        let pool = ShardedPool::new(2, |_, (): ()| {});
+        let text = biochip_json::to_string_pretty(&pool.stats());
+        let back: PoolStats = biochip_json::from_str(&text).unwrap();
+        assert_eq!(back.workers, 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! The content-addressed LRU result cache.
+//!
+//! Entries are keyed by the canonical hash of the `(problem, config)` pair
+//! (see [`biochip_json::content_key_hex`]): two submissions asking for the
+//! same synthesis — regardless of field order, formatting or which client
+//! sent them — share one entry, so a warm resubmission is a lookup instead
+//! of a multi-second pipeline run.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use biochip_json::impl_json_struct;
+
+/// Counters the cache exposes through `GET /stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: usize,
+    /// Lookups that missed (and went on to synthesize).
+    pub misses: usize,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Maximum entries held at once.
+    pub capacity: usize,
+    /// Entries displaced by the LRU policy so far.
+    pub evictions: usize,
+}
+
+impl_json_struct!(CacheStats {
+    hits,
+    misses,
+    entries,
+    capacity,
+    evictions
+});
+
+struct Inner<V> {
+    /// key → (last-use tick, value). The tick is a monotonically increasing
+    /// counter; eviction removes the minimum. With service-sized capacities
+    /// (tens to hundreds) the O(n) eviction scan is noise next to the
+    /// synthesis runs the cache is saving.
+    entries: HashMap<String, (u64, Arc<V>)>,
+    tick: u64,
+    hits: usize,
+    misses: usize,
+    evictions: usize,
+}
+
+/// A thread-safe least-recently-used cache from content key to result.
+pub struct ResultCache<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+}
+
+impl<V> std::fmt::Debug for ResultCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V> ResultCache<V> {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<V>> {
+        self.inner
+            .lock()
+            .expect("cache mutex never poisoned: no user code runs under it")
+    }
+
+    /// Looks up `key`, refreshing its recency and counting a hit or miss.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<Arc<V>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some((last_used, value)) => {
+                *last_used = tick;
+                let value = Arc::clone(value);
+                inner.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Like [`ResultCache::get`], but an absent key counts nothing: used for
+    /// the worker-side recheck of a key whose submission-time lookup already
+    /// recorded the miss — one logical lookup, one counted miss.
+    #[must_use]
+    pub fn peek(&self, key: &str) -> Option<Arc<V>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let (last_used, value) = inner.entries.get_mut(key)?;
+        *last_used = tick;
+        let value = Arc::clone(value);
+        inner.hits += 1;
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used entry
+    /// when the cache is full.
+    pub fn insert(&self, key: &str, value: Arc<V>) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let is_new = !inner.entries.contains_key(key);
+        if is_new && inner.entries.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, (last_used, _))| *last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&oldest);
+                inner.evictions += 1;
+            }
+        }
+        inner.entries.insert(key.to_owned(), (tick, value));
+    }
+
+    /// Snapshot of the cache counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.entries.len(),
+            capacity: self.capacity,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let cache: ResultCache<u32> = ResultCache::new(4);
+        assert!(cache.get("a").is_none());
+        cache.insert("a", Arc::new(1));
+        assert_eq!(cache.get("a").as_deref(), Some(&1));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn least_recently_used_entry_is_evicted_first() {
+        let cache: ResultCache<u32> = ResultCache::new(2);
+        cache.insert("a", Arc::new(1));
+        cache.insert("b", Arc::new(2));
+        // Touch "a" so "b" is the LRU entry when "c" arrives.
+        assert!(cache.get("a").is_some());
+        cache.insert("c", Arc::new(3));
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none(), "b was least recently used");
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_evict() {
+        let cache: ResultCache<u32> = ResultCache::new(2);
+        cache.insert("a", Arc::new(1));
+        cache.insert("b", Arc::new(2));
+        cache.insert("a", Arc::new(10));
+        assert_eq!(cache.get("a").as_deref(), Some(&10));
+        assert!(cache.get("b").is_some());
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn capacity_has_a_floor_of_one() {
+        let cache: ResultCache<u32> = ResultCache::new(0);
+        cache.insert("a", Arc::new(1));
+        assert!(cache.get("a").is_some());
+        assert_eq!(cache.stats().capacity, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! A minimal loopback HTTP client for tests, benches and smoke checks.
+//!
+//! Deliberately tiny: one request per connection (the server answers
+//! `Connection: close`), blocking I/O, bodies as strings. This is not a
+//! general HTTP client — it exists so the end-to-end tests, the
+//! `BENCH_serve` load generator and CI can drive the service without any
+//! external tooling.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use biochip_json::Json;
+
+/// Sends one request and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates connection and read failures, and reports malformed response
+/// heads as [`io::ErrorKind::InvalidData`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response has no body"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line `{head}`"),
+            )
+        })?;
+    Ok((status, body.to_owned()))
+}
+
+/// `GET path` → `(status, body)`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body → `(status, body)`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> io::Result<(u16, String)> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// Submits a job document and returns the parsed acceptance body.
+///
+/// # Errors
+///
+/// Returns the structured error body's message for non-2xx answers and
+/// I/O/parse failures as strings.
+pub fn submit(addr: SocketAddr, body: &str) -> Result<Json, String> {
+    let (status, body) = post_json(addr, "/jobs", body).map_err(|e| e.to_string())?;
+    let value = biochip_json::parse(&body).map_err(|e| format!("bad response body: {e}"))?;
+    if status >= 300 {
+        return Err(format!(
+            "submission rejected ({status}): {}",
+            value
+                .get("error")
+                .and_then(|e| e.expect_str().ok())
+                .unwrap_or(&body)
+        ));
+    }
+    Ok(value)
+}
+
+/// Polls `GET /jobs/:id` until the job reaches a terminal state, returning
+/// the final status document.
+///
+/// # Errors
+///
+/// Returns an error string on timeout, I/O failure or malformed bodies.
+pub fn wait_for_job(addr: SocketAddr, id: u64, timeout: Duration) -> Result<Json, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, body) = get(addr, &format!("/jobs/{id}")).map_err(|e| e.to_string())?;
+        if status != 200 {
+            return Err(format!("GET /jobs/{id} answered {status}: {body}"));
+        }
+        let value = biochip_json::parse(&body).map_err(|e| format!("bad status body: {e}"))?;
+        match value.get("status").and_then(|s| s.expect_str().ok()) {
+            Some("queued" | "running") => {}
+            Some(_) => return Ok(value),
+            None => return Err(format!("status document without `status`: {body}")),
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("job {id} still not terminal after {timeout:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The `id` field of a submission/status document.
+///
+/// # Errors
+///
+/// Returns an error string when the field is missing or not an integer.
+pub fn job_id(document: &Json) -> Result<u64, String> {
+    document
+        .get("id")
+        .and_then(|v| v.expect_number().ok())
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("document without an `id`: {}", document.to_compact()))
+}

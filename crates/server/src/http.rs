@@ -1,0 +1,256 @@
+//! A deliberately small HTTP/1.1 implementation.
+//!
+//! The build environment is fully offline, so there is no hyper/axum to
+//! lean on; this module hand-rolls exactly the subset the job service
+//! needs: request line + headers + `Content-Length` bodies in,
+//! `Connection: close` JSON responses out. Anything outside that subset is
+//! rejected with a proper status code instead of a panic — a malformed
+//! request must never take a connection thread down.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Upper bound on accepted request bodies (a 10k-op problem document is
+/// ~5 MB; 64 MB leaves generous headroom without letting a hostile client
+/// exhaust memory).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Upper bound on a request line or header line.
+const MAX_LINE_BYTES: usize = 16 * 1024;
+
+/// Overall wall-clock budget for receiving one complete request. The
+/// socket-level read timeout only bounds a *single* blocked `read`; a
+/// client dripping one byte per read would sail past it forever, so the
+/// parser additionally enforces this whole-request deadline.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(60);
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased.
+    pub method: String,
+    /// Request path, percent-decoding deliberately not applied (the API
+    /// uses plain segments only).
+    pub path: String,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// A failure while reading a request, carrying the status code to answer
+/// with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code to respond with.
+    pub status: u16,
+    /// Human-readable description (ends up in the JSON error body).
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// The reason phrase for the handful of status codes the service emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn read_line(reader: &mut impl BufRead, deadline: Instant) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if Instant::now() > deadline {
+            return Err(HttpError::new(408, "request headers took too long"));
+        }
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if byte[0] != b'\r' {
+                    line.push(byte[0]);
+                }
+                if line.len() > MAX_LINE_BYTES {
+                    return Err(HttpError::new(400, "header line too long"));
+                }
+            }
+            Err(e) => return Err(HttpError::new(400, format!("read failed: {e}"))),
+        }
+    }
+    String::from_utf8(line).map_err(|_| HttpError::new(400, "header line is not UTF-8"))
+}
+
+/// Reads one request from the stream.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] carrying the status code to answer with when
+/// the request line, headers or body are malformed or oversized.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let deadline = Instant::now() + REQUEST_DEADLINE;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| HttpError::new(500, format!("cannot clone stream: {e}")))?,
+    );
+
+    let request_line = read_line(&mut reader, deadline)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(HttpError::new(400, "malformed request line"));
+    };
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, format!("unsupported {version}")));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(&mut reader, deadline)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, format!("malformed header `{line}`")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::new(400, format!("bad content-length `{value}`")))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
+        ));
+    }
+
+    // Chunked body read so the whole-request deadline applies between
+    // reads (read_exact could be dripped past any single-read timeout).
+    let mut body = Vec::with_capacity(content_length.min(1 << 20));
+    let mut chunk = [0u8; 64 * 1024];
+    let mut remaining = content_length;
+    while remaining > 0 {
+        if Instant::now() > deadline {
+            return Err(HttpError::new(408, "request body took too long"));
+        }
+        let take = remaining.min(chunk.len());
+        match reader.read(&mut chunk[..take]) {
+            Ok(0) => return Err(HttpError::new(400, "truncated body: connection closed")),
+            Ok(n) => {
+                body.extend_from_slice(&chunk[..n]);
+                remaining -= n;
+            }
+            Err(e) => return Err(HttpError::new(400, format!("truncated body: {e}"))),
+        }
+    }
+
+    Ok(Request {
+        method: method.to_uppercase(),
+        path: path.to_owned(),
+        body,
+    })
+}
+
+/// Writes a JSON response and flushes. Write errors are ignored — the peer
+/// hanging up mid-response is its problem, not a server failure.
+pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        reason_phrase(status),
+        body.len(),
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.flush().unwrap();
+        // Half-close so a truncated-body read sees EOF instead of blocking.
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let request =
+            roundtrip(b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/jobs");
+        assert_eq!(request.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let request = roundtrip(b"GET /stats HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/stats");
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_without_panicking() {
+        for raw in [
+            &b"\r\n\r\n"[..],
+            &b"POST\r\n\r\n"[..],
+            &b"GET / SPDY/99\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"[..],
+            &b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+        ] {
+            let err = roundtrip(raw).unwrap_err();
+            assert_eq!(err.status, 400, "{err:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_with_413() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = roundtrip(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_api_statuses() {
+        for status in [200, 201, 202, 400, 404, 405, 408, 409, 413, 500, 503] {
+            assert_ne!(reason_phrase(status), "Unknown", "{status}");
+        }
+    }
+}

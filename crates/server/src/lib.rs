@@ -1,0 +1,41 @@
+//! The `biochip serve` job service.
+//!
+//! A dependency-free HTTP/1.1 + JSON front end over the synthesis
+//! pipeline, turning the one-shot CLI into a persistent service:
+//!
+//! * **Submissions** — `POST /jobs` accepts `{"assay": "RA1K"}` (any name
+//!   in [`biochip_synth::assay::library::NAMED_ASSAYS`]) or a full
+//!   `{"problem": ..., "config": ...}` document in the workspace's JSON
+//!   interchange. Malformed or invalid submissions answer a structured
+//!   `biochip-error/v1` body — never a crashed worker.
+//! * **Sharded workers** — jobs run on a [`biochip_pool::ShardedPool`];
+//!   the shard is picked by the submission's content key, so identical
+//!   submissions serialize on one worker instead of synthesizing twice.
+//! * **Content-addressed result cache** — results are cached under the
+//!   canonical hash of the `(problem, config)` pair
+//!   ([`biochip_json::content_key_hex`]); resubmitting the same assay is a
+//!   lookup, not a pipeline run. `GET /stats` exposes hit/miss/eviction
+//!   counters.
+//! * **Job lifecycle** — `GET /jobs/:id` reports
+//!   queued/running/done/failed/cancelled plus the live pipeline stage of
+//!   a running synthesis ([`biochip_synth::FlowController`]);
+//!   `DELETE /jobs/:id` cancels at the next stage boundary;
+//!   `GET /results/:id` returns the full `biochip-serve/v1` result
+//!   document.
+//!
+//! The HTTP layer is hand-rolled on `std::net` (the build is offline — no
+//! hyper/axum), implementing exactly the subset the API needs; see
+//! [`http`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod server;
+
+pub use cache::{CacheStats, ResultCache};
+pub use jobs::{JobRecord, JobState, JobStore, ResultDoc};
+pub use server::{error_body, ServeOptions, ServeStats, Server, ServerHandle, ERROR_SCHEMA};

@@ -1,0 +1,747 @@
+//! The job service: routing, submission, worker handoff and stats.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use biochip_json::{impl_json_struct, Json, Serialize};
+use biochip_pool::{PoolStats, ShardedPool};
+use biochip_synth::assay::library;
+use biochip_synth::schedule::ScheduleProblem;
+use biochip_synth::{FlowController, FlowError, SynthesisConfig, SynthesisFlow};
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::http::{read_request, write_json_response, HttpError, Request};
+use crate::jobs::{JobRecord, JobState, JobStore, ResultDoc};
+
+/// Schema tag of structured error bodies.
+pub const ERROR_SCHEMA: &str = "biochip-error/v1";
+
+/// Configuration of [`Server::bind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7078` (port 0 picks a free port).
+    pub addr: String,
+    /// Synthesis worker threads; 0 means available parallelism.
+    pub workers: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7078".to_owned(),
+            workers: 0,
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// Aggregate service counters, the body of `GET /stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Jobs accepted in total (including cache hits).
+    pub jobs_accepted: usize,
+    /// Jobs waiting for a worker.
+    pub jobs_queued: usize,
+    /// Jobs currently synthesizing.
+    pub jobs_running: usize,
+    /// Jobs finished successfully.
+    pub jobs_done: usize,
+    /// Jobs that failed (flow errors and contained panics).
+    pub jobs_failed: usize,
+    /// Jobs cancelled before completion.
+    pub jobs_cancelled: usize,
+    /// Jobs answered from the result cache.
+    pub jobs_cached: usize,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Worker-pool counters.
+    pub pool: PoolStats,
+}
+
+impl_json_struct!(ServeStats {
+    uptime_seconds,
+    jobs_accepted,
+    jobs_queued,
+    jobs_running,
+    jobs_done,
+    jobs_failed,
+    jobs_cancelled,
+    jobs_cached,
+    cache,
+    pool,
+});
+
+/// One synthesis waiting on a worker shard.
+struct QueuedJob {
+    id: u64,
+    key: String,
+    assay: String,
+    problem: ScheduleProblem,
+    config: SynthesisConfig,
+    controller: Arc<FlowController>,
+    submitted: Instant,
+}
+
+/// Memoized content key of a `(named assay, config)` submission.
+struct NameKeyMemo {
+    key: u64,
+    hex: String,
+    assay: String,
+}
+
+/// Everything the connection threads and the worker pool share.
+struct ServerState {
+    jobs: JobStore,
+    cache: ResultCache<ResultDoc>,
+    cached_hits: AtomicU64,
+    /// `"<CANONICAL>:<config key>"` → content key. Named submissions of a
+    /// scale assay would otherwise regenerate and canonically hash a
+    /// multi-thousand-op problem document on every request — with the memo
+    /// a warm hit costs two table lookups. Explicit `problem` submissions
+    /// always hash their document (the document *is* the identity).
+    name_keys: std::sync::Mutex<std::collections::HashMap<String, NameKeyMemo>>,
+    started: Instant,
+}
+
+struct Shared {
+    state: Arc<ServerState>,
+    pool: ShardedPool<QueuedJob>,
+    next_id: AtomicU64,
+}
+
+/// Handle for stopping a running server from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stopping: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Asks the accept loop to exit. Queued jobs still drain before the
+    /// worker pool shuts down.
+    pub fn stop(&self) {
+        self.stopping.store(true, Ordering::Release);
+        // Poke the listener so the blocking accept() wakes up and observes
+        // the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// The `biochip serve` job service.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    stopping: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the address cannot be bound.
+    pub fn bind(options: &ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let workers = if options.workers == 0 {
+            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+        } else {
+            options.workers
+        };
+        let state = Arc::new(ServerState {
+            jobs: JobStore::default(),
+            cache: ResultCache::new(options.cache_capacity),
+            cached_hits: AtomicU64::new(0),
+            name_keys: std::sync::Mutex::new(std::collections::HashMap::new()),
+            started: Instant::now(),
+        });
+        let pool = {
+            let state = Arc::clone(&state);
+            ShardedPool::new(workers, move |worker, job: QueuedJob| {
+                run_job(&state, worker, job);
+            })
+        };
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                state,
+                pool,
+                next_id: AtomicU64::new(1),
+            }),
+            stopping: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful when the options asked for port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `local_addr` failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop the accept loop from another thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `local_addr` failure.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.listener.local_addr()?,
+            stopping: Arc::clone(&self.stopping),
+        })
+    }
+
+    /// Serves until [`ServerHandle::stop`] is called. Each connection is
+    /// handled on its own thread; a failing or even panicking request
+    /// handler ends that connection only, never the service.
+    pub fn run(&self) {
+        for connection in self.listener.incoming() {
+            if self.stopping.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(mut stream) = connection else {
+                continue;
+            };
+            // A silent or dribbling client must not pin a connection thread
+            // forever: reads and writes give up after a generous timeout
+            // (the slow part of a job — synthesis — happens on the worker
+            // pool, never on a connection thread).
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+            let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
+            let shared = Arc::clone(&self.shared);
+            let _ = std::thread::Builder::new()
+                .name("biochip-conn".to_owned())
+                .spawn(move || {
+                    // Backstop: a panic in routing answers 500 and keeps the
+                    // process serving. The job workers have their own
+                    // containment in the pool.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        handle_connection(&mut stream, &shared);
+                    }));
+                    if outcome.is_err() {
+                        write_json_response(
+                            &mut stream,
+                            500,
+                            &error_body(500, "internal error while handling the request"),
+                        );
+                    }
+                });
+        }
+    }
+}
+
+/// Renders the uniform structured error body.
+#[must_use]
+pub fn error_body(status: u16, message: &str) -> String {
+    Json::object([
+        ("schema", Json::String(ERROR_SCHEMA.to_owned())),
+        ("code", Json::Number(f64::from(status))),
+        ("error", Json::String(message.to_owned())),
+    ])
+    .to_pretty()
+}
+
+fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    let request = match read_request(stream) {
+        Ok(request) => request,
+        Err(HttpError { status, message }) => {
+            write_json_response(stream, status, &error_body(status, &message));
+            return;
+        }
+    };
+    let (status, body) = route(&request, shared);
+    write_json_response(stream, status, &body);
+}
+
+fn route(request: &Request, shared: &Shared) -> (u16, String) {
+    let segments: Vec<&str> = request
+        .path
+        .split('?')
+        .next()
+        .unwrap_or("")
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => submit(request, shared),
+        ("GET", ["jobs", id]) => with_job_id(id, |id| job_status(id, shared)),
+        ("DELETE", ["jobs", id]) => with_job_id(id, |id| cancel_job(id, shared)),
+        ("GET", ["results", id]) => with_job_id(id, |id| job_result(id, shared)),
+        ("GET", ["stats"]) => (200, stats(shared).to_json().to_pretty()),
+        ("GET", ["healthz"]) => (200, Json::object([("ok", Json::Bool(true))]).to_pretty()),
+        (method, ["jobs"])
+        | (method, ["jobs", _])
+        | (method, ["results", _])
+        | (method, ["stats"])
+        | (method, ["healthz"]) => (
+            405,
+            error_body(405, &format!("method {method} not allowed here")),
+        ),
+        _ => (
+            404,
+            error_body(
+                404,
+                "unknown path (the API is POST /jobs, GET /jobs/:id, DELETE /jobs/:id, \
+                 GET /results/:id, GET /stats, GET /healthz)",
+            ),
+        ),
+    }
+}
+
+fn with_job_id(raw: &str, f: impl FnOnce(u64) -> (u16, String)) -> (u16, String) {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => (400, error_body(400, &format!("`{raw}` is not a job id"))),
+    }
+}
+
+/// A parsed submission: a named library assay (problem built lazily) or an
+/// explicit problem document.
+enum Submission {
+    Named {
+        canonical: &'static str,
+        config: SynthesisConfig,
+    },
+    Problem {
+        problem: ScheduleProblem,
+        config: SynthesisConfig,
+    },
+}
+
+/// Parses and validates a submission body into a runnable job.
+fn parse_submission(body: &[u8]) -> Result<Submission, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let value = biochip_json::parse(text).map_err(|e| format!("body is not JSON: {e}"))?;
+    let Json::Object(pairs) = &value else {
+        return Err(format!("expected a JSON object, found {}", value.kind()));
+    };
+    for (key, _) in pairs {
+        if !matches!(key.as_str(), "schema" | "assay" | "problem" | "config") {
+            return Err(format!(
+                "unknown field `{key}` (accepted: schema, assay, problem, config)"
+            ));
+        }
+    }
+    if let Some(schema) = value.get("schema") {
+        let schema = schema
+            .expect_str()
+            .map_err(|e| format!("field `schema`: {e}"))?;
+        if schema != ResultDoc::SCHEMA {
+            return Err(format!(
+                "submission has schema `{schema}`, this server speaks `{}`",
+                ResultDoc::SCHEMA
+            ));
+        }
+    }
+
+    let config: SynthesisConfig = match value.get("config") {
+        Some(raw) => biochip_json::Deserialize::from_json(raw)
+            .map_err(|e| format!("field `config` is not a synthesis config: {e}"))?,
+        None => SynthesisConfig::default(),
+    };
+
+    match (value.get("assay"), value.get("problem")) {
+        (Some(_), Some(_)) => Err("give either `assay` or `problem`, not both".to_owned()),
+        (Some(name), None) => {
+            let name = name
+                .expect_str()
+                .map_err(|e| format!("field `assay`: {e}"))?;
+            let canonical = library::canonical_name(name).ok_or_else(|| {
+                let known: Vec<&str> = library::NAMED_ASSAYS.iter().map(|(c, _)| *c).collect();
+                format!("unknown assay `{name}` (known: {})", known.join(", "))
+            })?;
+            Ok(Submission::Named { canonical, config })
+        }
+        (None, Some(raw)) => {
+            let problem: ScheduleProblem = biochip_json::Deserialize::from_json(raw)
+                .map_err(|e| format!("field `problem` is not a schedule problem: {e}"))?;
+            problem
+                .graph()
+                .validate()
+                .map_err(|e| format!("submitted assay is invalid: {e}"))?;
+            Ok(Submission::Problem { problem, config })
+        }
+        (None, None) => {
+            Err("a submission needs an `assay` name or a `problem` document".to_owned())
+        }
+    }
+}
+
+/// The content key of a `(problem, config)` pair — the cache identity.
+fn submission_key(problem: &ScheduleProblem, config: &SynthesisConfig) -> (u64, String) {
+    let pair = Json::object([("problem", problem.to_json()), ("config", config.to_json())]);
+    let key = biochip_json::canonical_hash(&pair);
+    (key, format!("{key:016x}"))
+}
+
+fn named_problem(canonical: &str, config: &SynthesisConfig) -> ScheduleProblem {
+    let graph = library::by_name(canonical).expect("canonical names always resolve");
+    SynthesisFlow::new(config.clone()).problem_for(graph)
+}
+
+/// A submission resolved to its cache identity. The problem document is
+/// moved (never cloned) from the submission when it exists, and absent only
+/// on the named-memo fast path.
+struct ResolvedJob {
+    key: u64,
+    key_hex: String,
+    assay: String,
+    config: SynthesisConfig,
+    problem: Option<ScheduleProblem>,
+    /// Set for named submissions, to rebuild the problem when the memo hit
+    /// but the cached result has been evicted.
+    canonical: Option<&'static str>,
+}
+
+/// Resolves a submission to its content key and display name, building the
+/// problem document only when the key was not already memoized.
+fn resolve_key(submission: Submission, state: &ServerState) -> ResolvedJob {
+    match submission {
+        Submission::Named { canonical, config } => {
+            let memo_key = format!("{canonical}:{}", biochip_json::content_key_hex(&config));
+            {
+                let memo = state
+                    .name_keys
+                    .lock()
+                    .expect("name-key memo mutex never poisoned");
+                if let Some(known) = memo.get(&memo_key) {
+                    return ResolvedJob {
+                        key: known.key,
+                        key_hex: known.hex.clone(),
+                        assay: known.assay.clone(),
+                        config,
+                        problem: None,
+                        canonical: Some(canonical),
+                    };
+                }
+            }
+            let problem = named_problem(canonical, &config);
+            let (key, hex) = submission_key(&problem, &config);
+            let assay = problem.graph().name().to_owned();
+            let mut memo = state
+                .name_keys
+                .lock()
+                .expect("name-key memo mutex never poisoned");
+            // Distinct (assay, config) pairs are few in practice; the cap
+            // only guards against a client sweeping configs to grow the map.
+            if memo.len() >= 1024 {
+                memo.clear();
+            }
+            memo.insert(
+                memo_key,
+                NameKeyMemo {
+                    key,
+                    hex: hex.clone(),
+                    assay: assay.clone(),
+                },
+            );
+            ResolvedJob {
+                key,
+                key_hex: hex,
+                assay,
+                config,
+                problem: Some(problem),
+                canonical: Some(canonical),
+            }
+        }
+        Submission::Problem { problem, config } => {
+            let (key, hex) = submission_key(&problem, &config);
+            ResolvedJob {
+                key,
+                key_hex: hex,
+                assay: problem.graph().name().to_owned(),
+                config,
+                problem: Some(problem),
+                canonical: None,
+            }
+        }
+    }
+}
+
+fn submit(request: &Request, shared: &Shared) -> (u16, String) {
+    let submission = match parse_submission(&request.body) {
+        Ok(parsed) => parsed,
+        Err(message) => return (400, error_body(400, &message)),
+    };
+    let ResolvedJob {
+        key,
+        key_hex,
+        assay,
+        config,
+        problem,
+        canonical,
+    } = resolve_key(submission, &shared.state);
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+
+    if let Some(result) = shared.state.cache.get(&key_hex) {
+        shared.state.cached_hits.fetch_add(1, Ordering::Relaxed);
+        let record = JobRecord {
+            id,
+            key: key_hex,
+            assay,
+            state: JobState::Done,
+            cached: true,
+            controller: Arc::new(FlowController::finished()),
+            result: Some(result),
+            error: None,
+            wall_seconds: 0.0,
+            worker: None,
+        };
+        let body = record.status_json().to_pretty();
+        shared.state.jobs.insert(record);
+        return (201, body);
+    }
+
+    // Cache miss: a worker must synthesize, so a problem document is needed
+    // now. It is absent only on the memo fast path (named assay with a
+    // known key whose result was evicted) — rebuild it from the name.
+    let problem = problem.unwrap_or_else(|| {
+        named_problem(
+            canonical.expect("only named submissions lack a prebuilt problem"),
+            &config,
+        )
+    });
+
+    let controller = Arc::new(FlowController::new());
+    let record = JobRecord {
+        id,
+        key: key_hex.clone(),
+        assay: assay.clone(),
+        state: JobState::Queued,
+        cached: false,
+        controller: Arc::clone(&controller),
+        result: None,
+        error: None,
+        wall_seconds: 0.0,
+        worker: None,
+    };
+    let body = record.status_json().to_pretty();
+    shared.state.jobs.insert(record);
+    let accepted = shared.pool.submit_keyed(
+        key,
+        QueuedJob {
+            id,
+            key: key_hex,
+            assay,
+            problem,
+            config,
+            controller,
+            submitted: Instant::now(),
+        },
+    );
+    if !accepted {
+        shared.state.jobs.with(id, |job| {
+            job.state = JobState::Failed;
+            job.error = Some("server is shutting down".to_owned());
+        });
+        return (503, error_body(503, "server is shutting down"));
+    }
+    (202, body)
+}
+
+fn job_status(id: u64, shared: &Shared) -> (u16, String) {
+    match shared
+        .state
+        .jobs
+        .with(id, |job| job.status_json().to_pretty())
+    {
+        Some(body) => (200, body),
+        None => (404, error_body(404, &format!("no job {id}"))),
+    }
+}
+
+fn cancel_job(id: u64, shared: &Shared) -> (u16, String) {
+    let result = shared.state.jobs.with(id, |job| match job.state {
+        JobState::Queued | JobState::Running => {
+            job.controller.cancel();
+            (202, job.status_json().to_pretty())
+        }
+        state => (
+            409,
+            error_body(409, &format!("job {id} is already {}", state.name())),
+        ),
+    });
+    result.unwrap_or_else(|| (404, error_body(404, &format!("no job {id}"))))
+}
+
+fn job_result(id: u64, shared: &Shared) -> (u16, String) {
+    let result = shared
+        .state
+        .jobs
+        .with(id, |job| match (&job.state, &job.result) {
+            (JobState::Done, Some(result)) => (200, result.to_json().to_pretty()),
+            (JobState::Failed | JobState::Cancelled, _) => (
+                409,
+                error_body(
+                    409,
+                    &format!(
+                        "job {id} {}: {}",
+                        job.state.name(),
+                        job.error.as_deref().unwrap_or("no details")
+                    ),
+                ),
+            ),
+            _ => (
+                409,
+                error_body(
+                    409,
+                    &format!(
+                        "job {id} is still {} — poll GET /jobs/{id}",
+                        job.state.name()
+                    ),
+                ),
+            ),
+        });
+    result.unwrap_or_else(|| (404, error_body(404, &format!("no job {id}"))))
+}
+
+fn stats(shared: &Shared) -> ServeStats {
+    let state = &shared.state;
+    let counts = state.jobs.counts();
+    ServeStats {
+        uptime_seconds: state.started.elapsed().as_secs_f64(),
+        jobs_accepted: state.jobs.len(),
+        jobs_queued: counts.queued,
+        jobs_running: counts.running,
+        jobs_done: counts.done,
+        jobs_failed: counts.failed,
+        jobs_cancelled: counts.cancelled,
+        jobs_cached: state.cached_hits.load(Ordering::Relaxed) as usize,
+        cache: state.cache.stats(),
+        pool: shared.pool.stats(),
+    }
+}
+
+/// Runs one queued job on a worker thread: cache fast path, then the full
+/// monitored flow with panic containment.
+///
+/// A cancellation acknowledged with a 202 must stick: the controller is
+/// re-checked at every terminal transition, so a cancel that lands while
+/// the job is queued, while the cache is consulted, or during the final
+/// synthesis stage never lets the job flip to `done` afterwards. (A result
+/// that finished anyway is still inserted into the cache — the computation
+/// is not thrown away, only this job's outcome is `cancelled`.)
+fn run_job(state: &ServerState, worker: usize, job: QueuedJob) {
+    let QueuedJob {
+        id,
+        key,
+        assay,
+        problem,
+        config,
+        controller,
+        submitted,
+    } = job;
+
+    if controller.is_cancelled() {
+        state.jobs.with(id, |record| {
+            record.state = JobState::Cancelled;
+            record.error = Some("cancelled while queued".to_owned());
+            record.wall_seconds = submitted.elapsed().as_secs_f64();
+        });
+        return;
+    }
+
+    state.jobs.with(id, |record| {
+        record.state = JobState::Running;
+        record.worker = Some(worker);
+    });
+
+    // Identical submissions shard to the same worker, so by the time a
+    // duplicate reaches the front of the queue the original has usually
+    // finished — serve it from the cache instead of synthesizing twice.
+    if let Some(result) = state.cache.peek(&key) {
+        state.cached_hits.fetch_add(1, Ordering::Relaxed);
+        let wall = submitted.elapsed().as_secs_f64();
+        state.jobs.with(id, |record| {
+            // Checked inside the store lock: cancel_job flips the flag
+            // under this same lock, so the 202 it answered and this
+            // terminal transition are strictly ordered.
+            if record.controller.is_cancelled() {
+                record.state = JobState::Cancelled;
+                record.error = Some("cancelled".to_owned());
+            } else {
+                record.state = JobState::Done;
+                record.cached = true;
+                record.result = Some(result);
+            }
+            record.wall_seconds = wall;
+        });
+        return;
+    }
+
+    let flow = SynthesisFlow::new(config);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        flow.run_problem_with(problem, &controller)
+    }));
+    let wall = submitted.elapsed().as_secs_f64();
+
+    match outcome {
+        Ok(Ok(outcome)) => {
+            let result = Arc::new(ResultDoc {
+                schema: ResultDoc::SCHEMA.to_owned(),
+                assay,
+                key: key.clone(),
+                report: outcome.report,
+                execution: outcome.execution,
+            });
+            state.cache.insert(&key, Arc::clone(&result));
+            state.jobs.with(id, |record| {
+                // Checked inside the store lock (see the cache-peek path).
+                if record.controller.is_cancelled() {
+                    record.state = JobState::Cancelled;
+                    record.error = Some(
+                        "cancelled (the synthesis had already completed; its result \
+                              is cached for future submissions)"
+                            .to_owned(),
+                    );
+                } else {
+                    record.state = JobState::Done;
+                    record.result = Some(result);
+                }
+                record.wall_seconds = wall;
+            });
+        }
+        Ok(Err(error)) => {
+            let cancelled = matches!(error, FlowError::Cancelled(_));
+            state.jobs.with(id, |record| {
+                // An acknowledged cancel wins even over a coincident flow
+                // error: the client was told "cancelled", so that is the
+                // terminal state it finds.
+                record.state = if cancelled || record.controller.is_cancelled() {
+                    JobState::Cancelled
+                } else {
+                    JobState::Failed
+                };
+                record.error = Some(error.to_string());
+                record.wall_seconds = wall;
+            });
+        }
+        Err(payload) => {
+            let message = biochip_pool::panic_message(payload.as_ref())
+                .unwrap_or("job panicked")
+                .to_owned();
+            state.jobs.with(id, |record| {
+                record.state = JobState::Failed;
+                record.error = Some(format!("synthesis panicked: {message}"));
+                record.wall_seconds = wall;
+            });
+        }
+    }
+}

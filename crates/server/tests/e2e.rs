@@ -1,0 +1,226 @@
+//! End-to-end tests of the job service over real loopback sockets.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use biochip_server::{client, ServeOptions, Server, ServerHandle};
+
+/// RA1K can take a while in debug builds; be generous.
+const JOB_TIMEOUT: Duration = Duration::from_secs(300);
+
+fn start_server(workers: usize) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        cache_capacity: 8,
+    })
+    .expect("loopback bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn wait_done(addr: SocketAddr, submission: &biochip_json::Json) -> biochip_json::Json {
+    let id = client::job_id(submission).unwrap();
+    let status = client::wait_for_job(addr, id, JOB_TIMEOUT).unwrap();
+    assert_eq!(
+        status.get("status").unwrap().expect_str().unwrap(),
+        "done",
+        "{}",
+        status.to_compact()
+    );
+    status
+}
+
+fn result_body(addr: SocketAddr, id: u64) -> String {
+    let (status, body) = client::get(addr, &format!("/results/{id}")).unwrap();
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+#[test]
+fn ra1k_resubmission_is_a_cache_hit_with_an_identical_report() {
+    let (addr, handle, join) = start_server(2);
+
+    // Cold: the full pipeline runs.
+    let first = client::submit(addr, r#"{"assay": "RA1K"}"#).unwrap();
+    assert_eq!(
+        first.get("cached").unwrap(),
+        &biochip_json::Json::Bool(false)
+    );
+    let first = wait_done(addr, &first);
+    let first_id = client::job_id(&first).unwrap();
+
+    // Warm: same submission, answered from the content-addressed cache at
+    // submission time (status done immediately, cached flag set).
+    let second = client::submit(addr, r#"{"assay": "RA1K"}"#).unwrap();
+    assert_eq!(
+        second.get("status").unwrap().expect_str().unwrap(),
+        "done",
+        "a warm submission is done at acceptance: {}",
+        second.to_compact()
+    );
+    assert_eq!(
+        second.get("cached").unwrap(),
+        &biochip_json::Json::Bool(true)
+    );
+    let second_id = client::job_id(&second).unwrap();
+    assert_ne!(first_id, second_id);
+
+    // Identical result documents, byte for byte.
+    assert_eq!(result_body(addr, first_id), result_body(addr, second_id));
+
+    // And the counters saw exactly one miss and one hit.
+    let (status, stats) = client::get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    let stats = biochip_json::parse(&stats).unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("hits").unwrap().expect_number().unwrap(), 1.0);
+    assert_eq!(cache.get("misses").unwrap().expect_number().unwrap(), 1.0);
+    assert_eq!(
+        stats.get("jobs_cached").unwrap().expect_number().unwrap(),
+        1.0
+    );
+
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn malformed_submissions_degrade_to_errors_and_the_server_keeps_serving() {
+    let (addr, handle, join) = start_server(1);
+
+    // A parade of bad requests, each answered with a structured error.
+    for (body, expect_status) in [
+        ("this is not json", 400),
+        ("[1, 2, 3]", 400),
+        (r#"{"assay": "NOPE"}"#, 400),
+        (r#"{"assay": "PCR", "problem": {}}"#, 400),
+        (r#"{"problem": {"wrong": "shape"}}"#, 400),
+        (r#"{"config": {"mixers": "three"}, "assay": "PCR"}"#, 400),
+        (r#"{"surprise": 1}"#, 400),
+        (r#"{"schema": "biochip-serve/v99", "assay": "PCR"}"#, 400),
+        ("{}", 400),
+    ] {
+        let (status, answer) = client::post_json(addr, "/jobs", body).unwrap();
+        assert_eq!(status, expect_status, "{body} → {answer}");
+        let answer = biochip_json::parse(&answer).unwrap();
+        assert_eq!(
+            answer.get("schema").unwrap().expect_str().unwrap(),
+            "biochip-error/v1",
+            "{body}"
+        );
+        assert!(answer.get("error").is_some(), "{body}");
+    }
+
+    // Unknown paths and wrong methods are structured errors too.
+    assert_eq!(client::get(addr, "/nope").unwrap().0, 404);
+    assert_eq!(client::get(addr, "/jobs/abc").unwrap().0, 400);
+    assert_eq!(client::get(addr, "/jobs/999").unwrap().0, 404);
+    assert_eq!(
+        client::request(addr, "DELETE", "/stats", None).unwrap().0,
+        405
+    );
+
+    // A semantically impossible but well-formed job fails as a job, not as
+    // the server: IVD needs a detector.
+    let doomed_config = biochip_synth::SynthesisConfig::default().with_detectors(0);
+    let doomed_body = format!(
+        r#"{{"assay": "IVD", "config": {}}}"#,
+        biochip_json::to_string(&doomed_config)
+    );
+    let accepted = client::submit(addr, &doomed_body).unwrap();
+    let id = client::job_id(&accepted).unwrap();
+    let terminal = client::wait_for_job(addr, id, JOB_TIMEOUT).unwrap();
+    assert_eq!(
+        terminal.get("status").unwrap().expect_str().unwrap(),
+        "failed",
+        "{}",
+        terminal.to_compact()
+    );
+    assert!(terminal.get("error").is_some());
+    let (status, _) = client::get(addr, &format!("/results/{id}")).unwrap();
+    assert_eq!(status, 409);
+
+    // After all of that, a healthy job still synthesizes end to end.
+    let ok = client::submit(addr, r#"{"assay": "PCR"}"#).unwrap();
+    let done = wait_done(addr, &ok);
+    assert!(done.get("report").is_some());
+
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn equivalent_submissions_share_one_cache_entry() {
+    let (addr, handle, join) = start_server(2);
+
+    let first = client::submit(addr, r#"{"assay": "PCR"}"#).unwrap();
+    wait_done(addr, &first);
+
+    // Same submission with reordered keys, an explicit schema and noise
+    // whitespace: the canonical content key must match.
+    let second = client::submit(
+        addr,
+        "{ \"schema\": \"biochip-serve/v1\",   \"assay\":\"pcr\" }",
+    )
+    .unwrap();
+    assert_eq!(
+        second.get("cached").unwrap(),
+        &biochip_json::Json::Bool(true),
+        "alias + formatting still hits: {}",
+        second.to_compact()
+    );
+    assert_eq!(
+        first.get("key").unwrap().expect_str().unwrap(),
+        second.get("key").unwrap().expect_str().unwrap()
+    );
+
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn jobs_report_live_stages_and_can_be_cancelled() {
+    let (addr, handle, join) = start_server(1);
+
+    // Occupy the single worker with a genuinely slow job (RA1K synthesizes
+    // for ~0.1 s release / seconds debug), then queue a victim behind it
+    // and cancel the victim before the worker can pick it up.
+    let slow = client::submit(addr, r#"{"assay": "RA1K"}"#).unwrap();
+    let victim = client::submit(addr, r#"{"assay": "RA70"}"#).unwrap();
+    let victim_id = client::job_id(&victim).unwrap();
+    let (status, body) =
+        client::request(addr, "DELETE", &format!("/jobs/{victim_id}"), None).unwrap();
+    // The cancel races the worker by design; with the slow blocker the 202
+    // path is near-universal, but on a loaded machine the victim may
+    // already be terminal (409). Only an accepted cancel makes the
+    // "never flips to done afterwards" guarantee checkable.
+    if status == 202 {
+        let victim_final = client::wait_for_job(addr, victim_id, JOB_TIMEOUT).unwrap();
+        assert_eq!(
+            victim_final.get("status").unwrap().expect_str().unwrap(),
+            "cancelled",
+            "an acknowledged cancel must stick: {}",
+            victim_final.to_compact()
+        );
+        let (code, _) = client::get(addr, &format!("/results/{victim_id}")).unwrap();
+        assert_eq!(code, 409, "a cancelled job has no result");
+    } else {
+        assert_eq!(status, 409, "{body}");
+        eprintln!("cancel race lost (victim already terminal); skipping the cancelled-path checks");
+    }
+
+    // The slow job is unaffected either way.
+    let slow_final = wait_done(addr, &slow);
+    assert!(slow_final.get("report").is_some());
+
+    // Cancelling a finished job is a 409.
+    let slow_id = client::job_id(&slow_final).unwrap();
+    let (status, _) = client::request(addr, "DELETE", &format!("/jobs/{slow_id}"), None).unwrap();
+    assert_eq!(status, 409);
+
+    handle.stop();
+    join.join().unwrap();
+}

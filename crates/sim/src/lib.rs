@@ -22,5 +22,5 @@ pub mod replay;
 pub mod snapshot;
 
 pub use dedicated::{simulate_dedicated_storage, DedicatedExecutionReport};
-pub use replay::{replay, ExecutionReport};
+pub use replay::{peak_concurrent, replay, ExecutionReport};
 pub use snapshot::{snapshot_at, Snapshot};

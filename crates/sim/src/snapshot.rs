@@ -122,6 +122,71 @@ mod tests {
     }
 
     #[test]
+    fn transport_windows_are_half_open_at_both_ends() {
+        let arch = ivd_architecture();
+        let first = &arch.routes()[0];
+        let window = first.path.window;
+        // t == window.start: the transport is active from the first instant.
+        let at_start = snapshot_at(&arch, window.start);
+        assert!(at_start.moving_samples.contains(&first.task.sample));
+        // t == window.end: the transport has already finished — the window
+        // is [start, end), matching the storage-interval convention. Only
+        // checkable when no *other* window of the same sample covers the
+        // instant.
+        let covered_elsewhere = arch.routes().iter().any(|r| {
+            r.task.sample == first.task.sample
+                && r.path.window != window
+                && window.end >= r.path.window.start
+                && window.end < r.path.window.end
+        });
+        if !covered_elsewhere {
+            let at_end = snapshot_at(&arch, window.end);
+            assert!(
+                !at_end.moving_samples.contains(&first.task.sample),
+                "a window must not be active at its exclusive end"
+            );
+        }
+        // One instant before the end it is still active.
+        if window.end > window.start + 1 {
+            let before_end = snapshot_at(&arch, window.end - 1);
+            assert!(before_end.moving_samples.contains(&first.task.sample));
+        }
+    }
+
+    #[test]
+    fn storage_intervals_are_half_open_at_both_ends() {
+        let arch = ivd_architecture();
+        let Some(store) = arch.storage_routes().first().copied().cloned() else {
+            return; // no storage in this schedule: nothing to check
+        };
+        let (from, until) = store.task.storage_interval.unwrap();
+        if until <= from {
+            return;
+        }
+        let edge = store.cache_edge.unwrap();
+        // Inclusive start: the sample is cached from the first instant.
+        let at_from = snapshot_at(&arch, from);
+        assert!(at_from.stored_samples.contains(&store.task.sample));
+        assert!(at_from.storing_edges.contains(&edge));
+        // Exclusive end: at `until` the sample has left the segment (unless
+        // another storage interval of the same sample covers the instant).
+        let covered_elsewhere = arch.storage_routes().iter().any(|r| {
+            r.task.sample == store.task.sample
+                && r.task.storage_interval != store.task.storage_interval
+                && r.task
+                    .storage_interval
+                    .is_some_and(|(f, u)| until >= f && until < u)
+        });
+        if !covered_elsewhere {
+            let at_until = snapshot_at(&arch, until);
+            assert!(!at_until.stored_samples.contains(&store.task.sample));
+        }
+        // Last covered instant.
+        let at_last = snapshot_at(&arch, until - 1);
+        assert!(at_last.stored_samples.contains(&store.task.sample));
+    }
+
+    #[test]
     fn snapshot_outside_any_activity_is_empty() {
         let arch = ivd_architecture();
         let last = arch

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
 use biochip_arch::{ArchError, Architecture, ArchitectureSynthesizer, SynthesisOptions};
@@ -122,6 +123,9 @@ pub enum FlowError {
     Schedule(ScheduleError),
     /// Architectural synthesis failed.
     Architecture(ArchError),
+    /// The run was cancelled through its [`FlowController`]; the stage
+    /// recorded is the one that would have run next.
+    Cancelled(FlowStage),
 }
 
 impl fmt::Display for FlowError {
@@ -129,6 +133,9 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             FlowError::Architecture(e) => write!(f, "architectural synthesis failed: {e}"),
+            FlowError::Cancelled(stage) => {
+                write!(f, "synthesis cancelled before the {stage} stage")
+            }
         }
     }
 }
@@ -138,6 +145,7 @@ impl std::error::Error for FlowError {
         match self {
             FlowError::Schedule(e) => Some(e),
             FlowError::Architecture(e) => Some(e),
+            FlowError::Cancelled(_) => None,
         }
     }
 }
@@ -151,6 +159,117 @@ impl From<ScheduleError> for FlowError {
 impl From<ArchError> for FlowError {
     fn from(e: ArchError) -> Self {
         FlowError::Architecture(e)
+    }
+}
+
+/// The pipeline stage a monitored flow run is currently in.
+///
+/// Stages advance strictly in declaration order; [`FlowController::stage`]
+/// is safe to poll from another thread while the flow runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum FlowStage {
+    /// The run has not started yet.
+    #[default]
+    Pending,
+    /// Scheduling & binding.
+    Scheduling,
+    /// Architectural synthesis (place & route).
+    Architecture,
+    /// Physical design.
+    Layout,
+    /// Replay / execution reports.
+    Simulation,
+    /// The run finished (successfully or not).
+    Done,
+}
+
+impl FlowStage {
+    const ALL: [FlowStage; 6] = [
+        FlowStage::Pending,
+        FlowStage::Scheduling,
+        FlowStage::Architecture,
+        FlowStage::Layout,
+        FlowStage::Simulation,
+        FlowStage::Done,
+    ];
+
+    /// A lowercase name for logs and status documents.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowStage::Pending => "pending",
+            FlowStage::Scheduling => "scheduling",
+            FlowStage::Architecture => "architecture",
+            FlowStage::Layout => "layout",
+            FlowStage::Simulation => "simulation",
+            FlowStage::Done => "done",
+        }
+    }
+}
+
+impl fmt::Display for FlowStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Shared handle for observing and cancelling a flow run.
+///
+/// Create one, hand a reference to [`SynthesisFlow::run_with`] on a worker
+/// thread, and poll [`stage`](FlowController::stage) / call
+/// [`cancel`](FlowController::cancel) from anywhere else. Cancellation is
+/// checked at stage boundaries — a running stage completes, the next one
+/// never starts, and the run returns [`FlowError::Cancelled`] instead of
+/// tearing anything down.
+#[derive(Debug, Default)]
+pub struct FlowController {
+    stage: AtomicU8,
+    cancelled: AtomicBool,
+}
+
+impl FlowController {
+    /// A fresh controller in the [`FlowStage::Pending`] stage.
+    #[must_use]
+    pub fn new() -> Self {
+        FlowController::default()
+    }
+
+    /// A controller already in the [`FlowStage::Done`] stage — for work
+    /// that never needs to run, e.g. a job answered from a result cache.
+    #[must_use]
+    pub fn finished() -> Self {
+        let controller = FlowController::new();
+        controller
+            .stage
+            .store(FlowStage::Done as u8, Ordering::Release);
+        controller
+    }
+
+    /// The stage the monitored run is currently in.
+    #[must_use]
+    pub fn stage(&self) -> FlowStage {
+        FlowStage::ALL[self.stage.load(Ordering::Acquire) as usize]
+    }
+
+    /// Requests cancellation; the run stops at the next stage boundary.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Records entry into `stage`, failing if cancellation was requested.
+    fn enter(&self, stage: FlowStage) -> Result<(), FlowError> {
+        if self.is_cancelled() && stage != FlowStage::Done {
+            self.stage.store(FlowStage::Done as u8, Ordering::Release);
+            return Err(FlowError::Cancelled(stage));
+        }
+        self.stage.store(stage as u8, Ordering::Release);
+        Ok(())
     }
 }
 
@@ -244,21 +363,72 @@ impl SynthesisFlow {
     /// Propagates scheduling and architectural-synthesis failures; physical
     /// design and simulation are total functions and cannot fail.
     pub fn run(&self, graph: SequencingGraph) -> Result<SynthesisOutcome, FlowError> {
-        let problem = self.problem_for(graph);
+        self.run_with(graph, &FlowController::new())
+    }
 
+    /// Runs the complete pipeline under an external [`FlowController`].
+    ///
+    /// The controller's stage advances as the run progresses, so another
+    /// thread (the job service) can poll where a long synthesis currently
+    /// is, and [`FlowController::cancel`] aborts the run at the next stage
+    /// boundary. The controller ends in [`FlowStage::Done`] whether the run
+    /// succeeds, fails or is cancelled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and architectural-synthesis failures and
+    /// returns [`FlowError::Cancelled`] when the controller was cancelled.
+    pub fn run_with(
+        &self,
+        graph: SequencingGraph,
+        controller: &FlowController,
+    ) -> Result<SynthesisOutcome, FlowError> {
+        self.run_problem_with(self.problem_for(graph), controller)
+    }
+
+    /// Like [`SynthesisFlow::run_with`], but starting from a fully built
+    /// [`ScheduleProblem`] instead of deriving one from the flow's device
+    /// counts — the entry point of the job service, which accepts problem
+    /// documents as submissions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and architectural-synthesis failures and
+    /// returns [`FlowError::Cancelled`] when the controller was cancelled.
+    pub fn run_problem_with(
+        &self,
+        problem: ScheduleProblem,
+        controller: &FlowController,
+    ) -> Result<SynthesisOutcome, FlowError> {
+        let result = self.run_stages(problem, controller);
+        controller
+            .stage
+            .store(FlowStage::Done as u8, Ordering::Release);
+        result
+    }
+
+    fn run_stages(
+        &self,
+        problem: ScheduleProblem,
+        controller: &FlowController,
+    ) -> Result<SynthesisOutcome, FlowError> {
+        controller.enter(FlowStage::Scheduling)?;
         let schedule_start = Instant::now();
         let schedule = self.schedule(&problem)?;
         let scheduling_time = schedule_start.elapsed();
 
+        controller.enter(FlowStage::Architecture)?;
         let arch_start = Instant::now();
         let architecture = ArchitectureSynthesizer::new(self.config.synthesis.clone())
             .synthesize(&problem, &schedule)?;
         let architecture_time = arch_start.elapsed();
 
+        controller.enter(FlowStage::Layout)?;
         let layout_start = Instant::now();
         let layout = generate_layout(&architecture, &self.config.layout);
         let layout_time = layout_start.elapsed();
 
+        controller.enter(FlowStage::Simulation)?;
         let execution = replay(&problem, &schedule, &architecture);
         let dedicated_baseline = simulate_dedicated_storage(&problem, &schedule);
 
@@ -330,6 +500,43 @@ mod tests {
         let err = flow.run(library::ivd()).unwrap_err();
         assert!(matches!(err, FlowError::Schedule(_)));
         assert!(err.to_string().contains("scheduling failed"));
+    }
+
+    #[test]
+    fn controller_reports_done_after_a_successful_run() {
+        let controller = FlowController::new();
+        assert_eq!(controller.stage(), FlowStage::Pending);
+        let flow = SynthesisFlow::new(SynthesisConfig::default().with_mixers(2));
+        let outcome = flow.run_with(library::pcr(), &controller).unwrap();
+        assert_eq!(controller.stage(), FlowStage::Done);
+        assert!(outcome.report.execution_time > 0);
+    }
+
+    #[test]
+    fn cancelled_controller_stops_before_the_first_stage() {
+        let controller = FlowController::new();
+        controller.cancel();
+        let flow = SynthesisFlow::new(SynthesisConfig::default().with_mixers(2));
+        let err = flow.run_with(library::pcr(), &controller).unwrap_err();
+        assert_eq!(err, FlowError::Cancelled(FlowStage::Scheduling));
+        assert!(err.to_string().contains("cancelled"));
+        assert_eq!(controller.stage(), FlowStage::Done);
+    }
+
+    #[test]
+    fn flow_errors_still_finish_the_controller() {
+        let controller = FlowController::new();
+        let flow = SynthesisFlow::new(SynthesisConfig::default().with_detectors(0));
+        let err = flow.run_with(library::ivd(), &controller).unwrap_err();
+        assert!(matches!(err, FlowError::Schedule(_)));
+        assert_eq!(controller.stage(), FlowStage::Done);
+    }
+
+    #[test]
+    fn flow_stage_serializes_as_variant_name() {
+        let text = biochip_json::to_string(&FlowStage::Architecture);
+        assert_eq!(text, "\"Architecture\"");
+        assert_eq!(FlowStage::Architecture.name(), "architecture");
     }
 
     #[test]

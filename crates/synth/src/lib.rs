@@ -34,7 +34,10 @@
 mod flow;
 mod report;
 
-pub use flow::{FlowError, SchedulerChoice, SynthesisConfig, SynthesisFlow, SynthesisOutcome};
+pub use flow::{
+    FlowController, FlowError, FlowStage, SchedulerChoice, SynthesisConfig, SynthesisFlow,
+    SynthesisOutcome,
+};
 pub use report::SynthesisReport;
 
 /// Re-export of the architectural-synthesis crate.
