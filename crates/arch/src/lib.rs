@@ -65,6 +65,7 @@ mod dedicated;
 mod error;
 mod grid;
 mod ilp_route;
+mod parallel;
 mod placement;
 mod reservation;
 mod routing;
@@ -77,10 +78,11 @@ pub use dedicated::{dedicated_storage_valves, DedicatedStorageUnit};
 pub use error::ArchError;
 pub use grid::{ConnectionGrid, GridCoord, GridEdgeId, NodeId};
 pub use ilp_route::{route_with_ilp, IlpRoutingProblem};
-pub use placement::{place_devices, Placement, PlacementOptions};
+pub use parallel::Parallelism;
+pub use placement::{place_devices, place_devices_threaded, Placement, PlacementOptions};
 pub use reservation::{Interval, ReservationCalendar, ReservationTable};
 pub use routing::{RoutedPath, Router, RouterStats, RoutingOptions};
-pub use synthesis::{ArchitectureSynthesizer, SynthesisOptions, SynthesisStats};
+pub use synthesis::{ArchStageTimings, ArchitectureSynthesizer, SynthesisOptions, SynthesisStats};
 pub use transport::{extract_transport_tasks, TransportKind, TransportTask};
 
 /// Re-exported scheduling types used in this crate's public API.

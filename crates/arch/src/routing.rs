@@ -20,24 +20,47 @@
 //!    on the congested port resources) instead of probing arithmetic guesses,
 //!    so a feasible window is found even when the contention pattern is
 //!    irregular.
-//! 2. **Path search** — an indexed Dijkstra over the grid (dense scratch
-//!    arrays reused across searches) that respects the reservation calendars
-//!    for the chosen window; store tasks additionally select a cache segment
+//! 2. **Scoring** — an indexed Dijkstra over the grid (dense scratch arrays
+//!    reused across searches) that respects the reservation calendars for
+//!    the chosen window; store tasks additionally select a cache segment
 //!    through the distance-sorted [`SegmentIndex`](crate::segment_index).
+//!    Scoring is **pure**: it reads a frozen snapshot of the reservation
+//!    state and never mutates it, which is what lets
+//!    [`Router::route_all`] fan candidate windows and cache-segment claims
+//!    over a scoped worker pool while staying bit-identical to the
+//!    sequential router — the winner is always the first feasible candidate
+//!    *by candidate order*, never by completion order, and the stage
+//!    counters only ever record work the sequential router would also have
+//!    done (speculatively scored candidates past the winner are discarded,
+//!    counters included).
 //! 3. **Commit** — the found path reserves its edges and switch nodes in the
-//!    calendars and the task is recorded.
+//!    calendars and the task is recorded. Commits always happen on the
+//!    driver thread, in task order: commit order, not scoring order, defines
+//!    the result.
 //!
 //! Each stage counts its work in [`RouterStats`], surfaced through
 //! `SynthesisReport` so regressions in window rejection rates or search
 //! effort are visible in the benchmark artifacts.
+//!
+//! # Allocation discipline
+//!
+//! The hot loops run on dense, index-addressed tables — a bitset for the
+//! used-edge set, per-edge slots for the active caches, per-sample slots for
+//! the cache assignment — and on scratch buffers (window builder, Dijkstra
+//! arrays, price blocks) that are reused across all tasks of a run. The
+//! steady-state allocation rate per routed task is pinned by the
+//! `alloc_discipline` integration test.
 //!
 //! Tasks carry slack (`earliest_start ..= deadline`); when the preferred
 //! window is congested — for example several samples leaving the same device
 //! at once, which cannot all use its handful of ports simultaneously — the
 //! router staggers the transport inside its slack instead of failing.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use serde::{Deserialize, Serialize};
 
@@ -136,53 +159,145 @@ pub struct RouterStats {
     pub postponed_tasks: usize,
 }
 
-/// The incremental routing engine.
-///
-/// Tasks must be routed in the order returned by
-/// [`extract_transport_tasks`](crate::extract_transport_tasks) (ascending
-/// window start); each successful route immediately reserves its resources.
-#[derive(Debug)]
-pub struct Router<'a> {
-    grid: &'a ConnectionGrid,
-    placement: &'a Placement,
-    options: RoutingOptions,
-    reservations: ReservationTable,
-    used_edges: HashSet<GridEdgeId>,
-    /// Cache segment and exit node chosen for each stored sample.
-    cache_of_sample: HashMap<usize, (GridEdgeId, NodeId)>,
-    /// Segments currently caching a sample, with the span they are blocked
-    /// for and the window their fetch is planned in. Drives the store
-    /// stage's occupancy pricing and the egress guards that keep every
-    /// cached sample's escape route open.
-    active_caches: HashMap<GridEdgeId, CacheInfo>,
-    /// Every segment that has ever cached a sample. Store tasks reuse pool
-    /// members first (first-fit interval assignment), keeping the distinct
-    /// cache-segment count near the schedule's storage peak.
-    cache_pool: BTreeSet<GridEdgeId>,
-    /// Pool members in the order they joined (drives the incremental
-    /// per-pair pooled candidate lists).
-    pool_log: Vec<GridEdgeId>,
-    /// Per device pair: how much of `pool_log` is merged in, and the pool
-    /// members sorted by that pair's static score — so the reuse scan walks
-    /// candidates best-first and stops early instead of pricing the whole
-    /// pool.
-    pooled_by_pair: HashMap<(usize, usize), (usize, ScoredEdges)>,
-    /// Device occupying each grid node, if any (dense lookup; the
-    /// [`Placement::device_at`] scan is linear in the device count and sits
-    /// on the Dijkstra hot path).
-    device_of_node: Vec<Option<biochip_schedule::DeviceId>>,
-    /// For each node, the device nodes adjacent to it (a switch next to a
-    /// device is one of that device's ports; transit traffic over it is
-    /// priced up by `foreign_port_penalty`).
-    adjacent_device_nodes: Vec<Vec<NodeId>>,
-    segment_index: SegmentIndex,
-    scratch: DijkstraScratch,
-    stats: RouterStats,
-    /// Whether the grid is storage-sized (side ≥ `SCALE_GRID_SIDE`). The
-    /// scale heuristics — pool-first reuse, cache guards, foreign-port
-    /// pricing, A*-directed search — only engage here, so paper-scale grids
-    /// reproduce the pre-refactor router's chips exactly.
-    scale_mode: bool,
+/// Search-effort counters of one pure scoring step. Accumulated into
+/// [`RouterStats`] strictly in candidate order, and only for candidates the
+/// sequential router would also have scored.
+#[derive(Debug, Clone, Copy, Default)]
+struct EvalCounters {
+    searches: usize,
+    nodes: usize,
+}
+
+impl RouterStats {
+    fn absorb(&mut self, c: EvalCounters) {
+        self.path_searches += c.searches;
+        self.nodes_expanded += c.nodes;
+    }
+}
+
+/// Dense bitset over grid-edge indices — the used-edge set of the chip.
+/// Replaces the previous `HashSet<GridEdgeId>`: `contains` sits on the
+/// Dijkstra hot path (every relaxed edge asks it for its price) and the
+/// bitset answers it with one shift and mask, allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DenseEdgeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseEdgeSet {
+    fn new(edges: usize) -> Self {
+        DenseEdgeSet {
+            words: vec![0; edges.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, edge: GridEdgeId) -> bool {
+        let i = edge.index();
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    fn insert(&mut self, edge: GridEdgeId) -> bool {
+        let i = edge.index();
+        let mask = 1u64 << (i % 64);
+        let fresh = self.words[i / 64] & mask == 0;
+        if fresh {
+            self.words[i / 64] |= mask;
+            self.len += 1;
+        }
+        fresh
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Member edges in ascending id order (deterministic by construction,
+    /// unlike the hash-set iteration it replaces).
+    fn to_vec(&self) -> Vec<GridEdgeId> {
+        let mut out = Vec::with_capacity(self.len);
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(GridEdgeId(w * 64 + b));
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// Dense per-sample cache assignment (`sample id → (cache segment, exit
+/// node)`), replacing a `HashMap<usize, _>` on the store/fetch path.
+#[derive(Debug, Default)]
+struct SampleCaches {
+    slots: Vec<Option<(GridEdgeId, NodeId)>>,
+}
+
+impl SampleCaches {
+    fn get(&self, sample: usize) -> Option<(GridEdgeId, NodeId)> {
+        self.slots.get(sample).copied().flatten()
+    }
+
+    fn set(&mut self, sample: usize, value: (GridEdgeId, NodeId)) {
+        if self.slots.len() <= sample {
+            self.slots.resize(sample + 1, None);
+        }
+        self.slots[sample] = Some(value);
+    }
+
+    fn remove(&mut self, sample: usize) {
+        if let Some(slot) = self.slots.get_mut(sample) {
+            *slot = None;
+        }
+    }
+}
+
+/// Bookkeeping of one segment that currently caches a sample.
+#[derive(Debug, Clone, Copy)]
+struct CacheInfo {
+    /// Span during which the segment is blocked (arrival through planned
+    /// fetch end plus the postponement guard).
+    blocked: Interval,
+    /// The reservation the store placed on the segment's calendar (storage
+    /// arrival through `reserved_until`); lets the store stage reject a
+    /// busy pool member with one indexed load instead of calendar searches.
+    reserved: Interval,
+    /// The window the fetch is planned to depart in.
+    fetch_window: Interval,
+    /// End of the reservation the store placed on the segment: planned
+    /// fetch end plus `max_deadline_overrun`, so a postponed fetch still
+    /// owns its segment while the sample rests past the plan.
+    reserved_until: Seconds,
+}
+
+/// The time spans a store task must secure on its cache segment.
+#[derive(Debug, Clone, Copy)]
+struct StoreHorizon {
+    /// Window of the store transport itself.
+    store_window: Interval,
+    /// Span the sample rests in the segment.
+    storage: Interval,
+    /// Planned (non-empty) departure window of the matching fetch.
+    planned_fetch: Interval,
+    /// Full span the segment is blocked: store arrival → planned fetch end.
+    blocked: Interval,
+}
+
+impl StoreHorizon {
+    fn new(task: &TransportTask, store_window: Interval, stored_until: Seconds) -> Self {
+        let storage = Interval::new(store_window.end.min(stored_until), stored_until);
+        let planned_fetch_end = stored_until + task.window_len().max(1);
+        StoreHorizon {
+            store_window,
+            storage,
+            planned_fetch: Interval::new(stored_until, planned_fetch_end),
+            blocked: Interval::new(store_window.start, planned_fetch_end),
+        }
+    }
 }
 
 /// One Dijkstra frontier entry (min-heap by cost, then node id).
@@ -209,7 +324,7 @@ impl PartialOrd for SearchEntry {
 
 /// Dense per-node scratch arrays reused across Dijkstra runs; `stamp`
 /// versioning avoids clearing them between searches and the frontier heap
-/// keeps its allocation.
+/// keeps its allocation. Every scoring thread owns one.
 #[derive(Debug, Default)]
 struct DijkstraScratch {
     dist: Vec<u64>,
@@ -258,6 +373,1806 @@ impl DijkstraScratch {
     }
 }
 
+/// Reusable buffers of the window-selection stage (driver-only). The
+/// original implementation allocated a `Vec`, a `HashSet` and a `BTreeSet`
+/// per task; these buffers make the stage allocation-free in steady state
+/// while reproducing the exact candidate order (linear dedup over the small
+/// start list, sort+dedup over the calendar extras).
+#[derive(Debug, Default)]
+struct WindowScratch {
+    /// The produced candidate list (handed out via `mem::take`, returned
+    /// after the drive).
+    out: Vec<Interval>,
+    starts: Vec<Seconds>,
+    seen: Vec<Seconds>,
+    extras: Vec<Seconds>,
+    resources: Vec<WindowResource>,
+    /// Viable-window buffer of the fetch stage.
+    viable: Vec<Interval>,
+    /// Price block of the store stage's speculative pricer.
+    prices: Vec<Option<u64>>,
+}
+
+/// Everything about a routing run that is frozen after [`Router::new`]:
+/// grid topology, placement-derived lookup tables and the options. Shared
+/// read-only with every scoring thread.
+#[derive(Debug)]
+struct RouteCtx<'a> {
+    grid: &'a ConnectionGrid,
+    placement: &'a Placement,
+    options: RoutingOptions,
+    /// Device occupying each grid node, if any (dense lookup; the
+    /// [`Placement::device_at`] scan is linear in the device count and sits
+    /// on the Dijkstra hot path).
+    device_of_node: Vec<Option<biochip_schedule::DeviceId>>,
+    /// For each node, the device nodes adjacent to it (a switch next to a
+    /// device is one of that device's ports; transit traffic over it is
+    /// priced up by `foreign_port_penalty`).
+    adjacent_device_nodes: Vec<Vec<NodeId>>,
+    /// Whether the grid is storage-sized (side ≥ `SCALE_GRID_SIDE`). The
+    /// scale heuristics — pool-first reuse, cache guards, foreign-port
+    /// pricing, A*-directed search — only engage here, so paper-scale grids
+    /// reproduce the pre-refactor router's chips exactly.
+    scale_mode: bool,
+}
+
+/// The mutable routing state: reservation calendars, the used-edge set and
+/// the cache bookkeeping. Commits mutate it on the driver thread; scoring
+/// reads a frozen snapshot of it (through an `RwLock` when a worker pool is
+/// active — uncontended in sequential runs).
+#[derive(Debug)]
+struct RouteState {
+    reservations: ReservationTable,
+    used_edges: DenseEdgeSet,
+    /// Cache segment and exit node chosen for each stored sample.
+    cache_of_sample: SampleCaches,
+    /// Per-edge slot of the segments currently caching a sample, with the
+    /// span they are blocked for and the window their fetch is planned in.
+    /// Drives the store stage's occupancy pricing and the egress guards.
+    active_caches: Vec<Option<CacheInfo>>,
+    /// Every segment that has ever cached a sample. Store tasks reuse pool
+    /// members first (first-fit interval assignment), keeping the distinct
+    /// cache-segment count near the schedule's storage peak.
+    cache_pool: BTreeSet<GridEdgeId>,
+    /// Pool members in the order they joined (drives the incremental
+    /// per-pair pooled candidate lists).
+    pool_log: Vec<GridEdgeId>,
+}
+
+impl RouteState {
+    fn new(grid: &ConnectionGrid) -> Self {
+        RouteState {
+            reservations: ReservationTable::new(grid),
+            used_edges: DenseEdgeSet::new(grid.num_edges()),
+            cache_of_sample: SampleCaches::default(),
+            active_caches: vec![None; grid.num_edges()],
+            cache_pool: BTreeSet::new(),
+            pool_log: Vec::new(),
+        }
+    }
+}
+
+/// A resource whose reservation calendar constrains a task's window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WindowResource {
+    Edge(GridEdgeId),
+    Node(NodeId),
+}
+
+/// A pure, read-only scoring view over the frozen context and a snapshot of
+/// the mutable state. Every method is a function of its arguments and the
+/// snapshot — no interior mutation, no completion-order dependence — which
+/// is the invariant the parallel scoring pool rests on.
+#[derive(Clone, Copy)]
+struct Eval<'e, 'a> {
+    ctx: &'e RouteCtx<'a>,
+    state: &'e RouteState,
+}
+
+impl<'e, 'a> Eval<'e, 'a> {
+    /// The device occupying a node, if any (dense O(1) lookup).
+    fn device_at(&self, node: NodeId) -> Option<biochip_schedule::DeviceId> {
+        self.ctx.device_of_node[node.index()]
+    }
+
+    /// Candidate occupation windows inside the task's slack: the preferred
+    /// window first, then slack candidates in ascending start order, then
+    /// postponed windows up to the configured deadline overrun (last
+    /// resort). Besides the arithmetic grid of start times, the calendars
+    /// of the resources a window must not conflict with (typically the port
+    /// edges of the two devices) are asked for their first feasible windows
+    /// directly, so congested tasks jump straight to a plausible start
+    /// instead of stepping blindly through their slack.
+    fn candidate_windows(
+        &self,
+        task: &TransportTask,
+        allow_overrun: bool,
+        ws: &mut WindowScratch,
+        out: &mut Vec<Interval>,
+    ) {
+        out.clear();
+        ws.resources.clear();
+        self.window_resources(task, &mut ws.resources);
+        let len = task.window_len().max(1);
+        let cap = self.ctx.options.max_window_candidates.max(1);
+
+        // The pre-refactor candidate sequence, reproduced exactly so every
+        // task the old router placed lands in the same window: preferred
+        // start, then earliest, latest and a stride over the slack, then
+        // arithmetic overrun steps.
+        ws.starts.clear();
+        ws.starts.push(task.window_start);
+        let latest = if task.deadline >= task.earliest_start + len {
+            let latest = task.deadline - len;
+            ws.starts.push(task.earliest_start);
+            ws.starts.push(latest);
+            let mut s = task.earliest_start;
+            while s <= latest && ws.starts.len() < self.ctx.options.max_window_candidates {
+                ws.starts.push(s);
+                s += len;
+            }
+            Some(latest)
+        } else {
+            None
+        };
+        let overrun_latest = if allow_overrun && self.ctx.options.max_deadline_overrun > 0 {
+            let base = task.deadline.saturating_sub(len).max(task.earliest_start);
+            let mut overrun = len;
+            while overrun <= self.ctx.options.max_deadline_overrun && ws.starts.len() < 2 * cap {
+                ws.starts.push(base + overrun);
+                overrun += len;
+            }
+            Some((base, base + self.ctx.options.max_deadline_overrun))
+        } else {
+            None
+        };
+        // First-occurrence dedup, truncated at 2·cap — a linear scan over
+        // the (small, bounded) start list replaces the per-task `HashSet`.
+        ws.seen.clear();
+        for &s in &ws.starts {
+            if ws.seen.len() >= 2 * cap {
+                break;
+            }
+            if ws.seen.contains(&s) {
+                continue;
+            }
+            ws.seen.push(s);
+            out.push(Interval::new(s, s + len));
+        }
+
+        // Calendar-driven extras: the earliest feasible starts on the
+        // constraining resources, appended after the legacy sequence — they
+        // only decide the outcome when every legacy candidate fails, which
+        // is exactly the congested case the calendars resolve.
+        ws.extras.clear();
+        if let Some(latest) = latest {
+            for resource in &ws.resources {
+                for earliest in [task.earliest_start, task.window_start.min(latest)] {
+                    if let Some(s) = self.first_free_on(*resource, len, earliest, latest) {
+                        ws.extras.push(s);
+                    }
+                }
+            }
+        }
+        if let Some((base, latest)) = overrun_latest {
+            for resource in &ws.resources {
+                if let Some(s) = self.first_free_on(*resource, len, base + 1, latest) {
+                    ws.extras.push(s);
+                }
+            }
+        }
+        // Ascending dedup order, as the former `BTreeSet` iterated.
+        ws.extras.sort_unstable();
+        ws.extras.dedup();
+        for &s in &ws.extras {
+            let w = Interval::new(s, s + len);
+            if !out.contains(&w) {
+                out.push(w);
+            }
+        }
+        out.truncate(4 * cap);
+    }
+
+    /// The resources whose calendars constrain a task's window: the port
+    /// edges of its endpoint devices, plus the end nodes of the cache
+    /// segment for fetches.
+    fn window_resources(&self, task: &TransportTask, out: &mut Vec<WindowResource>) {
+        match task.kind {
+            TransportKind::Direct => {
+                let from = self.ctx.placement.node_of(task.from_device);
+                let to = self.ctx.placement.node_of(task.to_device);
+                for &node in &[from, to] {
+                    for &edge in self.ctx.grid.incident_edges(node) {
+                        out.push(WindowResource::Edge(edge));
+                    }
+                }
+            }
+            TransportKind::Store => {
+                let from = self.ctx.placement.node_of(task.from_device);
+                for &edge in self.ctx.grid.incident_edges(from) {
+                    out.push(WindowResource::Edge(edge));
+                }
+            }
+            TransportKind::Fetch => {
+                if let Some((cache_edge, exit)) = self.state.cache_of_sample.get(task.sample) {
+                    let entry = self.ctx.grid.other_endpoint(cache_edge, exit);
+                    out.push(WindowResource::Node(exit));
+                    out.push(WindowResource::Node(entry));
+                }
+                let to = self.ctx.placement.node_of(task.to_device);
+                for &edge in self.ctx.grid.incident_edges(to) {
+                    out.push(WindowResource::Edge(edge));
+                }
+            }
+        }
+    }
+
+    fn first_free_on(
+        &self,
+        resource: WindowResource,
+        duration: Seconds,
+        earliest: Seconds,
+        latest_start: Seconds,
+    ) -> Option<Seconds> {
+        match resource {
+            WindowResource::Edge(edge) => self.state.reservations.first_free_edge_window(
+                edge,
+                duration,
+                earliest,
+                latest_start,
+            ),
+            WindowResource::Node(node) => self.state.reservations.first_free_node_window(
+                node,
+                duration,
+                earliest,
+                latest_start,
+            ),
+        }
+    }
+
+    /// Whether the producer can get a sample out through at least one of its
+    /// port edges during the window. When not, no candidate segment can be
+    /// reached — the store stage skips the window before pricing the pool.
+    fn producer_can_leave(&self, from_node: NodeId, window: Interval) -> bool {
+        self.ctx.grid.incident_edges(from_node).iter().any(|&port| {
+            self.state.reservations.edge_free(port, window)
+                && self
+                    .state
+                    .reservations
+                    .node_free(self.ctx.grid.other_endpoint(port, from_node), window)
+        })
+    }
+
+    /// Dynamic price of a cache-segment candidate for the given storage
+    /// horizon: `None` when the segment is reserved anywhere in the horizon
+    /// or a guard rejects it, otherwise the used/new price plus the
+    /// cache-neighbour occupancy penalty.
+    fn price_segment(
+        &self,
+        edge: GridEdgeId,
+        horizon: &StoreHorizon,
+        to_node: NodeId,
+    ) -> Option<u64> {
+        // O(1) fast path: a segment that currently caches a sample is
+        // reserved for that sample's whole horizon; no calendar search
+        // needed to reject it.
+        if let Some(info) = self.state.active_caches[edge.index()] {
+            if info.reserved.overlaps(&horizon.blocked) {
+                return None;
+            }
+        }
+        let r = &self.state.reservations;
+        if !(r.edge_free(edge, horizon.store_window)
+            && r.edge_free(edge, horizon.storage)
+            && r.edge_free(edge, horizon.planned_fetch))
+        {
+            return None;
+        }
+        if self.ctx.scale_mode
+            && (!self.egress_stays_open(edge, horizon.planned_fetch, to_node)
+                || self.strangles_cached_neighbor(edge, horizon.blocked)
+                || self.starves_device_ports(edge, horizon.blocked))
+        {
+            return None;
+        }
+        let base = if self.state.used_edges.contains(edge) {
+            self.ctx.options.used_edge_cost
+        } else {
+            self.ctx.options.new_edge_cost
+        };
+        if !self.ctx.scale_mode {
+            return Some(base);
+        }
+        Some(
+            base + self.ctx.options.cache_neighbor_penalty
+                * self.caching_neighbors(edge, horizon.blocked),
+        )
+    }
+
+    /// Number of incident segments (at either endpoint) that cache a sample
+    /// while `span` is blocked — the occupancy term of the store score.
+    fn caching_neighbors(&self, edge: GridEdgeId, span: Interval) -> u64 {
+        let (x, y) = self.ctx.grid.endpoints(edge);
+        let mut count = 0;
+        for node in [x, y] {
+            for &neighbor in self.ctx.grid.incident_edges(node) {
+                if neighbor == edge {
+                    continue;
+                }
+                if let Some(info) = self.state.active_caches[neighbor.index()] {
+                    if info.blocked.overlaps(&span) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Whether a sample cached in `edge` could still leave towards
+    /// `to_node` during its planned fetch window: at least one incident
+    /// segment at one end must be free for the fetch to depart through.
+    /// Edges leading into a foreign device do not count — a fetch path may
+    /// only enter its own consumer. Without this guard a distance-greedy
+    /// store can pick a spot that is already walled in by longer-lived
+    /// caches, and the zero-slack fetch later fails.
+    fn egress_stays_open(&self, edge: GridEdgeId, fetch_window: Interval, to_node: NodeId) -> bool {
+        let (x, y) = self.ctx.grid.endpoints(edge);
+        [x, y].into_iter().any(|node| {
+            self.device_at(node).is_none()
+                && self.ctx.grid.incident_edges(node).iter().any(|&out| {
+                    if out == edge {
+                        return false;
+                    }
+                    let z = self.ctx.grid.other_endpoint(out, node);
+                    (self.device_at(z).is_none() || z == to_node)
+                        && self.state.reservations.edge_free(out, fetch_window)
+                })
+        })
+    }
+
+    /// Whether caching on `edge` would leave a device with too few
+    /// cache-free port edges during the blocked span. Every transport of a
+    /// device flows through its handful of ports; parking samples on them
+    /// until fewer than two remain (one, on low-degree grid corners)
+    /// guarantees that some zero-slack arrival or departure finds every
+    /// port occupied.
+    fn starves_device_ports(&self, edge: GridEdgeId, blocked: Interval) -> bool {
+        let (x, y) = self.ctx.grid.endpoints(edge);
+        for node in [x, y] {
+            if self.device_at(node).is_none() {
+                continue;
+            }
+            let ports = self.ctx.grid.incident_edges(node);
+            let required = ports.len().saturating_sub(1).min(2);
+            let cache_free = ports
+                .iter()
+                .filter(|&&port| {
+                    port != edge
+                        && self.state.active_caches[port.index()]
+                            .is_none_or(|info| !info.blocked.overlaps(&blocked))
+                })
+                .count();
+            if cache_free < required {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether claiming `edge` for `blocked` would take the **last** free
+    /// egress segment of a neighbouring cached sample during its planned
+    /// fetch window. Placing such a store would strand the neighbour, so the
+    /// candidate is rejected up front.
+    fn strangles_cached_neighbor(&self, edge: GridEdgeId, blocked: Interval) -> bool {
+        let (x, y) = self.ctx.grid.endpoints(edge);
+        for node in [x, y] {
+            for &neighbor in self.ctx.grid.incident_edges(node) {
+                if neighbor == edge {
+                    continue;
+                }
+                let Some(info) = self.state.active_caches[neighbor.index()] else {
+                    continue;
+                };
+                if !info.fetch_window.overlaps(&blocked) {
+                    continue;
+                }
+                let (nx, ny) = self.ctx.grid.endpoints(neighbor);
+                let still_escapes = [nx, ny].into_iter().any(|end| {
+                    self.device_at(end).is_none()
+                        && self.ctx.grid.incident_edges(end).iter().any(|&out| {
+                            out != neighbor
+                                && out != edge
+                                // The neighbour's consumer is unknown here;
+                                // conservatively require a non-device escape.
+                                && self
+                                    .device_at(self.ctx.grid.other_endpoint(out, end))
+                                    .is_none()
+                                && self.state.reservations.edge_free(out, info.fetch_window)
+                        })
+                });
+                if !still_escapes {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Read-only probe of one store claim: can the sample be routed from the
+    /// producer into `edge` for this horizon? Returns the approach path
+    /// (cache segment appended) and the chosen exit node; the commit is the
+    /// driver's.
+    fn find_cache_entry(
+        &self,
+        from: NodeId,
+        edge: GridEdgeId,
+        horizon: &StoreHorizon,
+        scratch: &mut DijkstraScratch,
+        counters: &mut EvalCounters,
+    ) -> Option<(RoutedPath, NodeId)> {
+        let store_window = horizon.store_window;
+        let (x, y) = self.ctx.grid.endpoints(edge);
+        // Try entering the segment from either endpoint.
+        for (entry, exit) in [(x, y), (y, x)] {
+            // The sample slides into the segment towards `exit`, so the far
+            // end must be a free switch node; the entry may be a device node
+            // only if it is the producer itself.
+            if self.device_at(exit).is_some()
+                || !self.state.reservations.node_free(exit, store_window)
+            {
+                continue;
+            }
+            if self.device_at(entry).is_some() && entry != from {
+                continue;
+            }
+            let Some(mut path) =
+                self.shortest_path(from, entry, store_window, Some(edge), scratch, counters)
+            else {
+                continue;
+            };
+            path.nodes.push(exit);
+            path.edges.push(edge);
+            return Some((path, exit));
+        }
+        None
+    }
+
+    /// Read-only probe of one fetch window: the full path (cache segment
+    /// first) from the sample's resting segment to the consumer, leaving
+    /// through the recorded exit node first and falling back to the other
+    /// end of the segment.
+    #[allow(clippy::too_many_arguments)]
+    fn find_fetch_path(
+        &self,
+        to: NodeId,
+        cache_edge: GridEdgeId,
+        first: NodeId,
+        second: NodeId,
+        window: Interval,
+        scratch: &mut DijkstraScratch,
+        counters: &mut EvalCounters,
+    ) -> Option<RoutedPath> {
+        for leave in [first, second] {
+            let Some(path) =
+                self.shortest_path(leave, to, window, Some(cache_edge), scratch, counters)
+            else {
+                continue;
+            };
+            // The sample first traverses its cache segment, then the path.
+            let entry = self.ctx.grid.other_endpoint(cache_edge, leave);
+            let mut nodes = Vec::with_capacity(path.nodes.len() + 1);
+            nodes.push(entry);
+            nodes.extend(path.nodes.iter().copied());
+            let mut edges = Vec::with_capacity(path.edges.len() + 1);
+            edges.push(cache_edge);
+            edges.extend(path.edges.iter().copied());
+            return Some(RoutedPath {
+                nodes,
+                edges,
+                window,
+            });
+        }
+        None
+    }
+
+    /// Dijkstra shortest path from `from` to `to` during `window`, avoiding
+    /// reserved edges/nodes and foreign device nodes. `skip_edge` is excluded
+    /// from the search (used to keep a cache segment for the sample itself).
+    fn shortest_path(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        window: Interval,
+        skip_edge: Option<GridEdgeId>,
+        scratch: &mut DijkstraScratch,
+        counters: &mut EvalCounters,
+    ) -> Option<RoutedPath> {
+        counters.searches += 1;
+        if from == to {
+            return Some(RoutedPath {
+                nodes: vec![from],
+                edges: Vec::new(),
+                window,
+            });
+        }
+        let endpoint_blocked = |node: NodeId| {
+            self.device_at(node).is_none() && !self.state.reservations.node_free(node, window)
+        };
+        if endpoint_blocked(from) || endpoint_blocked(to) {
+            return None;
+        }
+
+        // On storage-sized grids the search is A*-directed by the Manhattan
+        // lower bound (admissible and consistent: every step costs at least
+        // the cheaper edge price). Paper-scale grids keep plain Dijkstra so
+        // their tie-breaking — and thus their synthesized chips — stay
+        // exactly as before the refactor.
+        let min_edge_cost = self
+            .ctx
+            .options
+            .used_edge_cost
+            .min(self.ctx.options.new_edge_cost);
+        let heuristic_on = self.ctx.scale_mode;
+        let to_coord = self.ctx.grid.coord(to);
+        let bound = |node: NodeId| -> u64 {
+            if heuristic_on {
+                self.ctx.grid.coord(node).manhattan(to_coord) as u64 * min_edge_cost
+            } else {
+                0
+            }
+        };
+
+        scratch.begin();
+        scratch.set(from, 0, None);
+        let from_bound = bound(from);
+        scratch.heap.push(SearchEntry {
+            cost: from_bound,
+            node: from,
+        });
+        let mut reached = false;
+
+        while let Some(SearchEntry {
+            cost: priority,
+            node,
+        }) = scratch.heap.pop()
+        {
+            counters.nodes += 1;
+            if node == to {
+                reached = true;
+                break;
+            }
+            let cost = priority - bound(node);
+            if cost > scratch.dist(node) {
+                continue;
+            }
+            for &edge in self.ctx.grid.incident_edges(node) {
+                if Some(edge) == skip_edge {
+                    continue;
+                }
+                let next = self.ctx.grid.other_endpoint(edge, node);
+                // Device nodes may only be path endpoints.
+                if next != to && self.device_at(next).is_some() {
+                    continue;
+                }
+                if !self.state.reservations.edge_free(edge, window)
+                    || (self.device_at(next).is_none()
+                        && !self.state.reservations.node_free(next, window))
+                {
+                    continue;
+                }
+                let mut edge_cost = if self.state.used_edges.contains(edge) {
+                    self.ctx.options.used_edge_cost
+                } else {
+                    self.ctx.options.new_edge_cost
+                };
+                // Keep foreign device ports clear (scale grids): crossing a
+                // switch that serves another device's port is priced up so
+                // transit traffic does not squat on ports that zero-slack
+                // transports will need at exactly their scheduled instant.
+                if self.ctx.scale_mode {
+                    for &device_node in &self.ctx.adjacent_device_nodes[next.index()] {
+                        if device_node != from && device_node != to {
+                            edge_cost += self.ctx.options.foreign_port_penalty;
+                        }
+                    }
+                }
+                let next_cost = cost + edge_cost;
+                if next_cost < scratch.dist(next) {
+                    scratch.set(next, next_cost, Some((node, edge)));
+                    scratch.heap.push(SearchEntry {
+                        cost: next_cost + bound(next),
+                        node: next,
+                    });
+                }
+            }
+        }
+
+        if !reached {
+            return None;
+        }
+        let mut nodes = vec![to];
+        let mut edges = Vec::new();
+        let mut cursor = to;
+        while cursor != from {
+            let (parent, edge) = scratch.prev[cursor.index()];
+            nodes.push(parent);
+            edges.push(edge);
+            cursor = parent;
+        }
+        nodes.reverse();
+        edges.reverse();
+        Some(RoutedPath {
+            nodes,
+            edges,
+            window,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The scoped scoring pool
+// ---------------------------------------------------------------------------
+
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn read_state(state: &RwLock<RouteState>) -> RwLockReadGuard<'_, RouteState> {
+    state
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_state(state: &RwLock<RouteState>) -> RwLockWriteGuard<'_, RouteState> {
+    state
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One batch of pure scoring work, fanned over the pool. All payloads are
+/// plain copies — workers never chase driver-owned pointers.
+#[derive(Debug)]
+enum JobKind {
+    /// Price cache-segment candidates for one store horizon.
+    Price {
+        horizon: StoreHorizon,
+        to_node: NodeId,
+        edges: Vec<GridEdgeId>,
+    },
+    /// Probe store claims (approach path into each candidate segment).
+    Claim {
+        from: NodeId,
+        horizon: StoreHorizon,
+        edges: Vec<GridEdgeId>,
+    },
+    /// Score candidate windows of a direct transport.
+    Direct {
+        from: NodeId,
+        to: NodeId,
+        windows: Vec<Interval>,
+    },
+    /// Score candidate windows of a fetch transport.
+    Fetch {
+        to: NodeId,
+        cache_edge: GridEdgeId,
+        first: NodeId,
+        second: NodeId,
+        windows: Vec<Interval>,
+    },
+}
+
+impl JobKind {
+    fn len(&self) -> usize {
+        match self {
+            JobKind::Price { edges, .. } | JobKind::Claim { edges, .. } => edges.len(),
+            JobKind::Direct { windows, .. } | JobKind::Fetch { windows, .. } => windows.len(),
+        }
+    }
+
+    /// Items one cursor grab hands a worker: pricing items are tiny, so
+    /// they are taken sixteen at a time; claims and window searches run one
+    /// Dijkstra each and are grabbed singly.
+    fn chunk(&self) -> usize {
+        match self {
+            JobKind::Price { .. } => 16,
+            _ => 1,
+        }
+    }
+}
+
+/// The outcome of one scored item.
+#[derive(Debug)]
+enum ItemOut {
+    Price(Option<u64>),
+    Claim(EvalCounters, Option<(RoutedPath, NodeId)>),
+    Window(EvalCounters, Option<RoutedPath>),
+}
+
+fn compute_item(
+    eval: &Eval<'_, '_>,
+    kind: &JobKind,
+    i: usize,
+    scratch: &mut DijkstraScratch,
+) -> ItemOut {
+    match kind {
+        JobKind::Price {
+            horizon,
+            to_node,
+            edges,
+        } => ItemOut::Price(eval.price_segment(edges[i], horizon, *to_node)),
+        JobKind::Claim {
+            from,
+            horizon,
+            edges,
+        } => {
+            let mut c = EvalCounters::default();
+            let found = eval.find_cache_entry(*from, edges[i], horizon, scratch, &mut c);
+            ItemOut::Claim(c, found)
+        }
+        JobKind::Direct { from, to, windows } => {
+            let mut c = EvalCounters::default();
+            let found = eval.shortest_path(*from, *to, windows[i], None, scratch, &mut c);
+            ItemOut::Window(c, found)
+        }
+        JobKind::Fetch {
+            to,
+            cache_edge,
+            first,
+            second,
+            windows,
+        } => {
+            let mut c = EvalCounters::default();
+            let found = eval.find_fetch_path(
+                *to,
+                *cache_edge,
+                *first,
+                *second,
+                windows[i],
+                scratch,
+                &mut c,
+            );
+            ItemOut::Window(c, found)
+        }
+    }
+}
+
+/// One published batch: the work, a cursor the threads grab ranges from,
+/// per-item result slots, and a completion latch the driver waits on.
+#[derive(Debug)]
+struct ScoreJob {
+    kind: JobKind,
+    n: usize,
+    cursor: AtomicUsize,
+    done: Mutex<usize>,
+    finished: Condvar,
+    results: Vec<Mutex<Option<ItemOut>>>,
+}
+
+#[derive(Debug)]
+struct BoardSlot {
+    generation: u64,
+    job: Option<std::sync::Arc<ScoreJob>>,
+    shutdown: bool,
+}
+
+/// The job board the scoped scoring threads poll. Lives only as long as one
+/// [`Router::route_all`] call; workers borrow the frozen context and the
+/// state lock, take a read snapshot per batch and park between batches.
+#[derive(Debug)]
+struct Board<'d, 'a> {
+    ctx: &'d RouteCtx<'a>,
+    state: &'d RwLock<RouteState>,
+    slot: Mutex<BoardSlot>,
+    wake: Condvar,
+    panicked: AtomicBool,
+    threads: usize,
+}
+
+impl<'d, 'a> Board<'d, 'a> {
+    fn new(ctx: &'d RouteCtx<'a>, state: &'d RwLock<RouteState>, threads: usize) -> Self {
+        Board {
+            ctx,
+            state,
+            slot: Mutex::new(BoardSlot {
+                generation: 0,
+                job: None,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            panicked: AtomicBool::new(false),
+            threads,
+        }
+    }
+
+    /// The worker body: wait for a batch generation, snapshot the state,
+    /// drain cursor ranges, repeat until shutdown.
+    fn worker_loop(&self) {
+        let mut scratch = DijkstraScratch::for_grid(self.ctx.grid);
+        let mut last_generation = 0u64;
+        loop {
+            let job = {
+                let mut slot = lock_ignore_poison(&self.slot);
+                loop {
+                    if slot.shutdown {
+                        return;
+                    }
+                    if slot.generation != last_generation {
+                        if let Some(job) = &slot.job {
+                            last_generation = slot.generation;
+                            break std::sync::Arc::clone(job);
+                        }
+                    }
+                    slot = self
+                        .wake
+                        .wait(slot)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            let guard = read_state(self.state);
+            let eval = Eval {
+                ctx: self.ctx,
+                state: &guard,
+            };
+            self.run_items(&job, &eval, &mut scratch);
+        }
+    }
+
+    /// Drains cursor ranges of `job`, computing items into their slots.
+    /// Shared by workers and the (participating) driver.
+    fn run_items(&self, job: &ScoreJob, eval: &Eval<'_, '_>, scratch: &mut DijkstraScratch) {
+        let chunk = job.kind.chunk();
+        loop {
+            let start = job.cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= job.n {
+                break;
+            }
+            let end = (start + chunk).min(job.n);
+            for i in start..end {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    compute_item(eval, &job.kind, i, scratch)
+                }));
+                match outcome {
+                    Ok(out) => *lock_ignore_poison(&job.results[i]) = Some(out),
+                    Err(_) => self.panicked.store(true, Ordering::Release),
+                }
+            }
+            let mut done = lock_ignore_poison(&job.done);
+            *done += end - start;
+            if *done >= job.n {
+                job.finished.notify_all();
+            }
+        }
+    }
+
+    /// Publishes a batch, participates in computing it, waits for the last
+    /// item and collects the results in item order.
+    ///
+    /// The caller supplies its own `eval` snapshot (it may already hold a
+    /// read guard); workers take their own read snapshots, which is safe
+    /// because no commit can run while the driver sits in this call.
+    fn scatter(
+        &self,
+        kind: JobKind,
+        eval: &Eval<'_, '_>,
+        scratch: &mut DijkstraScratch,
+    ) -> Vec<ItemOut> {
+        let n = kind.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let job = std::sync::Arc::new(ScoreJob {
+            kind,
+            n,
+            cursor: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            finished: Condvar::new(),
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+        });
+        {
+            let mut slot = lock_ignore_poison(&self.slot);
+            slot.generation += 1;
+            slot.job = Some(std::sync::Arc::clone(&job));
+        }
+        self.wake.notify_all();
+        self.run_items(&job, eval, scratch);
+        let mut done = lock_ignore_poison(&job.done);
+        while *done < job.n {
+            if self.panicked.load(Ordering::Acquire) {
+                panic!("a router scoring worker panicked");
+            }
+            let (guard, _) = job
+                .finished
+                .wait_timeout(done, std::time::Duration::from_millis(50))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            done = guard;
+        }
+        drop(done);
+        if self.panicked.load(Ordering::Acquire) {
+            panic!("a router scoring worker panicked");
+        }
+        job.results
+            .iter()
+            .map(|slot| {
+                lock_ignore_poison(slot)
+                    .take()
+                    .expect("every scored item leaves a result")
+            })
+            .collect()
+    }
+}
+
+/// Ends the worker loops when the driver leaves (or unwinds out of) the
+/// routing scope.
+struct ShutdownGuard<'b, 'd, 'a>(&'b Board<'d, 'a>);
+
+impl Drop for ShutdownGuard<'_, '_, '_> {
+    fn drop(&mut self) {
+        let mut slot = lock_ignore_poison(&self.0.slot);
+        slot.shutdown = true;
+        slot.job = None;
+        drop(slot);
+        self.0.wake.notify_all();
+    }
+}
+
+/// Speculative block pricer feeding [`OrderedCandidates`].
+///
+/// The lazy merge consumes candidates strictly in static-score order and
+/// prices each exactly once; this pricer answers those queries from a block
+/// buffer that is filled ahead of the cursor — in parallel when a pool is
+/// active. Prices are pure, so speculative entries past the merge's stopping
+/// point are simply discarded; the consumed count (and with it the
+/// `segments_priced` counter) is the merge's own, identical to a sequential
+/// run.
+struct Pricer<'p> {
+    list: ScoredEdges,
+    horizon: StoreHorizon,
+    to_node: NodeId,
+    /// Block buffer (borrowed from the window scratch), aligned so that
+    /// `buf[cursor - base]` is the price of `list[cursor]`.
+    buf: &'p mut Vec<Option<u64>>,
+    base: usize,
+    cursor: usize,
+}
+
+/// List positions priced per speculative block when a pool is active.
+/// Blocks amortize the scatter handshake over many (sub-microsecond)
+/// pricings while bounding the waste past the merge's stopping point to
+/// one block per candidate stream.
+const PRICE_BLOCK: usize = 64;
+
+impl<'p> Pricer<'p> {
+    fn new(
+        list: ScoredEdges,
+        horizon: StoreHorizon,
+        to_node: NodeId,
+        buf: &'p mut Vec<Option<u64>>,
+    ) -> Self {
+        buf.clear();
+        Pricer {
+            list,
+            horizon,
+            to_node,
+            buf,
+            base: 0,
+            cursor: 0,
+        }
+    }
+
+    /// The price of the next list position, in consumption order.
+    fn next(
+        &mut self,
+        eval: &Eval<'_, '_>,
+        board: Option<&Board<'_, '_>>,
+        scratch: &mut DijkstraScratch,
+    ) -> Option<u64> {
+        debug_assert!(self.cursor < self.list.len());
+        if self.cursor >= self.base + self.buf.len() {
+            self.fill_from(self.cursor, eval, board, scratch);
+        }
+        let price = self.buf[self.cursor - self.base];
+        self.cursor += 1;
+        price
+    }
+
+    fn fill_from(
+        &mut self,
+        start: usize,
+        eval: &Eval<'_, '_>,
+        board: Option<&Board<'_, '_>>,
+        scratch: &mut DijkstraScratch,
+    ) {
+        self.base = start;
+        self.buf.clear();
+        let remaining = self.list.len() - start;
+        match board {
+            // Blocks only pay off when enough of the stream is left; short
+            // tails are priced inline like the sequential path.
+            Some(board) if remaining >= 8 && board.threads > 1 => {
+                let end = (start + PRICE_BLOCK).min(self.list.len());
+                let edges: Vec<GridEdgeId> =
+                    self.list[start..end].iter().map(|&(_, e)| e).collect();
+                for out in board.scatter(
+                    JobKind::Price {
+                        horizon: self.horizon,
+                        to_node: self.to_node,
+                        edges,
+                    },
+                    eval,
+                    scratch,
+                ) {
+                    match out {
+                        ItemOut::Price(p) => self.buf.push(p),
+                        _ => unreachable!("price batches answer price items"),
+                    }
+                }
+            }
+            _ => {
+                let (_, edge) = self.list[start];
+                self.buf
+                    .push(eval.price_segment(edge, &self.horizon, self.to_node));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The router: driver, commits, public API
+// ---------------------------------------------------------------------------
+
+/// Driver-private lazy indexes (per-pair candidate lists and their pooled
+/// subsets). Only the commit thread touches them, so they stay outside the
+/// state lock.
+#[derive(Debug, Default)]
+struct LazyIndexes {
+    segment_index: SegmentIndex,
+    /// Per device pair: how much of the pool log is merged in, and the pool
+    /// members sorted by that pair's static score — so the reuse scan walks
+    /// candidates best-first and stops early instead of pricing the whole
+    /// pool.
+    pooled_by_pair: HashMap<(usize, usize), (usize, ScoredEdges)>,
+}
+
+/// Outcome of one candidate stream (pooled or fresh) for one store window.
+enum CandidateOutcome {
+    Won {
+        edge: GridEdgeId,
+        exit: NodeId,
+        path: RoutedPath,
+        /// The lazy merge's consumed count at the winner's yield — exactly
+        /// what the sequential scan would have priced.
+        consumed: usize,
+    },
+    Exhausted {
+        consumed: usize,
+    },
+}
+
+/// Reserves every switch node and edge of a path for the window and records
+/// the edges as used.
+///
+/// Device nodes are *not* reserved: several samples may arrive at or leave
+/// the same device in overlapping windows (for example the two inputs of a
+/// mixing operation), entering through different channels. Channel-level
+/// conflicts are still excluded because the edges and switch nodes of
+/// concurrent paths may not overlap.
+fn commit_path(
+    st: &mut RouteState,
+    ctx: &RouteCtx<'_>,
+    path: &RoutedPath,
+    window: Interval,
+    deadline: Seconds,
+    stats: &mut RouterStats,
+) {
+    for &node in &path.nodes {
+        if ctx.device_of_node[node.index()].is_some() {
+            continue;
+        }
+        st.reservations.reserve_node(node, window);
+    }
+    for &edge in &path.edges {
+        st.reservations.reserve_edge(edge, window);
+        st.used_edges.insert(edge);
+    }
+    stats.tasks_routed += 1;
+    if window.end > deadline {
+        stats.postponed_tasks += 1;
+    }
+}
+
+/// The per-task routing driver. One instance serves one `route`/`route_all`
+/// call; it owns mutable borrows of the driver-side scratch and stats and —
+/// when a scoring pool is active — a handle to the job board.
+struct Driver<'d, 'a> {
+    ctx: &'d RouteCtx<'a>,
+    state: &'d RwLock<RouteState>,
+    lazy: &'d mut LazyIndexes,
+    scratch: &'d mut DijkstraScratch,
+    wscratch: &'d mut WindowScratch,
+    stats: &'d mut RouterStats,
+    board: Option<&'d Board<'d, 'a>>,
+}
+
+impl Driver<'_, '_> {
+    fn width(&self) -> usize {
+        self.board.map_or(1, |b| b.threads)
+    }
+
+    /// Routes one task, with the per-task postponement escalation: the
+    /// first attempt only considers windows inside the task's slack;
+    /// overrun windows are tried when — and only when — the task cannot be
+    /// routed on time.
+    fn route_task(&mut self, task: &TransportTask) -> Result<RoutedTransport, ArchError> {
+        match self.attempt(task, false) {
+            Ok(routed) => Ok(routed),
+            Err(_) if self.ctx.options.max_deadline_overrun > 0 => self.attempt(task, true),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn attempt(
+        &mut self,
+        task: &TransportTask,
+        allow_overrun: bool,
+    ) -> Result<RoutedTransport, ArchError> {
+        match task.kind {
+            TransportKind::Direct => self.drive_direct(task, allow_overrun),
+            TransportKind::Store => self.drive_store(task, allow_overrun),
+            TransportKind::Fetch => self.drive_fetch(task, allow_overrun),
+        }
+    }
+
+    /// Builds the candidate-window list into the reusable output buffer
+    /// (taken out of the scratch; the caller puts it back after the drive).
+    fn collect_windows(&mut self, task: &TransportTask, allow_overrun: bool) -> Vec<Interval> {
+        let mut out = std::mem::take(&mut self.wscratch.out);
+        {
+            let st = read_state(self.state);
+            let eval = Eval {
+                ctx: self.ctx,
+                state: &st,
+            };
+            eval.candidate_windows(task, allow_overrun, self.wscratch, &mut out);
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------
+    // Direct transports
+    // -----------------------------------------------------------------
+
+    fn drive_direct(
+        &mut self,
+        task: &TransportTask,
+        allow_overrun: bool,
+    ) -> Result<RoutedTransport, ArchError> {
+        let from = self.ctx.placement.node_of(task.from_device);
+        let to = self.ctx.placement.node_of(task.to_device);
+        let windows = self.collect_windows(task, allow_overrun);
+        let result = self.drive_direct_windows(task, from, to, &windows);
+        self.wscratch.out = windows;
+        result
+    }
+
+    fn drive_direct_windows(
+        &mut self,
+        task: &TransportTask,
+        from: NodeId,
+        to: NodeId,
+        windows: &[Interval],
+    ) -> Result<RoutedTransport, ArchError> {
+        let mut idx = 0;
+        while idx < windows.len() {
+            // The preferred window almost always fits, so it is scored
+            // inline exactly like the sequential router; only the congested
+            // tail fans out over the pool.
+            if idx == 0 || self.width() == 1 {
+                let (c, found) = self.score_one_direct(from, to, windows[idx]);
+                self.stats.windows_tried += 1;
+                self.stats.absorb(c);
+                if let Some(path) = found {
+                    return Ok(self.commit_direct(task, path));
+                }
+                idx += 1;
+            } else {
+                let hi = (idx + self.width()).min(windows.len());
+                let outs = self.score_direct_chunk(from, to, &windows[idx..hi]);
+                for (c, found) in outs {
+                    self.stats.windows_tried += 1;
+                    self.stats.absorb(c);
+                    if let Some(path) = found {
+                        return Ok(self.commit_direct(task, path));
+                    }
+                }
+                idx = hi;
+            }
+        }
+        Err(ArchError::RoutingFailed {
+            from: task.from_device,
+            to: task.to_device,
+            task: task.describe(),
+        })
+    }
+
+    fn score_one_direct(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        window: Interval,
+    ) -> (EvalCounters, Option<RoutedPath>) {
+        let st = read_state(self.state);
+        let eval = Eval {
+            ctx: self.ctx,
+            state: &st,
+        };
+        let mut c = EvalCounters::default();
+        let found = eval.shortest_path(from, to, window, None, self.scratch, &mut c);
+        (c, found)
+    }
+
+    fn score_direct_chunk(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        chunk: &[Interval],
+    ) -> Vec<(EvalCounters, Option<RoutedPath>)> {
+        let st = read_state(self.state);
+        let eval = Eval {
+            ctx: self.ctx,
+            state: &st,
+        };
+        match self.board {
+            Some(board) if chunk.len() > 1 => board
+                .scatter(
+                    JobKind::Direct {
+                        from,
+                        to,
+                        windows: chunk.to_vec(),
+                    },
+                    &eval,
+                    self.scratch,
+                )
+                .into_iter()
+                .map(|out| match out {
+                    ItemOut::Window(c, p) => (c, p),
+                    _ => unreachable!("window batches answer window items"),
+                })
+                .collect(),
+            _ => chunk
+                .iter()
+                .map(|&window| {
+                    let mut c = EvalCounters::default();
+                    let found = eval.shortest_path(from, to, window, None, self.scratch, &mut c);
+                    (c, found)
+                })
+                .collect(),
+        }
+    }
+
+    fn commit_direct(&mut self, task: &TransportTask, path: RoutedPath) -> RoutedTransport {
+        let window = path.window;
+        {
+            let mut st = write_state(self.state);
+            commit_path(&mut st, self.ctx, &path, window, task.deadline, self.stats);
+        }
+        let mut routed_task = task.clone();
+        routed_task.window_start = window.start;
+        routed_task.window_end = window.end;
+        RoutedTransport {
+            task: routed_task,
+            path,
+            cache_edge: None,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Store transports
+    // -----------------------------------------------------------------
+
+    /// Routes a store task: producer device → a free channel segment that
+    /// will cache the sample.
+    ///
+    /// Segment selection is **pool-first**: segments that have cached a
+    /// sample before (the cache pool) are tried ahead of fresh segments, in
+    /// ascending score order. This is first-fit interval assignment — the
+    /// number of distinct cache segments stays close to the schedule's peak
+    /// concurrent storage instead of growing with the store count. Fresh
+    /// segments (via the distance-sorted
+    /// [`SegmentIndex`](crate::segment_index)) only join the pool when no
+    /// pooled segment is free for the sample's whole storage horizon.
+    fn drive_store(
+        &mut self,
+        task: &TransportTask,
+        allow_overrun: bool,
+    ) -> Result<RoutedTransport, ArchError> {
+        let stored_until = task
+            .storage_interval
+            .map(|(_, until)| until)
+            .unwrap_or(task.deadline);
+        let pair_index = self.lazy.segment_index.pair_index(
+            self.ctx.grid,
+            self.ctx.placement,
+            task.from_device,
+            task.to_device,
+            self.ctx.options.allow_device_adjacent_storage,
+        );
+        let windows = self.collect_windows(task, allow_overrun);
+        let result = self.drive_store_windows(task, &windows, stored_until, &pair_index);
+        self.wscratch.out = windows;
+        result
+    }
+
+    fn drive_store_windows(
+        &mut self,
+        task: &TransportTask,
+        windows: &[Interval],
+        stored_until: Seconds,
+        pair_index: &PairIndex,
+    ) -> Result<RoutedTransport, ArchError> {
+        let min_price = self
+            .ctx
+            .options
+            .used_edge_cost
+            .min(self.ctx.options.new_edge_cost);
+        let to_node = self.ctx.placement.node_of(task.to_device);
+        let from_node = self.ctx.placement.node_of(task.from_device);
+        for &store_window in windows {
+            if store_window.end > stored_until {
+                // The sample must be resting in its segment before the fetch
+                // departs; postponing the store past that point is useless.
+                continue;
+            }
+            {
+                let st = read_state(self.state);
+                let eval = Eval {
+                    ctx: self.ctx,
+                    state: &st,
+                };
+                if !eval.producer_can_leave(from_node, store_window) {
+                    continue;
+                }
+            }
+            self.stats.windows_tried += 1;
+            let horizon = StoreHorizon::new(task, store_window, stored_until);
+
+            // Phase 1 (scale grids only): reuse a pooled segment, cheapest
+            // total score first.
+            let pooled_list: ScoredEdges = if self.ctx.scale_mode {
+                self.pooled_list(task, pair_index)
+            } else {
+                Vec::new().into()
+            };
+            match self.drive_candidates(from_node, to_node, &horizon, pooled_list, min_price, false)
+            {
+                CandidateOutcome::Won {
+                    edge,
+                    exit,
+                    path,
+                    consumed,
+                } => {
+                    self.stats.segments_priced += consumed;
+                    return Ok(self.commit_store(task, edge, exit, path, &horizon));
+                }
+                CandidateOutcome::Exhausted { consumed } => {
+                    self.stats.segments_priced += consumed;
+                }
+            }
+
+            // Phase 2: bring a fresh segment into the pool.
+            match self.drive_candidates(
+                from_node,
+                to_node,
+                &horizon,
+                Rc::clone(&pair_index.sorted),
+                min_price,
+                true,
+            ) {
+                CandidateOutcome::Won {
+                    edge,
+                    exit,
+                    path,
+                    consumed,
+                } => {
+                    self.stats.segments_priced += consumed;
+                    return Ok(self.commit_store(task, edge, exit, path, &horizon));
+                }
+                CandidateOutcome::Exhausted { consumed } => {
+                    self.stats.segments_priced += consumed;
+                }
+            }
+        }
+        Err(ArchError::NoStorageSegment {
+            task: task.describe(),
+        })
+    }
+
+    /// Walks one candidate stream in exact `(static + dynamic, edge id)`
+    /// order — pricing speculatively ahead of the merge, probing claims in
+    /// pool-width batches — and returns the first claimable segment by
+    /// candidate order, with the merge's consumed count at that yield.
+    fn drive_candidates(
+        &mut self,
+        from: NodeId,
+        to_node: NodeId,
+        horizon: &StoreHorizon,
+        list: ScoredEdges,
+        min_price: u64,
+        skip_pool: bool,
+    ) -> CandidateOutcome {
+        if list.is_empty() {
+            return CandidateOutcome::Exhausted { consumed: 0 };
+        }
+        // One claim probe per pool thread: the waste past the winner is at
+        // most one batch of speculative probes, whose counters are
+        // discarded anyway.
+        let claim_width = self.width();
+        let skip_pool = skip_pool && self.ctx.scale_mode;
+        let st = read_state(self.state);
+        let eval = Eval {
+            ctx: self.ctx,
+            state: &st,
+        };
+        let mut merge = OrderedCandidates::new(Rc::clone(&list), min_price);
+        let mut pricer = Pricer::new(list, *horizon, to_node, &mut self.wscratch.prices);
+        let mut batch: Vec<(GridEdgeId, usize)> = Vec::with_capacity(claim_width);
+        loop {
+            batch.clear();
+            while batch.len() < claim_width {
+                let next = merge.next_available(|edge| {
+                    let price = pricer.next(&eval, self.board, self.scratch);
+                    if skip_pool && st.cache_pool.contains(&edge) {
+                        None // already tried in phase 1
+                    } else {
+                        price
+                    }
+                });
+                let Some(edge) = next else { break };
+                batch.push((edge, merge.priced()));
+            }
+            if batch.is_empty() {
+                return CandidateOutcome::Exhausted {
+                    consumed: merge.priced(),
+                };
+            }
+            let outs: Vec<(EvalCounters, Option<(RoutedPath, NodeId)>)> = match self.board {
+                Some(board) if batch.len() > 1 => {
+                    let edges: Vec<GridEdgeId> = batch.iter().map(|&(e, _)| e).collect();
+                    board
+                        .scatter(
+                            JobKind::Claim {
+                                from,
+                                horizon: *horizon,
+                                edges,
+                            },
+                            &eval,
+                            self.scratch,
+                        )
+                        .into_iter()
+                        .map(|out| match out {
+                            ItemOut::Claim(c, f) => (c, f),
+                            _ => unreachable!("claim batches answer claim items"),
+                        })
+                        .collect()
+                }
+                _ => batch
+                    .iter()
+                    .map(|&(edge, _)| {
+                        let mut c = EvalCounters::default();
+                        let found =
+                            eval.find_cache_entry(from, edge, horizon, self.scratch, &mut c);
+                        (c, found)
+                    })
+                    .collect(),
+            };
+            for (k, (c, found)) in outs.into_iter().enumerate() {
+                self.stats.absorb(c);
+                if let Some((path, exit)) = found {
+                    return CandidateOutcome::Won {
+                        edge: batch[k].0,
+                        exit,
+                        path,
+                        consumed: batch[k].1,
+                    };
+                }
+            }
+        }
+    }
+
+    /// The pool members usable for this task's device pair, sorted by the
+    /// pair's static score; newly pooled segments are merged in on demand.
+    fn pooled_list(&mut self, task: &TransportTask, pair: &PairIndex) -> ScoredEdges {
+        let key = (task.from_device.index(), task.to_device.index());
+        let entry = self
+            .lazy
+            .pooled_by_pair
+            .entry(key)
+            .or_insert_with(|| (0, Vec::new().into()));
+        let st = read_state(self.state);
+        if entry.0 < st.pool_log.len() {
+            let mut merged: Vec<(u64, GridEdgeId)> = entry.1.to_vec();
+            for &edge in &st.pool_log[entry.0..] {
+                if let Some(score) = pair.score_of[edge.index()] {
+                    let item = (score, edge);
+                    let pos = merged.partition_point(|&x| x < item);
+                    merged.insert(pos, item);
+                }
+            }
+            entry.0 = st.pool_log.len();
+            entry.1 = merged.into();
+        }
+        Rc::clone(&entry.1)
+    }
+
+    fn commit_store(
+        &mut self,
+        task: &TransportTask,
+        edge: GridEdgeId,
+        exit: NodeId,
+        path: RoutedPath,
+        horizon: &StoreHorizon,
+    ) -> RoutedTransport {
+        let store_window = horizon.store_window;
+        {
+            let mut st = write_state(self.state);
+            commit_path(
+                &mut st,
+                self.ctx,
+                &path,
+                store_window,
+                task.deadline,
+                self.stats,
+            );
+            // Block the segment from the moment the sample arrives until the
+            // end of its planned fetch window — plus the allowed
+            // postponement, so a delayed fetch still owns the segment while
+            // the sample rests past the plan — so no later task can claim
+            // the segment for the very instant the sample has to leave it.
+            // The segment's end nodes stay passable for other paths (the
+            // paper's exception).
+            let reserved_until = if self.ctx.scale_mode {
+                horizon.planned_fetch.end + self.ctx.options.max_deadline_overrun
+            } else {
+                horizon.planned_fetch.end
+            };
+            st.reservations
+                .reserve_edge(edge, Interval::new(horizon.storage.start, reserved_until));
+            st.cache_of_sample.set(task.sample, (edge, exit));
+            if st.cache_pool.insert(edge) {
+                st.pool_log.push(edge);
+            }
+            st.active_caches[edge.index()] = Some(CacheInfo {
+                blocked: Interval::new(horizon.blocked.start, reserved_until),
+                reserved: Interval::new(horizon.storage.start, reserved_until),
+                fetch_window: horizon.planned_fetch,
+                reserved_until,
+            });
+        }
+        let mut routed_task = task.clone();
+        routed_task.window_start = store_window.start;
+        routed_task.window_end = store_window.end;
+        routed_task.storage_interval = Some((horizon.storage.start, horizon.storage.end));
+        RoutedTransport {
+            task: routed_task,
+            path,
+            cache_edge: Some(edge),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Fetch transports
+    // -----------------------------------------------------------------
+
+    /// Routes a fetch task: the sample's cache segment → consumer device.
+    fn drive_fetch(
+        &mut self,
+        task: &TransportTask,
+        allow_overrun: bool,
+    ) -> Result<RoutedTransport, ArchError> {
+        let to = self.ctx.placement.node_of(task.to_device);
+        let (cache_edge, exit, reserved_until) = {
+            let st = read_state(self.state);
+            let Some((cache_edge, exit)) = st.cache_of_sample.get(task.sample) else {
+                return Err(ArchError::Inconsistent {
+                    reason: format!("fetch of sample {} before it was stored", task.sample),
+                });
+            };
+            let reserved_until = st.active_caches[cache_edge.index()]
+                .map_or(task.window_end, |info| info.reserved_until);
+            (cache_edge, exit, reserved_until)
+        };
+        let (x, y) = self.ctx.grid.endpoints(cache_edge);
+        let other = if exit == x { y } else { x };
+
+        let windows = self.collect_windows(task, allow_overrun);
+        // The cache segment is already reserved for the sample through the
+        // end of its planned fetch window plus the postponement guard. When
+        // the fetch is postponed beyond that reservation, the segment must
+        // additionally stay free (the sample keeps resting in it) until the
+        // actual departure completes. Windows failing that are skipped
+        // without being counted — the viability test reads the same frozen
+        // snapshot the scoring does, so prefiltering is exactly the
+        // sequential order.
+        let mut viable = std::mem::take(&mut self.wscratch.viable);
+        viable.clear();
+        {
+            let st = read_state(self.state);
+            for &window in &windows {
+                let beyond_plan = Interval::new(reserved_until.min(window.end), window.end);
+                if st.reservations.edge_free(cache_edge, beyond_plan) {
+                    viable.push(window);
+                }
+            }
+        }
+        let result =
+            self.drive_fetch_windows(task, &viable, to, cache_edge, exit, other, reserved_until);
+        self.wscratch.viable = viable;
+        self.wscratch.out = windows;
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn drive_fetch_windows(
+        &mut self,
+        task: &TransportTask,
+        windows: &[Interval],
+        to: NodeId,
+        cache_edge: GridEdgeId,
+        exit: NodeId,
+        other: NodeId,
+        reserved_until: Seconds,
+    ) -> Result<RoutedTransport, ArchError> {
+        let mut idx = 0;
+        while idx < windows.len() {
+            if idx == 0 || self.width() == 1 {
+                let (c, found) = self.score_one_fetch(to, cache_edge, exit, other, windows[idx]);
+                self.stats.windows_tried += 1;
+                self.stats.absorb(c);
+                if let Some(path) = found {
+                    return Ok(self.commit_fetch(task, path, cache_edge, reserved_until));
+                }
+                idx += 1;
+            } else {
+                let hi = (idx + self.width()).min(windows.len());
+                let outs = self.score_fetch_chunk(to, cache_edge, exit, other, &windows[idx..hi]);
+                for (c, found) in outs {
+                    self.stats.windows_tried += 1;
+                    self.stats.absorb(c);
+                    if let Some(path) = found {
+                        return Ok(self.commit_fetch(task, path, cache_edge, reserved_until));
+                    }
+                }
+                idx = hi;
+            }
+        }
+        Err(ArchError::RoutingFailed {
+            from: task.from_device,
+            to: task.to_device,
+            task: task.describe(),
+        })
+    }
+
+    fn score_one_fetch(
+        &mut self,
+        to: NodeId,
+        cache_edge: GridEdgeId,
+        exit: NodeId,
+        other: NodeId,
+        window: Interval,
+    ) -> (EvalCounters, Option<RoutedPath>) {
+        let st = read_state(self.state);
+        let eval = Eval {
+            ctx: self.ctx,
+            state: &st,
+        };
+        let mut c = EvalCounters::default();
+        let found = eval.find_fetch_path(to, cache_edge, exit, other, window, self.scratch, &mut c);
+        (c, found)
+    }
+
+    fn score_fetch_chunk(
+        &mut self,
+        to: NodeId,
+        cache_edge: GridEdgeId,
+        exit: NodeId,
+        other: NodeId,
+        chunk: &[Interval],
+    ) -> Vec<(EvalCounters, Option<RoutedPath>)> {
+        let st = read_state(self.state);
+        let eval = Eval {
+            ctx: self.ctx,
+            state: &st,
+        };
+        match self.board {
+            Some(board) if chunk.len() > 1 => board
+                .scatter(
+                    JobKind::Fetch {
+                        to,
+                        cache_edge,
+                        first: exit,
+                        second: other,
+                        windows: chunk.to_vec(),
+                    },
+                    &eval,
+                    self.scratch,
+                )
+                .into_iter()
+                .map(|out| match out {
+                    ItemOut::Window(c, p) => (c, p),
+                    _ => unreachable!("window batches answer window items"),
+                })
+                .collect(),
+            _ => chunk
+                .iter()
+                .map(|&window| {
+                    let mut c = EvalCounters::default();
+                    let found = eval.find_fetch_path(
+                        to,
+                        cache_edge,
+                        exit,
+                        other,
+                        window,
+                        self.scratch,
+                        &mut c,
+                    );
+                    (c, found)
+                })
+                .collect(),
+        }
+    }
+
+    fn commit_fetch(
+        &mut self,
+        task: &TransportTask,
+        path: RoutedPath,
+        cache_edge: GridEdgeId,
+        reserved_until: Seconds,
+    ) -> RoutedTransport {
+        let window = path.window;
+        {
+            let mut st = write_state(self.state);
+            commit_path(&mut st, self.ctx, &path, window, task.deadline, self.stats);
+            // Keep the segment blocked while the sample rests in it past
+            // the originally planned fetch time.
+            st.reservations.reserve_edge(
+                cache_edge,
+                Interval::new(reserved_until.min(window.end), window.end),
+            );
+            st.cache_of_sample.remove(task.sample);
+            st.active_caches[cache_edge.index()] = None;
+        }
+        let mut routed_task = task.clone();
+        routed_task.window_start = window.start;
+        routed_task.window_end = window.end;
+        RoutedTransport {
+            task: routed_task,
+            path,
+            cache_edge: Some(cache_edge),
+        }
+    }
+}
+
+/// The incremental routing engine.
+///
+/// Tasks must be routed in the order returned by
+/// [`extract_transport_tasks`](crate::extract_transport_tasks) (ascending
+/// window start); each successful route immediately reserves its resources.
+/// [`Router::route_all`] additionally spins up a scoped scoring pool when
+/// [`with_threads`](Router::with_threads) asked for more than one thread —
+/// the result is bit-identical to the sequential loop at any thread count.
+#[derive(Debug)]
+pub struct Router<'a> {
+    ctx: RouteCtx<'a>,
+    state: RwLock<RouteState>,
+    lazy: LazyIndexes,
+    scratch: DijkstraScratch,
+    wscratch: WindowScratch,
+    stats: RouterStats,
+    threads: usize,
+}
+
 impl<'a> Router<'a> {
     /// Creates a router over the given grid and placement.
     #[must_use]
@@ -278,46 +2193,59 @@ impl<'a> Router<'a> {
             }
         }
         Router {
-            grid,
-            placement,
-            options,
-            reservations: ReservationTable::new(grid),
-            used_edges: HashSet::new(),
-            cache_of_sample: HashMap::new(),
-            active_caches: HashMap::new(),
-            cache_pool: BTreeSet::new(),
-            pool_log: Vec::new(),
-            pooled_by_pair: HashMap::new(),
-            adjacent_device_nodes,
-            device_of_node,
-            segment_index: SegmentIndex::default(),
+            ctx: RouteCtx {
+                grid,
+                placement,
+                options,
+                device_of_node,
+                adjacent_device_nodes,
+                scale_mode: grid.rows().max(grid.cols()) >= crate::segment_index::SCALE_GRID_SIDE,
+            },
+            state: RwLock::new(RouteState::new(grid)),
+            lazy: LazyIndexes::default(),
             scratch: DijkstraScratch::for_grid(grid),
+            wscratch: WindowScratch::default(),
             stats: RouterStats::default(),
-            scale_mode: grid.rows().max(grid.cols()) >= crate::segment_index::SCALE_GRID_SIDE,
+            threads: 1,
         }
     }
 
-    /// Edges used by at least one routed path so far.
+    /// Sets the scoring-thread count used by [`route_all`](Router::route_all)
+    /// (clamped to at least 1; the chip produced never depends on it).
     #[must_use]
-    pub fn used_edges(&self) -> &HashSet<GridEdgeId> {
-        &self.used_edges
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    fn state_mut(&mut self) -> &mut RouteState {
+        self.state
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Edges used by at least one routed path so far, in ascending id order.
+    #[must_use]
+    pub fn used_edges(&self) -> Vec<GridEdgeId> {
+        read_state(&self.state).used_edges.to_vec()
+    }
+
+    /// Number of distinct edges used by the routed paths so far.
+    #[must_use]
+    pub fn used_edge_count(&self) -> usize {
+        read_state(&self.state).used_edges.len()
     }
 
     /// The reservation table built up so far.
     #[must_use]
-    pub fn reservations(&self) -> &ReservationTable {
-        &self.reservations
+    pub fn reservations(&mut self) -> &ReservationTable {
+        &self.state_mut().reservations
     }
 
     /// The per-stage work counters accumulated so far.
     #[must_use]
     pub fn stats(&self) -> RouterStats {
         self.stats
-    }
-
-    /// The device occupying a node, if any (dense O(1) lookup).
-    fn device_at(&self, node: NodeId) -> Option<biochip_schedule::DeviceId> {
-        self.device_of_node[node.index()]
     }
 
     /// Routes one transportation task through the staged pipeline, reserving
@@ -333,827 +2261,66 @@ impl<'a> Router<'a> {
     /// inside the task's slack and [`ArchError::NoStorageSegment`] when no
     /// channel segment can cache the sample for its storage interval.
     pub fn route(&mut self, task: &TransportTask) -> Result<RoutedTransport, ArchError> {
-        // Postponement escalates per task: the first attempt only considers
-        // windows inside the task's slack; overrun windows are tried when —
-        // and only when — the task cannot be routed on time. Tasks that fit
-        // their slack are unaffected by the configured overrun.
-        match self.route_attempt(task, false) {
-            Ok(routed) => Ok(routed),
-            Err(_) if self.options.max_deadline_overrun > 0 => self.route_attempt(task, true),
-            Err(e) => Err(e),
-        }
+        let mut driver = Driver {
+            ctx: &self.ctx,
+            state: &self.state,
+            lazy: &mut self.lazy,
+            scratch: &mut self.scratch,
+            wscratch: &mut self.wscratch,
+            stats: &mut self.stats,
+            board: None,
+        };
+        driver.route_task(task)
     }
 
-    fn route_attempt(
-        &mut self,
-        task: &TransportTask,
-        allow_overrun: bool,
-    ) -> Result<RoutedTransport, ArchError> {
-        match task.kind {
-            TransportKind::Direct => self.route_direct(task, allow_overrun),
-            TransportKind::Store => self.route_store(task, allow_overrun),
-            TransportKind::Fetch => self.route_fetch(task, allow_overrun),
-        }
-    }
-
-    // -----------------------------------------------------------------
-    // Stage 1: window selection
-    // -----------------------------------------------------------------
-
-    /// Candidate occupation windows inside the task's slack: the preferred
-    /// window first, then slack candidates in ascending start order, then
-    /// postponed windows up to the configured deadline overrun (last resort).
+    /// Routes every task in order, fanning the pure scoring work (candidate
+    /// windows, cache-segment pricing and claim probes) over a scoped
+    /// thread pool when more than one thread is configured.
     ///
-    /// Besides the arithmetic grid of start times, the calendars of the
-    /// `resources` a window must not conflict with (typically the port edges
-    /// of the two devices) are asked for their first feasible windows
-    /// directly, so congested tasks jump straight to a plausible start
-    /// instead of stepping blindly through their slack.
-    fn candidate_windows(&self, task: &TransportTask, allow_overrun: bool) -> Vec<Interval> {
-        let resources = self.window_resources(task);
-        let len = task.window_len().max(1);
-        let cap = self.options.max_window_candidates.max(1);
-
-        // The pre-refactor candidate sequence, reproduced exactly so every
-        // task the old router placed lands in the same window: preferred
-        // start, then earliest, latest and a stride over the slack, then
-        // arithmetic overrun steps.
-        let mut starts = vec![task.window_start];
-        let latest = if task.deadline >= task.earliest_start + len {
-            let latest = task.deadline - len;
-            starts.push(task.earliest_start);
-            starts.push(latest);
-            let mut s = task.earliest_start;
-            while s <= latest && starts.len() < self.options.max_window_candidates {
-                starts.push(s);
-                s += len;
-            }
-            Some(latest)
-        } else {
-            None
-        };
-        let overrun_latest = if allow_overrun && self.options.max_deadline_overrun > 0 {
-            let base = task.deadline.saturating_sub(len).max(task.earliest_start);
-            let mut overrun = len;
-            while overrun <= self.options.max_deadline_overrun && starts.len() < 2 * cap {
-                starts.push(base + overrun);
-                overrun += len;
-            }
-            Some((base, base + self.options.max_deadline_overrun))
-        } else {
-            None
-        };
-        let mut seen = HashSet::new();
-        let mut windows: Vec<Interval> = starts
-            .into_iter()
-            .filter(|s| seen.insert(*s))
-            .take(2 * cap)
-            .map(|s| Interval::new(s, s + len))
-            .collect();
-
-        // Calendar-driven extras: the earliest feasible starts on the
-        // constraining resources, appended after the legacy sequence — they
-        // only decide the outcome when every legacy candidate fails, which
-        // is exactly the congested case the calendars resolve.
-        let mut extras: BTreeSet<Seconds> = BTreeSet::new();
-        if let Some(latest) = latest {
-            for resource in &resources {
-                for earliest in [task.earliest_start, task.window_start.min(latest)] {
-                    if let Some(s) = self.first_free_on(*resource, len, earliest, latest) {
-                        extras.insert(s);
-                    }
-                }
-            }
-        }
-        if let Some((base, latest)) = overrun_latest {
-            for resource in &resources {
-                if let Some(s) = self.first_free_on(*resource, len, base + 1, latest) {
-                    extras.insert(s);
-                }
-            }
-        }
-        for s in extras {
-            let w = Interval::new(s, s + len);
-            if !windows.contains(&w) {
-                windows.push(w);
-            }
-        }
-        windows.truncate(4 * cap);
-        windows
-    }
-
-    /// The resources whose calendars constrain a task's window: the port
-    /// edges of its endpoint devices, plus the end nodes of the cache
-    /// segment for fetches.
-    fn window_resources(&self, task: &TransportTask) -> Vec<WindowResource> {
-        let mut resources = Vec::new();
-        match task.kind {
-            TransportKind::Direct => {
-                let from = self.placement.node_of(task.from_device);
-                let to = self.placement.node_of(task.to_device);
-                for &node in &[from, to] {
-                    for &edge in self.grid.incident_edges(node) {
-                        resources.push(WindowResource::Edge(edge));
-                    }
-                }
-            }
-            TransportKind::Store => {
-                let from = self.placement.node_of(task.from_device);
-                for &edge in self.grid.incident_edges(from) {
-                    resources.push(WindowResource::Edge(edge));
-                }
-            }
-            TransportKind::Fetch => {
-                if let Some(&(cache_edge, exit)) = self.cache_of_sample.get(&task.sample) {
-                    let entry = self.grid.other_endpoint(cache_edge, exit);
-                    resources.push(WindowResource::Node(exit));
-                    resources.push(WindowResource::Node(entry));
-                }
-                let to = self.placement.node_of(task.to_device);
-                for &edge in self.grid.incident_edges(to) {
-                    resources.push(WindowResource::Edge(edge));
-                }
-            }
-        }
-        resources
-    }
-
-    fn first_free_on(
-        &self,
-        resource: WindowResource,
-        duration: Seconds,
-        earliest: Seconds,
-        latest_start: Seconds,
-    ) -> Option<Seconds> {
-        match resource {
-            WindowResource::Edge(edge) => {
-                self.reservations
-                    .first_free_edge_window(edge, duration, earliest, latest_start)
-            }
-            WindowResource::Node(node) => {
-                self.reservations
-                    .first_free_node_window(node, duration, earliest, latest_start)
-            }
-        }
-    }
-
-    // -----------------------------------------------------------------
-    // Direct, store and fetch pipelines
-    // -----------------------------------------------------------------
-
-    fn route_direct(
-        &mut self,
-        task: &TransportTask,
-        allow_overrun: bool,
-    ) -> Result<RoutedTransport, ArchError> {
-        let from = self.placement.node_of(task.from_device);
-        let to = self.placement.node_of(task.to_device);
-        for window in self.candidate_windows(task, allow_overrun) {
-            self.stats.windows_tried += 1;
-            if let Some(path) = self.shortest_path(from, to, window, None) {
-                self.commit(&path, window, task.deadline);
-                let mut routed_task = task.clone();
-                routed_task.window_start = window.start;
-                routed_task.window_end = window.end;
-                return Ok(RoutedTransport {
-                    task: routed_task,
-                    path,
-                    cache_edge: None,
-                });
-            }
-        }
-        Err(ArchError::RoutingFailed {
-            from: task.from_device,
-            to: task.to_device,
-            task: task.describe(),
-        })
-    }
-
-    /// Routes a store task: producer device → a free channel segment that
-    /// will cache the sample.
+    /// The commit order is the task order, every winner is reduced by
+    /// candidate index, and scoring reads frozen state snapshots — so the
+    /// routed result and the [`RouterStats`] are byte-identical to the
+    /// sequential `for task { route(task) }` loop at any thread count.
     ///
-    /// Segment selection is **pool-first**: segments that have cached a
-    /// sample before (the cache pool) are tried ahead of fresh segments, in
-    /// ascending score order. This is first-fit interval assignment — the
-    /// number of distinct cache segments stays close to the schedule's peak
-    /// concurrent storage instead of growing with the store count, which
-    /// both keeps the valve count down and leaves the rest of the grid free
-    /// for transport paths. Fresh segments (via the distance-sorted
-    /// [`SegmentIndex`](crate::segment_index)) only join the pool when no
-    /// pooled segment is free for the sample's whole storage horizon.
-    fn route_store(
-        &mut self,
-        task: &TransportTask,
-        allow_overrun: bool,
-    ) -> Result<RoutedTransport, ArchError> {
-        let stored_until = task
-            .storage_interval
-            .map(|(_, until)| until)
-            .unwrap_or(task.deadline);
-        let pair_index = self.segment_index.pair_index(
-            self.grid,
-            self.placement,
-            task.from_device,
-            task.to_device,
-            self.options.allow_device_adjacent_storage,
-        );
-        let min_price = self.options.used_edge_cost.min(self.options.new_edge_cost);
-        let to_node = self.placement.node_of(task.to_device);
-
-        let from_node = self.placement.node_of(task.from_device);
-        for store_window in self.candidate_windows(task, allow_overrun) {
-            if store_window.end > stored_until {
-                // The sample must be resting in its segment before the fetch
-                // departs; postponing the store past that point is useless.
-                continue;
-            }
-            // The sample has to leave the producer through one of its port
-            // edges; when all of them are occupied for this window, no
-            // candidate segment can be reached — skip the window before
-            // pricing the whole pool against it.
-            let producer_can_leave = self.grid.incident_edges(from_node).iter().any(|&port| {
-                self.reservations.edge_free(port, store_window)
-                    && self
-                        .reservations
-                        .node_free(self.grid.other_endpoint(port, from_node), store_window)
-            });
-            if !producer_can_leave {
-                continue;
-            }
-            self.stats.windows_tried += 1;
-            let horizon = StoreHorizon::new(task, store_window, stored_until);
-
-            // Phase 1 (scale grids only): reuse a pooled segment, cheapest
-            // total score first (the per-pair pooled list is statically
-            // sorted, so the scan stops as soon as the best feasible
-            // candidate is bounded).
-            let pooled_list = if self.scale_mode {
-                self.pooled_list(task, &pair_index)
-            } else {
-                Vec::new().into()
-            };
-            let mut pooled = OrderedCandidates::new(pooled_list, min_price);
-            loop {
-                let next = pooled.next_available(|e| self.price_segment(e, &horizon, to_node));
-                let Some(edge) = next else { break };
-                if let Some(routed) = self.claim_cache_segment(task, edge, &horizon) {
-                    self.stats.segments_priced += pooled.priced();
-                    return Ok(routed);
-                }
-            }
-            self.stats.segments_priced += pooled.priced();
-
-            // Phase 2: bring a fresh segment into the pool.
-            let mut candidates = OrderedCandidates::new(Rc::clone(&pair_index.sorted), min_price);
-            loop {
-                let next = candidates.next_available(|e| {
-                    if self.scale_mode && self.cache_pool.contains(&e) {
-                        None // already tried in phase 1
-                    } else {
-                        self.price_segment(e, &horizon, to_node)
-                    }
-                });
-                let Some(edge) = next else { break };
-                if let Some(routed) = self.claim_cache_segment(task, edge, &horizon) {
-                    self.stats.segments_priced += candidates.priced();
-                    return Ok(routed);
-                }
-            }
-            self.stats.segments_priced += candidates.priced();
-        }
-        Err(ArchError::NoStorageSegment {
-            task: task.describe(),
-        })
-    }
-
-    /// The pool members usable for this task's device pair, sorted by the
-    /// pair's static score; newly pooled segments are merged in on demand.
-    fn pooled_list(&mut self, task: &TransportTask, pair: &PairIndex) -> ScoredEdges {
-        let key = (task.from_device.index(), task.to_device.index());
-        let entry = self
-            .pooled_by_pair
-            .entry(key)
-            .or_insert_with(|| (0, Vec::new().into()));
-        if entry.0 < self.pool_log.len() {
-            let mut merged: Vec<(u64, GridEdgeId)> = entry.1.to_vec();
-            for &edge in &self.pool_log[entry.0..] {
-                if let Some(score) = pair.score_of[edge.index()] {
-                    let item = (score, edge);
-                    let pos = merged.partition_point(|&x| x < item);
-                    merged.insert(pos, item);
-                }
-            }
-            entry.0 = self.pool_log.len();
-            entry.1 = merged.into();
-        }
-        Rc::clone(&entry.1)
-    }
-
-    /// Dynamic price of a cache-segment candidate for the given storage
-    /// horizon: `None` when the segment is reserved anywhere in the horizon
-    /// or a guard rejects it, otherwise the used/new price plus the
-    /// cache-neighbour occupancy penalty.
-    fn price_segment(
-        &self,
-        edge: GridEdgeId,
-        horizon: &StoreHorizon,
-        to_node: NodeId,
-    ) -> Option<u64> {
-        // O(1) fast path: a segment that currently caches a sample is
-        // reserved for that sample's whole horizon; no calendar search
-        // needed to reject it.
-        if let Some(info) = self.active_caches.get(&edge) {
-            if info.reserved.overlaps(&horizon.blocked) {
-                return None;
-            }
-        }
-        if !(self.reservations.edge_free(edge, horizon.store_window)
-            && self.reservations.edge_free(edge, horizon.storage)
-            && self.reservations.edge_free(edge, horizon.planned_fetch))
-        {
-            return None;
-        }
-        if self.scale_mode
-            && (!self.egress_stays_open(edge, horizon.planned_fetch, to_node)
-                || self.strangles_cached_neighbor(edge, horizon.blocked)
-                || self.starves_device_ports(edge, horizon.blocked))
-        {
-            return None;
-        }
-        let base = if self.used_edges.contains(&edge) {
-            self.options.used_edge_cost
-        } else {
-            self.options.new_edge_cost
-        };
-        if !self.scale_mode {
-            return Some(base);
-        }
-        Some(
-            base + self.options.cache_neighbor_penalty
-                * self.caching_neighbors(edge, horizon.blocked),
-        )
-    }
-
-    /// Tries to route the store path into `edge` and commit the storage
-    /// reservation. Returns `None` when neither orientation of the segment
-    /// admits a conflict-free approach path.
-    fn claim_cache_segment(
-        &mut self,
-        task: &TransportTask,
-        edge: GridEdgeId,
-        horizon: &StoreHorizon,
-    ) -> Option<RoutedTransport> {
-        let from = self.placement.node_of(task.from_device);
-        let store_window = horizon.store_window;
-        let (x, y) = self.grid.endpoints(edge);
-        // Try entering the segment from either endpoint.
-        for (entry, exit) in [(x, y), (y, x)] {
-            // The sample slides into the segment towards `exit`, so the far
-            // end must be a free switch node; the entry may be a device node
-            // only if it is the producer itself.
-            if self.device_at(exit).is_some() || !self.reservations.node_free(exit, store_window) {
-                continue;
-            }
-            if self.device_at(entry).is_some() && entry != from {
-                continue;
-            }
-            let Some(mut path) = self.shortest_path(from, entry, store_window, Some(edge)) else {
-                continue;
-            };
-            path.nodes.push(exit);
-            path.edges.push(edge);
-            self.commit(&path, store_window, task.deadline);
-            // Block the segment from the moment the sample arrives until the
-            // end of its planned fetch window — plus the allowed
-            // postponement, so a delayed fetch still owns the segment while
-            // the sample rests past the plan — so no later task can claim
-            // the segment for the very instant the sample has to leave it.
-            // The segment's end nodes stay passable for other paths (the
-            // paper's exception).
-            let reserved_until = if self.scale_mode {
-                horizon.planned_fetch.end + self.options.max_deadline_overrun
-            } else {
-                horizon.planned_fetch.end
-            };
-            self.reservations
-                .reserve_edge(edge, Interval::new(horizon.storage.start, reserved_until));
-            self.cache_of_sample.insert(task.sample, (edge, exit));
-            if self.cache_pool.insert(edge) {
-                self.pool_log.push(edge);
-            }
-            self.active_caches.insert(
-                edge,
-                CacheInfo {
-                    blocked: Interval::new(horizon.blocked.start, reserved_until),
-                    reserved: Interval::new(horizon.storage.start, reserved_until),
-                    fetch_window: horizon.planned_fetch,
-                    reserved_until,
-                },
-            );
-            let mut routed_task = task.clone();
-            routed_task.window_start = store_window.start;
-            routed_task.window_end = store_window.end;
-            routed_task.storage_interval = Some((horizon.storage.start, horizon.storage.end));
-            return Some(RoutedTransport {
-                task: routed_task,
-                path,
-                cache_edge: Some(edge),
-            });
-        }
-        None
-    }
-
-    /// Number of incident segments (at either endpoint) that cache a sample
-    /// while `span` is blocked — the occupancy term of the store score.
-    fn caching_neighbors(&self, edge: GridEdgeId, span: Interval) -> u64 {
-        let (x, y) = self.grid.endpoints(edge);
-        let mut count = 0;
-        for node in [x, y] {
-            for &neighbor in self.grid.incident_edges(node) {
-                if neighbor == edge {
-                    continue;
-                }
-                if let Some(info) = self.active_caches.get(&neighbor) {
-                    if info.blocked.overlaps(&span) {
-                        count += 1;
-                    }
-                }
-            }
-        }
-        count
-    }
-
-    /// Whether a sample cached in `edge` could still leave towards
-    /// `to_node` during its planned fetch window: at least one incident
-    /// segment at one end must be free for the fetch to depart through.
-    /// Edges leading into a foreign device do not count — a fetch path may
-    /// only enter its own consumer. Without this guard a distance-greedy
-    /// store can pick a spot that is already walled in by longer-lived
-    /// caches, and the zero-slack fetch later fails.
-    fn egress_stays_open(&self, edge: GridEdgeId, fetch_window: Interval, to_node: NodeId) -> bool {
-        let (x, y) = self.grid.endpoints(edge);
-        [x, y].into_iter().any(|node| {
-            self.device_at(node).is_none()
-                && self.grid.incident_edges(node).iter().any(|&out| {
-                    if out == edge {
-                        return false;
-                    }
-                    let z = self.grid.other_endpoint(out, node);
-                    (self.device_at(z).is_none() || z == to_node)
-                        && self.reservations.edge_free(out, fetch_window)
-                })
-        })
-    }
-
-    /// Whether caching on `edge` would leave a device with too few
-    /// cache-free port edges during the blocked span. Every transport of a
-    /// device flows through its handful of ports; parking samples on them
-    /// until fewer than two remain (one, on low-degree grid corners)
-    /// guarantees that some zero-slack arrival or departure finds every
-    /// port occupied.
-    fn starves_device_ports(&self, edge: GridEdgeId, blocked: Interval) -> bool {
-        let (x, y) = self.grid.endpoints(edge);
-        for node in [x, y] {
-            if self.device_at(node).is_none() {
-                continue;
-            }
-            let ports = self.grid.incident_edges(node);
-            let required = ports.len().saturating_sub(1).min(2);
-            let cache_free = ports
-                .iter()
-                .filter(|&&port| {
-                    port != edge
-                        && self
-                            .active_caches
-                            .get(&port)
-                            .is_none_or(|info| !info.blocked.overlaps(&blocked))
-                })
-                .count();
-            if cache_free < required {
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Whether claiming `edge` for `blocked` would take the **last** free
-    /// egress segment of a neighbouring cached sample during its planned
-    /// fetch window. Placing such a store would strand the neighbour, so the
-    /// candidate is rejected up front.
-    fn strangles_cached_neighbor(&self, edge: GridEdgeId, blocked: Interval) -> bool {
-        let (x, y) = self.grid.endpoints(edge);
-        for node in [x, y] {
-            for &neighbor in self.grid.incident_edges(node) {
-                if neighbor == edge {
-                    continue;
-                }
-                let Some(info) = self.active_caches.get(&neighbor) else {
-                    continue;
-                };
-                if !info.fetch_window.overlaps(&blocked) {
-                    continue;
-                }
-                let (nx, ny) = self.grid.endpoints(neighbor);
-                let still_escapes = [nx, ny].into_iter().any(|end| {
-                    self.device_at(end).is_none()
-                        && self.grid.incident_edges(end).iter().any(|&out| {
-                            out != neighbor
-                                && out != edge
-                                // The neighbour's consumer is unknown here;
-                                // conservatively require a non-device escape.
-                                && self
-                                    .device_at(self.grid.other_endpoint(out, end))
-                                    .is_none()
-                                && self.reservations.edge_free(out, info.fetch_window)
-                        })
-                });
-                if !still_escapes {
-                    return true;
-                }
-            }
-        }
-        false
-    }
-
-    /// Routes a fetch task: the sample's cache segment → consumer device.
-    fn route_fetch(
-        &mut self,
-        task: &TransportTask,
-        allow_overrun: bool,
-    ) -> Result<RoutedTransport, ArchError> {
-        let to = self.placement.node_of(task.to_device);
-        let (cache_edge, exit) =
-            self.cache_of_sample
-                .get(&task.sample)
-                .copied()
-                .ok_or_else(|| ArchError::Inconsistent {
-                    reason: format!("fetch of sample {} before it was stored", task.sample),
-                })?;
-        let (x, y) = self.grid.endpoints(cache_edge);
-        let reserved_until = self
-            .active_caches
-            .get(&cache_edge)
-            .map_or(task.window_end, |info| info.reserved_until);
-        for window in self.candidate_windows(task, allow_overrun) {
-            // The cache segment is already reserved for the sample through
-            // the end of its planned fetch window plus the postponement
-            // guard. When the fetch is postponed beyond that reservation,
-            // the segment must additionally stay free (the sample keeps
-            // resting in it) until the actual departure completes.
-            let beyond_plan = Interval::new(reserved_until.min(window.end), window.end);
-            if !self.reservations.edge_free(cache_edge, beyond_plan) {
-                continue;
-            }
-            self.stats.windows_tried += 1;
-            // Leave through the recorded exit node first, falling back to
-            // the other end of the segment.
-            for leave in [exit, if exit == x { y } else { x }] {
-                let Some(path) = self.shortest_path(leave, to, window, Some(cache_edge)) else {
-                    continue;
-                };
-                // The sample first traverses its cache segment, then the path.
-                let entry = self.grid.other_endpoint(cache_edge, leave);
-                let mut nodes = vec![entry];
-                nodes.extend(path.nodes.iter().copied());
-                let mut edges = vec![cache_edge];
-                edges.extend(path.edges.iter().copied());
-                let full = RoutedPath {
-                    nodes,
-                    edges,
-                    window,
-                };
-                self.commit(&full, window, task.deadline);
-                // Keep the segment blocked while the sample rests in it past
-                // the originally planned fetch time.
-                self.reservations.reserve_edge(cache_edge, beyond_plan);
-                self.cache_of_sample.remove(&task.sample);
-                self.active_caches.remove(&cache_edge);
-                let mut routed_task = task.clone();
-                routed_task.window_start = window.start;
-                routed_task.window_end = window.end;
-                return Ok(RoutedTransport {
-                    task: routed_task,
-                    path: full,
-                    cache_edge: Some(cache_edge),
-                });
-            }
-        }
-        Err(ArchError::RoutingFailed {
-            from: task.from_device,
-            to: task.to_device,
-            task: task.describe(),
-        })
-    }
-
-    // -----------------------------------------------------------------
-    // Stage 3: commit
-    // -----------------------------------------------------------------
-
-    /// Reserves every switch node and edge of a path for the window and
-    /// records the edges as used.
+    /// # Errors
     ///
-    /// Device nodes are *not* reserved: several samples may arrive at or
-    /// leave the same device in overlapping windows (for example the two
-    /// inputs of a mixing operation), entering through different channels.
-    /// Channel-level conflicts are still excluded because the edges and
-    /// switch nodes of concurrent paths may not overlap.
-    fn commit(&mut self, path: &RoutedPath, window: Interval, deadline: Seconds) {
-        for &node in &path.nodes {
-            if self.device_at(node).is_some() {
-                continue;
-            }
-            self.reservations.reserve_node(node, window);
-        }
-        for &edge in &path.edges {
-            self.reservations.reserve_edge(edge, window);
-            self.used_edges.insert(edge);
-        }
-        self.stats.tasks_routed += 1;
-        if window.end > deadline {
-            self.stats.postponed_tasks += 1;
-        }
-    }
-
-    // -----------------------------------------------------------------
-    // Stage 2: path search
-    // -----------------------------------------------------------------
-
-    /// Dijkstra shortest path from `from` to `to` during `window`, avoiding
-    /// reserved edges/nodes and foreign device nodes. `skip_edge` is excluded
-    /// from the search (used to keep a cache segment for the sample itself).
-    fn shortest_path(
+    /// Propagates the first routing failure, exactly like the sequential
+    /// loop would.
+    pub fn route_all(
         &mut self,
-        from: NodeId,
-        to: NodeId,
-        window: Interval,
-        skip_edge: Option<GridEdgeId>,
-    ) -> Option<RoutedPath> {
-        self.stats.path_searches += 1;
-        if from == to {
-            return Some(RoutedPath {
-                nodes: vec![from],
-                edges: Vec::new(),
-                window,
-            });
+        tasks: &[TransportTask],
+    ) -> Result<Vec<RoutedTransport>, ArchError> {
+        let threads = self.threads;
+        if threads <= 1 || tasks.len() <= 1 {
+            return tasks.iter().map(|t| self.route(t)).collect();
         }
-        let endpoint_blocked = |node: NodeId| {
-            self.device_at(node).is_none() && !self.reservations.node_free(node, window)
-        };
-        if endpoint_blocked(from) || endpoint_blocked(to) {
-            return None;
-        }
-
-        // On storage-sized grids the search is A*-directed by the Manhattan
-        // lower bound (admissible and consistent: every step costs at least
-        // the cheaper edge price). Paper-scale grids keep plain Dijkstra so
-        // their tie-breaking — and thus their synthesized chips — stay
-        // exactly as before the refactor.
-        let min_edge_cost = self.options.used_edge_cost.min(self.options.new_edge_cost);
-        let heuristic_on = self.scale_mode;
-        let to_coord = self.grid.coord(to);
-        let bound = |router: &Router<'_>, node: NodeId| -> u64 {
-            if heuristic_on {
-                router.grid.coord(node).manhattan(to_coord) as u64 * min_edge_cost
-            } else {
-                0
+        let ctx = &self.ctx;
+        let state = &self.state;
+        let lazy = &mut self.lazy;
+        let scratch = &mut self.scratch;
+        let wscratch = &mut self.wscratch;
+        let stats = &mut self.stats;
+        let board = Board::new(ctx, state, threads);
+        std::thread::scope(|scope| {
+            for worker in 0..threads - 1 {
+                let board = &board;
+                std::thread::Builder::new()
+                    .name(format!("biochip-score-{worker}"))
+                    .spawn_scoped(scope, move || board.worker_loop())
+                    .expect("scoring threads can always be spawned");
             }
-        };
-
-        self.scratch.begin();
-        self.scratch.set(from, 0, None);
-        let from_bound = bound(self, from);
-        self.scratch.heap.push(SearchEntry {
-            cost: from_bound,
-            node: from,
-        });
-        let mut reached = false;
-
-        while let Some(SearchEntry {
-            cost: priority,
-            node,
-        }) = self.scratch.heap.pop()
-        {
-            self.stats.nodes_expanded += 1;
-            if node == to {
-                reached = true;
-                break;
-            }
-            let cost = priority - bound(self, node);
-            if cost > self.scratch.dist(node) {
-                continue;
-            }
-            for &edge in self.grid.incident_edges(node) {
-                if Some(edge) == skip_edge {
-                    continue;
-                }
-                let next = self.grid.other_endpoint(edge, node);
-                // Device nodes may only be path endpoints.
-                if next != to && self.device_at(next).is_some() {
-                    continue;
-                }
-                if !self.reservations.edge_free(edge, window)
-                    || (self.device_at(next).is_none()
-                        && !self.reservations.node_free(next, window))
-                {
-                    continue;
-                }
-                let mut edge_cost = if self.used_edges.contains(&edge) {
-                    self.options.used_edge_cost
-                } else {
-                    self.options.new_edge_cost
-                };
-                // Keep foreign device ports clear (scale grids): crossing a
-                // switch that serves another device's port is priced up so
-                // transit traffic does not squat on ports that zero-slack
-                // transports will need at exactly their scheduled instant.
-                if self.scale_mode {
-                    for &device_node in &self.adjacent_device_nodes[next.index()] {
-                        if device_node != from && device_node != to {
-                            edge_cost += self.options.foreign_port_penalty;
-                        }
-                    }
-                }
-                let next_cost = cost + edge_cost;
-                if next_cost < self.scratch.dist(next) {
-                    self.scratch.set(next, next_cost, Some((node, edge)));
-                    self.scratch.heap.push(SearchEntry {
-                        cost: next_cost + bound(self, next),
-                        node: next,
-                    });
-                }
-            }
-        }
-
-        if !reached {
-            return None;
-        }
-        let mut nodes = vec![to];
-        let mut edges = Vec::new();
-        let mut cursor = to;
-        while cursor != from {
-            let (parent, edge) = self.scratch.prev[cursor.index()];
-            nodes.push(parent);
-            edges.push(edge);
-            cursor = parent;
-        }
-        nodes.reverse();
-        edges.reverse();
-        Some(RoutedPath {
-            nodes,
-            edges,
-            window,
+            let _guard = ShutdownGuard(&board);
+            let mut driver = Driver {
+                ctx,
+                state,
+                lazy,
+                scratch,
+                wscratch,
+                stats,
+                board: Some(&board),
+            };
+            tasks.iter().map(|t| driver.route_task(t)).collect()
         })
-    }
-}
-
-/// A resource whose reservation calendar constrains a task's window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WindowResource {
-    Edge(GridEdgeId),
-    Node(NodeId),
-}
-
-/// Bookkeeping of one segment that currently caches a sample.
-#[derive(Debug, Clone, Copy)]
-struct CacheInfo {
-    /// Span during which the segment is blocked (arrival through planned
-    /// fetch end plus the postponement guard).
-    blocked: Interval,
-    /// The reservation the store placed on the segment's calendar (storage
-    /// arrival through `reserved_until`); lets the store stage reject a
-    /// busy pool member with one hash lookup instead of calendar searches.
-    reserved: Interval,
-    /// The window the fetch is planned to depart in.
-    fetch_window: Interval,
-    /// End of the reservation the store placed on the segment: planned
-    /// fetch end plus `max_deadline_overrun`, so a postponed fetch still
-    /// owns its segment while the sample rests past the plan.
-    reserved_until: Seconds,
-}
-
-/// The time spans a store task must secure on its cache segment.
-#[derive(Debug, Clone, Copy)]
-struct StoreHorizon {
-    /// Window of the store transport itself.
-    store_window: Interval,
-    /// Span the sample rests in the segment.
-    storage: Interval,
-    /// Planned (non-empty) departure window of the matching fetch.
-    planned_fetch: Interval,
-    /// Full span the segment is blocked: store arrival → planned fetch end.
-    blocked: Interval,
-}
-
-impl StoreHorizon {
-    fn new(task: &TransportTask, store_window: Interval, stored_until: Seconds) -> Self {
-        let storage = Interval::new(store_window.end.min(stored_until), stored_until);
-        let planned_fetch_end = stored_until + task.window_len().max(1);
-        StoreHorizon {
-            store_window,
-            storage,
-            planned_fetch: Interval::new(stored_until, planned_fetch_end),
-            blocked: Interval::new(store_window.start, planned_fetch_end),
-        }
     }
 }
 
@@ -1166,6 +2333,26 @@ mod tests {
 
     fn make_placement(grid: &ConnectionGrid, devices: usize) -> Placement {
         place_devices(grid, devices, &[], &PlacementOptions::default()).unwrap()
+    }
+
+    /// Test-only window-stage probe (the stage is driver-internal).
+    fn windows_of(
+        router: &mut Router<'_>,
+        task: &TransportTask,
+        allow_overrun: bool,
+    ) -> Vec<Interval> {
+        let mut out = Vec::new();
+        let mut ws = WindowScratch::default();
+        let state = router
+            .state
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let eval = Eval {
+            ctx: &router.ctx,
+            state,
+        };
+        eval.candidate_windows(task, allow_overrun, &mut ws, &mut out);
+        out
     }
 
     fn direct_task(from: usize, to: usize, start: u64, end: u64) -> TransportTask {
@@ -1367,11 +2554,11 @@ mod tests {
     fn candidate_windows_start_with_the_preferred_one() {
         let grid = ConnectionGrid::square(3);
         let placement = make_placement(&grid, 2);
-        let router = Router::new(&grid, &placement, RoutingOptions::default());
+        let mut router = Router::new(&grid, &placement, RoutingOptions::default());
         let mut task = direct_task(0, 1, 10, 15);
         task.earliest_start = 0;
         task.deadline = 40;
-        let windows = router.candidate_windows(&task, false);
+        let windows = windows_of(&mut router, &task, false);
         assert_eq!(windows[0], Interval::new(10, 15));
         assert!(windows.len() > 1);
         for w in &windows {
@@ -1381,7 +2568,7 @@ mod tests {
         // No slack: only the preferred window.
         let tight = direct_task(0, 1, 10, 15);
         assert_eq!(
-            router.candidate_windows(&tight, false),
+            windows_of(&mut router, &tight, false),
             vec![Interval::new(10, 15)]
         );
     }
@@ -1400,12 +2587,15 @@ mod tests {
             placement.node_of(DeviceId(1)),
         ] {
             for &edge in grid.incident_edges(node) {
-                router.reservations.reserve_edge(edge, Interval::new(0, 23));
+                router
+                    .state_mut()
+                    .reservations
+                    .reserve_edge(edge, Interval::new(0, 23));
             }
         }
         let mut task = direct_task(0, 1, 0, 5);
         task.deadline = 40;
-        let windows = router.candidate_windows(&task, false);
+        let windows = windows_of(&mut router, &task, false);
         assert!(
             windows.contains(&Interval::new(23, 28)),
             "calendar-driven candidate missing from {windows:?}"
@@ -1478,5 +2668,87 @@ mod tests {
         let second = router.route(&direct_task(1, 0, 0, 5)).unwrap();
         assert!(second.path.window.start >= 5);
         assert_eq!(router.stats().postponed_tasks, 1);
+    }
+
+    #[test]
+    fn dense_edge_set_tracks_members_in_order() {
+        let mut set = DenseEdgeSet::new(200);
+        assert!(!set.contains(GridEdgeId(67)));
+        assert!(set.insert(GridEdgeId(67)));
+        assert!(set.insert(GridEdgeId(3)));
+        assert!(set.insert(GridEdgeId(199)));
+        assert!(!set.insert(GridEdgeId(67)), "reinsert is a no-op");
+        assert!(set.contains(GridEdgeId(67)));
+        assert_eq!(set.len(), 3);
+        assert_eq!(
+            set.to_vec(),
+            vec![GridEdgeId(3), GridEdgeId(67), GridEdgeId(199)]
+        );
+    }
+
+    /// A congested task mix covering all three kinds with slack (so the
+    /// window stage actually staggers) for the threaded-equality tests.
+    fn congested_tasks() -> Vec<TransportTask> {
+        let mut tasks = Vec::new();
+        for i in 0..6 {
+            let mut t = direct_task(i % 3, (i + 1) % 3, 0, 5);
+            t.sample = 200 + i;
+            t.deadline = 60;
+            tasks.push(t);
+        }
+        for s in 0..3 {
+            let mut store = store_task(s, s % 3, (s + 1) % 3);
+            store.deadline = 35;
+            tasks.push(store);
+        }
+        tasks.sort_by_key(|t| t.window_start);
+        for s in 0..3 {
+            let mut fetch = fetch_task(s, s % 3, (s + 1) % 3);
+            fetch.deadline = 90;
+            tasks.push(fetch);
+        }
+        tasks
+    }
+
+    #[test]
+    fn route_all_is_bit_identical_across_thread_counts() {
+        for grid_side in [4, 10] {
+            let grid = ConnectionGrid::square(grid_side);
+            let placement = make_placement(&grid, 3);
+            let tasks = congested_tasks();
+
+            let mut sequential = Router::new(&grid, &placement, RoutingOptions::default());
+            let baseline: Vec<RoutedTransport> =
+                tasks.iter().map(|t| sequential.route(t).unwrap()).collect();
+
+            for threads in [2, 4, 8] {
+                let mut parallel =
+                    Router::new(&grid, &placement, RoutingOptions::default()).with_threads(threads);
+                let routed = parallel.route_all(&tasks).unwrap();
+                assert_eq!(routed, baseline, "side {grid_side}, {threads} threads");
+                assert_eq!(
+                    parallel.stats(),
+                    sequential.stats(),
+                    "side {grid_side}, {threads} threads: stage counters diverged"
+                );
+                assert_eq!(parallel.used_edges(), sequential.used_edges());
+            }
+        }
+    }
+
+    #[test]
+    fn route_all_propagates_failures_like_the_sequential_loop() {
+        let grid = ConnectionGrid::new(1, 2);
+        let placement = make_placement(&grid, 2);
+        let tasks = vec![direct_task(0, 1, 0, 5), direct_task(1, 0, 0, 5)];
+        let mut sequential = Router::new(&grid, &placement, RoutingOptions::default());
+        let expected = sequential.route(&tasks[0]).unwrap();
+        let expected_err = sequential.route(&tasks[1]).unwrap_err();
+
+        let mut parallel =
+            Router::new(&grid, &placement, RoutingOptions::default()).with_threads(4);
+        let err = parallel.route_all(&tasks).unwrap_err();
+        assert_eq!(format!("{err}"), format!("{expected_err}"));
+        let _ = expected;
     }
 }

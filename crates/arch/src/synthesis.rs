@@ -7,7 +7,8 @@ use biochip_schedule::{Schedule, ScheduleProblem};
 use crate::connection_graph::{Architecture, ConnectionGraph};
 use crate::error::ArchError;
 use crate::grid::ConnectionGrid;
-use crate::placement::{place_devices, PlacementOptions};
+use crate::parallel::Parallelism;
+use crate::placement::{place_devices_threaded, PlacementOptions};
 use crate::routing::{Router, RouterStats, RoutingOptions};
 use crate::transport::extract_transport_tasks;
 
@@ -72,23 +73,56 @@ impl SynthesisOptions {
     }
 }
 
+/// Wall-clock breakdown of one synthesis run's place and route stages,
+/// accumulated over every grid attempt. Deliberately **not** part of
+/// [`SynthesisStats`] (and thus never serialized into reports): wall times
+/// are nondeterministic, and reports must stay byte-identical across thread
+/// counts. The `bench pipeline` sweep consumes this.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ArchStageTimings {
+    /// Seconds spent placing devices (all grid attempts).
+    pub placement_seconds: f64,
+    /// Seconds spent routing transport tasks (all grid attempts).
+    pub routing_seconds: f64,
+}
+
 /// The architectural synthesis engine (Section 3.2 of the paper).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ArchitectureSynthesizer {
     options: SynthesisOptions,
+    parallelism: Parallelism,
 }
 
 impl ArchitectureSynthesizer {
     /// Creates a synthesizer with the given options.
     #[must_use]
     pub fn new(options: SynthesisOptions) -> Self {
-        ArchitectureSynthesizer { options }
+        ArchitectureSynthesizer {
+            options,
+            parallelism: Parallelism::default(),
+        }
+    }
+
+    /// Sets the intra-job parallelism policy. The thread count never
+    /// changes the synthesized chip — multi-start placement reduces by
+    /// `(cost, start index)` and the router's parallel scoring reduces by
+    /// candidate order — it only changes how fast the chip is found.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The configured options.
     #[must_use]
     pub fn options(&self) -> &SynthesisOptions {
         &self.options
+    }
+
+    /// The configured parallelism policy.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Synthesizes the chip architecture for a scheduled assay.
@@ -110,6 +144,24 @@ impl ArchitectureSynthesizer {
         problem: &ScheduleProblem,
         schedule: &Schedule,
     ) -> Result<Architecture, ArchError> {
+        self.synthesize_timed(problem, schedule)
+            .map(|(arch, _)| arch)
+    }
+
+    /// Like [`synthesize`](Self::synthesize), additionally reporting the
+    /// wall-clock split between the placement and routing stages
+    /// (accumulated over every grid attempt) — the numbers the
+    /// `bench pipeline` sweep records per thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`synthesize`](Self::synthesize).
+    pub fn synthesize_timed(
+        &self,
+        problem: &ScheduleProblem,
+        schedule: &Schedule,
+    ) -> Result<(Architecture, ArchStageTimings), ArchError> {
+        let mut timings = ArchStageTimings::default();
         schedule
             .validate(problem)
             .map_err(|e| ArchError::InvalidSchedule {
@@ -186,13 +238,13 @@ impl ArchitectureSynthesizer {
                 &self.options.routing
             };
             let grid = ConnectionGrid::square(size);
-            match self.try_grid(&grid, problem, &tasks, routing) {
+            match self.try_grid(&grid, problem, &tasks, routing, &mut timings) {
                 Ok((architecture, mut stats)) => {
                     stats.grids_tried = grids_tried + 1;
                     stats.relaxed_pass = relaxed_pass;
                     let architecture = architecture.with_stats(stats);
                     architecture.verify()?;
-                    return Ok(architecture);
+                    return Ok((architecture, timings));
                 }
                 Err(e) => last_error = e,
             }
@@ -207,25 +259,32 @@ impl ArchitectureSynthesizer {
         problem: &ScheduleProblem,
         tasks: &[crate::transport::TransportTask],
         routing: &RoutingOptions,
+        timings: &mut ArchStageTimings,
     ) -> Result<(Architecture, SynthesisStats), ArchError> {
-        let placement = place_devices(
+        let threads = self.parallelism.effective_threads();
+        let place_started = std::time::Instant::now();
+        let placement = place_devices_threaded(
             grid,
             problem.devices().len(),
             tasks,
             &self.options.placement,
+            threads,
         )?;
-        let mut router = Router::new(grid, &placement, routing.clone());
-        let mut routes = Vec::with_capacity(tasks.len());
-        for task in tasks {
-            routes.push(router.route(task)?);
-        }
+        timings.placement_seconds += place_started.elapsed().as_secs_f64();
+
+        let route_started = std::time::Instant::now();
+        let mut router = Router::new(grid, &placement, routing.clone()).with_threads(threads);
+        let routes = router.route_all(tasks);
+        timings.routing_seconds += route_started.elapsed().as_secs_f64();
+        let routes = routes?;
+
         let stats = SynthesisStats {
             router: router.stats(),
             grids_tried: 0,
             relaxed_pass: false,
             peak_calendar_len: router.reservations().peak_calendar_len(),
         };
-        let used = router.used_edges().iter().copied().collect::<Vec<_>>();
+        let used = router.used_edges();
         let connection_graph = ConnectionGraph::new(grid.clone(), placement, used);
         let architecture = Architecture::new(connection_graph, routes);
         Ok((architecture, stats))
@@ -402,6 +461,40 @@ mod tests {
                 .count();
             assert_eq!(stores, fetches, "{name}");
         }
+    }
+
+    #[test]
+    fn parallel_synthesis_matches_sequential_bit_for_bit() {
+        for (graph, mixers, detectors) in [(library::ivd(), 2, 1), (library::pcr(), 2, 0)] {
+            let (problem, schedule) = schedule_for(graph, mixers, detectors);
+            let (sequential, _) = ArchitectureSynthesizer::default()
+                .synthesize_timed(&problem, &schedule)
+                .unwrap();
+            for threads in [2, 8] {
+                let parallel = ArchitectureSynthesizer::default()
+                    .with_parallelism(Parallelism::with_threads(threads))
+                    .synthesize(&problem, &schedule)
+                    .unwrap();
+                assert_eq!(parallel, sequential, "{threads} threads diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_start_placement_keeps_synthesis_valid() {
+        let (problem, schedule) = schedule_for(library::ivd(), 2, 1);
+        let mut options = SynthesisOptions::default();
+        options.placement.starts = 4;
+        let a = ArchitectureSynthesizer::new(options.clone())
+            .with_parallelism(Parallelism::with_threads(4))
+            .synthesize(&problem, &schedule)
+            .unwrap();
+        a.verify().unwrap();
+        // Same starts, different thread count: same chip.
+        let b = ArchitectureSynthesizer::new(options)
+            .synthesize(&problem, &schedule)
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Pins the router's steady-state allocation rate.
+//!
+//! The hot loops (window selection, Dijkstra, segment pricing) run on
+//! reusable scratch buffers and dense index tables; the only allocations a
+//! routed task should make in steady state are its own result (the path's
+//! node/edge vectors), occasional calendar growth and the candidate merge's
+//! small heap. This test routes a warm-up batch, then counts allocations
+//! over a measured batch through a counting global allocator and fails when
+//! the per-task rate regresses past a generous bound — the tripwire for
+//! accidentally reintroducing per-task `Vec`/`HashMap` churn.
+//!
+//! (The counter lives here, in an integration test, because a global
+//! allocator must be installed by the final binary — the library itself
+//! stays `forbid(unsafe_code)`.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use biochip_arch::{
+    place_devices, ConnectionGrid, PlacementOptions, Router, RoutingOptions, TransportKind,
+    TransportTask,
+};
+use biochip_assay::OpId;
+use biochip_schedule::DeviceId;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn direct_task(sample: usize, from: usize, to: usize, start: u64) -> TransportTask {
+    TransportTask {
+        sample,
+        producer: OpId(0),
+        consumer: OpId(1),
+        from_device: DeviceId(from),
+        to_device: DeviceId(to),
+        kind: TransportKind::Direct,
+        window_start: start,
+        window_end: start + 5,
+        storage_interval: None,
+        earliest_start: start,
+        deadline: start + 25,
+    }
+}
+
+fn store_fetch_pair(sample: usize, from: usize, to: usize, start: u64) -> [TransportTask; 2] {
+    let stored_until = start + 40;
+    [
+        TransportTask {
+            sample,
+            producer: OpId(0),
+            consumer: OpId(1),
+            from_device: DeviceId(from),
+            to_device: DeviceId(to),
+            kind: TransportKind::Store,
+            window_start: start,
+            window_end: start + 5,
+            storage_interval: Some((start + 5, stored_until)),
+            earliest_start: start,
+            deadline: start + 20,
+        },
+        TransportTask {
+            sample,
+            producer: OpId(0),
+            consumer: OpId(1),
+            from_device: DeviceId(from),
+            to_device: DeviceId(to),
+            kind: TransportKind::Fetch,
+            window_start: stored_until,
+            window_end: stored_until + 5,
+            storage_interval: None,
+            earliest_start: stored_until,
+            deadline: stored_until + 30,
+        },
+    ]
+}
+
+/// A steady stream of direct, store and fetch tasks whose windows march
+/// forward in time (so the calendars grow realistically but tasks stay
+/// routable forever).
+fn task_stream(count: usize, first_sample: usize, start_offset: u64) -> Vec<TransportTask> {
+    let mut tasks = Vec::new();
+    let mut sample = first_sample;
+    let mut t = start_offset;
+    while tasks.len() < count {
+        tasks.push(direct_task(sample, 0, 1, t));
+        tasks.push(direct_task(sample + 1, 2, 3, t + 7));
+        tasks.extend(store_fetch_pair(sample + 2, 1, 2, t + 3));
+        sample += 3;
+        t += 60;
+    }
+    tasks.truncate(count);
+    tasks
+}
+
+#[test]
+fn steady_state_routing_stays_allocation_lean() {
+    // Side 10 → scale mode: the dense tables, guards and the segment index
+    // are all on the measured path.
+    let grid = ConnectionGrid::square(10);
+    let warmup = task_stream(60, 0, 10);
+    let placement = place_devices(&grid, 4, &warmup, &PlacementOptions::default()).unwrap();
+    let mut router = Router::new(&grid, &placement, RoutingOptions::default());
+
+    for task in &warmup {
+        router.route(task).unwrap_or_else(|e| panic!("warmup: {e}"));
+    }
+
+    let measured = task_stream(100, 10_000, 10 + 16 * 60);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for task in &measured {
+        router
+            .route(task)
+            .unwrap_or_else(|e| panic!("measured: {e}"));
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    // Generous bound: each task legitimately allocates its result path and
+    // the store stage its merge heap; the pre-refactor per-task `HashSet` /
+    // `BTreeSet` / full-candidate-vector churn sat an order of magnitude
+    // above this.
+    let per_task = allocations as f64 / measured.len() as f64;
+    assert!(
+        per_task <= 48.0,
+        "steady-state routing allocates {per_task:.1} times per task \
+         ({allocations} allocations over {} tasks) — scratch reuse regressed",
+        measured.len()
+    );
+}

@@ -11,12 +11,17 @@
 #![warn(missing_docs)]
 
 pub mod arch_scale;
+pub mod pipeline;
 pub mod scale;
 pub mod serve_bench;
 
 pub use arch_scale::{
     arch_scale_csv, arch_scale_rows, format_arch_scale, ArchScaleRow, DEFAULT_ARCH_MIXERS,
     DEFAULT_ARCH_SIZES,
+};
+pub use pipeline::{
+    assert_thread_equality, format_pipeline, pipeline_csv, pipeline_rows, PipelineRow,
+    DEFAULT_PIPELINE_ASSAYS,
 };
 pub use scale::{
     format_scale, scale_csv, scale_rows, ScaleRow, DEFAULT_SCALE_MIXERS, DEFAULT_SCALE_SIZES,
@@ -90,17 +95,55 @@ pub fn parse_size_args(
     Ok(sizes)
 }
 
+/// The commit the benchmark binary was run against: `$BIOCHIP_COMMIT` when
+/// set (CI exports it), otherwise `git rev-parse --short HEAD`, otherwise
+/// `"unknown"`. Stamped into every artifact so trajectories across commits
+/// stay comparable.
+#[must_use]
+pub fn bench_commit() -> String {
+    if let Ok(commit) = std::env::var("BIOCHIP_COMMIT") {
+        if !commit.is_empty() {
+            return commit;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
 /// Writes a machine-readable benchmark artifact as `BENCH_<name>.json`.
 ///
-/// The output directory is `$BIOCHIP_BENCH_DIR` (default: the current
-/// directory), so CI can collect every artifact from one place and track the
-/// perf trajectory across commits. I/O failures are reported to stderr but
-/// do not abort the run — the printed tables remain the primary output.
+/// Every artifact is wrapped in a `biochip-bench/v1` envelope stamping the
+/// commit ([`bench_commit`]) and the host's thread count next to the
+/// payload (under `data`), so artifacts from different commits and machines
+/// stay comparable. The output directory is `$BIOCHIP_BENCH_DIR` (default:
+/// the current directory), so CI can collect every artifact from one place
+/// and track the perf trajectory across commits. I/O failures are reported
+/// to stderr but do not abort the run — the printed tables remain the
+/// primary output.
 pub fn write_bench_json<T: biochip_json::Serialize>(name: &str, value: &T) {
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let envelope = biochip_json::Json::object([
+        (
+            "schema",
+            biochip_json::Json::String("biochip-bench/v1".to_owned()),
+        ),
+        ("commit", biochip_json::Json::String(bench_commit())),
+        (
+            "host_threads",
+            biochip_json::Json::Number(host_threads as f64),
+        ),
+        ("data", value.to_json()),
+    ]);
     let dir = std::env::var("BIOCHIP_BENCH_DIR").unwrap_or_else(|_| ".".to_owned());
     let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
-    let text = biochip_json::to_string_pretty(value);
-    if let Err(e) = std::fs::write(&path, text) {
+    if let Err(e) = std::fs::write(&path, envelope.to_pretty()) {
         eprintln!("warning: cannot write {}: {e}", path.display());
     } else {
         eprintln!("wrote {}", path.display());

@@ -1,0 +1,312 @@
+//! Cold-pipeline parallel sweep: per-stage latency and multi-core speedup.
+//!
+//! `BENCH_arch.json` tracks the router's throughput; this sweep tracks the
+//! whole **cold path** — schedule → place → route → layout → replay — per
+//! thread count, for the scale assays the job service actually serves cold
+//! (RA1K and RA10K). Each row records the wall time of every stage, the
+//! end-to-end total, the speedup against the `threads = 1` row of the same
+//! assay, and an `output_key`: the canonical content hash of the
+//! (timing-stripped) report, the schedule and the replay. The synthesizer's
+//! parallelism is **bit-deterministic** — multi-start placement reduces by
+//! `(cost, start index)`, router scoring by candidate order — so the key
+//! must be identical across thread counts; [`assert_thread_equality`]
+//! enforces exactly that and the `pipeline` bin fails CI when it does not
+//! hold.
+//!
+//! Run it with `cargo run --release -p biochip-bench --bin pipeline`
+//! (positional args = thread counts, default `1 <cores>`) or
+//! `biochip bench pipeline [--threads 1,4] [--assays RA1K,RA10K]`.
+
+use std::time::Instant;
+
+use biochip_synth::arch::{ArchitectureSynthesizer, Parallelism};
+use biochip_synth::assay::library;
+use biochip_synth::sim::{replay, simulate_dedicated_storage};
+use biochip_synth::{SynthesisConfig, SynthesisFlow, SynthesisReport};
+
+use crate::BenchError;
+
+/// Default assays of the pipeline sweep: the scale workloads of the CI
+/// smoke runs, under the same 8-mixer inventory.
+pub const DEFAULT_PIPELINE_ASSAYS: &[&str] = &["RA1K", "RA10K"];
+
+/// One row of the pipeline sweep: one assay, cold, at one thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineRow {
+    /// Assay name.
+    pub assay: String,
+    /// Number of device operations.
+    pub operations: usize,
+    /// Scoring threads the synthesizer was allowed.
+    pub threads: usize,
+    /// Scheduling wall seconds.
+    pub schedule_seconds: f64,
+    /// Placement wall seconds (all grid attempts).
+    pub place_seconds: f64,
+    /// Routing wall seconds (all grid attempts).
+    pub route_seconds: f64,
+    /// Physical-design wall seconds.
+    pub layout_seconds: f64,
+    /// Replay + dedicated-baseline wall seconds.
+    pub replay_seconds: f64,
+    /// End-to-end cold wall seconds (sum of the stages above).
+    pub total_seconds: f64,
+    /// `total_seconds(threads = 1) / total_seconds` for the same assay
+    /// (1.0 for the single-thread row itself).
+    pub speedup_vs_single: f64,
+    /// Canonical content hash of the timing-stripped outcome (report,
+    /// schedule, replay). Must be identical across thread counts.
+    pub output_key: String,
+    /// Grid attempts the synthesizer needed.
+    pub grids_tried: usize,
+}
+
+biochip_json::impl_json_struct!(PipelineRow {
+    assay,
+    operations,
+    threads,
+    schedule_seconds,
+    place_seconds,
+    route_seconds,
+    layout_seconds,
+    replay_seconds,
+    total_seconds,
+    speedup_vs_single,
+    output_key,
+    grids_tried,
+});
+
+/// Runs one assay cold at one thread count, timing each stage.
+fn run_cold(name: &str, threads: usize) -> Result<PipelineRow, BenchError> {
+    let graph = library::by_name(name).ok_or_else(|| BenchError::UnknownBenchmark {
+        name: name.to_owned(),
+        known: library::NAMED_ASSAYS.iter().map(|(n, _)| *n).collect(),
+    })?;
+    let config = SynthesisConfig::default()
+        .with_mixers(8)
+        .with_parallelism(Parallelism::with_threads(threads));
+    let flow = SynthesisFlow::new(config.clone());
+    let problem = flow.problem_for(graph);
+    let operations = problem.graph().device_operations().len();
+    let synthesis_err = |error| BenchError::Synthesis {
+        name: name.to_owned(),
+        error,
+    };
+
+    let started = Instant::now();
+    let schedule = flow.schedule(&problem).map_err(synthesis_err)?;
+    let schedule_seconds = started.elapsed().as_secs_f64();
+
+    let arch_started = Instant::now();
+    let (architecture, arch_timings) = ArchitectureSynthesizer::new(config.synthesis.clone())
+        .with_parallelism(config.parallelism)
+        .synthesize_timed(&problem, &schedule)
+        .map_err(|e| synthesis_err(biochip_synth::FlowError::Architecture(e)))?;
+    let arch_seconds = arch_started.elapsed().as_secs_f64();
+    // Attribute the (tiny) non-place/route remainder of the stage — task
+    // extraction, verification — to routing, keeping the stage sum equal to
+    // the wall total.
+    let place_seconds = arch_timings.placement_seconds;
+    let route_seconds = (arch_seconds - place_seconds).max(arch_timings.routing_seconds);
+
+    let layout_started = Instant::now();
+    let layout = biochip_synth::layout::generate_layout(&architecture, &config.layout);
+    let layout_seconds = layout_started.elapsed().as_secs_f64();
+
+    let replay_started = Instant::now();
+    let execution = replay(&problem, &schedule, &architecture);
+    let dedicated = simulate_dedicated_storage(&problem, &schedule);
+    let replay_seconds = replay_started.elapsed().as_secs_f64();
+
+    let report = SynthesisReport::collect(
+        &problem,
+        &schedule,
+        &architecture,
+        &layout,
+        &execution,
+        &dedicated,
+        std::time::Duration::from_secs_f64(schedule_seconds),
+        std::time::Duration::from_secs_f64(arch_seconds),
+        std::time::Duration::from_secs_f64(layout_seconds),
+    );
+    let outcome = biochip_json::Json::object([
+        (
+            "report",
+            biochip_json::Serialize::to_json(&report.without_timings()),
+        ),
+        ("schedule", biochip_json::Serialize::to_json(&schedule)),
+        ("execution", biochip_json::Serialize::to_json(&execution)),
+    ]);
+    let output_key = format!("{:016x}", biochip_json::canonical_hash(&outcome));
+
+    Ok(PipelineRow {
+        assay: report.assay.clone(),
+        operations,
+        threads,
+        schedule_seconds,
+        place_seconds,
+        route_seconds,
+        layout_seconds,
+        replay_seconds,
+        total_seconds: schedule_seconds + arch_seconds + layout_seconds + replay_seconds,
+        speedup_vs_single: 1.0,
+        output_key,
+        grids_tried: report.grids_tried,
+    })
+}
+
+/// Runs the sweep: every assay × every thread count, speedups filled in
+/// against each assay's `threads = 1` row (or, when 1 was not benched, the
+/// row with the lowest benched thread count).
+///
+/// # Errors
+///
+/// Returns a [`BenchError`] for unknown assay names and synthesis failures.
+pub fn pipeline_rows(
+    assays: &[&str],
+    thread_counts: &[usize],
+) -> Result<Vec<PipelineRow>, BenchError> {
+    let mut rows = Vec::with_capacity(assays.len() * thread_counts.len());
+    for &name in assays {
+        let first = rows.len();
+        for &threads in thread_counts {
+            rows.push(run_cold(name, threads.max(1))?);
+        }
+        let base_total = rows[first..]
+            .iter()
+            .min_by_key(|r| r.threads)
+            .map(|r| r.total_seconds)
+            .unwrap_or(0.0);
+        for row in &mut rows[first..] {
+            row.speedup_vs_single = if row.total_seconds > 0.0 {
+                base_total / row.total_seconds
+            } else {
+                1.0
+            };
+        }
+    }
+    Ok(rows)
+}
+
+/// Verifies that every assay produced one identical `output_key` across all
+/// benched thread counts.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence — the CI gate that fails
+/// the job when threaded output differs from sequential output.
+pub fn assert_thread_equality(rows: &[PipelineRow]) -> Result<(), String> {
+    for row in rows {
+        let baseline = rows
+            .iter()
+            .find(|r| r.assay == row.assay)
+            .expect("row's own assay is present");
+        if row.output_key != baseline.output_key {
+            return Err(format!(
+                "{}: output at {} thread(s) [{}] differs from {} thread(s) [{}] — \
+                 parallel synthesis must be bit-identical",
+                row.assay, row.threads, row.output_key, baseline.threads, baseline.output_key
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Formats the pipeline sweep as an aligned text table.
+#[must_use]
+pub fn format_pipeline(rows: &[PipelineRow]) -> String {
+    let mut out = String::from(
+        "assay     |O|     thr  t_sched(s)  t_place(s)  t_route(s)  t_layout(s)  t_replay(s)  total(s)  speedup  key\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} {:<7} {:<4} {:<11.4} {:<11.4} {:<11.4} {:<12.4} {:<12.4} {:<9.4} {:<8.2} {}\n",
+            r.assay,
+            r.operations,
+            r.threads,
+            r.schedule_seconds,
+            r.place_seconds,
+            r.route_seconds,
+            r.layout_seconds,
+            r.replay_seconds,
+            r.total_seconds,
+            r.speedup_vs_single,
+            r.output_key,
+        ));
+    }
+    out
+}
+
+/// Formats the pipeline sweep as CSV.
+#[must_use]
+pub fn pipeline_csv(rows: &[PipelineRow]) -> String {
+    let mut out = String::from(
+        "assay,operations,threads,schedule_seconds,place_seconds,route_seconds,layout_seconds,replay_seconds,total_seconds,speedup_vs_single,output_key,grids_tried\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{},{}\n",
+            r.assay,
+            r.operations,
+            r.threads,
+            r.schedule_seconds,
+            r.place_seconds,
+            r.route_seconds,
+            r.layout_seconds,
+            r.replay_seconds,
+            r.total_seconds,
+            r.speedup_vs_single,
+            r.output_key,
+            r.grids_tried,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_pipeline_sweep_is_thread_identical() {
+        // PCR is tiny, so the sweep is fast even in debug builds.
+        let rows = pipeline_rows(&["PCR"], &[1, 2]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].threads, 1);
+        assert_eq!(rows[1].threads, 2);
+        assert!((rows[0].speedup_vs_single - 1.0).abs() < 1e-12);
+        assert_eq!(rows[0].output_key, rows[1].output_key);
+        // The baseline is the threads = 1 row regardless of sweep order.
+        let reversed = pipeline_rows(&["PCR"], &[2, 1]).unwrap();
+        let single = reversed.iter().find(|r| r.threads == 1).unwrap();
+        assert!(
+            (single.speedup_vs_single - 1.0).abs() < 1e-12,
+            "the single-thread row is its own baseline, got {}",
+            single.speedup_vs_single
+        );
+        assert_thread_equality(&rows).unwrap();
+        assert!(rows.iter().all(|r| r.total_seconds > 0.0));
+        let table = format_pipeline(&rows);
+        assert!(table.contains("PCR"));
+        let csv = pipeline_csv(&rows);
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+    }
+
+    #[test]
+    fn divergent_keys_are_reported() {
+        let mut rows = pipeline_rows(&["PCR"], &[1]).unwrap();
+        let mut forged = rows[0].clone();
+        forged.threads = 4;
+        forged.output_key = "deadbeefdeadbeef".to_owned();
+        rows.push(forged);
+        let err = assert_thread_equality(&rows).unwrap_err();
+        assert!(err.contains("PCR"), "{err}");
+        assert!(err.contains("bit-identical"), "{err}");
+    }
+
+    #[test]
+    fn unknown_assays_error_cleanly() {
+        let err = pipeline_rows(&["NOPE"], &[1]).unwrap_err();
+        assert!(matches!(err, BenchError::UnknownBenchmark { .. }));
+    }
+}

@@ -77,6 +77,7 @@ pub fn run_serve_bench(warm_jobs: usize, workers: usize) -> Result<ServeBenchRep
         addr: "127.0.0.1:0".to_owned(),
         workers,
         cache_capacity: 8,
+        ..ServeOptions::default()
     })
     .map_err(|e| format!("cannot start the server: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;

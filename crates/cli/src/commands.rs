@@ -134,6 +134,11 @@ const CONFIG_SPECS: &[OptionSpec] = &[
         takes_value: true,
         help: "minimum channel pitch for physical design (default 1)",
     },
+    OptionSpec {
+        name: "--threads",
+        takes_value: true,
+        help: "scoring threads for one synthesis (default 1; 0 = all cores; output is thread-count independent)",
+    },
 ];
 
 fn parse_scheduler(raw: &str) -> Result<SchedulerChoice, CliError> {
@@ -183,6 +188,9 @@ fn config_from_args(parsed: &ParsedArgs) -> Result<SynthesisConfig, CliError> {
     }
     if let Some(pitch) = parsed.parse_value::<u64>("--channel-pitch")? {
         config.layout.channel_pitch = pitch.max(1);
+    }
+    if let Some(threads) = parsed.parse_value::<usize>("--threads")? {
+        config.parallelism = biochip_synth::arch::Parallelism::with_threads(threads);
     }
     Ok(config)
 }
@@ -478,11 +486,6 @@ fn cmd_batch(argv: &[String]) -> Result<(), CliError> {
             help: "comma-separated scheduler choices to sweep (default: the --scheduler value)",
         },
         OptionSpec {
-            name: "--threads",
-            takes_value: true,
-            help: "worker threads (default: available parallelism)",
-        },
-        OptionSpec {
             name: "--out",
             takes_value: true,
             help: "write the aggregate batch report here (default: stdout)",
@@ -503,7 +506,12 @@ fn cmd_batch(argv: &[String]) -> Result<(), CliError> {
             "batch sweeps --assays (plural); --assay/--input apply to single runs".to_owned(),
         ));
     }
-    let base_config = config_from_args(&parsed)?;
+    let mut base_config = config_from_args(&parsed)?;
+    // In batch mode `--threads` sizes the *job pool*; the jobs themselves
+    // stay sequential (one core each) — inter-job parallelism already
+    // saturates the machine, and oversubscribing cores per job would only
+    // add contention.
+    base_config.parallelism = biochip_synth::arch::Parallelism::sequential();
 
     let assay_names = parsed
         .list_value("--assays")
@@ -557,7 +565,7 @@ fn cmd_batch(argv: &[String]) -> Result<(), CliError> {
 
     let threads = match parsed.parse_value::<usize>("--threads")? {
         Some(n) => n.max(1),
-        None => std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+        None => biochip_pool::default_workers(),
     };
 
     eprintln!(
@@ -618,6 +626,11 @@ fn cmd_serve(argv: &[String]) -> Result<(), CliError> {
             takes_value: true,
             help: "content-addressed result-cache entries (default 64)",
         },
+        OptionSpec {
+            name: "--threads",
+            takes_value: true,
+            help: "scoring threads per cold job (default 0 = borrow idle workers; capped at 2x cores / workers)",
+        },
     ];
     if help_requested(argv) {
         print_help(
@@ -644,6 +657,9 @@ fn cmd_serve(argv: &[String]) -> Result<(), CliError> {
     if let Some(capacity) = parsed.parse_value::<usize>("--cache-capacity")? {
         options.cache_capacity = capacity;
     }
+    if let Some(threads) = parsed.parse_value::<usize>("--threads")? {
+        options.threads_per_job = threads;
+    }
 
     let server = biochip_server::Server::bind(&options)
         .map_err(|e| CliError::runtime(format!("cannot bind `{}`: {e}", options.addr)))?;
@@ -667,7 +683,7 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
         OptionSpec {
             name: "--what",
             takes_value: true,
-            help: "table2 | fig8 | fig9 | fig10 | scale | arch (default table2)",
+            help: "table2 | fig8 | fig9 | fig10 | scale | arch | pipeline (default table2)",
         },
         OptionSpec {
             name: "--format",
@@ -689,13 +705,20 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
             takes_value: true,
             help: "scale/arch only: mixer count for the sweep (default 8)",
         },
+        OptionSpec {
+            name: "--threads",
+            takes_value: true,
+            help: "pipeline only: comma-separated thread counts (default 1,<cores>)",
+        },
     ];
     if help_requested(argv) {
         print_help(
             "bench",
             "Reproduces the paper's evaluation numbers; `bench scale` sweeps\n\
-             the list scheduler and `bench arch` sweeps place & route over\n\
-             the RA1K/RA10K-style scale workloads.",
+             the list scheduler, `bench arch` sweeps place & route over the\n\
+             RA1K/RA10K-style scale workloads, and `bench pipeline` measures\n\
+             the cold pipeline's per-stage latency and multi-core speedup\n\
+             (and fails if output differs across thread counts).",
             &specs,
         );
         return Ok(());
@@ -720,8 +743,47 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
             "--sizes/--mixers only apply to `biochip bench scale` or `bench arch`".to_owned(),
         ));
     }
+    if what != "pipeline" && parsed.value("--threads").is_some() {
+        return Err(CliError::usage(
+            "--threads only applies to `biochip bench pipeline`".to_owned(),
+        ));
+    }
     let format = parsed.value("--format").unwrap_or("text");
     let contents = match (what, format) {
+        ("pipeline", "json" | "csv" | "text") => {
+            let threads: Vec<usize> = match parsed.list_value("--threads") {
+                Some(raw) => raw
+                    .iter()
+                    .map(|s| {
+                        s.parse::<usize>().map_err(|e| {
+                            CliError::usage(format!("invalid thread count `{s}`: {e}"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => {
+                    let host = biochip_pool::default_workers();
+                    let mut defaults = vec![1, host];
+                    defaults.dedup();
+                    defaults
+                }
+            };
+            if threads.is_empty() || threads.contains(&0) {
+                return Err(CliError::usage(
+                    "--threads needs at least one non-zero thread count".to_owned(),
+                ));
+            }
+            let rows =
+                biochip_bench::pipeline_rows(biochip_bench::DEFAULT_PIPELINE_ASSAYS, &threads)
+                    .map_err(|e| CliError::runtime(format!("pipeline sweep failed: {e}")))?;
+            biochip_bench::assert_thread_equality(&rows).map_err(|divergence| {
+                CliError::runtime(format!("DETERMINISM FAILURE: {divergence}"))
+            })?;
+            match format {
+                "json" => biochip_json::to_string_pretty(&rows),
+                "csv" => biochip_bench::pipeline_csv(&rows),
+                _ => biochip_bench::format_pipeline(&rows),
+            }
+        }
         ("scale" | "arch", "json" | "csv" | "text") => {
             let sizes: Vec<usize> = match parsed.list_value("--sizes") {
                 Some(raw) => raw
@@ -771,10 +833,15 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
         ("fig10", "csv" | "text") => {
             ratio_csv("execution_ratio,valve_ratio", &biochip_bench::fig10_rows())
         }
-        (w, f) if !matches!(w, "table2" | "fig8" | "fig9" | "fig10" | "scale" | "arch") => {
+        (w, f)
+            if !matches!(
+                w,
+                "table2" | "fig8" | "fig9" | "fig10" | "scale" | "arch" | "pipeline"
+            ) =>
+        {
             return Err(CliError::usage(format!(
                 "unknown bench target `{f}`-formatted `{w}` \
-                 (expected table2, fig8, fig9, fig10, scale or arch)"
+                 (expected table2, fig8, fig9, fig10, scale, arch or pipeline)"
             )));
         }
         (_, f) => {

@@ -22,6 +22,16 @@ pub mod shard;
 pub use batch::{run_batch, BatchJob, BatchJobResult, BatchReport, JobStatus};
 pub use shard::{PoolStats, ShardedPool};
 
+/// The default worker count of both pool shapes: one worker per core the
+/// host offers ([`std::thread::available_parallelism`]), falling back to 4
+/// when the host cannot say. Every front end (the batch runner, `biochip
+/// serve`) derives its default from this one place instead of hard-coding a
+/// count, so pools size themselves to the machine they actually run on.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+}
+
 /// Best-effort extraction of a panic payload's message.
 ///
 /// Both runners (and the `biochip` binary) contain panics and report them

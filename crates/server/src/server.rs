@@ -25,10 +25,18 @@ pub const ERROR_SCHEMA: &str = "biochip-error/v1";
 pub struct ServeOptions {
     /// Listen address, e.g. `127.0.0.1:7078` (port 0 picks a free port).
     pub addr: String,
-    /// Synthesis worker threads; 0 means available parallelism.
+    /// Synthesis worker threads; 0 means one per core
+    /// ([`biochip_pool::default_workers`]).
     pub workers: usize,
     /// Result-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Scoring threads a single cold job may use. `1` keeps jobs
+    /// sequential; `0` lets a job **borrow idle pool shards** (1 + the
+    /// workers not currently running a job — a lone cold job on an idle
+    /// server then uses the whole machine). Fixed values are clamped so
+    /// `workers × threads` stays within 2× the host's cores. Never changes
+    /// job results, only their latency.
+    pub threads_per_job: usize,
 }
 
 impl Default for ServeOptions {
@@ -37,6 +45,7 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:7078".to_owned(),
             workers: 0,
             cache_capacity: 64,
+            threads_per_job: 0,
         }
     }
 }
@@ -102,6 +111,10 @@ struct ServerState {
     jobs: JobStore,
     cache: ResultCache<ResultDoc>,
     cached_hits: AtomicU64,
+    /// Worker count of the pool (for the idle-shard borrow computation).
+    workers: usize,
+    /// Per-job scoring threads (0 = adaptive; see [`ServeOptions`]).
+    threads_per_job: usize,
     /// `"<CANONICAL>:<config key>"` → content key. Named submissions of a
     /// scale assay would otherwise regenerate and canonically hash a
     /// multi-thousand-op problem document on every request — with the memo
@@ -159,14 +172,35 @@ impl Server {
     pub fn bind(options: &ServeOptions) -> io::Result<Server> {
         let listener = TcpListener::bind(&options.addr)?;
         let workers = if options.workers == 0 {
-            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+            biochip_pool::default_workers()
         } else {
             options.workers
+        };
+        // Cap fixed per-job thread counts so `workers × threads` cannot
+        // oversubscribe the host past 2× its cores (the adaptive `0` mode
+        // is bounded by construction: it only hands out idle shards).
+        let available = biochip_pool::default_workers();
+        let threads_per_job = if options.threads_per_job > 1 {
+            let cap = (2 * available / workers.max(1)).max(1);
+            if options.threads_per_job > cap {
+                eprintln!(
+                    "biochip serve: clamping --threads {} to {cap} \
+                     ({workers} workers on {available} cores)",
+                    options.threads_per_job
+                );
+                cap
+            } else {
+                options.threads_per_job
+            }
+        } else {
+            options.threads_per_job
         };
         let state = Arc::new(ServerState {
             jobs: JobStore::default(),
             cache: ResultCache::new(options.cache_capacity),
             cached_hits: AtomicU64::new(0),
+            workers,
+            threads_per_job,
             name_keys: std::sync::Mutex::new(std::collections::HashMap::new()),
             started: Instant::now(),
         });
@@ -384,9 +418,26 @@ fn parse_submission(body: &[u8]) -> Result<Submission, String> {
     }
 }
 
+/// The config as hashed into a submission's identity: the full document
+/// minus `parallelism`. Thread counts never change a job's result (the
+/// synthesizer's parallel reductions are deterministic by candidate order),
+/// so a result computed at any thread count must answer submissions at
+/// every other — and the server overrides the field with its own resource
+/// policy anyway.
+fn config_identity_json(config: &SynthesisConfig) -> Json {
+    let mut json = config.to_json();
+    if let Json::Object(pairs) = &mut json {
+        pairs.retain(|(key, _)| key != "parallelism");
+    }
+    json
+}
+
 /// The content key of a `(problem, config)` pair — the cache identity.
 fn submission_key(problem: &ScheduleProblem, config: &SynthesisConfig) -> (u64, String) {
-    let pair = Json::object([("problem", problem.to_json()), ("config", config.to_json())]);
+    let pair = Json::object([
+        ("problem", problem.to_json()),
+        ("config", config_identity_json(config)),
+    ]);
     let key = biochip_json::canonical_hash(&pair);
     (key, format!("{key:016x}"))
 }
@@ -415,7 +466,8 @@ struct ResolvedJob {
 fn resolve_key(submission: Submission, state: &ServerState) -> ResolvedJob {
     match submission {
         Submission::Named { canonical, config } => {
-            let memo_key = format!("{canonical}:{}", biochip_json::content_key_hex(&config));
+            let config_key = biochip_json::canonical_hash(&config_identity_json(&config));
+            let memo_key = format!("{canonical}:{config_key:016x}");
             {
                 let memo = state
                     .name_keys
@@ -685,6 +737,21 @@ fn run_job(state: &ServerState, worker: usize, job: QueuedJob) {
         });
         return;
     }
+
+    // Intra-job parallelism is the server's resource policy, not the
+    // client's: override whatever the submission carried. In the adaptive
+    // mode a cold job borrows every idle pool shard (itself plus each
+    // worker not currently running a job), so a lone job on an idle server
+    // uses the whole machine while a saturated pool degrades gracefully to
+    // one core per job. Results are identical either way.
+    let threads = if state.threads_per_job == 0 {
+        let running = state.jobs.counts().running.max(1);
+        1 + state.workers.saturating_sub(running)
+    } else {
+        state.threads_per_job
+    };
+    let mut config = config;
+    config.parallelism = biochip_synth::arch::Parallelism::with_threads(threads.max(1));
 
     let flow = SynthesisFlow::new(config);
     let outcome = catch_unwind(AssertUnwindSafe(|| {

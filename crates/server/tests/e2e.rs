@@ -13,6 +13,7 @@ fn start_server(workers: usize) -> (SocketAddr, ServerHandle, std::thread::JoinH
         addr: "127.0.0.1:0".to_owned(),
         workers,
         cache_capacity: 8,
+        ..ServeOptions::default()
     })
     .expect("loopback bind");
     let addr = server.local_addr().unwrap();

@@ -5,7 +5,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
-use biochip_arch::{ArchError, Architecture, ArchitectureSynthesizer, SynthesisOptions};
+use biochip_arch::{
+    ArchError, Architecture, ArchitectureSynthesizer, Parallelism, SynthesisOptions,
+};
 use biochip_assay::{Seconds, SequencingGraph};
 use biochip_layout::{generate_layout, LayoutOptions, PhysicalDesign};
 use biochip_schedule::{
@@ -33,7 +35,12 @@ pub enum SchedulerChoice {
 }
 
 /// Configuration of the end-to-end flow.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (not derived) so that documents from
+/// before intra-job parallelism existed — which lack the `parallelism`
+/// field — still load: those jobs were sequential, which is exactly the
+/// default the field falls back to.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SynthesisConfig {
     /// Number of mixers on the chip.
     pub mixers: usize,
@@ -58,6 +65,11 @@ pub struct SynthesisConfig {
     pub synthesis: SynthesisOptions,
     /// Physical-design options.
     pub layout: LayoutOptions,
+    /// Intra-job parallelism. Never changes the synthesized result — only
+    /// how many cores a cold run uses — and is therefore excluded from the
+    /// job service's content keys (a result computed at any thread count
+    /// answers submissions at every other).
+    pub parallelism: Parallelism,
 }
 
 impl Default for SynthesisConfig {
@@ -74,7 +86,31 @@ impl Default for SynthesisConfig {
             ilp_threshold: 8,
             synthesis: SynthesisOptions::default(),
             layout: LayoutOptions::default(),
+            parallelism: Parallelism::default(),
         }
+    }
+}
+
+impl serde::Deserialize for SynthesisConfig {
+    fn from_json(value: &serde::Json) -> Result<Self, serde::JsonError> {
+        Ok(SynthesisConfig {
+            mixers: value.field("mixers")?,
+            detectors: value.field("detectors")?,
+            heaters: value.field("heaters")?,
+            transport_time: value.field("transport_time")?,
+            alpha: value.field("alpha")?,
+            beta: value.field("beta")?,
+            scheduler: value.field("scheduler")?,
+            ilp_time_limit: value.field("ilp_time_limit")?,
+            ilp_threshold: value.field("ilp_threshold")?,
+            synthesis: value.field("synthesis")?,
+            layout: value.field("layout")?,
+            // Absent in pre-parallelism documents: those ran sequentially.
+            parallelism: match value.get("parallelism") {
+                Some(raw) => serde::Deserialize::from_json(raw)?,
+                None => Parallelism::default(),
+            },
+        })
     }
 }
 
@@ -111,6 +147,13 @@ impl SynthesisConfig {
     #[must_use]
     pub fn with_transport_time(mut self, seconds: Seconds) -> Self {
         self.transport_time = seconds;
+        self
+    }
+
+    /// Sets the intra-job parallelism policy (`threads`; 0 = all cores).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -420,6 +463,7 @@ impl SynthesisFlow {
         controller.enter(FlowStage::Architecture)?;
         let arch_start = Instant::now();
         let architecture = ArchitectureSynthesizer::new(self.config.synthesis.clone())
+            .with_parallelism(self.config.parallelism)
             .synthesize(&problem, &schedule)?;
         let architecture_time = arch_start.elapsed();
 
@@ -530,6 +574,36 @@ mod tests {
         let err = flow.run_with(library::ivd(), &controller).unwrap_err();
         assert!(matches!(err, FlowError::Schedule(_)));
         assert_eq!(controller.stage(), FlowStage::Done);
+    }
+
+    #[test]
+    fn pre_parallelism_config_documents_still_deserialize() {
+        // A config serialized before the `parallelism` / `starts` fields
+        // existed must load with the sequential, single-start behaviour it
+        // was written under.
+        let mut json = serde::Serialize::to_json(&SynthesisConfig::default());
+        if let biochip_json::Json::Object(pairs) = &mut json {
+            pairs.retain(|(key, _)| key != "parallelism");
+            for (key, value) in pairs.iter_mut() {
+                if key != "synthesis" {
+                    continue;
+                }
+                if let biochip_json::Json::Object(synthesis) = value {
+                    for (skey, svalue) in synthesis.iter_mut() {
+                        if skey != "placement" {
+                            continue;
+                        }
+                        if let biochip_json::Json::Object(placement) = svalue {
+                            placement.retain(|(pkey, _)| pkey != "starts");
+                        }
+                    }
+                }
+            }
+        }
+        let back: SynthesisConfig = serde::Deserialize::from_json(&json).unwrap();
+        assert_eq!(back, SynthesisConfig::default());
+        assert_eq!(back.parallelism, Parallelism::sequential());
+        assert_eq!(back.synthesis.placement.starts, 1);
     }
 
     #[test]

@@ -119,6 +119,21 @@ impl SynthesisReport {
         }
     }
 
+    /// A copy with the wall-clock timing fields zeroed — everything left is
+    /// a pure function of the input problem, so two runs of the same job
+    /// (at any thread count) must produce **byte-identical** JSON for it.
+    /// The parallel-determinism tests and the `bench pipeline` output keys
+    /// compare this, never the raw report.
+    #[must_use]
+    pub fn without_timings(&self) -> SynthesisReport {
+        SynthesisReport {
+            scheduling_time: Duration::ZERO,
+            architecture_time: Duration::ZERO,
+            layout_time: Duration::ZERO,
+            ..self.clone()
+        }
+    }
+
     /// Execution-time ratio of the channel-caching chip vs. the dedicated
     /// storage unit baseline (Fig. 10, "Execution Time"; below 1 means the
     /// proposed chip is faster).
