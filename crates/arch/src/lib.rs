@@ -82,7 +82,7 @@ pub use parallel::Parallelism;
 pub use placement::{place_devices, place_devices_threaded, Placement, PlacementOptions};
 pub use reservation::{Interval, ReservationCalendar, ReservationTable};
 pub use routing::{RoutedPath, Router, RouterStats, RoutingOptions};
-pub use synthesis::{ArchStageTimings, ArchitectureSynthesizer, SynthesisOptions, SynthesisStats};
+pub use synthesis::{ArchitectureSynthesizer, SynthesisOptions, SynthesisStats};
 pub use transport::{extract_transport_tasks, TransportKind, TransportTask};
 
 /// Re-exported scheduling types used in this crate's public API.

@@ -65,6 +65,7 @@ use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWrite
 use serde::{Deserialize, Serialize};
 
 use biochip_assay::Seconds;
+use biochip_telemetry as telemetry;
 
 use crate::connection_graph::RoutedTransport;
 use crate::error::ArchError;
@@ -1528,6 +1529,7 @@ impl Driver<'_, '_> {
     /// Builds the candidate-window list into the reusable output buffer
     /// (taken out of the scratch; the caller puts it back after the drive).
     fn collect_windows(&mut self, task: &TransportTask, allow_overrun: bool) -> Vec<Interval> {
+        let _span = telemetry::span("router", "route.window_select");
         let mut out = std::mem::take(&mut self.wscratch.out);
         {
             let st = read_state(self.state);
@@ -1603,6 +1605,7 @@ impl Driver<'_, '_> {
         to: NodeId,
         window: Interval,
     ) -> (EvalCounters, Option<RoutedPath>) {
+        let _span = telemetry::span("router", "route.path_search");
         let st = read_state(self.state);
         let eval = Eval {
             ctx: self.ctx,
@@ -1619,6 +1622,7 @@ impl Driver<'_, '_> {
         to: NodeId,
         chunk: &[Interval],
     ) -> Vec<(EvalCounters, Option<RoutedPath>)> {
+        let _span = telemetry::span("router", "route.path_search");
         let st = read_state(self.state);
         let eval = Eval {
             ctx: self.ctx,
@@ -1653,6 +1657,7 @@ impl Driver<'_, '_> {
     }
 
     fn commit_direct(&mut self, task: &TransportTask, path: RoutedPath) -> RoutedTransport {
+        let _span = telemetry::span("router", "route.commit");
         let window = path.window;
         {
             let mut st = write_state(self.state);
@@ -1805,6 +1810,8 @@ impl Driver<'_, '_> {
         if list.is_empty() {
             return CandidateOutcome::Exhausted { consumed: 0 };
         }
+        // Store-side path search: segment pricing plus cache-entry claims.
+        let _span = telemetry::span("router", "route.path_search");
         // One claim probe per pool thread: the waste past the winner is at
         // most one batch of speculative probes, whose counters are
         // discarded anyway.
@@ -1914,6 +1921,7 @@ impl Driver<'_, '_> {
         path: RoutedPath,
         horizon: &StoreHorizon,
     ) -> RoutedTransport {
+        let _span = telemetry::span("router", "route.commit");
         let store_window = horizon.store_window;
         {
             let mut st = write_state(self.state);
@@ -2062,6 +2070,7 @@ impl Driver<'_, '_> {
         other: NodeId,
         window: Interval,
     ) -> (EvalCounters, Option<RoutedPath>) {
+        let _span = telemetry::span("router", "route.path_search");
         let st = read_state(self.state);
         let eval = Eval {
             ctx: self.ctx,
@@ -2080,6 +2089,7 @@ impl Driver<'_, '_> {
         other: NodeId,
         chunk: &[Interval],
     ) -> Vec<(EvalCounters, Option<RoutedPath>)> {
+        let _span = telemetry::span("router", "route.path_search");
         let st = read_state(self.state);
         let eval = Eval {
             ctx: self.ctx,
@@ -2130,6 +2140,7 @@ impl Driver<'_, '_> {
         cache_edge: GridEdgeId,
         reserved_until: Seconds,
     ) -> RoutedTransport {
+        let _span = telemetry::span("router", "route.commit");
         let window = path.window;
         {
             let mut st = write_state(self.state);
@@ -2287,6 +2298,29 @@ impl<'a> Router<'a> {
     /// Propagates the first routing failure, exactly like the sequential
     /// loop would.
     pub fn route_all(
+        &mut self,
+        tasks: &[TransportTask],
+    ) -> Result<Vec<RoutedTransport>, ArchError> {
+        let result = self.route_all_inner(tasks);
+        // Fold the per-stage work counters into the trace as a point event;
+        // telemetry only observes the (deterministic) stats, never feeds
+        // anything back.
+        telemetry::instant(
+            "router",
+            "router.stats",
+            &[
+                ("tasks_routed", self.stats.tasks_routed as u64),
+                ("windows_tried", self.stats.windows_tried as u64),
+                ("path_searches", self.stats.path_searches as u64),
+                ("nodes_expanded", self.stats.nodes_expanded as u64),
+                ("segments_priced", self.stats.segments_priced as u64),
+                ("postponed_tasks", self.stats.postponed_tasks as u64),
+            ],
+        );
+        result
+    }
+
+    fn route_all_inner(
         &mut self,
         tasks: &[TransportTask],
     ) -> Result<Vec<RoutedTransport>, ArchError> {

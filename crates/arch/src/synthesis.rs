@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use biochip_schedule::{Schedule, ScheduleProblem};
+use biochip_telemetry as telemetry;
 
 use crate::connection_graph::{Architecture, ConnectionGraph};
 use crate::error::ArchError;
@@ -73,19 +74,6 @@ impl SynthesisOptions {
     }
 }
 
-/// Wall-clock breakdown of one synthesis run's place and route stages,
-/// accumulated over every grid attempt. Deliberately **not** part of
-/// [`SynthesisStats`] (and thus never serialized into reports): wall times
-/// are nondeterministic, and reports must stay byte-identical across thread
-/// counts. The `bench pipeline` sweep consumes this.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct ArchStageTimings {
-    /// Seconds spent placing devices (all grid attempts).
-    pub placement_seconds: f64,
-    /// Seconds spent routing transport tasks (all grid attempts).
-    pub routing_seconds: f64,
-}
-
 /// The architectural synthesis engine (Section 3.2 of the paper).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ArchitectureSynthesizer {
@@ -139,29 +127,16 @@ impl ArchitectureSynthesizer {
     /// scheduling constraints, [`ArchError::GridTooSmall`] when the devices
     /// cannot even be placed, and the last routing error when no grid up to
     /// the maximum size admits a conflict-free routing.
+    /// Wall-clock visibility: each grid attempt records `"place"` and
+    /// `"route"` telemetry spans (category `"pipeline"`) when span
+    /// collection is enabled — the `bench pipeline` sweep and `--trace`
+    /// consume those instead of any timing in the return value, which stays
+    /// a pure function of the input.
     pub fn synthesize(
         &self,
         problem: &ScheduleProblem,
         schedule: &Schedule,
     ) -> Result<Architecture, ArchError> {
-        self.synthesize_timed(problem, schedule)
-            .map(|(arch, _)| arch)
-    }
-
-    /// Like [`synthesize`](Self::synthesize), additionally reporting the
-    /// wall-clock split between the placement and routing stages
-    /// (accumulated over every grid attempt) — the numbers the
-    /// `bench pipeline` sweep records per thread count.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`synthesize`](Self::synthesize).
-    pub fn synthesize_timed(
-        &self,
-        problem: &ScheduleProblem,
-        schedule: &Schedule,
-    ) -> Result<(Architecture, ArchStageTimings), ArchError> {
-        let mut timings = ArchStageTimings::default();
         schedule
             .validate(problem)
             .map_err(|e| ArchError::InvalidSchedule {
@@ -238,13 +213,13 @@ impl ArchitectureSynthesizer {
                 &self.options.routing
             };
             let grid = ConnectionGrid::square(size);
-            match self.try_grid(&grid, problem, &tasks, routing, &mut timings) {
+            match self.try_grid(&grid, problem, &tasks, routing) {
                 Ok((architecture, mut stats)) => {
                     stats.grids_tried = grids_tried + 1;
                     stats.relaxed_pass = relaxed_pass;
                     let architecture = architecture.with_stats(stats);
                     architecture.verify()?;
-                    return Ok((architecture, timings));
+                    return Ok(architecture);
                 }
                 Err(e) => last_error = e,
             }
@@ -259,23 +234,24 @@ impl ArchitectureSynthesizer {
         problem: &ScheduleProblem,
         tasks: &[crate::transport::TransportTask],
         routing: &RoutingOptions,
-        timings: &mut ArchStageTimings,
     ) -> Result<(Architecture, SynthesisStats), ArchError> {
         let threads = self.parallelism.effective_threads();
-        let place_started = std::time::Instant::now();
-        let placement = place_devices_threaded(
-            grid,
-            problem.devices().len(),
-            tasks,
-            &self.options.placement,
-            threads,
-        )?;
-        timings.placement_seconds += place_started.elapsed().as_secs_f64();
+        let placement = {
+            let _span = telemetry::span("pipeline", "place");
+            place_devices_threaded(
+                grid,
+                problem.devices().len(),
+                tasks,
+                &self.options.placement,
+                threads,
+            )?
+        };
 
-        let route_started = std::time::Instant::now();
         let mut router = Router::new(grid, &placement, routing.clone()).with_threads(threads);
-        let routes = router.route_all(tasks);
-        timings.routing_seconds += route_started.elapsed().as_secs_f64();
+        let routes = {
+            let _span = telemetry::span("pipeline", "route");
+            router.route_all(tasks)
+        };
         let routes = routes?;
 
         let stats = SynthesisStats {
@@ -467,8 +443,8 @@ mod tests {
     fn parallel_synthesis_matches_sequential_bit_for_bit() {
         for (graph, mixers, detectors) in [(library::ivd(), 2, 1), (library::pcr(), 2, 0)] {
             let (problem, schedule) = schedule_for(graph, mixers, detectors);
-            let (sequential, _) = ArchitectureSynthesizer::default()
-                .synthesize_timed(&problem, &schedule)
+            let sequential = ArchitectureSynthesizer::default()
+                .synthesize(&problem, &schedule)
                 .unwrap();
             for threads in [2, 8] {
                 let parallel = ArchitectureSynthesizer::default()

@@ -20,8 +20,8 @@ pub use arch_scale::{
     DEFAULT_ARCH_SIZES,
 };
 pub use pipeline::{
-    assert_thread_equality, format_pipeline, pipeline_csv, pipeline_rows, PipelineRow,
-    DEFAULT_PIPELINE_ASSAYS,
+    assert_thread_equality, format_pipeline, pipeline_csv, pipeline_rows, pipeline_rows_with_host,
+    PipelineRow, DEFAULT_PIPELINE_ASSAYS,
 };
 pub use scale::{
     format_scale, scale_csv, scale_rows, ScaleRow, DEFAULT_SCALE_MIXERS, DEFAULT_SCALE_SIZES,

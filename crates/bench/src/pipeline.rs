@@ -3,9 +3,12 @@
 //! `BENCH_arch.json` tracks the router's throughput; this sweep tracks the
 //! whole **cold path** — schedule → place → route → layout → replay — per
 //! thread count, for the scale assays the job service actually serves cold
-//! (RA1K and RA10K). Each row records the wall time of every stage, the
-//! end-to-end total, the speedup against the `threads = 1` row of the same
-//! assay, and an `output_key`: the canonical content hash of the
+//! (RA1K and RA10K). Stage times come from the telemetry spans the pipeline
+//! records anyway (the run executes under
+//! [`biochip_telemetry::with_collection`]); only the end-to-end total is a
+//! stopwatch, so the stages may sum to slightly less than the total (task
+//! extraction, verification and span bookkeeping live between spans). Each
+//! row also records an `output_key`: the canonical content hash of the
 //! (timing-stripped) report, the schedule and the replay. The synthesizer's
 //! parallelism is **bit-deterministic** — multi-start placement reduces by
 //! `(cost, start index)`, router scoring by candidate order — so the key
@@ -13,16 +16,22 @@
 //! enforces exactly that and the `pipeline` bin fails CI when it does not
 //! hold.
 //!
+//! **Honesty about host parallelism:** a row benched with more threads than
+//! the host has cores measures oversubscription, not speedup. Such rows are
+//! marked `undersubscribed` and get no `speedup_vs_single` — CI still
+//! compares their `output_key` (determinism holds at any thread count) but
+//! never reads a "speedup" off them.
+//!
 //! Run it with `cargo run --release -p biochip-bench --bin pipeline`
 //! (positional args = thread counts, default `1 <cores>`) or
 //! `biochip bench pipeline [--threads 1,4] [--assays RA1K,RA10K]`.
 
 use std::time::Instant;
 
-use biochip_synth::arch::{ArchitectureSynthesizer, Parallelism};
+use biochip_synth::arch::Parallelism;
 use biochip_synth::assay::library;
-use biochip_synth::sim::{replay, simulate_dedicated_storage};
-use biochip_synth::{SynthesisConfig, SynthesisFlow, SynthesisReport};
+use biochip_synth::{SynthesisConfig, SynthesisFlow};
+use biochip_telemetry as telemetry;
 
 use crate::BenchError;
 
@@ -39,21 +48,27 @@ pub struct PipelineRow {
     pub operations: usize,
     /// Scoring threads the synthesizer was allowed.
     pub threads: usize,
-    /// Scheduling wall seconds.
+    /// Scheduling wall seconds (the pipeline's `"schedule"` span).
     pub schedule_seconds: f64,
-    /// Placement wall seconds (all grid attempts).
+    /// Placement wall seconds (`"place"` spans, all grid attempts).
     pub place_seconds: f64,
-    /// Routing wall seconds (all grid attempts).
+    /// Routing wall seconds (`"route"` spans, all grid attempts).
     pub route_seconds: f64,
-    /// Physical-design wall seconds.
+    /// Physical-design wall seconds (the `"layout"` span).
     pub layout_seconds: f64,
-    /// Replay + dedicated-baseline wall seconds.
+    /// Replay + dedicated-baseline wall seconds (the `"replay"` span).
     pub replay_seconds: f64,
-    /// End-to-end cold wall seconds (sum of the stages above).
+    /// End-to-end cold wall seconds (stopwatch around the whole run; the
+    /// stages above may sum to slightly less).
     pub total_seconds: f64,
+    /// `true` when the row was benched with more threads than the host has
+    /// cores — its wall times measure oversubscription, not parallel
+    /// speedup, so `speedup_vs_single` is withheld.
+    pub undersubscribed: bool,
     /// `total_seconds(threads = 1) / total_seconds` for the same assay
-    /// (1.0 for the single-thread row itself).
-    pub speedup_vs_single: f64,
+    /// (`1.0` for the single-thread row itself); absent on undersubscribed
+    /// rows.
+    pub speedup_vs_single: Option<f64>,
     /// Canonical content hash of the timing-stripped outcome (report,
     /// schedule, replay). Must be identical across thread counts.
     pub output_key: String,
@@ -71,13 +86,27 @@ biochip_json::impl_json_struct!(PipelineRow {
     layout_seconds,
     replay_seconds,
     total_seconds,
+    undersubscribed,
     speedup_vs_single,
     output_key,
     grids_tried,
 });
 
-/// Runs one assay cold at one thread count, timing each stage.
-fn run_cold(name: &str, threads: usize) -> Result<PipelineRow, BenchError> {
+/// Sums the durations of all complete spans named `name`.
+fn span_seconds(events: &[telemetry::SpanEvent], name: &str) -> f64 {
+    events
+        .iter()
+        .filter(|e| e.name == name)
+        .map(|e| match e.kind {
+            telemetry::SpanKind::Complete { dur_micros } => dur_micros as f64 / 1e6,
+            telemetry::SpanKind::Instant => 0.0,
+        })
+        .sum()
+}
+
+/// Runs one assay cold at one thread count, reading the per-stage times off
+/// the pipeline's telemetry spans.
+fn run_cold(name: &str, threads: usize, host_threads: usize) -> Result<PipelineRow, BenchError> {
     let graph = library::by_name(name).ok_or_else(|| BenchError::UnknownBenchmark {
         name: name.to_owned(),
         known: library::NAMED_ASSAYS.iter().map(|(n, _)| *n).collect(),
@@ -85,79 +114,54 @@ fn run_cold(name: &str, threads: usize) -> Result<PipelineRow, BenchError> {
     let config = SynthesisConfig::default()
         .with_mixers(8)
         .with_parallelism(Parallelism::with_threads(threads));
-    let flow = SynthesisFlow::new(config.clone());
-    let problem = flow.problem_for(graph);
-    let operations = problem.graph().device_operations().len();
-    let synthesis_err = |error| BenchError::Synthesis {
-        name: name.to_owned(),
-        error,
-    };
+    let flow = SynthesisFlow::new(config);
 
     let started = Instant::now();
-    let schedule = flow.schedule(&problem).map_err(synthesis_err)?;
-    let schedule_seconds = started.elapsed().as_secs_f64();
+    let (result, events) = telemetry::with_collection(|| flow.run(graph));
+    let total_seconds = started.elapsed().as_secs_f64();
+    let outcome = result.map_err(|error| BenchError::Synthesis {
+        name: name.to_owned(),
+        error,
+    })?;
 
-    let arch_started = Instant::now();
-    let (architecture, arch_timings) = ArchitectureSynthesizer::new(config.synthesis.clone())
-        .with_parallelism(config.parallelism)
-        .synthesize_timed(&problem, &schedule)
-        .map_err(|e| synthesis_err(biochip_synth::FlowError::Architecture(e)))?;
-    let arch_seconds = arch_started.elapsed().as_secs_f64();
-    // Attribute the (tiny) non-place/route remainder of the stage — task
-    // extraction, verification — to routing, keeping the stage sum equal to
-    // the wall total.
-    let place_seconds = arch_timings.placement_seconds;
-    let route_seconds = (arch_seconds - place_seconds).max(arch_timings.routing_seconds);
-
-    let layout_started = Instant::now();
-    let layout = biochip_synth::layout::generate_layout(&architecture, &config.layout);
-    let layout_seconds = layout_started.elapsed().as_secs_f64();
-
-    let replay_started = Instant::now();
-    let execution = replay(&problem, &schedule, &architecture);
-    let dedicated = simulate_dedicated_storage(&problem, &schedule);
-    let replay_seconds = replay_started.elapsed().as_secs_f64();
-
-    let report = SynthesisReport::collect(
-        &problem,
-        &schedule,
-        &architecture,
-        &layout,
-        &execution,
-        &dedicated,
-        std::time::Duration::from_secs_f64(schedule_seconds),
-        std::time::Duration::from_secs_f64(arch_seconds),
-        std::time::Duration::from_secs_f64(layout_seconds),
-    );
-    let outcome = biochip_json::Json::object([
+    let fingerprint = biochip_json::Json::object([
         (
             "report",
-            biochip_json::Serialize::to_json(&report.without_timings()),
+            biochip_json::Serialize::to_json(&outcome.report.without_timings()),
         ),
-        ("schedule", biochip_json::Serialize::to_json(&schedule)),
-        ("execution", biochip_json::Serialize::to_json(&execution)),
+        (
+            "schedule",
+            biochip_json::Serialize::to_json(&outcome.schedule),
+        ),
+        (
+            "execution",
+            biochip_json::Serialize::to_json(&outcome.execution),
+        ),
     ]);
-    let output_key = format!("{:016x}", biochip_json::canonical_hash(&outcome));
+    let output_key = format!("{:016x}", biochip_json::canonical_hash(&fingerprint));
 
     Ok(PipelineRow {
-        assay: report.assay.clone(),
-        operations,
+        assay: outcome.report.assay.clone(),
+        operations: outcome.report.operations,
         threads,
-        schedule_seconds,
-        place_seconds,
-        route_seconds,
-        layout_seconds,
-        replay_seconds,
-        total_seconds: schedule_seconds + arch_seconds + layout_seconds + replay_seconds,
-        speedup_vs_single: 1.0,
+        schedule_seconds: span_seconds(&events, "schedule"),
+        place_seconds: span_seconds(&events, "place"),
+        route_seconds: span_seconds(&events, "route"),
+        layout_seconds: span_seconds(&events, "layout"),
+        replay_seconds: span_seconds(&events, "replay"),
+        total_seconds,
+        undersubscribed: threads > host_threads,
+        speedup_vs_single: None,
         output_key,
-        grids_tried: report.grids_tried,
+        grids_tried: outcome.report.grids_tried,
     })
 }
 
 /// Runs the sweep: every assay × every thread count, speedups filled in
 /// against each assay's `threads = 1` row (or, when 1 was not benched, the
-/// row with the lowest benched thread count).
+/// row with the lowest benched thread count). Uses the host's detected core
+/// count to flag undersubscribed rows — see
+/// [`pipeline_rows_with_host`] to pin it (tests, reproducibility).
 ///
 /// # Errors
 ///
@@ -166,11 +170,28 @@ pub fn pipeline_rows(
     assays: &[&str],
     thread_counts: &[usize],
 ) -> Result<Vec<PipelineRow>, BenchError> {
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    pipeline_rows_with_host(assays, thread_counts, host)
+}
+
+/// [`pipeline_rows`] with an explicit host core count. Rows benched with
+/// `threads > host_threads` are marked [`PipelineRow::undersubscribed`] and
+/// excluded from `speedup_vs_single` — their wall times measure thread
+/// oversubscription, not parallelism.
+///
+/// # Errors
+///
+/// Returns a [`BenchError`] for unknown assay names and synthesis failures.
+pub fn pipeline_rows_with_host(
+    assays: &[&str],
+    thread_counts: &[usize],
+    host_threads: usize,
+) -> Result<Vec<PipelineRow>, BenchError> {
     let mut rows = Vec::with_capacity(assays.len() * thread_counts.len());
     for &name in assays {
         let first = rows.len();
         for &threads in thread_counts {
-            rows.push(run_cold(name, threads.max(1))?);
+            rows.push(run_cold(name, threads.max(1), host_threads)?);
         }
         let base_total = rows[first..]
             .iter()
@@ -178,10 +199,12 @@ pub fn pipeline_rows(
             .map(|r| r.total_seconds)
             .unwrap_or(0.0);
         for row in &mut rows[first..] {
-            row.speedup_vs_single = if row.total_seconds > 0.0 {
-                base_total / row.total_seconds
+            row.speedup_vs_single = if row.undersubscribed {
+                None
+            } else if row.total_seconds > 0.0 {
+                Some(base_total / row.total_seconds)
             } else {
-                1.0
+                Some(1.0)
             };
         }
     }
@@ -189,7 +212,8 @@ pub fn pipeline_rows(
 }
 
 /// Verifies that every assay produced one identical `output_key` across all
-/// benched thread counts.
+/// benched thread counts. Undersubscribed rows are **not** exempt:
+/// determinism must hold at any thread count, on any host.
 ///
 /// # Errors
 ///
@@ -212,7 +236,15 @@ pub fn assert_thread_equality(rows: &[PipelineRow]) -> Result<(), String> {
     Ok(())
 }
 
-/// Formats the pipeline sweep as an aligned text table.
+fn format_speedup(row: &PipelineRow) -> String {
+    match row.speedup_vs_single {
+        Some(speedup) => format!("{speedup:.2}"),
+        None => "n/a".to_owned(),
+    }
+}
+
+/// Formats the pipeline sweep as an aligned text table. Undersubscribed
+/// rows show `n/a` in the speedup column and are flagged `oversub`.
 #[must_use]
 pub fn format_pipeline(rows: &[PipelineRow]) -> String {
     let mut out = String::from(
@@ -220,7 +252,7 @@ pub fn format_pipeline(rows: &[PipelineRow]) -> String {
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<9} {:<7} {:<4} {:<11.4} {:<11.4} {:<11.4} {:<12.4} {:<12.4} {:<9.4} {:<8.2} {}\n",
+            "{:<9} {:<7} {:<4} {:<11.4} {:<11.4} {:<11.4} {:<12.4} {:<12.4} {:<9.4} {:<8} {}{}\n",
             r.assay,
             r.operations,
             r.threads,
@@ -230,8 +262,9 @@ pub fn format_pipeline(rows: &[PipelineRow]) -> String {
             r.layout_seconds,
             r.replay_seconds,
             r.total_seconds,
-            r.speedup_vs_single,
+            format_speedup(r),
             r.output_key,
+            if r.undersubscribed { "  (oversub)" } else { "" },
         ));
     }
     out
@@ -241,11 +274,11 @@ pub fn format_pipeline(rows: &[PipelineRow]) -> String {
 #[must_use]
 pub fn pipeline_csv(rows: &[PipelineRow]) -> String {
     let mut out = String::from(
-        "assay,operations,threads,schedule_seconds,place_seconds,route_seconds,layout_seconds,replay_seconds,total_seconds,speedup_vs_single,output_key,grids_tried\n",
+        "assay,operations,threads,schedule_seconds,place_seconds,route_seconds,layout_seconds,replay_seconds,total_seconds,undersubscribed,speedup_vs_single,output_key,grids_tried\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{},{}\n",
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{}\n",
             r.assay,
             r.operations,
             r.threads,
@@ -255,7 +288,8 @@ pub fn pipeline_csv(rows: &[PipelineRow]) -> String {
             r.layout_seconds,
             r.replay_seconds,
             r.total_seconds,
-            r.speedup_vs_single,
+            r.undersubscribed,
+            format_speedup(r),
             r.output_key,
             r.grids_tried,
         ));
@@ -269,23 +303,43 @@ mod tests {
 
     #[test]
     fn small_pipeline_sweep_is_thread_identical() {
-        // PCR is tiny, so the sweep is fast even in debug builds.
-        let rows = pipeline_rows(&["PCR"], &[1, 2]).unwrap();
+        // PCR is tiny, so the sweep is fast even in debug builds. The host
+        // core count is pinned high so the rows are never undersubscribed,
+        // whatever machine the test runs on.
+        let rows = pipeline_rows_with_host(&["PCR"], &[1, 2], 64).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].threads, 1);
         assert_eq!(rows[1].threads, 2);
-        assert!((rows[0].speedup_vs_single - 1.0).abs() < 1e-12);
+        assert!((rows[0].speedup_vs_single.unwrap() - 1.0).abs() < 1e-12);
+        assert!(rows[1].speedup_vs_single.is_some());
+        assert!(rows.iter().all(|r| !r.undersubscribed));
         assert_eq!(rows[0].output_key, rows[1].output_key);
         // The baseline is the threads = 1 row regardless of sweep order.
-        let reversed = pipeline_rows(&["PCR"], &[2, 1]).unwrap();
+        let reversed = pipeline_rows_with_host(&["PCR"], &[2, 1], 64).unwrap();
         let single = reversed.iter().find(|r| r.threads == 1).unwrap();
         assert!(
-            (single.speedup_vs_single - 1.0).abs() < 1e-12,
-            "the single-thread row is its own baseline, got {}",
+            (single.speedup_vs_single.unwrap() - 1.0).abs() < 1e-12,
+            "the single-thread row is its own baseline, got {:?}",
             single.speedup_vs_single
         );
         assert_thread_equality(&rows).unwrap();
         assert!(rows.iter().all(|r| r.total_seconds > 0.0));
+        // The span-derived stage times are populated and bounded by the
+        // stopwatch total.
+        for r in &rows {
+            assert!(r.schedule_seconds >= 0.0);
+            assert!(r.route_seconds > 0.0, "route span missing: {r:?}");
+            let stage_sum = r.schedule_seconds
+                + r.place_seconds
+                + r.route_seconds
+                + r.layout_seconds
+                + r.replay_seconds;
+            assert!(
+                stage_sum <= r.total_seconds * 1.05 + 0.01,
+                "stages ({stage_sum}s) exceed the wall total ({}s)",
+                r.total_seconds
+            );
+        }
         let table = format_pipeline(&rows);
         assert!(table.contains("PCR"));
         let csv = pipeline_csv(&rows);
@@ -293,8 +347,33 @@ mod tests {
     }
 
     #[test]
+    fn undersubscribed_rows_are_flagged_and_excluded_from_speedup() {
+        // Pretend the host has a single core: the threads = 2 row must be
+        // flagged, lose its speedup, and still match the output key.
+        let rows = pipeline_rows_with_host(&["PCR"], &[1, 2], 1).unwrap();
+        let single = rows.iter().find(|r| r.threads == 1).unwrap();
+        let over = rows.iter().find(|r| r.threads == 2).unwrap();
+        assert!(!single.undersubscribed);
+        assert!(single.speedup_vs_single.is_some());
+        assert!(over.undersubscribed);
+        assert_eq!(over.speedup_vs_single, None);
+        assert_eq!(single.output_key, over.output_key);
+        assert_thread_equality(&rows).unwrap();
+        // Rendering: the table says n/a + oversub, the CSV carries the flag,
+        // and the JSON round-trips the Option.
+        let table = format_pipeline(&rows);
+        assert!(table.contains("n/a"));
+        assert!(table.contains("(oversub)"));
+        let csv = pipeline_csv(&rows);
+        assert!(csv.contains(",true,n/a,"));
+        let json = biochip_json::Serialize::to_json(over);
+        let back: PipelineRow = biochip_json::Deserialize::from_json(&json).unwrap();
+        assert_eq!(&back, over);
+    }
+
+    #[test]
     fn divergent_keys_are_reported() {
-        let mut rows = pipeline_rows(&["PCR"], &[1]).unwrap();
+        let mut rows = pipeline_rows_with_host(&["PCR"], &[1], 64).unwrap();
         let mut forged = rows[0].clone();
         forged.threads = 4;
         forged.output_key = "deadbeefdeadbeef".to_owned();

@@ -219,6 +219,33 @@ fn parse_with(
     Ok((parsed, specs))
 }
 
+/// The `--trace <path>` option shared by the pipeline commands.
+const TRACE_SPEC: OptionSpec = OptionSpec {
+    name: "--trace",
+    takes_value: true,
+    help: "write a Chrome trace_event JSON of this run (open in Perfetto or chrome://tracing)",
+};
+
+/// Runs `f`, and when `--trace <path>` was given, collects the telemetry
+/// spans it emits and writes them as a Chrome trace_event JSON file.
+/// Collection never changes results — only whether the spans are kept.
+fn with_optional_trace<T>(
+    trace: Option<&str>,
+    f: impl FnOnce() -> Result<T, CliError>,
+) -> Result<T, CliError> {
+    match trace {
+        None => f(),
+        Some(path) => {
+            let (result, events) = biochip_telemetry::with_collection(f);
+            // Written even when the run failed: a trace of a failing run is
+            // exactly what one wants to look at.
+            write_file(path, &biochip_telemetry::chrome_trace_json(&events))?;
+            eprintln!("wrote {} trace event(s) to {path}", events.len());
+            result
+        }
+    }
+}
+
 fn emit(path: Option<&str>, contents: &str, what: &str) -> Result<(), CliError> {
     match path {
         Some(path) => {
@@ -254,6 +281,7 @@ fn cmd_run(argv: &[String]) -> Result<(), CliError> {
             takes_value: false,
             help: "print an ASCII rendering of the synthesized chip (stderr)",
         },
+        TRACE_SPEC,
     ];
     if help_requested(argv) {
         let (_, specs) = parse_with(&[], &extra)?;
@@ -269,9 +297,10 @@ fn cmd_run(argv: &[String]) -> Result<(), CliError> {
     let config = config_from_args(&parsed)?;
 
     let flow = SynthesisFlow::new(config.clone());
-    let outcome = flow
-        .run(graph)
-        .map_err(|e| CliError::runtime(format!("synthesis failed: {e}")))?;
+    let outcome = with_optional_trace(parsed.value("--trace"), || {
+        flow.run(graph)
+            .map_err(|e| CliError::runtime(format!("synthesis failed: {e}")))
+    })?;
 
     eprintln!("{}", outcome.report);
     if parsed.flag("--render") {
@@ -293,11 +322,14 @@ fn cmd_run(argv: &[String]) -> Result<(), CliError> {
 // ---------------------------------------------------------------------------
 
 fn cmd_schedule(argv: &[String]) -> Result<(), CliError> {
-    let extra = [OptionSpec {
-        name: "--out",
-        takes_value: true,
-        help: "write the pipeline state here (default: stdout)",
-    }];
+    let extra = [
+        OptionSpec {
+            name: "--out",
+            takes_value: true,
+            help: "write the pipeline state here (default: stdout)",
+        },
+        TRACE_SPEC,
+    ];
     if help_requested(argv) {
         let (_, specs) = parse_with(&[], &extra)?;
         print_help("schedule", "Runs scheduling & binding only.", &specs);
@@ -310,9 +342,10 @@ fn cmd_schedule(argv: &[String]) -> Result<(), CliError> {
     let flow = SynthesisFlow::new(config.clone());
     let problem = flow.problem_for(graph);
     let started = Instant::now();
-    let schedule = flow
-        .schedule(&problem)
-        .map_err(|e| CliError::runtime(format!("scheduling failed: {e}")))?;
+    let schedule = with_optional_trace(parsed.value("--trace"), || {
+        flow.schedule(&problem)
+            .map_err(|e| CliError::runtime(format!("scheduling failed: {e}")))
+    })?;
     let scheduling_time = started.elapsed();
 
     eprintln!(
@@ -351,6 +384,7 @@ const STAGE_SPECS: &[OptionSpec] = &[
         takes_value: true,
         help: "write the updated pipeline state here (default: stdout)",
     },
+    TRACE_SPEC,
 ];
 
 fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
@@ -371,15 +405,21 @@ fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::runtime(format!("state schedule is inconsistent: {e}")))?;
 
     let options: SynthesisOptions = state.config.synthesis.clone();
-    let started = Instant::now();
-    let architecture = ArchitectureSynthesizer::new(options)
-        .synthesize(&problem, &schedule)
-        .map_err(|e| CliError::runtime(format!("architectural synthesis failed: {e}")))?;
-    state.timings.architecture = started.elapsed();
-
-    let started = Instant::now();
-    let layout = generate_layout(&architecture, &state.config.layout);
-    state.timings.layout = started.elapsed();
+    let mut architecture_time = Duration::ZERO;
+    let mut layout_time = Duration::ZERO;
+    let (architecture, layout) = with_optional_trace(parsed.value("--trace"), || {
+        let started = Instant::now();
+        let architecture = ArchitectureSynthesizer::new(options)
+            .synthesize(&problem, &schedule)
+            .map_err(|e| CliError::runtime(format!("architectural synthesis failed: {e}")))?;
+        architecture_time = started.elapsed();
+        let started = Instant::now();
+        let layout = generate_layout(&architecture, &state.config.layout);
+        layout_time = started.elapsed();
+        Ok((architecture, layout))
+    })?;
+    state.timings.architecture = architecture_time;
+    state.timings.layout = layout_time;
 
     eprintln!(
         "synthesized {}: grid {}, {} kept edges, {} valves, compressed layout {}",
@@ -426,7 +466,9 @@ fn cmd_simulate(argv: &[String]) -> Result<(), CliError> {
         .verify()
         .map_err(|e| CliError::runtime(format!("state architecture is inconsistent: {e}")))?;
 
-    let execution = replay(&problem, &schedule, &architecture);
+    let execution = with_optional_trace(parsed.value("--trace"), || {
+        Ok(replay(&problem, &schedule, &architecture))
+    })?;
     if execution.clamped {
         return Err(CliError::runtime(
             "replay produced out-of-bounds numbers (clamped report); \
@@ -636,7 +678,8 @@ fn cmd_serve(argv: &[String]) -> Result<(), CliError> {
         print_help(
             "serve",
             "Runs the persistent synthesis job service: POST /jobs,\n\
-             GET /jobs/:id, DELETE /jobs/:id, GET /results/:id, GET /stats.\n\
+             GET /jobs/:id, DELETE /jobs/:id, GET /results/:id, GET /stats,\n\
+             GET /metrics (Prometheus text), GET /healthz.\n\
              Results are cached under the canonical hash of the\n\
              (problem, config) pair, so identical submissions are lookups.",
             &specs,
@@ -668,7 +711,7 @@ fn cmd_serve(argv: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::runtime(format!("cannot read bound address: {e}")))?;
     eprintln!(
         "biochip serve: listening on http://{addr} \
-         (POST /jobs, GET /jobs/:id, GET /results/:id, GET /stats)"
+         (POST /jobs, GET /jobs/:id, GET /results/:id, GET /stats, GET /metrics)"
     );
     server.run();
     Ok(())

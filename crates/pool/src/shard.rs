@@ -14,14 +14,16 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use biochip_json::impl_json_struct;
 
-/// Aggregate counters of a [`ShardedPool`], for `GET /stats`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// Aggregate counters of a [`ShardedPool`], for `GET /stats` and
+/// `GET /metrics`.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PoolStats {
     /// Worker threads (= shards).
     pub workers: usize,
@@ -33,6 +35,10 @@ pub struct PoolStats {
     pub panicked: usize,
     /// Jobs currently sitting in shard queues.
     pub queued: usize,
+    /// Wall seconds each worker has spent inside job handlers (one entry
+    /// per worker, index = worker id). Busy time, not lifetime — a worker
+    /// blocked on its empty queue accrues nothing.
+    pub busy_seconds: Vec<f64>,
 }
 
 impl_json_struct!(PoolStats {
@@ -40,7 +46,8 @@ impl_json_struct!(PoolStats {
     submitted,
     completed,
     panicked,
-    queued
+    queued,
+    busy_seconds
 });
 
 struct Shard<T> {
@@ -54,6 +61,9 @@ struct Shared<T> {
     submitted: AtomicUsize,
     completed: AtomicUsize,
     panicked: AtomicUsize,
+    /// Per-worker microseconds spent inside job handlers. Written only by
+    /// the owning worker, so a Relaxed add is a plain accumulate.
+    busy_micros: Vec<AtomicU64>,
 }
 
 impl<T> Shared<T> {
@@ -120,6 +130,7 @@ impl<T: Send + 'static> ShardedPool<T> {
             submitted: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             panicked: AtomicUsize::new(0),
+            busy_micros: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
         let handler = Arc::new(handler);
         let handles = (0..workers)
@@ -130,7 +141,10 @@ impl<T: Send + 'static> ShardedPool<T> {
                     .name(format!("biochip-worker-{index}"))
                     .spawn(move || {
                         while let Some(job) = shared.next_job(index) {
+                            let started = Instant::now();
                             let outcome = catch_unwind(AssertUnwindSafe(|| handler(index, job)));
+                            shared.busy_micros[index]
+                                .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
                             match outcome {
                                 Ok(()) => shared.completed.fetch_add(1, Ordering::Relaxed),
                                 Err(_) => shared.panicked.fetch_add(1, Ordering::Relaxed),
@@ -192,6 +206,12 @@ impl<T: Send + 'static> ShardedPool<T> {
             completed: self.shared.completed.load(Ordering::Relaxed),
             panicked: self.shared.panicked.load(Ordering::Relaxed),
             queued,
+            busy_seconds: self
+                .shared
+                .busy_micros
+                .iter()
+                .map(|m| m.load(Ordering::Relaxed) as f64 / 1e6)
+                .collect(),
         }
     }
 }
@@ -279,10 +299,29 @@ mod tests {
     }
 
     #[test]
+    fn busy_time_accrues_per_worker() {
+        let pool = ShardedPool::new(2, |_, ms: u64| {
+            std::thread::sleep(Duration::from_millis(ms));
+        });
+        // Key 0 → worker 0; worker 1 never gets a job.
+        pool.submit_keyed(0, 20);
+        assert!(wait_until(2000, || pool.stats().completed == 1));
+        let stats = pool.stats();
+        assert_eq!(stats.busy_seconds.len(), 2);
+        assert!(
+            stats.busy_seconds[0] >= 0.015,
+            "worker 0 slept 20ms but logged {}s",
+            stats.busy_seconds[0]
+        );
+        assert_eq!(stats.busy_seconds[1], 0.0, "idle worker accrued busy time");
+    }
+
+    #[test]
     fn stats_serialize() {
         let pool = ShardedPool::new(2, |_, (): ()| {});
         let text = biochip_json::to_string_pretty(&pool.stats());
         let back: PoolStats = biochip_json::from_str(&text).unwrap();
         assert_eq!(back.workers, 2);
+        assert_eq!(back.busy_seconds.len(), 2);
     }
 }

@@ -69,6 +69,7 @@ impl IlpScheduler {
     ///
     /// Like [`Scheduler::schedule`].
     pub fn solve(&self, problem: &ScheduleProblem) -> Result<IlpOutcome, ScheduleError> {
+        let _span = biochip_telemetry::span("pipeline", "schedule.ilp");
         problem.validate()?;
 
         // Warm start and fallback: the storage-aware list schedule.

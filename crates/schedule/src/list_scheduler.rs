@@ -110,6 +110,7 @@ impl PartialOrd for ReadyOp {
 
 impl Scheduler for ListScheduler {
     fn schedule(&self, problem: &ScheduleProblem) -> Result<Schedule, ScheduleError> {
+        let _span = biochip_telemetry::span("pipeline", "schedule.list");
         problem.validate()?;
         let graph = problem.graph();
         let uc = problem.transport_time();

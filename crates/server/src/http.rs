@@ -175,11 +175,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     })
 }
 
-/// Writes a JSON response and flushes. Write errors are ignored — the peer
-/// hanging up mid-response is its problem, not a server failure.
-pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) {
+/// Writes a response with the given content type and flushes. Write errors
+/// are ignored — the peer hanging up mid-response is its problem, not a
+/// server failure.
+pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         reason_phrase(status),
         body.len(),
     );
@@ -187,6 +188,14 @@ pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) {
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
 }
+
+/// Writes a JSON response and flushes (see [`write_response`]).
+pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) {
+    write_response(stream, status, "application/json", body);
+}
+
+/// The content type of the Prometheus text exposition format.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 #[cfg(test)]
 mod tests {

@@ -120,6 +120,20 @@ impl JobRecord {
         if let Some(worker) = self.worker {
             fields.push(("worker", Json::Number(worker as f64)));
         }
+        // Per-stage wall seconds, live while the job runs and frozen once
+        // it finishes. Cached answers never entered the pipeline, so their
+        // status carries no timeline at all.
+        let timeline = self.controller.timeline();
+        if !timeline.is_empty() {
+            fields.push((
+                "timeline",
+                Json::object(
+                    timeline
+                        .iter()
+                        .map(|t| (t.stage.name(), Json::Number(t.seconds))),
+                ),
+            ));
+        }
         if let Some(error) = &self.error {
             fields.push(("error", Json::String(error.clone())));
         }

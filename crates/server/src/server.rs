@@ -12,9 +12,12 @@ use biochip_pool::{PoolStats, ShardedPool};
 use biochip_synth::assay::library;
 use biochip_synth::schedule::ScheduleProblem;
 use biochip_synth::{FlowController, FlowError, SynthesisConfig, SynthesisFlow};
+use biochip_telemetry as telemetry;
 
 use crate::cache::{CacheStats, ResultCache};
-use crate::http::{read_request, write_json_response, HttpError, Request};
+use crate::http::{
+    read_request, write_json_response, write_response, HttpError, Request, PROMETHEUS_CONTENT_TYPE,
+};
 use crate::jobs::{JobRecord, JobState, JobStore, ResultDoc};
 
 /// Schema tag of structured error bodies.
@@ -88,6 +91,84 @@ impl_json_struct!(ServeStats {
     pool,
 });
 
+/// Request-latency bucket bounds in seconds. Most of the API answers from
+/// in-memory state in well under a millisecond; the long tail is `POST
+/// /jobs` hashing a multi-megabyte problem document.
+const REQUEST_BOUNDS: &[f64] = &[
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+];
+
+/// Job-latency bucket bounds in seconds (submission to terminal state).
+/// Warm hits land in the sub-millisecond buckets, cold syntheses of the
+/// scale assays in the tens of seconds.
+const JOB_BOUNDS: &[f64] = &[
+    0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+];
+
+/// Endpoint labels with a request-latency series, in display order.
+const ENDPOINTS: &[&str] = &[
+    "submit",
+    "job_status",
+    "cancel",
+    "result",
+    "stats",
+    "metrics",
+    "healthz",
+    "other",
+];
+
+/// The latency instruments behind `GET /metrics` and the `latency` block
+/// of `GET /stats`. Counter-style subsystem stats (cache, pool, job
+/// states) are *not* mirrored here — `metrics_text` renders them straight
+/// from their owning structs at scrape time, so there is exactly one
+/// source of truth per number.
+struct Metrics {
+    registry: telemetry::Registry,
+    /// Submission-to-terminal latency of jobs that ran a synthesis.
+    job_cold_seconds: telemetry::Histogram,
+    /// Latency of jobs answered from the result cache.
+    job_warm_seconds: telemetry::Histogram,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        let registry = telemetry::Registry::new();
+        let help = "Job latency from submission to terminal state, split by cold (synthesized) vs warm (cache-served)";
+        let job_cold_seconds =
+            registry.histogram("biochip_job_seconds", help, &[("mode", "cold")], JOB_BOUNDS);
+        let job_warm_seconds =
+            registry.histogram("biochip_job_seconds", help, &[("mode", "warm")], JOB_BOUNDS);
+        Metrics {
+            registry,
+            job_cold_seconds,
+            job_warm_seconds,
+        }
+    }
+
+    fn request_histogram(&self, endpoint: &str) -> telemetry::Histogram {
+        self.registry.histogram(
+            "biochip_request_seconds",
+            "HTTP request handling latency by endpoint",
+            &[("endpoint", endpoint)],
+            REQUEST_BOUNDS,
+        )
+    }
+
+    /// Records one handled request (also the `/metrics` scrape itself —
+    /// a monitor should see its own traffic).
+    fn observe_request(&self, endpoint: &str, status: u16, seconds: f64) {
+        let code = status.to_string();
+        self.registry
+            .counter(
+                "biochip_requests_total",
+                "HTTP requests handled by endpoint and status code",
+                &[("endpoint", endpoint), ("code", &code)],
+            )
+            .inc();
+        self.request_histogram(endpoint).observe(seconds);
+    }
+}
+
 /// One synthesis waiting on a worker shard.
 struct QueuedJob {
     id: u64,
@@ -122,6 +203,7 @@ struct ServerState {
     /// always hash their document (the document *is* the identity).
     name_keys: std::sync::Mutex<std::collections::HashMap<String, NameKeyMemo>>,
     started: Instant,
+    metrics: Metrics,
 }
 
 struct Shared {
@@ -203,6 +285,7 @@ impl Server {
             threads_per_job,
             name_keys: std::sync::Mutex::new(std::collections::HashMap::new()),
             started: Instant::now(),
+            metrics: Metrics::new(),
         });
         let pool = {
             let state = Arc::clone(&state);
@@ -293,15 +376,48 @@ pub fn error_body(status: u16, message: &str) -> String {
 }
 
 fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    let started = Instant::now();
+    let metrics = &shared.state.metrics;
     let request = match read_request(stream) {
         Ok(request) => request,
         Err(HttpError { status, message }) => {
             write_json_response(stream, status, &error_body(status, &message));
+            metrics.observe_request("malformed", status, started.elapsed().as_secs_f64());
             return;
         }
     };
+    let endpoint = endpoint_label(&request);
     let (status, body) = route(&request, shared);
-    write_json_response(stream, status, &body);
+    if endpoint == "metrics" && status == 200 {
+        write_response(stream, status, PROMETHEUS_CONTENT_TYPE, &body);
+    } else {
+        write_json_response(stream, status, &body);
+    }
+    metrics.observe_request(endpoint, status, started.elapsed().as_secs_f64());
+}
+
+/// Coarse endpoint label for the request metrics. Ids collapse into one
+/// label and unknown paths share `other`, keeping series cardinality
+/// bounded no matter what clients throw at the server.
+fn endpoint_label(request: &Request) -> &'static str {
+    let segments: Vec<&str> = request
+        .path
+        .split('?')
+        .next()
+        .unwrap_or("")
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => "submit",
+        ("GET", ["jobs", _]) => "job_status",
+        ("DELETE", ["jobs", _]) => "cancel",
+        ("GET", ["results", _]) => "result",
+        ("GET", ["stats"]) => "stats",
+        ("GET", ["metrics"]) => "metrics",
+        ("GET", ["healthz"]) => "healthz",
+        _ => "other",
+    }
 }
 
 fn route(request: &Request, shared: &Shared) -> (u16, String) {
@@ -318,12 +434,14 @@ fn route(request: &Request, shared: &Shared) -> (u16, String) {
         ("GET", ["jobs", id]) => with_job_id(id, |id| job_status(id, shared)),
         ("DELETE", ["jobs", id]) => with_job_id(id, |id| cancel_job(id, shared)),
         ("GET", ["results", id]) => with_job_id(id, |id| job_result(id, shared)),
-        ("GET", ["stats"]) => (200, stats(shared).to_json().to_pretty()),
+        ("GET", ["stats"]) => (200, stats_body(shared)),
+        ("GET", ["metrics"]) => (200, metrics_text(shared)),
         ("GET", ["healthz"]) => (200, Json::object([("ok", Json::Bool(true))]).to_pretty()),
         (method, ["jobs"])
         | (method, ["jobs", _])
         | (method, ["results", _])
         | (method, ["stats"])
+        | (method, ["metrics"])
         | (method, ["healthz"]) => (
             405,
             error_body(405, &format!("method {method} not allowed here")),
@@ -333,7 +451,7 @@ fn route(request: &Request, shared: &Shared) -> (u16, String) {
             error_body(
                 404,
                 "unknown path (the API is POST /jobs, GET /jobs/:id, DELETE /jobs/:id, \
-                 GET /results/:id, GET /stats, GET /healthz)",
+                 GET /results/:id, GET /stats, GET /metrics, GET /healthz)",
             ),
         ),
     }
@@ -528,6 +646,7 @@ fn resolve_key(submission: Submission, state: &ServerState) -> ResolvedJob {
 }
 
 fn submit(request: &Request, shared: &Shared) -> (u16, String) {
+    let started = Instant::now();
     let submission = match parse_submission(&request.body) {
         Ok(parsed) => parsed,
         Err(message) => return (400, error_body(400, &message)),
@@ -558,6 +677,11 @@ fn submit(request: &Request, shared: &Shared) -> (u16, String) {
         };
         let body = record.status_json().to_pretty();
         shared.state.jobs.insert(record);
+        shared
+            .state
+            .metrics
+            .job_warm_seconds
+            .observe(started.elapsed().as_secs_f64());
         return (201, body);
     }
 
@@ -664,6 +788,175 @@ fn job_result(id: u64, shared: &Shared) -> (u16, String) {
     result.unwrap_or_else(|| (404, error_body(404, &format!("no job {id}"))))
 }
 
+/// The `GET /stats` body: the counter document plus a `latency` block with
+/// request percentiles per endpoint and cold/warm job percentiles.
+fn stats_body(shared: &Shared) -> String {
+    let mut json = stats(shared).to_json();
+    if let Json::Object(pairs) = &mut json {
+        pairs.push(("latency".to_owned(), latency_json(&shared.state.metrics)));
+    }
+    json.to_pretty()
+}
+
+/// `{count, p50, p90, p99}` of one latency histogram (seconds).
+fn quantile_json(snapshot: &telemetry::HistogramSnapshot) -> Json {
+    Json::object([
+        ("count", Json::Number(snapshot.count() as f64)),
+        ("p50_seconds", Json::Number(snapshot.quantile(0.5))),
+        ("p90_seconds", Json::Number(snapshot.quantile(0.9))),
+        ("p99_seconds", Json::Number(snapshot.quantile(0.99))),
+    ])
+}
+
+fn latency_json(metrics: &Metrics) -> Json {
+    let requests: Vec<(&str, Json)> = ENDPOINTS
+        .iter()
+        .filter_map(|endpoint| {
+            let snapshot = metrics.request_histogram(endpoint).snapshot();
+            (snapshot.count() > 0).then(|| (*endpoint, quantile_json(&snapshot)))
+        })
+        .collect();
+    Json::object([
+        ("requests", Json::object(requests)),
+        (
+            "jobs",
+            Json::object([
+                ("cold", quantile_json(&metrics.job_cold_seconds.snapshot())),
+                ("warm", quantile_json(&metrics.job_warm_seconds.snapshot())),
+            ]),
+        ),
+    ])
+}
+
+/// The `GET /metrics` body: every registry series (request/job latency)
+/// plus the cache, pool and job-state counters rendered straight from
+/// their owning structs, in the Prometheus text exposition format.
+fn metrics_text(shared: &Shared) -> String {
+    fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "NaN".to_owned()
+        }
+    }
+    fn push_metric(out: &mut String, name: &str, kind: &str, help: &str, series: &[(String, f64)]) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        for (labels, value) in series {
+            out.push_str(&format!("{name}{labels} {}\n", number(*value)));
+        }
+    }
+    let state = &shared.state;
+    let mut out = state.metrics.registry.prometheus_text();
+    let cache = state.cache.stats();
+    let pool = shared.pool.stats();
+    let counts = state.jobs.counts();
+    let plain = String::new;
+    push_metric(
+        &mut out,
+        "biochip_uptime_seconds",
+        "gauge",
+        "Seconds since the server started",
+        &[(plain(), state.started.elapsed().as_secs_f64())],
+    );
+    push_metric(
+        &mut out,
+        "biochip_cache_hits_total",
+        "counter",
+        "Result-cache lookups that found a live entry",
+        &[(plain(), cache.hits as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_cache_misses_total",
+        "counter",
+        "Result-cache lookups that missed and went on to synthesize",
+        &[(plain(), cache.misses as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_cache_evictions_total",
+        "counter",
+        "Result-cache entries displaced by the LRU policy",
+        &[(plain(), cache.evictions as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_cache_entries",
+        "gauge",
+        "Result-cache entries currently held",
+        &[(plain(), cache.entries as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_cache_capacity",
+        "gauge",
+        "Result-cache capacity in entries",
+        &[(plain(), cache.capacity as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_jobs_accepted_total",
+        "counter",
+        "Jobs accepted over the server's lifetime (cache hits included)",
+        &[(plain(), state.jobs.len() as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_jobs",
+        "gauge",
+        "Retained jobs by lifecycle state",
+        &[
+            ("{state=\"queued\"}".to_owned(), counts.queued as f64),
+            ("{state=\"running\"}".to_owned(), counts.running as f64),
+            ("{state=\"done\"}".to_owned(), counts.done as f64),
+            ("{state=\"failed\"}".to_owned(), counts.failed as f64),
+            ("{state=\"cancelled\"}".to_owned(), counts.cancelled as f64),
+        ],
+    );
+    push_metric(
+        &mut out,
+        "biochip_pool_workers",
+        "gauge",
+        "Worker threads in the synthesis pool",
+        &[(plain(), pool.workers as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_pool_queue_depth",
+        "gauge",
+        "Jobs sitting in the pool's shard queues",
+        &[(plain(), pool.queued as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_pool_jobs_completed_total",
+        "counter",
+        "Pool jobs whose handler returned normally",
+        &[(plain(), pool.completed as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_pool_jobs_panicked_total",
+        "counter",
+        "Pool jobs whose handler panicked (contained)",
+        &[(plain(), pool.panicked as f64)],
+    );
+    let busy: Vec<(String, f64)> = pool
+        .busy_seconds
+        .iter()
+        .enumerate()
+        .map(|(worker, seconds)| (format!("{{worker=\"{worker}\"}}"), *seconds))
+        .collect();
+    push_metric(
+        &mut out,
+        "biochip_pool_busy_seconds_total",
+        "counter",
+        "Wall seconds each worker has spent inside job handlers",
+        &busy,
+    );
+    out
+}
+
 fn stats(shared: &Shared) -> ServeStats {
     let state = &shared.state;
     let counts = state.jobs.counts();
@@ -707,6 +1000,10 @@ fn run_job(state: &ServerState, worker: usize, job: QueuedJob) {
             record.error = Some("cancelled while queued".to_owned());
             record.wall_seconds = submitted.elapsed().as_secs_f64();
         });
+        state
+            .metrics
+            .job_cold_seconds
+            .observe(submitted.elapsed().as_secs_f64());
         return;
     }
 
@@ -735,6 +1032,7 @@ fn run_job(state: &ServerState, worker: usize, job: QueuedJob) {
             }
             record.wall_seconds = wall;
         });
+        state.metrics.job_warm_seconds.observe(wall);
         return;
     }
 
@@ -758,6 +1056,7 @@ fn run_job(state: &ServerState, worker: usize, job: QueuedJob) {
         flow.run_problem_with(problem, &controller)
     }));
     let wall = submitted.elapsed().as_secs_f64();
+    state.metrics.job_cold_seconds.observe(wall);
 
     match outcome {
         Ok(Ok(outcome)) => {

@@ -84,6 +84,78 @@ fn ra1k_resubmission_is_a_cache_hit_with_an_identical_report() {
         1.0
     );
 
+    // The stats latency block has percentiles for one cold and one warm job.
+    let jobs = stats.get("latency").unwrap().get("jobs").unwrap();
+    for mode in ["cold", "warm"] {
+        let block = jobs.get(mode).unwrap();
+        assert_eq!(
+            block.get("count").unwrap().expect_number().unwrap(),
+            1.0,
+            "{mode}"
+        );
+        assert!(block.get("p99_seconds").is_some(), "{mode}");
+    }
+
+    // The cold job's status carries the per-stage timeline; the warm job
+    // never entered the pipeline, so its status has none.
+    let (status, cold_status) = client::get(addr, &format!("/jobs/{first_id}")).unwrap();
+    assert_eq!(status, 200);
+    let cold_status = biochip_json::parse(&cold_status).unwrap();
+    let timeline = cold_status.get("timeline").unwrap();
+    for stage in ["scheduling", "architecture", "layout", "simulation"] {
+        let seconds = timeline.get(stage).unwrap().expect_number().unwrap();
+        assert!(seconds >= 0.0, "{stage}: {seconds}");
+    }
+    let (_, warm_status) = client::get(addr, &format!("/jobs/{second_id}")).unwrap();
+    let warm_status = biochip_json::parse(&warm_status).unwrap();
+    assert!(warm_status.get("timeline").is_none());
+
+    // A Prometheus scrape sees the same story: one cache miss, one hit,
+    // one cold and one warm job observation, and request-latency series
+    // for the endpoints this test exercised.
+    let (status, metrics) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("biochip_cache_hits_total 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("biochip_cache_misses_total 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("biochip_job_seconds_count{mode=\"cold\"} 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("biochip_job_seconds_count{mode=\"warm\"} 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("biochip_job_seconds_bucket{mode=\"cold\",le=\"+Inf\"} 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("biochip_requests_total{endpoint=\"submit\",code=\"201\"} 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("biochip_requests_total{endpoint=\"submit\",code=\"202\"} 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("biochip_request_seconds_bucket{endpoint=\"submit\",le=\"+Inf\"} 2\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("biochip_pool_queue_depth 0\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("biochip_pool_busy_seconds_total{worker=\"0\"}"),
+        "{metrics}"
+    );
+
     handle.stop();
     join.join().unwrap();
 }

@@ -2,8 +2,10 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
+
+use biochip_telemetry as telemetry;
 
 use biochip_arch::{
     ArchError, Architecture, ArchitectureSynthesizer, Parallelism, SynthesisOptions,
@@ -264,10 +266,40 @@ impl fmt::Display for FlowStage {
 /// checked at stage boundaries — a running stage completes, the next one
 /// never starts, and the run returns [`FlowError::Cancelled`] instead of
 /// tearing anything down.
-#[derive(Debug, Default)]
+///
+/// The controller also timestamps every stage entry, so a poller can read a
+/// wall-clock [`timeline`](FlowController::timeline) of where the run spent
+/// its time — the per-job stage timeline `GET /jobs/:id` serves. The
+/// timeline is pure observation; nothing in the flow reads it back.
+#[derive(Debug)]
 pub struct FlowController {
     stage: AtomicU8,
     cancelled: AtomicBool,
+    created: Instant,
+    /// Per-stage entry timestamp, as `micros since created + 1` (0 = the
+    /// stage was never entered).
+    entered_micros: [AtomicU64; FlowStage::ALL.len()],
+}
+
+impl Default for FlowController {
+    fn default() -> Self {
+        FlowController {
+            stage: AtomicU8::new(0),
+            cancelled: AtomicBool::new(false),
+            created: Instant::now(),
+            entered_micros: Default::default(),
+        }
+    }
+}
+
+/// Wall-clock share of one pipeline stage in a [`FlowController`] timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTiming {
+    /// The pipeline stage.
+    pub stage: FlowStage,
+    /// Seconds between entering this stage and entering the next one (or
+    /// "now" while the stage is still running).
+    pub seconds: f64,
 }
 
 impl FlowController {
@@ -282,9 +314,7 @@ impl FlowController {
     #[must_use]
     pub fn finished() -> Self {
         let controller = FlowController::new();
-        controller
-            .stage
-            .store(FlowStage::Done as u8, Ordering::Release);
+        controller.mark(FlowStage::Done);
         controller
     }
 
@@ -305,14 +335,57 @@ impl FlowController {
         self.cancelled.load(Ordering::Acquire)
     }
 
+    /// Stores `stage` as current and timestamps its first entry.
+    fn mark(&self, stage: FlowStage) {
+        let micros = self.created.elapsed().as_micros() as u64;
+        let slot = &self.entered_micros[stage as usize];
+        let _ = slot.compare_exchange(0, micros + 1, Ordering::AcqRel, Ordering::Acquire);
+        self.stage.store(stage as u8, Ordering::Release);
+    }
+
     /// Records entry into `stage`, failing if cancellation was requested.
     fn enter(&self, stage: FlowStage) -> Result<(), FlowError> {
         if self.is_cancelled() && stage != FlowStage::Done {
-            self.stage.store(FlowStage::Done as u8, Ordering::Release);
+            self.mark(FlowStage::Done);
             return Err(FlowError::Cancelled(stage));
         }
-        self.stage.store(stage as u8, Ordering::Release);
+        self.mark(stage);
         Ok(())
+    }
+
+    /// Wall-clock durations of the pipeline stages entered so far, in stage
+    /// order. A stage's share ends when the next entered stage begins; the
+    /// currently running stage is measured up to "now". `Pending` and
+    /// `Done` are bookkeeping states and are not reported, so a cached job
+    /// (a [`finished`](FlowController::finished) controller) has an empty
+    /// timeline.
+    #[must_use]
+    pub fn timeline(&self) -> Vec<StageTiming> {
+        let entered: Vec<Option<u64>> = FlowStage::ALL
+            .iter()
+            .map(|&s| {
+                let raw = self.entered_micros[s as usize].load(Ordering::Acquire);
+                (raw > 0).then(|| raw - 1)
+            })
+            .collect();
+        let now = self.created.elapsed().as_micros() as u64;
+        let mut timeline = Vec::new();
+        for (i, &stage) in FlowStage::ALL.iter().enumerate() {
+            if stage == FlowStage::Pending || stage == FlowStage::Done {
+                continue;
+            }
+            let Some(start) = entered[i] else { continue };
+            let end = entered[i + 1..]
+                .iter()
+                .find_map(|&e| e)
+                .unwrap_or(now)
+                .max(start);
+            timeline.push(StageTiming {
+                stage,
+                seconds: (end - start) as f64 / 1e6,
+            });
+        }
+        timeline
     }
 }
 
@@ -444,9 +517,7 @@ impl SynthesisFlow {
         controller: &FlowController,
     ) -> Result<SynthesisOutcome, FlowError> {
         let result = self.run_stages(problem, controller);
-        controller
-            .stage
-            .store(FlowStage::Done as u8, Ordering::Release);
+        controller.mark(FlowStage::Done);
         result
     }
 
@@ -457,11 +528,16 @@ impl SynthesisFlow {
     ) -> Result<SynthesisOutcome, FlowError> {
         controller.enter(FlowStage::Scheduling)?;
         let schedule_start = Instant::now();
-        let schedule = self.schedule(&problem)?;
+        let schedule = {
+            let _span = telemetry::span("pipeline", "schedule");
+            self.schedule(&problem)?
+        };
         let scheduling_time = schedule_start.elapsed();
 
         controller.enter(FlowStage::Architecture)?;
         let arch_start = Instant::now();
+        // The "place" and "route" spans are recorded inside the
+        // synthesizer, once per grid attempt.
         let architecture = ArchitectureSynthesizer::new(self.config.synthesis.clone())
             .with_parallelism(self.config.parallelism)
             .synthesize(&problem, &schedule)?;
@@ -469,12 +545,19 @@ impl SynthesisFlow {
 
         controller.enter(FlowStage::Layout)?;
         let layout_start = Instant::now();
-        let layout = generate_layout(&architecture, &self.config.layout);
+        let layout = {
+            let _span = telemetry::span("pipeline", "layout");
+            generate_layout(&architecture, &self.config.layout)
+        };
         let layout_time = layout_start.elapsed();
 
         controller.enter(FlowStage::Simulation)?;
-        let execution = replay(&problem, &schedule, &architecture);
-        let dedicated_baseline = simulate_dedicated_storage(&problem, &schedule);
+        let (execution, dedicated_baseline) = {
+            let _span = telemetry::span("pipeline", "replay");
+            let execution = replay(&problem, &schedule, &architecture);
+            let dedicated = simulate_dedicated_storage(&problem, &schedule);
+            (execution, dedicated)
+        };
 
         let report = SynthesisReport::collect(
             &problem,

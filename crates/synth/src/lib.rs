@@ -35,8 +35,8 @@ mod flow;
 mod report;
 
 pub use flow::{
-    FlowController, FlowError, FlowStage, SchedulerChoice, SynthesisConfig, SynthesisFlow,
-    SynthesisOutcome,
+    FlowController, FlowError, FlowStage, SchedulerChoice, StageTiming, SynthesisConfig,
+    SynthesisFlow, SynthesisOutcome,
 };
 pub use report::SynthesisReport;
 

@@ -1,0 +1,106 @@
+//! Chrome `trace_event` JSON export.
+
+use crate::spans::{SpanEvent, SpanKind};
+
+/// Renders drained span events as Chrome trace-event JSON (the "JSON Array
+/// Format" with a `traceEvents` wrapper), viewable in Perfetto or
+/// `chrome://tracing`. Complete spans become `ph:"X"` duration events;
+/// instants become thread-scoped `ph:"I"` events. Nesting is derived by the
+/// viewer from timestamps within each thread track.
+#[must_use]
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        push_escaped(&mut out, ev.name);
+        out.push_str("\",\"cat\":\"");
+        push_escaped(&mut out, ev.cat);
+        out.push_str("\",\"ph\":\"");
+        match &ev.kind {
+            SpanKind::Complete { dur_micros } => {
+                out.push_str(&format!(
+                    "X\",\"ts\":{},\"dur\":{}",
+                    ev.ts_micros, dur_micros
+                ));
+            }
+            SpanKind::Instant => {
+                out.push_str(&format!("I\",\"s\":\"t\",\"ts\":{}", ev.ts_micros));
+            }
+        }
+        out.push_str(&format!(",\"pid\":1,\"tid\":{}", ev.tid));
+        if !ev.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in ev.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                push_escaped(&mut out, k);
+                out.push_str(&format!("\":{v}"));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_json_shape() {
+        let events = vec![
+            SpanEvent {
+                name: "schedule",
+                cat: "pipeline",
+                ts_micros: 10,
+                tid: 1,
+                kind: SpanKind::Complete { dur_micros: 25 },
+                args: Vec::new(),
+            },
+            SpanEvent {
+                name: "router.stats",
+                cat: "router",
+                ts_micros: 40,
+                tid: 2,
+                kind: SpanKind::Instant,
+                args: vec![("windows_tried", 7)],
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains(
+            "{\"name\":\"schedule\",\"cat\":\"pipeline\",\"ph\":\"X\",\"ts\":10,\"dur\":25,\"pid\":1,\"tid\":1}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"router.stats\",\"cat\":\"router\",\"ph\":\"I\",\"s\":\"t\",\"ts\":40,\"pid\":1,\"tid\":2,\"args\":{\"windows_tried\":7}}"
+        ));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[\n]}\n");
+    }
+}
