@@ -82,7 +82,9 @@ pub use parallel::Parallelism;
 pub use placement::{place_devices, place_devices_threaded, Placement, PlacementOptions};
 pub use reservation::{Interval, ReservationCalendar, ReservationTable};
 pub use routing::{RoutedPath, Router, RouterStats, RoutingOptions};
-pub use synthesis::{ArchitectureSynthesizer, SynthesisOptions, SynthesisStats};
+pub use synthesis::{
+    ArchitectureSynthesizer, SynthesisOptions, SynthesisStats, WarmReuse, WarmStart,
+};
 pub use transport::{extract_transport_tasks, TransportKind, TransportTask};
 
 /// Re-exported scheduling types used in this crate's public API.

@@ -45,6 +45,16 @@ pub struct PlacementOptions {
     /// concurrently. The default of 1 reproduces the single-chain annealer
     /// (and its committed goldens) exactly.
     pub starts: usize,
+    /// Allow a warm start: when an edit-loop caller supplies a prior
+    /// placement whose inputs (grid, traffic matrix, these options) are
+    /// identical to the current ones, the placer adopts it instead of
+    /// re-annealing. Adoption is gated on *exact* input equality — seeding
+    /// the anneal with a prior placement under changed traffic would
+    /// produce a result a cold run cannot reproduce, breaking the
+    /// byte-identity contract of the warm-start differential suite — so a
+    /// warm placement is always bit-identical to what the annealer would
+    /// have found. `true` by default; set `false` to force cold placement.
+    pub warm_start: bool,
 }
 
 impl Default for PlacementOptions {
@@ -54,6 +64,7 @@ impl Default for PlacementOptions {
             annealing_moves: 2_000,
             seed: 0xC0FFEE,
             starts: 1,
+            warm_start: true,
         }
     }
 }
@@ -68,6 +79,12 @@ impl serde::Deserialize for PlacementOptions {
             starts: match value.get("starts") {
                 Some(raw) => serde::Deserialize::from_json(raw)?,
                 None => 1,
+            },
+            // Absent in pre-warm-start documents: warm adoption is safe by
+            // construction (exact-input gate), so it defaults on.
+            warm_start: match value.get("warm_start") {
+                Some(raw) => serde::Deserialize::from_json(raw)?,
+                None => true,
             },
         })
     }

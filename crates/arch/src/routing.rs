@@ -2229,6 +2229,15 @@ impl<'a> Router<'a> {
         self
     }
 
+    /// A pristine router over the same grid, placement, options and thread
+    /// count — used to restart cold after a failed warm-start replay, since
+    /// a partial replay has already mutated this router's reservations.
+    #[must_use]
+    pub fn fresh(&self) -> Router<'a> {
+        Router::new(self.ctx.grid, self.ctx.placement, self.ctx.options.clone())
+            .with_threads(self.threads)
+    }
+
     fn state_mut(&mut self) -> &mut RouteState {
         self.state
             .get_mut()
@@ -2282,6 +2291,127 @@ impl<'a> Router<'a> {
             board: None,
         };
         driver.route_task(task)
+    }
+
+    /// Re-commits a transport that an earlier run of this deterministic
+    /// router produced — same grid, placement and options — without any
+    /// window selection or path search.
+    ///
+    /// The committed router state after task *i* is a pure function of
+    /// tasks `0..=i` (given grid, placement and options), so replaying the
+    /// prior [`RoutedTransport`]s of an unchanged task prefix reproduces
+    /// the cold router state **byte-identically** while skipping the search
+    /// that dominates synthesis time. This is the warm-start fast path of
+    /// the edit loop: replay the common prefix, route only the edited
+    /// suffix cold. `windows_tried`/`path_searches`/`nodes_expanded`/
+    /// `segments_priced` are not advanced (no search ran); `tasks_routed`
+    /// and `postponed_tasks` are, exactly as the cold commit would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::Inconsistent`] when `routed` does not belong to
+    /// `task` (mismatched endpoints, kind or sample) or its payload is
+    /// malformed (a store without a cache edge, a fetch of a sample that is
+    /// not cached). Callers fall back to cold routing on error.
+    pub fn replay(
+        &mut self,
+        task: &TransportTask,
+        routed: &RoutedTransport,
+    ) -> Result<(), ArchError> {
+        let _span = telemetry::span("router", "route.replay_commit");
+        if routed.task.kind != task.kind
+            || routed.task.sample != task.sample
+            || routed.task.from_device != task.from_device
+            || routed.task.to_device != task.to_device
+        {
+            return Err(ArchError::Inconsistent {
+                reason: format!(
+                    "replayed transport does not match task (sample {}, kind {:?})",
+                    task.sample, task.kind
+                ),
+            });
+        }
+        let ctx = &self.ctx;
+        let stats = &mut self.stats;
+        let st = self
+            .state
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let path = &routed.path;
+        match task.kind {
+            TransportKind::Direct => {
+                commit_path(st, ctx, path, path.window, task.deadline, stats);
+            }
+            TransportKind::Store => {
+                let edge = routed.cache_edge.ok_or_else(|| ArchError::Inconsistent {
+                    reason: format!("replayed store of sample {} has no cache edge", task.sample),
+                })?;
+                // The store path ends in the segment's exit node (pushed by
+                // the cache-entry search after the path into the segment).
+                let &exit = path.nodes.last().ok_or_else(|| ArchError::Inconsistent {
+                    reason: format!("replayed store of sample {} has an empty path", task.sample),
+                })?;
+                // Rebuild the storage horizon from the *original* task — the
+                // routed copy's window and storage fields were overwritten at
+                // commit time, but the horizon derives from the task's
+                // scheduled fetch-window length.
+                let stored_until = task
+                    .storage_interval
+                    .map(|(_, until)| until)
+                    .unwrap_or(task.deadline);
+                let horizon = StoreHorizon::new(task, path.window, stored_until);
+                commit_path(st, ctx, path, horizon.store_window, task.deadline, stats);
+                let reserved_until = if ctx.scale_mode {
+                    horizon.planned_fetch.end + ctx.options.max_deadline_overrun
+                } else {
+                    horizon.planned_fetch.end
+                };
+                st.reservations
+                    .reserve_edge(edge, Interval::new(horizon.storage.start, reserved_until));
+                st.cache_of_sample.set(task.sample, (edge, exit));
+                if st.cache_pool.insert(edge) {
+                    st.pool_log.push(edge);
+                }
+                st.active_caches[edge.index()] = Some(CacheInfo {
+                    blocked: Interval::new(horizon.blocked.start, reserved_until),
+                    reserved: Interval::new(horizon.storage.start, reserved_until),
+                    fetch_window: horizon.planned_fetch,
+                    reserved_until,
+                });
+            }
+            TransportKind::Fetch => {
+                let edge = routed.cache_edge.ok_or_else(|| ArchError::Inconsistent {
+                    reason: format!("replayed fetch of sample {} has no cache edge", task.sample),
+                })?;
+                let Some((cached_edge, _exit)) = st.cache_of_sample.get(task.sample) else {
+                    return Err(ArchError::Inconsistent {
+                        reason: format!(
+                            "replayed fetch of sample {} before it was stored",
+                            task.sample
+                        ),
+                    });
+                };
+                if cached_edge != edge {
+                    return Err(ArchError::Inconsistent {
+                        reason: format!(
+                            "replayed fetch of sample {} names segment {edge} but it rests in {cached_edge}",
+                            task.sample
+                        ),
+                    });
+                }
+                let reserved_until = st.active_caches[edge.index()]
+                    .map_or(task.window_end, |info| info.reserved_until);
+                let window = path.window;
+                commit_path(st, ctx, path, window, task.deadline, stats);
+                st.reservations.reserve_edge(
+                    edge,
+                    Interval::new(reserved_until.min(window.end), window.end),
+                );
+                st.cache_of_sample.remove(task.sample);
+                st.active_caches[edge.index()] = None;
+            }
+        }
+        Ok(())
     }
 
     /// Routes every task in order, fanning the pure scoring work (candidate

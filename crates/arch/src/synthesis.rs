@@ -5,13 +5,13 @@ use serde::{Deserialize, Serialize};
 use biochip_schedule::{Schedule, ScheduleProblem};
 use biochip_telemetry as telemetry;
 
-use crate::connection_graph::{Architecture, ConnectionGraph};
+use crate::connection_graph::{Architecture, ConnectionGraph, RoutedTransport};
 use crate::error::ArchError;
 use crate::grid::ConnectionGrid;
 use crate::parallel::Parallelism;
-use crate::placement::{place_devices_threaded, PlacementOptions};
+use crate::placement::{place_devices_threaded, Placement, PlacementOptions, TrafficMatrix};
 use crate::routing::{Router, RouterStats, RoutingOptions};
-use crate::transport::extract_transport_tasks;
+use crate::transport::{extract_transport_tasks, TransportTask};
 
 /// Work counters of one synthesis run: the staged router's per-stage
 /// counters plus the grid-search effort around it. Surfaced through
@@ -74,11 +74,115 @@ impl SynthesisOptions {
     }
 }
 
+/// A prior synthesis result offered as a warm start for an edited problem.
+///
+/// Built from the previous run's problem, schedule and architecture (see
+/// [`WarmStart::from_prior`]); the synthesizer adopts whatever parts of it
+/// provably reproduce a cold run: the placement when the placement inputs
+/// are identical, and the routed prefix of the task list that the edit left
+/// untouched (the committed router state after task *i* is a pure function
+/// of tasks `0..=i`, so replaying an unchanged prefix is byte-identical to
+/// re-searching it). Everything that cannot be proven equal runs cold —
+/// warm starts change the wall clock, never the chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// Square-grid side length of the prior chip; the hint only applies to
+    /// the grid attempt of the same size.
+    grid_side: usize,
+    /// Routing options the prior routes were produced under (including the
+    /// deadline relaxation, when the prior run needed the relaxed pass).
+    routing: RoutingOptions,
+    /// Placement options the prior placement was annealed under.
+    placement_options: PlacementOptions,
+    /// The prior device placement.
+    placement: Placement,
+    /// The prior run's *original* transport tasks, in routing order (the
+    /// routed copies carry committed windows, so the originals are what an
+    /// edited task list is prefix-compared against).
+    tasks: Vec<TransportTask>,
+    /// The prior routed transports, parallel to `tasks`.
+    routes: Vec<RoutedTransport>,
+}
+
+impl WarmStart {
+    /// Builds a warm-start hint from a prior run: its problem and schedule
+    /// (to recover the original transport tasks), its architecture, and the
+    /// synthesis options it ran under.
+    ///
+    /// Returns `None` when the prior architecture is not self-consistent
+    /// enough to hint with (route/task count mismatch, a non-square grid) —
+    /// callers then simply run cold.
+    #[must_use]
+    pub fn from_prior(
+        problem: &ScheduleProblem,
+        schedule: &Schedule,
+        architecture: &Architecture,
+        options: &SynthesisOptions,
+    ) -> Option<Self> {
+        if schedule.validate(problem).is_err() {
+            return None;
+        }
+        let tasks = extract_transport_tasks(problem, schedule);
+        if tasks.len() != architecture.routes().len() {
+            return None;
+        }
+        let grid = architecture.grid();
+        if grid.rows() != grid.cols() {
+            return None;
+        }
+        // Reconstruct the routing options of the winning attempt: the base
+        // options, or the deadline-relaxed variant when the prior run's
+        // stats say the relaxed pass produced the chip.
+        let routing = if architecture.stats().relaxed_pass {
+            relaxed_routing(&options.routing, problem)
+        } else {
+            options.routing.clone()
+        };
+        Some(WarmStart {
+            grid_side: grid.rows(),
+            routing,
+            placement_options: options.placement.clone(),
+            placement: architecture.placement().clone(),
+            tasks,
+            routes: architecture.routes().to_vec(),
+        })
+    }
+}
+
+/// How much of a warm-start hint one synthesis run actually reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmReuse {
+    /// The prior placement was adopted (placement inputs were identical).
+    pub placement_reused: bool,
+    /// Transports committed by replaying prior routes instead of searching.
+    pub tasks_replayed: usize,
+    /// Total transports of the (winning) routing pass.
+    pub tasks_total: usize,
+}
+
+/// The deadline-relaxed last-resort routing options derived from `base` for
+/// `problem` — must stay in lockstep with the relaxation the grid-attempt
+/// loop applies, or warm hints would never match a relaxed-pass prior.
+fn relaxed_routing(base: &RoutingOptions, problem: &ScheduleProblem) -> RoutingOptions {
+    let mut relaxed = base.clone();
+    relaxed.max_deadline_overrun = 8 * problem.transport_time().max(1);
+    relaxed
+}
+
+/// Placement-input equality for warm adoption: everything that feeds the
+/// annealer except the `warm_start` switch itself (which gates adoption but
+/// never changes what cold placement would compute).
+fn placement_inputs_equal(a: &PlacementOptions, b: &PlacementOptions) -> bool {
+    (a.refine, a.annealing_moves, a.seed, a.starts)
+        == (b.refine, b.annealing_moves, b.seed, b.starts)
+}
+
 /// The architectural synthesis engine (Section 3.2 of the paper).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ArchitectureSynthesizer {
     options: SynthesisOptions,
     parallelism: Parallelism,
+    warm: Option<WarmStart>,
 }
 
 impl ArchitectureSynthesizer {
@@ -88,7 +192,17 @@ impl ArchitectureSynthesizer {
         ArchitectureSynthesizer {
             options,
             parallelism: Parallelism::default(),
+            warm: None,
         }
+    }
+
+    /// Offers a prior result as a warm start (see [`WarmStart`]). The hint
+    /// only ever shortcuts work it can prove byte-identical to a cold run;
+    /// an inapplicable hint is silently ignored.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm = Some(warm);
+        self
     }
 
     /// Sets the intra-job parallelism policy. The thread count never
@@ -137,6 +251,22 @@ impl ArchitectureSynthesizer {
         problem: &ScheduleProblem,
         schedule: &Schedule,
     ) -> Result<Architecture, ArchError> {
+        self.synthesize_with_reuse(problem, schedule)
+            .map(|(architecture, _)| architecture)
+    }
+
+    /// Like [`synthesize`](Self::synthesize), additionally reporting how
+    /// much of the configured [`WarmStart`] hint the run reused (all-zero
+    /// without a hint, or when the hint did not apply).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`synthesize`](Self::synthesize).
+    pub fn synthesize_with_reuse(
+        &self,
+        problem: &ScheduleProblem,
+        schedule: &Schedule,
+    ) -> Result<(Architecture, WarmReuse), ArchError> {
         schedule
             .validate(problem)
             .map_err(|e| ArchError::InvalidSchedule {
@@ -168,11 +298,7 @@ impl ArchitectureSynthesizer {
         // Last resort: permit postponing transports whose deadlines cannot
         // all be met (more simultaneous movements at a device than it has
         // ports). The overrun is reported, not hidden.
-        let relaxed_routing = {
-            let mut relaxed = self.options.routing.clone();
-            relaxed.max_deadline_overrun = 8 * problem.transport_time().max(1);
-            relaxed
-        };
+        let relaxed_routing = relaxed_routing(&self.options.routing, problem);
         // Paper-scale grids prefer growing the grid over postponing (every
         // size strictly first, then every size with postponement).
         // Storage-sized grids run one pass per size with postponement armed:
@@ -213,13 +339,30 @@ impl ArchitectureSynthesizer {
                 &self.options.routing
             };
             let grid = ConnectionGrid::square(size);
-            match self.try_grid(&grid, problem, &tasks, routing) {
-                Ok((architecture, mut stats)) => {
+            // The hint only applies to the attempt that mirrors the prior
+            // run's winning attempt: same grid, same routing options.
+            let warm = self
+                .warm
+                .as_ref()
+                .filter(|w| w.grid_side == size && w.routing == *routing);
+            match self.try_grid(&grid, problem, &tasks, routing, warm) {
+                Ok((architecture, mut stats, reuse)) => {
                     stats.grids_tried = grids_tried + 1;
                     stats.relaxed_pass = relaxed_pass;
                     let architecture = architecture.with_stats(stats);
                     architecture.verify()?;
-                    return Ok(architecture);
+                    if reuse.placement_reused || reuse.tasks_replayed > 0 {
+                        telemetry::instant(
+                            "pipeline",
+                            "warm.reuse",
+                            &[
+                                ("placement_reused", u64::from(reuse.placement_reused)),
+                                ("tasks_replayed", reuse.tasks_replayed as u64),
+                                ("tasks_total", reuse.tasks_total as u64),
+                            ],
+                        );
+                    }
+                    return Ok((architecture, reuse));
                 }
                 Err(e) => last_error = e,
             }
@@ -232,25 +375,49 @@ impl ArchitectureSynthesizer {
         &self,
         grid: &ConnectionGrid,
         problem: &ScheduleProblem,
-        tasks: &[crate::transport::TransportTask],
+        tasks: &[TransportTask],
         routing: &RoutingOptions,
-    ) -> Result<(Architecture, SynthesisStats), ArchError> {
+        warm: Option<&WarmStart>,
+    ) -> Result<(Architecture, SynthesisStats, WarmReuse), ArchError> {
         let threads = self.parallelism.effective_threads();
-        let placement = {
-            let _span = telemetry::span("pipeline", "place");
-            place_devices_threaded(
-                grid,
-                problem.devices().len(),
-                tasks,
-                &self.options.placement,
-                threads,
-            )?
+        let num_devices = problem.devices().len();
+        let mut reuse = WarmReuse {
+            tasks_total: tasks.len(),
+            ..WarmReuse::default()
+        };
+
+        // Adopt the prior placement only when every placement input is
+        // identical — grid (gated by the caller), device count, options and
+        // traffic matrix — i.e. when cold annealing would reproduce it
+        // bit-for-bit anyway. Anything weaker (e.g. seeding the anneal with
+        // the prior placement under changed traffic) would produce a chip a
+        // cold run cannot, violating the warm/cold byte-identity contract.
+        let adopted = warm.and_then(|w| {
+            if !self.options.placement.warm_start
+                || !placement_inputs_equal(&w.placement_options, &self.options.placement)
+                || w.placement.device_nodes().len() != num_devices
+            {
+                return None;
+            }
+            let prior_traffic = TrafficMatrix::from_tasks(num_devices, &w.tasks);
+            let traffic = TrafficMatrix::from_tasks(num_devices, tasks);
+            (prior_traffic == traffic).then(|| w.placement.clone())
+        });
+        let placement = match adopted {
+            Some(placement) => {
+                reuse.placement_reused = true;
+                placement
+            }
+            None => {
+                let _span = telemetry::span("pipeline", "place");
+                place_devices_threaded(grid, num_devices, tasks, &self.options.placement, threads)?
+            }
         };
 
         let mut router = Router::new(grid, &placement, routing.clone()).with_threads(threads);
         let routes = {
             let _span = telemetry::span("pipeline", "route");
-            router.route_all(tasks)
+            self.route_with_replay(&mut router, tasks, warm, &placement, &mut reuse)
         };
         let routes = routes?;
 
@@ -263,7 +430,50 @@ impl ArchitectureSynthesizer {
         let used = router.used_edges();
         let connection_graph = ConnectionGraph::new(grid.clone(), placement, used);
         let architecture = Architecture::new(connection_graph, routes);
-        Ok((architecture, stats))
+        Ok((architecture, stats, reuse))
+    }
+
+    /// Routes `tasks`, replaying the prior routes of the longest unchanged
+    /// task prefix when a warm hint applies (same placement; routing options
+    /// and grid were gated by the caller), then searching only the suffix.
+    ///
+    /// Replay failure (a malformed or inconsistent hint) falls back to a
+    /// fully cold `route_all` on a fresh router — hints may shortcut work,
+    /// never fail a synthesis that would have succeeded cold.
+    fn route_with_replay(
+        &self,
+        router: &mut Router<'_>,
+        tasks: &[TransportTask],
+        warm: Option<&WarmStart>,
+        placement: &Placement,
+        reuse: &mut WarmReuse,
+    ) -> Result<Vec<RoutedTransport>, ArchError> {
+        let prefix = warm.map_or(0, |w| {
+            if w.placement != *placement || w.routes.len() != w.tasks.len() {
+                return 0;
+            }
+            tasks
+                .iter()
+                .zip(&w.tasks)
+                .take_while(|(a, b)| a == b)
+                .count()
+        });
+        if prefix == 0 {
+            return router.route_all(tasks);
+        }
+        let w = warm.expect("non-zero prefix implies a hint");
+        for (task, routed) in tasks[..prefix].iter().zip(&w.routes) {
+            if router.replay(task, routed).is_err() {
+                // The hint lied (stale or inconsistent document): discard
+                // every replayed commit and route everything cold.
+                *router = router.fresh();
+                return router.route_all(tasks);
+            }
+        }
+        reuse.tasks_replayed = prefix;
+        let mut routes = w.routes[..prefix].to_vec();
+        routes.extend(router.route_all(&tasks[prefix..])?);
+        Ok(routes)
     }
 }
 

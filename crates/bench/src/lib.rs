@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod arch_scale;
+pub mod editloop;
 pub mod pipeline;
 pub mod scale;
 pub mod serve_bench;
@@ -18,6 +19,10 @@ pub mod serve_bench;
 pub use arch_scale::{
     arch_scale_csv, arch_scale_rows, format_arch_scale, ArchScaleRow, DEFAULT_ARCH_MIXERS,
     DEFAULT_ARCH_SIZES,
+};
+pub use editloop::{
+    assert_editloop_identity, editloop_csv, editloop_rows, format_editloop, EditLoopRow,
+    DEFAULT_EDITLOOP_ASSAYS, DEFAULT_EDITLOOP_EDITS,
 };
 pub use pipeline::{
     assert_thread_equality, format_pipeline, pipeline_csv, pipeline_rows, pipeline_rows_with_host,

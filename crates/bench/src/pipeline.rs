@@ -8,8 +8,9 @@
 //! [`biochip_telemetry::with_collection`]); only the end-to-end total is a
 //! stopwatch, so the stages may sum to slightly less than the total (task
 //! extraction, verification and span bookkeeping live between spans). Each
-//! row also records an `output_key`: the canonical content hash of the
-//! (timing-stripped) report, the schedule and the replay. The synthesizer's
+//! row also records the outcome's `output_key`: the canonical content hash
+//! of the timing- and search-effort-stripped report, the schedule and the
+//! replay (see `SynthesisOutcome::output_key`). The synthesizer's
 //! parallelism is **bit-deterministic** — multi-start placement reduces by
 //! `(cost, start index)`, router scoring by candidate order — so the key
 //! must be identical across thread counts; [`assert_thread_equality`]
@@ -124,21 +125,7 @@ fn run_cold(name: &str, threads: usize, host_threads: usize) -> Result<PipelineR
         error,
     })?;
 
-    let fingerprint = biochip_json::Json::object([
-        (
-            "report",
-            biochip_json::Serialize::to_json(&outcome.report.without_timings()),
-        ),
-        (
-            "schedule",
-            biochip_json::Serialize::to_json(&outcome.schedule),
-        ),
-        (
-            "execution",
-            biochip_json::Serialize::to_json(&outcome.execution),
-        ),
-    ]);
-    let output_key = format!("{:016x}", biochip_json::canonical_hash(&fingerprint));
+    let output_key = outcome.output_key();
 
     Ok(PipelineRow {
         assay: outcome.report.assay.clone(),

@@ -387,29 +387,78 @@ const STAGE_SPECS: &[OptionSpec] = &[
     TRACE_SPEC,
 ];
 
+const SYNTH_SPECS: &[OptionSpec] = &[
+    OptionSpec {
+        name: "--in",
+        takes_value: true,
+        help: "pipeline-state JSON from the previous stage",
+    },
+    OptionSpec {
+        name: "--out",
+        takes_value: true,
+        help: "write the updated pipeline state here (default: stdout)",
+    },
+    OptionSpec {
+        name: "--warm-from",
+        takes_value: true,
+        help: "completed pipeline state of a prior run; reuse its placement \
+               and replay unchanged routes (byte-identical output)",
+    },
+    TRACE_SPEC,
+];
+
+/// Loads a prior completed pipeline state and turns it into a warm-start
+/// hint. An unusable handoff (missing stages, mismatched schedule shape)
+/// degrades to a cold run with a note on stderr — warm starts are an
+/// optimization, never a correctness requirement.
+fn warm_start_hint(path: &str) -> Result<Option<biochip_synth::arch::WarmStart>, CliError> {
+    let prior = PipelineState::from_json_text(&read_file(path)?, path)?;
+    let problem = prior.require_problem()?;
+    let schedule = prior.require_schedule()?;
+    let architecture = prior.require_architecture()?;
+    let hint = biochip_synth::arch::WarmStart::from_prior(
+        problem,
+        schedule,
+        architecture,
+        &prior.config.synthesis,
+    );
+    if hint.is_none() {
+        eprintln!("warm-start handoff `{path}` is not reusable here; running cold");
+    }
+    Ok(hint)
+}
+
 fn cmd_synth(argv: &[String]) -> Result<(), CliError> {
     if help_requested(argv) {
         print_help(
             "synth",
             "Architectural synthesis + physical design from a scheduled state.",
-            STAGE_SPECS,
+            SYNTH_SPECS,
         );
         return Ok(());
     }
-    let parsed = ParsedArgs::parse(argv, STAGE_SPECS)?;
+    let parsed = ParsedArgs::parse(argv, SYNTH_SPECS)?;
     let mut state = stage_input(&parsed)?;
     let problem = state.require_problem()?.clone();
     let schedule = state.require_schedule()?.clone();
     schedule
         .validate(&problem)
         .map_err(|e| CliError::runtime(format!("state schedule is inconsistent: {e}")))?;
+    let warm = match parsed.value("--warm-from") {
+        Some(path) => warm_start_hint(path)?,
+        None => None,
+    };
 
     let options: SynthesisOptions = state.config.synthesis.clone();
     let mut architecture_time = Duration::ZERO;
     let mut layout_time = Duration::ZERO;
     let (architecture, layout) = with_optional_trace(parsed.value("--trace"), || {
         let started = Instant::now();
-        let architecture = ArchitectureSynthesizer::new(options)
+        let mut synthesizer = ArchitectureSynthesizer::new(options);
+        if let Some(hint) = warm {
+            synthesizer = synthesizer.with_warm_start(hint);
+        }
+        let architecture = synthesizer
             .synthesize(&problem, &schedule)
             .map_err(|e| CliError::runtime(format!("architectural synthesis failed: {e}")))?;
         architecture_time = started.elapsed();
@@ -726,7 +775,8 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
         OptionSpec {
             name: "--what",
             takes_value: true,
-            help: "table2 | fig8 | fig9 | fig10 | scale | arch | pipeline (default table2)",
+            help: "table2 | fig8 | fig9 | fig10 | scale | arch | pipeline | editloop \
+                   (default table2)",
         },
         OptionSpec {
             name: "--format",
@@ -753,15 +803,27 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
             takes_value: true,
             help: "pipeline only: comma-separated thread counts (default 1,<cores>)",
         },
+        OptionSpec {
+            name: "--assays",
+            takes_value: true,
+            help: "editloop only: comma-separated assay names (default RA1K)",
+        },
+        OptionSpec {
+            name: "--edits",
+            takes_value: true,
+            help: "editloop only: edits per assay (default 6)",
+        },
     ];
     if help_requested(argv) {
         print_help(
             "bench",
             "Reproduces the paper's evaluation numbers; `bench scale` sweeps\n\
              the list scheduler, `bench arch` sweeps place & route over the\n\
-             RA1K/RA10K-style scale workloads, and `bench pipeline` measures\n\
+             RA1K/RA10K-style scale workloads, `bench pipeline` measures\n\
              the cold pipeline's per-stage latency and multi-core speedup\n\
-             (and fails if output differs across thread counts).",
+             (and fails if output differs across thread counts), and\n\
+             `bench editloop` replays single-edit resynthesis warm vs. cold\n\
+             (and fails if any warm output key diverges from cold).",
             &specs,
         );
         return Ok(());
@@ -789,6 +851,13 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
     if what != "pipeline" && parsed.value("--threads").is_some() {
         return Err(CliError::usage(
             "--threads only applies to `biochip bench pipeline`".to_owned(),
+        ));
+    }
+    if what != "editloop"
+        && (parsed.value("--assays").is_some() || parsed.value("--edits").is_some())
+    {
+        return Err(CliError::usage(
+            "--assays/--edits only apply to `biochip bench editloop`".to_owned(),
         ));
     }
     let format = parsed.value("--format").unwrap_or("text");
@@ -825,6 +894,35 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
                 "json" => biochip_json::to_string_pretty(&rows),
                 "csv" => biochip_bench::pipeline_csv(&rows),
                 _ => biochip_bench::format_pipeline(&rows),
+            }
+        }
+        ("editloop", "json" | "csv" | "text") => {
+            let assays_raw = parsed.list_value("--assays");
+            let assays: Vec<&str> = match &assays_raw {
+                Some(raw) => raw.iter().map(String::as_str).collect(),
+                None => biochip_bench::DEFAULT_EDITLOOP_ASSAYS.to_vec(),
+            };
+            if assays.is_empty() {
+                return Err(CliError::usage(
+                    "--assays needs at least one assay name".to_owned(),
+                ));
+            }
+            let edits = parsed
+                .parse_value::<usize>("--edits")?
+                .unwrap_or(biochip_bench::DEFAULT_EDITLOOP_EDITS)
+                .max(1);
+            let rows = biochip_bench::editloop_rows(&assays, edits)
+                .map_err(|e| CliError::runtime(format!("edit-loop sweep failed: {e}")))?;
+            // Write the artifact before the identity gate so a failing run
+            // still leaves the evidence for CI to upload.
+            biochip_bench::write_bench_json("editloop", &rows);
+            biochip_bench::assert_editloop_identity(&rows).map_err(|divergence| {
+                CliError::runtime(format!("DETERMINISM FAILURE: {divergence}"))
+            })?;
+            match format {
+                "json" => biochip_json::to_string_pretty(&rows),
+                "csv" => biochip_bench::editloop_csv(&rows),
+                _ => biochip_bench::format_editloop(&rows),
             }
         }
         ("scale" | "arch", "json" | "csv" | "text") => {
@@ -879,12 +977,12 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
         (w, f)
             if !matches!(
                 w,
-                "table2" | "fig8" | "fig9" | "fig10" | "scale" | "arch" | "pipeline"
+                "table2" | "fig8" | "fig9" | "fig10" | "scale" | "arch" | "pipeline" | "editloop"
             ) =>
         {
             return Err(CliError::usage(format!(
                 "unknown bench target `{f}`-formatted `{w}` \
-                 (expected table2, fig8, fig9, fig10, scale, arch or pipeline)"
+                 (expected table2, fig8, fig9, fig10, scale, arch, pipeline or editloop)"
             )));
         }
         (_, f) => {

@@ -117,6 +117,37 @@ pub fn content_key_hex<T: Serialize + ?Sized>(value: &T) -> String {
     format!("{:016x}", content_key(value))
 }
 
+/// Derives a stage key by chaining an upstream key with a stage label and
+/// the stage-relevant payload (typically the slice of the configuration the
+/// stage consumes).
+///
+/// This is the per-stage refinement of [`content_key`]: the full pipeline
+/// identity `schedule key → placement key → route key` is built by folding
+/// each stage's config slice onto the key of the stage before it, so an
+/// edit that only touches a downstream slice leaves every upstream key —
+/// and therefore every upstream cached artifact — intact.
+///
+/// The parent key, the label and the payload are all domain-separated in
+/// the digest: `chain_key(k, "a", x)` never collides structurally with
+/// `chain_key(k, "ax", ...)` or with a differently parented chain.
+#[must_use]
+pub fn chain_key(parent: u64, stage: &str, payload: &Json) -> u64 {
+    let mut hasher = Fnv::new();
+    hasher.write(&parent.to_be_bytes());
+    hasher.write(b">");
+    hasher.write(stage.as_bytes());
+    hasher.write(&[0]);
+    hash_into(payload, &mut hasher);
+    hasher.0
+}
+
+/// A raw 64-bit key rendered as the fixed-width hex string used in URLs,
+/// reports and logs (the same format as [`content_key_hex`]).
+#[must_use]
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +206,35 @@ mod tests {
             canonical_hash(&parse("\"1\"").unwrap()),
             canonical_hash(&parse("1").unwrap())
         );
+    }
+
+    #[test]
+    fn chain_key_separates_parent_stage_and_payload() {
+        let payload = parse(r#"{"moves": 2000}"#).unwrap();
+        let base = chain_key(1, "placement", &payload);
+        // A different parent, stage or payload each changes the key.
+        assert_ne!(base, chain_key(2, "placement", &payload));
+        assert_ne!(base, chain_key(1, "route", &payload));
+        assert_ne!(base, chain_key(1, "placement", &parse("{}").unwrap()));
+        // Label/payload boundaries are domain-separated: shifting bytes
+        // between the stage name and a string payload cannot collide.
+        assert_ne!(
+            chain_key(0, "ab", &parse("\"c\"").unwrap()),
+            chain_key(0, "a", &parse("\"bc\"").unwrap())
+        );
+        // Payload key order is canonicalized like content_key.
+        assert_eq!(
+            chain_key(7, "s", &parse(r#"{"a": 1, "b": 2}"#).unwrap()),
+            chain_key(7, "s", &parse(r#"{"b": 2, "a": 1}"#).unwrap())
+        );
+    }
+
+    #[test]
+    fn key_hex_matches_content_key_hex_format() {
+        let value = parse(r#"{"assay": "PCR"}"#).unwrap();
+        assert_eq!(key_hex(canonical_hash(&value)), content_key_hex(&value));
+        assert_eq!(key_hex(0).len(), 16);
+        assert_eq!(key_hex(0xdead_beef), "00000000deadbeef");
     }
 
     #[test]

@@ -39,7 +39,9 @@ mod print;
 mod traits;
 mod value;
 
-pub use canonical::{canonical_hash, canonicalize, content_key, content_key_hex};
+pub use canonical::{
+    canonical_hash, canonicalize, chain_key, content_key, content_key_hex, key_hex,
+};
 pub use parse::parse;
 pub use traits::{Deserialize, Serialize};
 pub use value::{Json, JsonError};

@@ -1,15 +1,27 @@
-//! The content-addressed LRU result cache.
+//! The content-addressed LRU result cache, full-key and per-stage.
 //!
 //! Entries are keyed by the canonical hash of the `(problem, config)` pair
 //! (see [`biochip_json::content_key_hex`]): two submissions asking for the
 //! same synthesis — regardless of field order, formatting or which client
 //! sent them — share one entry, so a warm resubmission is a lookup instead
 //! of a multi-second pipeline run.
+//!
+//! [`StageCaches`] extends the same idea below the full key: it holds the
+//! intermediate **stage artifacts** (schedule, architecture) under their
+//! chained stage keys (see `biochip_synth::StageKeys`) plus the latest
+//! per-assay warm-start handoff, and implements
+//! [`StageStore`](biochip_synth::StageStore) so a job whose full key missed
+//! can resume the pipeline from the first divergent stage — or warm-start
+//! the architecture stage after a problem edit — instead of running cold.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use biochip_json::impl_json_struct;
+use biochip_synth::arch::Architecture;
+use biochip_synth::schedule::Schedule;
+use biochip_synth::{StageStore, SynthesisConfig, SynthesisOutcome, WarmHandoff};
 
 /// Counters the cache exposes through `GET /stats`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -77,9 +89,13 @@ impl<V> ResultCache<V> {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner<V>> {
+        // No user code runs under this lock, so poisoning is next to
+        // impossible — but recover anyway: the map of a poisoned cache is
+        // still consistent (every mutation is a single HashMap call), and a
+        // cache must degrade, never take the service down.
         self.inner
             .lock()
-            .expect("cache mutex never poisoned: no user code runs under it")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Looks up `key`, refreshing its recency and counting a hit or miss.
@@ -152,6 +168,139 @@ impl<V> ResultCache<V> {
     }
 }
 
+/// Counters of the warm-start handoff slots, exposed through `GET /stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WarmStats {
+    /// Hint lookups that found a handoff for the assay.
+    pub hits: usize,
+    /// Hint lookups that found nothing (first sight of the assay).
+    pub misses: usize,
+    /// Assays currently holding a handoff.
+    pub entries: usize,
+}
+
+impl_json_struct!(WarmStats {
+    hits,
+    misses,
+    entries
+});
+
+/// Counters of every staged cache, the `stage_cache` block of `GET /stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageCachesStats {
+    /// Schedule-stage artifact cache (keyed by schedule stage key).
+    pub schedule: CacheStats,
+    /// Architecture-stage artifact cache (keyed by route stage key).
+    pub architecture: CacheStats,
+    /// Warm-start handoff slots (keyed by assay name).
+    pub warm: WarmStats,
+}
+
+impl_json_struct!(StageCachesStats {
+    schedule,
+    architecture,
+    warm
+});
+
+/// The job service's per-stage artifact store: schedule and architecture
+/// LRU caches under their chained stage keys, plus the latest warm-start
+/// handoff per assay. Implements [`StageStore`], so
+/// `SynthesisFlow::run_problem_staged` reads and writes it directly.
+pub struct StageCaches {
+    schedule: ResultCache<Schedule>,
+    architecture: ResultCache<Architecture>,
+    /// assay name → latest handoff. Bounded like the name-key memo: the
+    /// distinct assays a service sees are few, the cap only guards against
+    /// a client sweeping generated names.
+    warm: Mutex<HashMap<String, Arc<WarmHandoff>>>,
+    warm_capacity: usize,
+    warm_hits: AtomicUsize,
+    warm_misses: AtomicUsize,
+}
+
+impl std::fmt::Debug for StageCaches {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageCaches")
+            .field("schedule", &self.schedule)
+            .field("architecture", &self.architecture)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StageCaches {
+    /// Creates the staged caches, each stage holding at most `capacity`
+    /// entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        StageCaches {
+            schedule: ResultCache::new(capacity),
+            architecture: ResultCache::new(capacity),
+            warm: Mutex::new(HashMap::new()),
+            warm_capacity: capacity.max(1),
+            warm_hits: AtomicUsize::new(0),
+            warm_misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock_warm(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<WarmHandoff>>> {
+        // Same poisoning stance as ResultCache::lock: recover, never
+        // propagate — a HashMap is consistent after any single call.
+        self.warm
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Snapshot of all per-stage counters.
+    #[must_use]
+    pub fn stats(&self) -> StageCachesStats {
+        StageCachesStats {
+            schedule: self.schedule.stats(),
+            architecture: self.architecture.stats(),
+            warm: WarmStats {
+                hits: self.warm_hits.load(Ordering::Relaxed),
+                misses: self.warm_misses.load(Ordering::Relaxed),
+                entries: self.lock_warm().len(),
+            },
+        }
+    }
+}
+
+impl StageStore for StageCaches {
+    fn get_schedule(&self, key: &str) -> Option<Arc<Schedule>> {
+        self.schedule.get(key)
+    }
+
+    fn put_schedule(&self, key: &str, schedule: &Arc<Schedule>) {
+        self.schedule.insert(key, Arc::clone(schedule));
+    }
+
+    fn get_architecture(&self, key: &str) -> Option<Arc<Architecture>> {
+        self.architecture.get(key)
+    }
+
+    fn put_architecture(&self, key: &str, architecture: &Arc<Architecture>) {
+        self.architecture.insert(key, Arc::clone(architecture));
+    }
+
+    fn warm_hint(&self, assay: &str) -> Option<Arc<WarmHandoff>> {
+        let hint = self.lock_warm().get(assay).cloned();
+        match &hint {
+            Some(_) => self.warm_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.warm_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hint
+    }
+
+    fn put_warm(&self, assay: &str, outcome: &SynthesisOutcome, config: &SynthesisConfig) {
+        let handoff = Arc::new(WarmHandoff::from_outcome(outcome, config));
+        let mut warm = self.lock_warm();
+        if !warm.contains_key(assay) && warm.len() >= self.warm_capacity {
+            warm.clear();
+        }
+        warm.insert(assay.to_owned(), handoff);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +347,43 @@ mod tests {
         cache.insert("a", Arc::new(1));
         assert!(cache.get("a").is_some());
         assert_eq!(cache.stats().capacity, 1);
+    }
+
+    #[test]
+    fn stage_caches_round_trip_and_count_per_stage() {
+        let stages = StageCaches::new(4);
+        assert!(stages.get_schedule("s1").is_none());
+        let schedule = Arc::new(Schedule::with_capacity(0));
+        stages.put_schedule("s1", &schedule);
+        assert!(stages.get_schedule("s1").is_some());
+        assert!(stages.get_architecture("r1").is_none());
+        assert!(stages.warm_hint("PCR").is_none());
+        let stats = stages.stats();
+        assert_eq!((stats.schedule.hits, stats.schedule.misses), (1, 1));
+        assert_eq!((stats.architecture.hits, stats.architecture.misses), (0, 1));
+        assert_eq!(
+            (stats.warm.hits, stats.warm.misses, stats.warm.entries),
+            (0, 1, 0)
+        );
+        // The stats block serializes for /stats.
+        let json = biochip_json::Serialize::to_json(&stats);
+        let back: StageCachesStats = biochip_json::Deserialize::from_json(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn a_poisoned_cache_mutex_recovers_instead_of_cascading() {
+        let cache: Arc<ResultCache<u32>> = Arc::new(ResultCache::new(4));
+        cache.insert("a", Arc::new(1));
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("poison the cache mutex");
+        })
+        .join();
+        // Every subsequent operation recovers the guard and keeps working.
+        assert_eq!(cache.get("a").as_deref(), Some(&1));
+        cache.insert("b", Arc::new(2));
+        assert_eq!(cache.stats().entries, 2);
     }
 }

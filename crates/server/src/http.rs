@@ -75,6 +75,31 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
+/// Maximum characters of an untrusted header value echoed back in an error
+/// body.
+const MAX_ECHO_CHARS: usize = 64;
+
+/// Renders an untrusted header value for echoing inside an error message:
+/// truncated to [`MAX_ECHO_CHARS`] characters, with everything outside
+/// printable ASCII replaced by its escaped form (`\t`, `\u{1b}`, ...), so a
+/// hostile value can neither bloat the response nor smuggle control bytes
+/// into a client's terminal or log pipeline.
+fn sanitize_echo(value: &str) -> String {
+    let mut out = String::with_capacity(value.len().min(MAX_ECHO_CHARS) + 1);
+    for (i, c) in value.chars().enumerate() {
+        if i >= MAX_ECHO_CHARS {
+            out.push('…');
+            break;
+        }
+        if c.is_ascii_graphic() || c == ' ' {
+            out.push(c);
+        } else {
+            out.extend(c.escape_default());
+        }
+    }
+    out
+}
+
 fn read_line(reader: &mut impl BufRead, deadline: Instant) -> Result<String, HttpError> {
     let mut line = Vec::new();
     let mut byte = [0u8; 1];
@@ -135,10 +160,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             return Err(HttpError::new(400, format!("malformed header `{line}`")));
         };
         if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|_| HttpError::new(400, format!("bad content-length `{value}`")))?;
+            content_length = value.trim().parse().map_err(|_| {
+                HttpError::new(
+                    400,
+                    format!("bad content-length `{}`", sanitize_echo(value.trim())),
+                )
+            })?;
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -244,6 +271,31 @@ mod tests {
             let err = roundtrip(raw).unwrap_err();
             assert_eq!(err.status, 400, "{err:?}");
         }
+    }
+
+    #[test]
+    fn bad_content_length_echo_is_truncated_and_escaped() {
+        // A control character in the value must come back escaped, not raw.
+        let err =
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: \x1b[2Jno\tpe\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(!err.message.contains('\u{1b}'), "{:?}", err.message);
+        assert!(!err.message.contains('\t'), "{:?}", err.message);
+        assert!(err.message.contains("\\u{1b}"), "{:?}", err.message);
+        assert!(err.message.contains("\\t"), "{:?}", err.message);
+        // An oversized value is truncated to a bounded echo.
+        let long = format!(
+            "POST / HTTP/1.1\r\nContent-Length: x{}\r\n\r\n",
+            "9".repeat(2000)
+        );
+        let err = roundtrip(long.as_bytes()).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains('…'), "{:?}", err.message);
+        assert!(
+            err.message.len() < 200,
+            "echo not truncated: {}",
+            err.message.len()
+        );
     }
 
     #[test]

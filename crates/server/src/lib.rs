@@ -36,6 +36,6 @@ pub mod http;
 pub mod jobs;
 pub mod server;
 
-pub use cache::{CacheStats, ResultCache};
+pub use cache::{CacheStats, ResultCache, StageCaches, StageCachesStats, WarmStats};
 pub use jobs::{JobRecord, JobState, JobStore, ResultDoc};
 pub use server::{error_body, ServeOptions, ServeStats, Server, ServerHandle, ERROR_SCHEMA};

@@ -11,10 +11,10 @@ use biochip_json::{impl_json_struct, Json, Serialize};
 use biochip_pool::{PoolStats, ShardedPool};
 use biochip_synth::assay::library;
 use biochip_synth::schedule::ScheduleProblem;
-use biochip_synth::{FlowController, FlowError, SynthesisConfig, SynthesisFlow};
+use biochip_synth::{FlowController, FlowError, ReuseKind, SynthesisConfig, SynthesisFlow};
 use biochip_telemetry as telemetry;
 
-use crate::cache::{CacheStats, ResultCache};
+use crate::cache::{CacheStats, ResultCache, StageCaches, StageCachesStats};
 use crate::http::{
     read_request, write_json_response, write_response, HttpError, Request, PROMETHEUS_CONTENT_TYPE,
 };
@@ -72,8 +72,18 @@ pub struct ServeStats {
     pub jobs_cancelled: usize,
     /// Jobs answered from the result cache.
     pub jobs_cached: usize,
-    /// Result-cache counters.
+    /// Jobs that shortcut the architecture stage with a warm-start hint
+    /// (prior placement adopted and/or a routed prefix replayed).
+    pub jobs_warm_started: usize,
+    /// Jobs (among the warm-started) that adopted the prior placement.
+    pub warm_placements_reused: usize,
+    /// Transports committed by warm replay instead of search, summed over
+    /// all jobs.
+    pub warm_tasks_replayed: usize,
+    /// Result-cache counters (full content key).
     pub cache: CacheStats,
+    /// Per-stage artifact caches (schedule / architecture / warm handoffs).
+    pub stage_cache: StageCachesStats,
     /// Worker-pool counters.
     pub pool: PoolStats,
 }
@@ -87,7 +97,11 @@ impl_json_struct!(ServeStats {
     jobs_failed,
     jobs_cancelled,
     jobs_cached,
+    jobs_warm_started,
+    warm_placements_reused,
+    warm_tasks_replayed,
     cache,
+    stage_cache,
     pool,
 });
 
@@ -191,7 +205,15 @@ struct NameKeyMemo {
 struct ServerState {
     jobs: JobStore,
     cache: ResultCache<ResultDoc>,
+    /// Stage artifacts + warm handoffs consulted when the full key misses.
+    stages: StageCaches,
     cached_hits: AtomicU64,
+    /// Jobs whose architecture stage was warm-started.
+    warm_jobs: AtomicU64,
+    /// Warm-started jobs that adopted the prior placement.
+    warm_placements: AtomicU64,
+    /// Transports committed by warm replay, summed over all jobs.
+    warm_tasks_replayed: AtomicU64,
     /// Worker count of the pool (for the idle-shard borrow computation).
     workers: usize,
     /// Per-job scoring threads (0 = adaptive; see [`ServeOptions`]).
@@ -204,6 +226,20 @@ struct ServerState {
     name_keys: std::sync::Mutex<std::collections::HashMap<String, NameKeyMemo>>,
     started: Instant,
     metrics: Metrics,
+}
+
+impl ServerState {
+    /// Locks the name-key memo, recovering from poisoning: the map is
+    /// consistent after any single `HashMap` call, and losing a memo entry
+    /// at worst re-hashes one submission — never worth failing requests
+    /// for.
+    fn lock_name_keys(
+        &self,
+    ) -> std::sync::MutexGuard<'_, std::collections::HashMap<String, NameKeyMemo>> {
+        self.name_keys
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 struct Shared {
@@ -280,7 +316,11 @@ impl Server {
         let state = Arc::new(ServerState {
             jobs: JobStore::default(),
             cache: ResultCache::new(options.cache_capacity),
+            stages: StageCaches::new(options.cache_capacity),
             cached_hits: AtomicU64::new(0),
+            warm_jobs: AtomicU64::new(0),
+            warm_placements: AtomicU64::new(0),
+            warm_tasks_replayed: AtomicU64::new(0),
             workers,
             threads_per_job,
             name_keys: std::sync::Mutex::new(std::collections::HashMap::new()),
@@ -560,9 +600,15 @@ fn submission_key(problem: &ScheduleProblem, config: &SynthesisConfig) -> (u64, 
     (key, format!("{key:016x}"))
 }
 
-fn named_problem(canonical: &str, config: &SynthesisConfig) -> ScheduleProblem {
-    let graph = library::by_name(canonical).expect("canonical names always resolve");
-    SynthesisFlow::new(config.clone()).problem_for(graph)
+/// Builds the problem document of a named library assay. By construction
+/// `canonical` came from [`library::canonical_name`], so the lookup should
+/// always succeed — but a library/server skew must answer a structured 500,
+/// not take the connection thread down.
+fn named_problem(canonical: &str, config: &SynthesisConfig) -> Result<ScheduleProblem, String> {
+    let graph = library::by_name(canonical).ok_or_else(|| {
+        format!("assay `{canonical}` validated against the library but failed to resolve")
+    })?;
+    Ok(SynthesisFlow::new(config.clone()).problem_for(graph))
 }
 
 /// A submission resolved to its cache identity. The problem document is
@@ -581,34 +627,33 @@ struct ResolvedJob {
 
 /// Resolves a submission to its content key and display name, building the
 /// problem document only when the key was not already memoized.
-fn resolve_key(submission: Submission, state: &ServerState) -> ResolvedJob {
-    match submission {
+///
+/// # Errors
+///
+/// Returns the message of a structured 500 when a canonical assay name
+/// fails to resolve (a library/server skew, not a client error).
+fn resolve_key(submission: Submission, state: &ServerState) -> Result<ResolvedJob, String> {
+    Ok(match submission {
         Submission::Named { canonical, config } => {
             let config_key = biochip_json::canonical_hash(&config_identity_json(&config));
             let memo_key = format!("{canonical}:{config_key:016x}");
             {
-                let memo = state
-                    .name_keys
-                    .lock()
-                    .expect("name-key memo mutex never poisoned");
+                let memo = state.lock_name_keys();
                 if let Some(known) = memo.get(&memo_key) {
-                    return ResolvedJob {
+                    return Ok(ResolvedJob {
                         key: known.key,
                         key_hex: known.hex.clone(),
                         assay: known.assay.clone(),
                         config,
                         problem: None,
                         canonical: Some(canonical),
-                    };
+                    });
                 }
             }
-            let problem = named_problem(canonical, &config);
+            let problem = named_problem(canonical, &config)?;
             let (key, hex) = submission_key(&problem, &config);
             let assay = problem.graph().name().to_owned();
-            let mut memo = state
-                .name_keys
-                .lock()
-                .expect("name-key memo mutex never poisoned");
+            let mut memo = state.lock_name_keys();
             // Distinct (assay, config) pairs are few in practice; the cap
             // only guards against a client sweeping configs to grow the map.
             if memo.len() >= 1024 {
@@ -642,7 +687,7 @@ fn resolve_key(submission: Submission, state: &ServerState) -> ResolvedJob {
                 canonical: None,
             }
         }
-    }
+    })
 }
 
 fn submit(request: &Request, shared: &Shared) -> (u16, String) {
@@ -658,7 +703,10 @@ fn submit(request: &Request, shared: &Shared) -> (u16, String) {
         config,
         problem,
         canonical,
-    } = resolve_key(submission, &shared.state);
+    } = match resolve_key(submission, &shared.state) {
+        Ok(resolved) => resolved,
+        Err(message) => return (500, error_body(500, &message)),
+    };
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
 
     if let Some(result) = shared.state.cache.get(&key_hex) {
@@ -687,13 +735,25 @@ fn submit(request: &Request, shared: &Shared) -> (u16, String) {
 
     // Cache miss: a worker must synthesize, so a problem document is needed
     // now. It is absent only on the memo fast path (named assay with a
-    // known key whose result was evicted) — rebuild it from the name.
-    let problem = problem.unwrap_or_else(|| {
-        named_problem(
-            canonical.expect("only named submissions lack a prebuilt problem"),
-            &config,
-        )
-    });
+    // known key whose result was evicted) — rebuild it from the name. Both
+    // "absent without a name" and "name fails to resolve" are server-side
+    // inconsistencies: answer a structured 500, never panic the handler.
+    let problem = match (problem, canonical) {
+        (Some(problem), _) => problem,
+        (None, Some(canonical)) => match named_problem(canonical, &config) {
+            Ok(problem) => problem,
+            Err(message) => return (500, error_body(500, &message)),
+        },
+        (None, None) => {
+            return (
+                500,
+                error_body(
+                    500,
+                    "submission resolved without a problem document or an assay name",
+                ),
+            )
+        }
+    };
 
     let controller = Arc::new(FlowController::new());
     let record = JobRecord {
@@ -893,6 +953,77 @@ fn metrics_text(shared: &Shared) -> String {
         "Result-cache capacity in entries",
         &[(plain(), cache.capacity as f64)],
     );
+    let stages = state.stages.stats();
+    let per_stage = |f: fn(&CacheStats) -> usize| {
+        vec![
+            (
+                "{stage=\"schedule\"}".to_owned(),
+                f(&stages.schedule) as f64,
+            ),
+            (
+                "{stage=\"architecture\"}".to_owned(),
+                f(&stages.architecture) as f64,
+            ),
+        ]
+    };
+    push_metric(
+        &mut out,
+        "biochip_stage_cache_hits_total",
+        "counter",
+        "Stage-artifact cache lookups that found a live entry, by pipeline stage",
+        &per_stage(|s| s.hits),
+    );
+    push_metric(
+        &mut out,
+        "biochip_stage_cache_misses_total",
+        "counter",
+        "Stage-artifact cache lookups that missed, by pipeline stage",
+        &per_stage(|s| s.misses),
+    );
+    push_metric(
+        &mut out,
+        "biochip_stage_cache_entries",
+        "gauge",
+        "Stage-artifact cache entries currently held, by pipeline stage",
+        &per_stage(|s| s.entries),
+    );
+    push_metric(
+        &mut out,
+        "biochip_warm_hints_total",
+        "counter",
+        "Warm-start handoff lookups by result",
+        &[
+            ("{result=\"hit\"}".to_owned(), stages.warm.hits as f64),
+            ("{result=\"miss\"}".to_owned(), stages.warm.misses as f64),
+        ],
+    );
+    push_metric(
+        &mut out,
+        "biochip_warm_jobs_total",
+        "counter",
+        "Jobs whose architecture stage was warm-started from a prior run",
+        &[(plain(), state.warm_jobs.load(Ordering::Relaxed) as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_warm_tasks_replayed_total",
+        "counter",
+        "Transports committed by warm replay instead of search",
+        &[(
+            plain(),
+            state.warm_tasks_replayed.load(Ordering::Relaxed) as f64,
+        )],
+    );
+    push_metric(
+        &mut out,
+        "biochip_warm_placements_reused_total",
+        "counter",
+        "Warm-started jobs that adopted the prior placement",
+        &[(
+            plain(),
+            state.warm_placements.load(Ordering::Relaxed) as f64,
+        )],
+    );
     push_metric(
         &mut out,
         "biochip_jobs_accepted_total",
@@ -969,7 +1100,11 @@ fn stats(shared: &Shared) -> ServeStats {
         jobs_failed: counts.failed,
         jobs_cancelled: counts.cancelled,
         jobs_cached: state.cached_hits.load(Ordering::Relaxed) as usize,
+        jobs_warm_started: state.warm_jobs.load(Ordering::Relaxed) as usize,
+        warm_placements_reused: state.warm_placements.load(Ordering::Relaxed) as usize,
+        warm_tasks_replayed: state.warm_tasks_replayed.load(Ordering::Relaxed) as usize,
         cache: state.cache.stats(),
+        stage_cache: state.stages.stats(),
         pool: shared.pool.stats(),
     }
 }
@@ -1052,14 +1187,27 @@ fn run_job(state: &ServerState, worker: usize, job: QueuedJob) {
     config.parallelism = biochip_synth::arch::Parallelism::with_threads(threads.max(1));
 
     let flow = SynthesisFlow::new(config);
+    // The staged run probes the per-stage caches (schedule by schedule
+    // key, architecture by route key) and falls back to a warm-started or
+    // cold synthesis of whatever diverged — never changing the result,
+    // only skipping recomputation.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        flow.run_problem_with(problem, &controller)
+        flow.run_problem_staged(problem, &controller, &state.stages)
     }));
     let wall = submitted.elapsed().as_secs_f64();
     state.metrics.job_cold_seconds.observe(wall);
 
     match outcome {
-        Ok(Ok(outcome)) => {
+        Ok(Ok((outcome, reuse))) => {
+            if reuse.architecture == ReuseKind::Warm {
+                state.warm_jobs.fetch_add(1, Ordering::Relaxed);
+            }
+            if reuse.placement_reused {
+                state.warm_placements.fetch_add(1, Ordering::Relaxed);
+            }
+            state
+                .warm_tasks_replayed
+                .fetch_add(reuse.tasks_replayed as u64, Ordering::Relaxed);
             let result = Arc::new(ResultDoc {
                 schema: ResultDoc::SCHEMA.to_owned(),
                 assay,
@@ -1109,5 +1257,70 @@ fn run_job(state: &ServerState, worker: usize, job: QueuedJob) {
                 record.wall_seconds = wall;
             });
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state() -> ServerState {
+        ServerState {
+            jobs: JobStore::default(),
+            cache: ResultCache::new(4),
+            stages: StageCaches::new(4),
+            cached_hits: AtomicU64::new(0),
+            warm_jobs: AtomicU64::new(0),
+            warm_placements: AtomicU64::new(0),
+            warm_tasks_replayed: AtomicU64::new(0),
+            workers: 1,
+            threads_per_job: 1,
+            name_keys: std::sync::Mutex::new(std::collections::HashMap::new()),
+            started: Instant::now(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    #[test]
+    fn a_poisoned_name_key_memo_recovers_and_keeps_memoizing() {
+        let state = Arc::new(test_state());
+        let poisoner = Arc::clone(&state);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.name_keys.lock().unwrap();
+            panic!("poison the memo mutex");
+        })
+        .join();
+        assert!(state.name_keys.lock().is_err(), "mutex should be poisoned");
+        // Resolution recovers the guard: it hashes, memoizes, and the
+        // second resolution takes the memo fast path (no rebuilt problem).
+        let config = SynthesisConfig::default();
+        let first = resolve_key(
+            Submission::Named {
+                canonical: "PCR",
+                config: config.clone(),
+            },
+            &state,
+        )
+        .unwrap();
+        assert!(first.problem.is_some());
+        let second = resolve_key(
+            Submission::Named {
+                canonical: "PCR",
+                config,
+            },
+            &state,
+        )
+        .unwrap();
+        assert_eq!(second.key_hex, first.key_hex);
+        assert!(
+            second.problem.is_none(),
+            "memo fast path must hit despite the earlier poison"
+        );
+    }
+
+    #[test]
+    fn named_problem_reports_unresolvable_names_instead_of_panicking() {
+        let err = named_problem("NOT-A-REAL-ASSAY", &SynthesisConfig::default()).unwrap_err();
+        assert!(err.contains("NOT-A-REAL-ASSAY"), "{err}");
     }
 }

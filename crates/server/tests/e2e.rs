@@ -255,6 +255,122 @@ fn equivalent_submissions_share_one_cache_entry() {
 }
 
 #[test]
+fn config_edits_reuse_cached_stages_and_warm_start() {
+    let (addr, handle, join) = start_server(1);
+
+    // Base: a cold RA30 run primes the per-stage caches and the warm hint.
+    let base = client::submit(addr, r#"{"assay": "RA30"}"#).unwrap();
+    wait_done(addr, &base);
+
+    // Layout-only edit: a different full key (no result-cache hit), but the
+    // schedule and the architecture are both served from the stage caches.
+    let mut layout_config = biochip_synth::SynthesisConfig::default();
+    layout_config.layout.channel_pitch += 1;
+    let body = format!(
+        r#"{{"assay": "RA30", "config": {}}}"#,
+        biochip_json::to_string(&layout_config)
+    );
+    let layout_job = client::submit(addr, &body).unwrap();
+    assert_eq!(
+        layout_job.get("cached").unwrap(),
+        &biochip_json::Json::Bool(false),
+        "a layout edit is a new full key: {}",
+        layout_job.to_compact()
+    );
+    wait_done(addr, &layout_job);
+
+    // Schedule-slice edit (the ILP limit is inert above the heuristic
+    // threshold): the schedule recomputes to the same result and the warm
+    // hint replays the entire architecture.
+    let mut sched_config = biochip_synth::SynthesisConfig::default();
+    sched_config.ilp_time_limit += Duration::from_secs(1);
+    let body = format!(
+        r#"{{"assay": "RA30", "config": {}}}"#,
+        biochip_json::to_string(&sched_config)
+    );
+    let sched_job = client::submit(addr, &body).unwrap();
+    wait_done(addr, &sched_job);
+
+    // The per-stage counters tell the story: the layout edit hit both stage
+    // caches; the schedule edit missed both by key but warm-started.
+    let (status, stats) = client::get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    let stats = biochip_json::parse(&stats).unwrap();
+    let stage = stats.get("stage_cache").unwrap();
+    for (stage_name, hits, misses) in [("schedule", 1.0, 2.0), ("architecture", 1.0, 2.0)] {
+        let block = stage.get(stage_name).unwrap();
+        assert_eq!(
+            block.get("hits").unwrap().expect_number().unwrap(),
+            hits,
+            "{stage_name}: {}",
+            stats.to_compact()
+        );
+        assert_eq!(
+            block.get("misses").unwrap().expect_number().unwrap(),
+            misses,
+            "{stage_name}: {}",
+            stats.to_compact()
+        );
+    }
+    let warm = stage.get("warm").unwrap();
+    assert_eq!(warm.get("hits").unwrap().expect_number().unwrap(), 1.0);
+    assert_eq!(
+        stats
+            .get("jobs_warm_started")
+            .unwrap()
+            .expect_number()
+            .unwrap(),
+        1.0,
+        "{}",
+        stats.to_compact()
+    );
+    assert_eq!(
+        stats
+            .get("warm_placements_reused")
+            .unwrap()
+            .expect_number()
+            .unwrap(),
+        1.0
+    );
+    assert!(
+        stats
+            .get("warm_tasks_replayed")
+            .unwrap()
+            .expect_number()
+            .unwrap()
+            >= 1.0
+    );
+
+    // The Prometheus scrape carries the same per-stage series.
+    let (status, metrics) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("biochip_stage_cache_hits_total{stage=\"schedule\"} 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("biochip_stage_cache_hits_total{stage=\"architecture\"} 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("biochip_stage_cache_misses_total{stage=\"schedule\"} 2\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("biochip_warm_hints_total{result=\"hit\"} 1\n"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("biochip_warm_jobs_total 1\n"), "{metrics}");
+    assert!(
+        metrics.contains("biochip_warm_placements_reused_total 1\n"),
+        "{metrics}"
+    );
+
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
 fn jobs_report_live_stages_and_can_be_cancelled() {
     let (addr, handle, join) = start_server(1);
 

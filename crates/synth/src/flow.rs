@@ -3,12 +3,13 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use biochip_telemetry as telemetry;
 
 use biochip_arch::{
-    ArchError, Architecture, ArchitectureSynthesizer, Parallelism, SynthesisOptions,
+    ArchError, Architecture, ArchitectureSynthesizer, Parallelism, SynthesisOptions, WarmStart,
 };
 use biochip_assay::{Seconds, SequencingGraph};
 use biochip_layout::{generate_layout, LayoutOptions, PhysicalDesign};
@@ -19,6 +20,7 @@ use biochip_schedule::{
 use biochip_sim::{replay, simulate_dedicated_storage, DedicatedExecutionReport, ExecutionReport};
 
 use crate::report::SynthesisReport;
+use crate::stages::{NoStageStore, ReuseKind, StageKeys, StageReuse, StageStore};
 
 /// Which scheduling engine the flow uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -408,6 +410,17 @@ pub struct SynthesisOutcome {
     pub report: SynthesisReport,
 }
 
+impl SynthesisOutcome {
+    /// The content identity of this run: the canonical hash of the
+    /// timing- and search-effort-stripped `(report, schedule, execution)`
+    /// triple, as hex. A pure function of the input problem and config —
+    /// the byte-identity warm-start and cache paths are gated on.
+    #[must_use]
+    pub fn output_key(&self) -> String {
+        crate::stages::output_key(self)
+    }
+}
+
 /// The end-to-end synthesis flow.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SynthesisFlow {
@@ -516,7 +529,32 @@ impl SynthesisFlow {
         problem: ScheduleProblem,
         controller: &FlowController,
     ) -> Result<SynthesisOutcome, FlowError> {
-        let result = self.run_stages(problem, controller);
+        self.run_problem_staged(problem, controller, &NoStageStore)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`SynthesisFlow::run_problem_with`], but with a [`StageStore`]
+    /// that may satisfy whole stages from cached artifacts (exact stage-key
+    /// hits) or shortcut the architecture stage with a warm-start hint
+    /// (prior placement adopted, unchanged route prefix replayed). The
+    /// returned [`StageReuse`] is the receipt: which stage was served how,
+    /// under which keys.
+    ///
+    /// Reuse never changes the synthesized result — a staged run's
+    /// [`SynthesisOutcome::output_key`] is byte-identical to the cold
+    /// run's — only how much of it had to be recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and architectural-synthesis failures and
+    /// returns [`FlowError::Cancelled`] when the controller was cancelled.
+    pub fn run_problem_staged(
+        &self,
+        problem: ScheduleProblem,
+        controller: &FlowController,
+        store: &dyn StageStore,
+    ) -> Result<(SynthesisOutcome, StageReuse), FlowError> {
+        let result = self.run_stages(problem, controller, store);
         controller.mark(FlowStage::Done);
         result
     }
@@ -525,22 +563,64 @@ impl SynthesisFlow {
         &self,
         problem: ScheduleProblem,
         controller: &FlowController,
-    ) -> Result<SynthesisOutcome, FlowError> {
+        store: &dyn StageStore,
+    ) -> Result<(SynthesisOutcome, StageReuse), FlowError> {
+        let run_start = Instant::now();
+        let mut reuse = StageReuse::new(StageKeys::derive(&self.config, &problem));
+
         controller.enter(FlowStage::Scheduling)?;
         let schedule_start = Instant::now();
-        let schedule = {
-            let _span = telemetry::span("pipeline", "schedule");
-            self.schedule(&problem)?
+        let schedule = match store.get_schedule(&reuse.keys.schedule) {
+            Some(cached) => {
+                reuse.schedule = ReuseKind::Hit;
+                cached
+            }
+            None => {
+                let computed = {
+                    let _span = telemetry::span("pipeline", "schedule");
+                    Arc::new(self.schedule(&problem)?)
+                };
+                store.put_schedule(&reuse.keys.schedule, &computed);
+                computed
+            }
         };
         let scheduling_time = schedule_start.elapsed();
 
         controller.enter(FlowStage::Architecture)?;
         let arch_start = Instant::now();
-        // The "place" and "route" spans are recorded inside the
-        // synthesizer, once per grid attempt.
-        let architecture = ArchitectureSynthesizer::new(self.config.synthesis.clone())
-            .with_parallelism(self.config.parallelism)
-            .synthesize(&problem, &schedule)?;
+        let architecture = match store.get_architecture(&reuse.keys.route) {
+            Some(cached) => {
+                reuse.architecture = ReuseKind::Hit;
+                cached
+            }
+            None => {
+                // The "place" and "route" spans are recorded inside the
+                // synthesizer, once per grid attempt.
+                let mut synthesizer = ArchitectureSynthesizer::new(self.config.synthesis.clone())
+                    .with_parallelism(self.config.parallelism);
+                if let Some(hint) = store.warm_hint(problem.graph().name()) {
+                    if let Some(warm) = WarmStart::from_prior(
+                        &hint.problem,
+                        &hint.schedule,
+                        &hint.architecture,
+                        &hint.synthesis,
+                    ) {
+                        synthesizer = synthesizer.with_warm_start(warm);
+                    }
+                }
+                let (architecture, warm) =
+                    synthesizer.synthesize_with_reuse(&problem, &schedule)?;
+                if warm.placement_reused || warm.tasks_replayed > 0 {
+                    reuse.architecture = ReuseKind::Warm;
+                }
+                reuse.placement_reused = warm.placement_reused;
+                reuse.tasks_replayed = warm.tasks_replayed;
+                reuse.tasks_total = warm.tasks_total;
+                let architecture = Arc::new(architecture);
+                store.put_architecture(&reuse.keys.route, &architecture);
+                architecture
+            }
+        };
         let architecture_time = arch_start.elapsed();
 
         controller.enter(FlowStage::Layout)?;
@@ -571,15 +651,34 @@ impl SynthesisFlow {
             layout_time,
         );
 
-        Ok(SynthesisOutcome {
+        reuse.seconds = run_start.elapsed().as_secs_f64();
+        telemetry::instant(
+            "pipeline",
+            "stage.reuse",
+            &[
+                ("schedule_hit", u64::from(reuse.schedule == ReuseKind::Hit)),
+                ("arch_hit", u64::from(reuse.architecture == ReuseKind::Hit)),
+                (
+                    "arch_warm",
+                    u64::from(reuse.architecture == ReuseKind::Warm),
+                ),
+                ("placement_reused", u64::from(reuse.placement_reused)),
+                ("tasks_replayed", reuse.tasks_replayed as u64),
+                ("tasks_total", reuse.tasks_total as u64),
+            ],
+        );
+
+        let outcome = SynthesisOutcome {
+            schedule: Arc::try_unwrap(schedule).unwrap_or_else(|arc| (*arc).clone()),
+            architecture: Arc::try_unwrap(architecture).unwrap_or_else(|arc| (*arc).clone()),
             problem,
-            schedule,
-            architecture,
             layout,
             execution,
             dedicated_baseline,
             report,
-        })
+        };
+        store.put_warm(outcome.problem.graph().name(), &outcome, &self.config);
+        Ok((outcome, reuse))
     }
 }
 

@@ -33,12 +33,16 @@
 
 mod flow;
 mod report;
+mod stages;
 
 pub use flow::{
     FlowController, FlowError, FlowStage, SchedulerChoice, StageTiming, SynthesisConfig,
     SynthesisFlow, SynthesisOutcome,
 };
 pub use report::SynthesisReport;
+pub use stages::{
+    MemoryStageStore, NoStageStore, ReuseKind, StageKeys, StageReuse, StageStore, WarmHandoff,
+};
 
 /// Re-export of the architectural-synthesis crate.
 pub use biochip_arch as arch;
