@@ -65,9 +65,11 @@ mod dedicated;
 mod error;
 mod grid;
 mod ilp_route;
+mod oracle;
 mod parallel;
 mod placement;
 mod reservation;
+mod route_plan;
 mod routing;
 mod segment_index;
 mod synthesis;
@@ -78,9 +80,11 @@ pub use dedicated::{dedicated_storage_valves, DedicatedStorageUnit};
 pub use error::ArchError;
 pub use grid::{ConnectionGrid, GridCoord, GridEdgeId, NodeId};
 pub use ilp_route::{route_with_ilp, IlpRoutingProblem};
+pub use oracle::{OracleCache, RoutingOracle};
 pub use parallel::Parallelism;
 pub use placement::{place_devices, place_devices_threaded, Placement, PlacementOptions};
 pub use reservation::{Interval, ReservationCalendar, ReservationTable};
+pub use route_plan::validate_route_plan;
 pub use routing::{RoutedPath, Router, RouterStats, RoutingOptions};
 pub use synthesis::{
     ArchitectureSynthesizer, SynthesisOptions, SynthesisStats, WarmReuse, WarmStart,

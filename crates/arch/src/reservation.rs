@@ -104,6 +104,14 @@ impl ReservationCalendar {
         if interval.is_empty() {
             return true;
         }
+        // Routing reserves forward in time, so most queries land past every
+        // existing reservation: answer those from the last interval alone
+        // before paying for a binary search.
+        match self.busy.last() {
+            None => return true,
+            Some(last) if last.end <= interval.start => return true,
+            _ => {}
+        }
         // First busy interval that ends after the query starts; only that one
         // can overlap from the left.
         let idx = self.busy.partition_point(|b| b.end <= interval.start);

@@ -60,7 +60,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +70,7 @@ use biochip_telemetry as telemetry;
 use crate::connection_graph::RoutedTransport;
 use crate::error::ArchError;
 use crate::grid::{ConnectionGrid, GridEdgeId, NodeId};
+use crate::oracle::{OracleTarget, RoutingOracle};
 use crate::placement::Placement;
 use crate::reservation::{Interval, ReservationTable};
 use crate::segment_index::{OrderedCandidates, PairIndex, SegmentIndex};
@@ -158,6 +159,20 @@ pub struct RouterStats {
     pub segments_priced: usize,
     /// Tasks committed past their schedule-derived deadline.
     pub postponed_tasks: usize,
+    /// Routing oracles this router built itself (0 when a prebuilt oracle
+    /// was adopted via [`Router::with_oracle`]).
+    pub oracle_builds: usize,
+    /// Path searches the oracle rejected before any node expansion
+    /// (destination-entry precheck) — each one a search the exact Dijkstra
+    /// would have run to exhaustion and failed.
+    pub oracle_rejected_searches: usize,
+    /// Frontier pushes pruned by the oracle's static-reachability
+    /// tightening (the admissible bound snaps to ∞ for transit nodes walled
+    /// off from the target's component).
+    pub oracle_tightenings: usize,
+    /// Store-claim candidates pruned by the oracle's producer-region flood
+    /// before any probe was paid for them.
+    pub oracle_pruned_candidates: usize,
 }
 
 /// Search-effort counters of one pure scoring step. Accumulated into
@@ -167,12 +182,16 @@ pub struct RouterStats {
 struct EvalCounters {
     searches: usize,
     nodes: usize,
+    rejected: usize,
+    tightened: usize,
 }
 
 impl RouterStats {
     fn absorb(&mut self, c: EvalCounters) {
         self.path_searches += c.searches;
         self.nodes_expanded += c.nodes;
+        self.oracle_rejected_searches += c.rejected;
+        self.oracle_tightenings += c.tightened;
     }
 }
 
@@ -306,6 +325,11 @@ impl StoreHorizon {
 struct SearchEntry {
     cost: u64,
     node: NodeId,
+    /// The g-cost behind `cost` (`cost` minus the node's admissible bound),
+    /// carried so a pop does not recompute the bound. Not part of the
+    /// ordering — and it could not break ties anyway: entries with equal
+    /// `(cost, node)` share the node's bound, hence the same `dist`.
+    dist: u64,
 }
 
 impl Ord for SearchEntry {
@@ -333,6 +357,18 @@ struct DijkstraScratch {
     stamp: Vec<u32>,
     epoch: u32,
     heap: std::collections::BinaryHeap<SearchEntry>,
+    // Memo of calendar answers, keyed by (window, state generation).
+    // While both are unchanged, `edge_free`/`node_free` are pure: an edge
+    // is examined from both of its endpoints, a node once per incoming
+    // edge, and sibling probes of one candidate batch flood the same
+    // region — caching the first answer elides most of the calendar
+    // binary searches that dominate the relax loop.
+    cal_epoch: u32,
+    memo_ctx: Option<(Interval, u64)>,
+    edge_free_stamp: Vec<u32>,
+    edge_free_val: Vec<bool>,
+    node_free_stamp: Vec<u32>,
+    node_free_val: Vec<bool>,
 }
 
 impl DijkstraScratch {
@@ -343,6 +379,12 @@ impl DijkstraScratch {
             stamp: vec![0; grid.num_nodes()],
             epoch: 0,
             heap: std::collections::BinaryHeap::new(),
+            cal_epoch: 0,
+            memo_ctx: None,
+            edge_free_stamp: vec![0; grid.num_edges()],
+            edge_free_val: vec![false; grid.num_edges()],
+            node_free_stamp: vec![0; grid.num_nodes()],
+            node_free_val: vec![false; grid.num_nodes()],
         }
     }
 
@@ -354,6 +396,44 @@ impl DijkstraScratch {
             self.epoch = 1;
         }
         self.heap.clear();
+    }
+
+    /// Declare the (window, state generation) the calendar memo answers
+    /// for; a change invalidates every memoized answer at once.
+    fn calendar_context(&mut self, window: Interval, generation: u64) {
+        if self.memo_ctx == Some((window, generation)) {
+            return;
+        }
+        self.memo_ctx = Some((window, generation));
+        self.cal_epoch = self.cal_epoch.wrapping_add(1);
+        if self.cal_epoch == 0 {
+            // Wrapped: every stale stamp would look current, so reset.
+            self.edge_free_stamp.fill(0);
+            self.node_free_stamp.fill(0);
+            self.cal_epoch = 1;
+        }
+    }
+
+    fn edge_free_memo(&mut self, edge: GridEdgeId, query: impl FnOnce() -> bool) -> bool {
+        let i = edge.index();
+        if self.edge_free_stamp[i] == self.cal_epoch {
+            return self.edge_free_val[i];
+        }
+        let free = query();
+        self.edge_free_stamp[i] = self.cal_epoch;
+        self.edge_free_val[i] = free;
+        free
+    }
+
+    fn node_free_memo(&mut self, node: NodeId, query: impl FnOnce() -> bool) -> bool {
+        let i = node.index();
+        if self.node_free_stamp[i] == self.cal_epoch {
+            return self.node_free_val[i];
+        }
+        let free = query();
+        self.node_free_stamp[i] = self.cal_epoch;
+        self.node_free_val[i] = free;
+        free
     }
 
     fn dist(&self, node: NodeId) -> u64 {
@@ -392,6 +472,52 @@ struct WindowScratch {
     viable: Vec<Interval>,
     /// Price block of the store stage's speculative pricer.
     prices: Vec<Option<u64>>,
+    /// Producer-region flood of the store stage's claim pruning.
+    region: RegionScratch,
+}
+
+/// Pop budget of the claim-region flood. Small enough that an open grid —
+/// where pruning can never fire — gives up after a handful of calendar
+/// probes, large enough to fully map the walled-in pockets around a
+/// congested producer (empirically a few dozen transit nodes).
+const CLAIM_REGION_POPS: usize = 64;
+
+/// Stamped visited-set + queue of the bounded claim-region flood: the set
+/// of transit nodes the producer can reach during one store window. Reused
+/// across windows and tasks (allocation-free in steady state); `complete`
+/// is only set when the frontier drained within [`CLAIM_REGION_POPS`], i.e.
+/// when the region is *exact* and pruning against it is sound.
+#[derive(Debug, Default)]
+struct RegionScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    queue: Vec<NodeId>,
+    complete: bool,
+}
+
+impl RegionScratch {
+    fn begin(&mut self, nodes: usize) {
+        if self.stamp.len() < nodes {
+            self.stamp.resize(nodes, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+        self.complete = false;
+    }
+
+    #[inline]
+    fn mark(&mut self, node: NodeId) {
+        self.stamp[node.index()] = self.epoch;
+    }
+
+    #[inline]
+    fn contains(&self, node: NodeId) -> bool {
+        self.stamp[node.index()] == self.epoch
+    }
 }
 
 /// Everything about a routing run that is frozen after [`Router::new`]:
@@ -402,14 +528,17 @@ struct RouteCtx<'a> {
     grid: &'a ConnectionGrid,
     placement: &'a Placement,
     options: RoutingOptions,
-    /// Device occupying each grid node, if any (dense lookup; the
-    /// [`Placement::device_at`] scan is linear in the device count and sits
-    /// on the Dijkstra hot path).
-    device_of_node: Vec<Option<biochip_schedule::DeviceId>>,
-    /// For each node, the device nodes adjacent to it (a switch next to a
-    /// device is one of that device's ports; transit traffic over it is
-    /// priced up by `foreign_port_penalty`).
-    adjacent_device_nodes: Vec<Vec<NodeId>>,
+    /// The precomputed per-architecture search structure: the dense device
+    /// tables on the Dijkstra hot path plus the static transit components.
+    /// Built once per `(grid, placement)` and shared — across the strict
+    /// and relaxed routing passes, across warm restarts, and (through the
+    /// server's [`OracleCache`](crate::OracleCache)) across jobs.
+    oracle: Arc<RoutingOracle>,
+    /// Whether the oracle's reject-only search assists (destination
+    /// precheck, h = ∞ tightening, claim-region pruning) are armed. Only on
+    /// storage-sized grids, and switchable off so tests can prove the
+    /// routed output does not depend on it.
+    assists: bool,
     /// Whether the grid is storage-sized (side ≥ `SCALE_GRID_SIDE`). The
     /// scale heuristics — pool-first reuse, cache guards, foreign-port
     /// pricing, A*-directed search — only engage here, so paper-scale grids
@@ -438,6 +567,12 @@ struct RouteState {
     /// Pool members in the order they joined (drives the incremental
     /// per-pair pooled candidate lists).
     pool_log: Vec<GridEdgeId>,
+    /// Bumped on every mutable acquisition of the state lock. Keys the
+    /// per-(window, state) calendar memo in [`DijkstraScratch`]: a memo
+    /// entry is only reused while the generation it was recorded under is
+    /// still current, so probes against a frozen snapshot share answers and
+    /// any commit invalidates them wholesale.
+    generation: u64,
 }
 
 impl RouteState {
@@ -449,6 +584,7 @@ impl RouteState {
             active_caches: vec![None; grid.num_edges()],
             cache_pool: BTreeSet::new(),
             pool_log: Vec::new(),
+            generation: 0,
         }
     }
 }
@@ -473,7 +609,7 @@ struct Eval<'e, 'a> {
 impl<'e, 'a> Eval<'e, 'a> {
     /// The device occupying a node, if any (dense O(1) lookup).
     fn device_at(&self, node: NodeId) -> Option<biochip_schedule::DeviceId> {
-        self.ctx.device_of_node[node.index()]
+        self.ctx.oracle.device_of_node[node.index()]
     }
 
     /// Candidate occupation windows inside the task's slack: the preferred
@@ -814,13 +950,16 @@ impl<'e, 'a> Eval<'e, 'a> {
     ) -> Option<(RoutedPath, NodeId)> {
         let store_window = horizon.store_window;
         let (x, y) = self.ctx.grid.endpoints(edge);
+        scratch.calendar_context(store_window, self.state.generation);
         // Try entering the segment from either endpoint.
         for (entry, exit) in [(x, y), (y, x)] {
             // The sample slides into the segment towards `exit`, so the far
             // end must be a free switch node; the entry may be a device node
             // only if it is the producer itself.
             if self.device_at(exit).is_some()
-                || !self.state.reservations.node_free(exit, store_window)
+                || !scratch.node_free_memo(exit, || {
+                    self.state.reservations.node_free(exit, store_window)
+                })
             {
                 continue;
             }
@@ -897,10 +1036,25 @@ impl<'e, 'a> Eval<'e, 'a> {
                 window,
             });
         }
-        let endpoint_blocked = |node: NodeId| {
-            self.device_at(node).is_none() && !self.state.reservations.node_free(node, window)
+        scratch.calendar_context(window, self.state.generation);
+        let endpoint_blocked = |node: NodeId, scratch: &mut DijkstraScratch| {
+            self.device_at(node).is_none()
+                && !scratch.node_free_memo(node, || self.state.reservations.node_free(node, window))
         };
-        if endpoint_blocked(from) || endpoint_blocked(to) {
+        if endpoint_blocked(from, scratch) || endpoint_blocked(to, scratch) {
+            return None;
+        }
+
+        // Oracle precheck: the search can only succeed if some incident
+        // edge of `to` admits the final hop — the edge is not the skipped
+        // cache segment, its calendar is free for the window, and its far
+        // endpoint is the source itself or an unreserved transit switch.
+        // The relax loop below applies exactly these tests when stepping
+        // into `to`, so a destination with no admissible last hop is a
+        // guaranteed miss: rejecting it here skips the exhaustive failed
+        // flood without touching any search that can succeed.
+        if self.ctx.assists && self.destination_unenterable(from, to, window, skip_edge, scratch) {
+            counters.rejected += 1;
             return None;
         }
 
@@ -923,6 +1077,18 @@ impl<'e, 'a> Eval<'e, 'a> {
                 0
             }
         };
+        // Oracle tightening of that bound: for transit nodes statically
+        // walled off from `to`'s component by the device placement, the
+        // admissible estimate snaps to ∞ — they are never pushed. Such a
+        // node cannot lie on *any* path that reaches `to`, so the path the
+        // search settles on (and its tie-breaking) is untouched. With a
+        // single transit component the test can never exclude a node, so
+        // it is skipped wholesale.
+        let target: Option<OracleTarget> = (self.ctx.assists
+            && self.ctx.oracle.transit_components() > 1)
+            .then(|| self.ctx.oracle.target_of(to));
+        let from_is_device = self.device_at(from).is_some();
+        let to_is_device = self.device_at(to).is_some();
 
         scratch.begin();
         scratch.set(from, 0, None);
@@ -930,12 +1096,14 @@ impl<'e, 'a> Eval<'e, 'a> {
         scratch.heap.push(SearchEntry {
             cost: from_bound,
             node: from,
+            dist: 0,
         });
         let mut reached = false;
 
         while let Some(SearchEntry {
-            cost: priority,
+            cost: _,
             node,
+            dist: cost,
         }) = scratch.heap.pop()
         {
             counters.nodes += 1;
@@ -943,7 +1111,6 @@ impl<'e, 'a> Eval<'e, 'a> {
                 reached = true;
                 break;
             }
-            let cost = priority - bound(node);
             if cost > scratch.dist(node) {
                 continue;
             }
@@ -956,9 +1123,19 @@ impl<'e, 'a> Eval<'e, 'a> {
                 if next != to && self.device_at(next).is_some() {
                     continue;
                 }
-                if !self.state.reservations.edge_free(edge, window)
+                if let Some(target) = &target {
+                    if next != to && !self.ctx.oracle.reaches(next, target) {
+                        counters.tightened += 1;
+                        continue;
+                    }
+                }
+                let edge_admits = scratch
+                    .edge_free_memo(edge, || self.state.reservations.edge_free(edge, window));
+                if !edge_admits
                     || (self.device_at(next).is_none()
-                        && !self.state.reservations.node_free(next, window))
+                        && !scratch.node_free_memo(next, || {
+                            self.state.reservations.node_free(next, window)
+                        }))
                 {
                     continue;
                 }
@@ -971,11 +1148,20 @@ impl<'e, 'a> Eval<'e, 'a> {
                 // switch that serves another device's port is priced up so
                 // transit traffic does not squat on ports that zero-slack
                 // transports will need at exactly their scheduled instant.
+                // The flat per-node port count, corrected for the search
+                // endpoints, equals walking `adjacent_device_nodes[next]`
+                // and counting entries that are neither `from` nor `to`.
                 if self.ctx.scale_mode {
-                    for &device_node in &self.ctx.adjacent_device_nodes[next.index()] {
-                        if device_node != from && device_node != to {
-                            edge_cost += self.ctx.options.foreign_port_penalty;
+                    let mut foreign =
+                        u64::from(self.ctx.oracle.adjacent_device_count[next.index()]);
+                    if foreign > 0 {
+                        if from_is_device && self.ctx.grid.edge_between(next, from).is_some() {
+                            foreign -= 1;
                         }
+                        if to_is_device && self.ctx.grid.edge_between(next, to).is_some() {
+                            foreign -= 1;
+                        }
+                        edge_cost += foreign * self.ctx.options.foreign_port_penalty;
                     }
                 }
                 let next_cost = cost + edge_cost;
@@ -984,6 +1170,7 @@ impl<'e, 'a> Eval<'e, 'a> {
                     scratch.heap.push(SearchEntry {
                         cost: next_cost + bound(next),
                         node: next,
+                        dist: next_cost,
                     });
                 }
             }
@@ -1009,6 +1196,82 @@ impl<'e, 'a> Eval<'e, 'a> {
             window,
         })
     }
+
+    /// Exact failure precheck of [`shortest_path`](Eval::shortest_path):
+    /// `true` when no incident edge of `to` admits the final hop, i.e. the
+    /// search is a guaranteed miss. O(degree) against the calendars.
+    fn destination_unenterable(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        window: Interval,
+        skip_edge: Option<GridEdgeId>,
+        scratch: &mut DijkstraScratch,
+    ) -> bool {
+        !self.ctx.grid.incident_edges(to).iter().any(|&edge| {
+            if Some(edge) == skip_edge
+                || !scratch.edge_free_memo(edge, || self.state.reservations.edge_free(edge, window))
+            {
+                return false;
+            }
+            let hop = self.ctx.grid.other_endpoint(edge, to);
+            hop == from
+                || (self.device_at(hop).is_none()
+                    && scratch
+                        .node_free_memo(hop, || self.state.reservations.node_free(hop, window)))
+        })
+    }
+
+    /// Bounded flood of the transit region the producer can reach during
+    /// one store window, under exactly the admission rules of
+    /// [`shortest_path`](Eval::shortest_path) (minus any `skip_edge`, which
+    /// makes the region a superset for every per-candidate skip — sound for
+    /// rejection). Runs unconditionally before a window's claim stream so
+    /// the pruning decision is a pure function of the frozen snapshot,
+    /// identical at any thread count; a lazily-triggered flood would not
+    /// be, because parallel claim batches form before failures are seen.
+    ///
+    /// `region.complete` is only set when the frontier drained within the
+    /// pop budget; otherwise the region is partial and pruning stays off.
+    /// The flood touches no [`EvalCounters`] — it is oracle bookkeeping,
+    /// not search work the sequential router would have done.
+    fn flood_claim_region(
+        &self,
+        from: NodeId,
+        window: Interval,
+        region: &mut RegionScratch,
+        scratch: &mut DijkstraScratch,
+    ) {
+        scratch.calendar_context(window, self.state.generation);
+        region.begin(self.ctx.grid.num_nodes());
+        region.mark(from);
+        region.queue.push(from);
+        let mut cursor = 0;
+        let mut pops = 0;
+        while cursor < region.queue.len() {
+            if pops >= CLAIM_REGION_POPS {
+                return;
+            }
+            pops += 1;
+            let node = region.queue[cursor];
+            cursor += 1;
+            for &edge in self.ctx.grid.incident_edges(node) {
+                let next = self.ctx.grid.other_endpoint(edge, node);
+                if self.device_at(next).is_some() || region.contains(next) {
+                    continue;
+                }
+                if !scratch.edge_free_memo(edge, || self.state.reservations.edge_free(edge, window))
+                    || !scratch
+                        .node_free_memo(next, || self.state.reservations.node_free(next, window))
+                {
+                    continue;
+                }
+                region.mark(next);
+                region.queue.push(next);
+            }
+        }
+        region.complete = true;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1028,9 +1291,11 @@ fn read_state(state: &RwLock<RouteState>) -> RwLockReadGuard<'_, RouteState> {
 }
 
 fn write_state(state: &RwLock<RouteState>) -> RwLockWriteGuard<'_, RouteState> {
-    state
+    let mut guard = state
         .write()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    guard.generation += 1;
+    guard
 }
 
 /// One batch of pure scoring work, fanned over the pool. All payloads are
@@ -1469,7 +1734,7 @@ fn commit_path(
     stats: &mut RouterStats,
 ) {
     for &node in &path.nodes {
-        if ctx.device_of_node[node.index()].is_some() {
+        if ctx.oracle.device_of_node[node.index()].is_some() {
             continue;
         }
         st.reservations.reserve_node(node, window);
@@ -1705,7 +1970,10 @@ impl Driver<'_, '_> {
             self.ctx.options.allow_device_adjacent_storage,
         );
         let windows = self.collect_windows(task, allow_overrun);
-        let result = self.drive_store_windows(task, &windows, stored_until, &pair_index);
+        let mut region = std::mem::take(&mut self.wscratch.region);
+        let result =
+            self.drive_store_windows(task, &windows, stored_until, &pair_index, &mut region);
+        self.wscratch.region = region;
         self.wscratch.out = windows;
         result
     }
@@ -1716,6 +1984,7 @@ impl Driver<'_, '_> {
         windows: &[Interval],
         stored_until: Seconds,
         pair_index: &PairIndex,
+        region: &mut RegionScratch,
     ) -> Result<RoutedTransport, ArchError> {
         let min_price = self
             .ctx
@@ -1743,6 +2012,20 @@ impl Driver<'_, '_> {
             self.stats.windows_tried += 1;
             let horizon = StoreHorizon::new(task, store_window, stored_until);
 
+            // Oracle early-reject for this window's claim stream: map the
+            // transit region the producer can actually reach (bounded
+            // flood) once, shared by both candidate phases — no commit
+            // happens between them, so the snapshot is the same.
+            region.complete = false;
+            if self.ctx.assists {
+                let st = read_state(self.state);
+                let eval = Eval {
+                    ctx: self.ctx,
+                    state: &st,
+                };
+                eval.flood_claim_region(from_node, store_window, region, self.scratch);
+            }
+
             // Phase 1 (scale grids only): reuse a pooled segment, cheapest
             // total score first.
             let pooled_list: ScoredEdges = if self.ctx.scale_mode {
@@ -1750,8 +2033,15 @@ impl Driver<'_, '_> {
             } else {
                 Vec::new().into()
             };
-            match self.drive_candidates(from_node, to_node, &horizon, pooled_list, min_price, false)
-            {
+            match self.drive_candidates(
+                from_node,
+                to_node,
+                &horizon,
+                pooled_list,
+                min_price,
+                false,
+                region,
+            ) {
                 CandidateOutcome::Won {
                     edge,
                     exit,
@@ -1774,6 +2064,7 @@ impl Driver<'_, '_> {
                 Rc::clone(&pair_index.sorted),
                 min_price,
                 true,
+                region,
             ) {
                 CandidateOutcome::Won {
                     edge,
@@ -1798,6 +2089,7 @@ impl Driver<'_, '_> {
     /// order — pricing speculatively ahead of the merge, probing claims in
     /// pool-width batches — and returns the first claimable segment by
     /// candidate order, with the merge's consumed count at that yield.
+    #[allow(clippy::too_many_arguments)]
     fn drive_candidates(
         &mut self,
         from: NodeId,
@@ -1806,6 +2098,7 @@ impl Driver<'_, '_> {
         list: ScoredEdges,
         min_price: u64,
         skip_pool: bool,
+        region: &RegionScratch,
     ) -> CandidateOutcome {
         if list.is_empty() {
             return CandidateOutcome::Exhausted { consumed: 0 };
@@ -1837,6 +2130,21 @@ impl Driver<'_, '_> {
                     }
                 });
                 let Some(edge) = next else { break };
+                // Oracle pruning: a candidate whose endpoints are both
+                // outside the producer's (exact) reachable region is a
+                // guaranteed claim miss — the entry probe is a shortest
+                // path from the producer, and the flood used the same
+                // admission rules. The sequential router would have priced
+                // it (the merge already did) and failed its probe; only
+                // the probe is skipped, so winner and consumed counts are
+                // untouched.
+                if region.complete {
+                    let (x, y) = self.ctx.grid.endpoints(edge);
+                    if !region.contains(x) && !region.contains(y) {
+                        self.stats.oracle_pruned_candidates += 1;
+                        continue;
+                    }
+                }
                 batch.push((edge, merge.priced()));
             }
             if batch.is_empty() {
@@ -2185,32 +2493,50 @@ pub struct Router<'a> {
 }
 
 impl<'a> Router<'a> {
-    /// Creates a router over the given grid and placement.
+    /// Creates a router over the given grid and placement, building its own
+    /// [`RoutingOracle`]. Prefer [`with_oracle`](Router::with_oracle) when a
+    /// prebuilt (cached) oracle for the same architecture exists.
     #[must_use]
     pub fn new(
         grid: &'a ConnectionGrid,
         placement: &'a Placement,
         options: RoutingOptions,
     ) -> Self {
-        let mut device_of_node = vec![None; grid.num_nodes()];
-        for (device, &node) in placement.device_nodes().iter().enumerate() {
-            device_of_node[node.index()] = Some(biochip_schedule::DeviceId(device));
-        }
-        let mut adjacent_device_nodes = vec![Vec::new(); grid.num_nodes()];
-        for &device_node in placement.device_nodes() {
-            for &edge in grid.incident_edges(device_node) {
-                let port = grid.other_endpoint(edge, device_node);
-                adjacent_device_nodes[port.index()].push(device_node);
-            }
-        }
+        let oracle = Arc::new(RoutingOracle::build(grid, placement));
+        let mut router = Router::with_oracle(grid, placement, options, oracle);
+        router.stats.oracle_builds = 1;
+        router
+    }
+
+    /// Creates a router adopting a prebuilt per-architecture oracle —
+    /// typically shared through an [`OracleCache`](crate::OracleCache), so
+    /// the strict and relaxed routing passes, warm restarts and concurrent
+    /// jobs on the same architecture all amortize one build.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the oracle was built for a different grid shape or
+    /// device count.
+    #[must_use]
+    pub fn with_oracle(
+        grid: &'a ConnectionGrid,
+        placement: &'a Placement,
+        options: RoutingOptions,
+        oracle: Arc<RoutingOracle>,
+    ) -> Self {
+        assert!(
+            oracle.matches(grid, placement),
+            "routing oracle was built for a different architecture"
+        );
+        let scale_mode = grid.rows().max(grid.cols()) >= crate::segment_index::SCALE_GRID_SIDE;
         Router {
             ctx: RouteCtx {
                 grid,
                 placement,
                 options,
-                device_of_node,
-                adjacent_device_nodes,
-                scale_mode: grid.rows().max(grid.cols()) >= crate::segment_index::SCALE_GRID_SIDE,
+                oracle,
+                assists: scale_mode,
+                scale_mode,
             },
             state: RwLock::new(RouteState::new(grid)),
             lazy: LazyIndexes::default(),
@@ -2229,19 +2555,46 @@ impl<'a> Router<'a> {
         self
     }
 
-    /// A pristine router over the same grid, placement, options and thread
-    /// count — used to restart cold after a failed warm-start replay, since
-    /// a partial replay has already mutated this router's reservations.
+    /// Arms or disarms the oracle's reject-only search assists (destination
+    /// precheck, h = ∞ tightening, claim-region pruning). The routed chips
+    /// are identical either way — the assists only skip guaranteed-miss
+    /// work — and this switch exists so tests can prove exactly that.
+    /// Assists never engage on paper-scale grids regardless.
+    #[must_use]
+    pub fn with_oracle_assists(mut self, enabled: bool) -> Self {
+        self.ctx.assists = enabled && self.ctx.scale_mode;
+        self
+    }
+
+    /// Records that this router's oracle was built on its behalf (by a
+    /// cache miss) rather than adopted prebuilt.
+    pub(crate) fn note_oracle_build(&mut self) {
+        self.stats.oracle_builds += 1;
+    }
+
+    /// A pristine router over the same grid, placement, options, oracle and
+    /// thread count — used to restart cold after a failed warm-start
+    /// replay, since a partial replay has already mutated this router's
+    /// reservations. The oracle `Arc` is carried over, not rebuilt.
     #[must_use]
     pub fn fresh(&self) -> Router<'a> {
-        Router::new(self.ctx.grid, self.ctx.placement, self.ctx.options.clone())
-            .with_threads(self.threads)
+        Router::with_oracle(
+            self.ctx.grid,
+            self.ctx.placement,
+            self.ctx.options.clone(),
+            Arc::clone(&self.ctx.oracle),
+        )
+        .with_threads(self.threads)
+        .with_oracle_assists(self.ctx.assists)
     }
 
     fn state_mut(&mut self) -> &mut RouteState {
-        self.state
+        let state = self
+            .state
             .get_mut()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.generation += 1;
+        state
     }
 
     /// Edges used by at least one routed path so far, in ascending id order.
@@ -2445,6 +2798,16 @@ impl<'a> Router<'a> {
                 ("nodes_expanded", self.stats.nodes_expanded as u64),
                 ("segments_priced", self.stats.segments_priced as u64),
                 ("postponed_tasks", self.stats.postponed_tasks as u64),
+                ("oracle_builds", self.stats.oracle_builds as u64),
+                (
+                    "oracle_rejected_searches",
+                    self.stats.oracle_rejected_searches as u64,
+                ),
+                ("oracle_tightenings", self.stats.oracle_tightenings as u64),
+                (
+                    "oracle_pruned_candidates",
+                    self.stats.oracle_pruned_candidates as u64,
+                ),
             ],
         );
         result
@@ -2773,7 +3136,13 @@ mod tests {
         let grid = ConnectionGrid::square(4);
         let placement = make_placement(&grid, 2);
         let mut router = Router::new(&grid, &placement, RoutingOptions::default());
-        assert_eq!(router.stats(), RouterStats::default());
+        assert_eq!(
+            router.stats(),
+            RouterStats {
+                oracle_builds: 1,
+                ..RouterStats::default()
+            }
+        );
         router.route(&direct_task(0, 1, 0, 5)).unwrap();
         let after_direct = router.stats();
         assert_eq!(after_direct.tasks_routed, 1);

@@ -1,5 +1,7 @@
 //! Top-level architectural synthesis: schedule → placed, routed chip.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use biochip_schedule::{Schedule, ScheduleProblem};
@@ -8,6 +10,7 @@ use biochip_telemetry as telemetry;
 use crate::connection_graph::{Architecture, ConnectionGraph, RoutedTransport};
 use crate::error::ArchError;
 use crate::grid::ConnectionGrid;
+use crate::oracle::OracleCache;
 use crate::parallel::Parallelism;
 use crate::placement::{place_devices_threaded, Placement, PlacementOptions, TrafficMatrix};
 use crate::routing::{Router, RouterStats, RoutingOptions};
@@ -177,12 +180,35 @@ fn placement_inputs_equal(a: &PlacementOptions, b: &PlacementOptions) -> bool {
         == (b.refine, b.annealing_moves, b.seed, b.starts)
 }
 
+/// Where a synthesis run gets its [`RoutingOracle`](crate::RoutingOracle)s
+/// from: an externally shared [`OracleCache`] (the server's `StageCaches`
+/// provides one, scoped by the placement-stage content key) or, by default,
+/// a private per-run cache. Either way the build is amortized across the
+/// run's grid attempts and strict/relaxed passes; the external cache
+/// additionally shares it across jobs and warm restarts.
+///
+/// Not part of the synthesis *configuration*: two synthesizers bound to
+/// different caches are still equal when their options match, since the
+/// oracle never changes the synthesized chip.
+#[derive(Debug, Clone, Default)]
+struct OracleBinding {
+    cache: Option<Arc<OracleCache>>,
+    scope: Option<String>,
+}
+
+impl PartialEq for OracleBinding {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
 /// The architectural synthesis engine (Section 3.2 of the paper).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ArchitectureSynthesizer {
     options: SynthesisOptions,
     parallelism: Parallelism,
     warm: Option<WarmStart>,
+    oracle: OracleBinding,
 }
 
 impl ArchitectureSynthesizer {
@@ -193,7 +219,27 @@ impl ArchitectureSynthesizer {
             options,
             parallelism: Parallelism::default(),
             warm: None,
+            oracle: OracleBinding::default(),
         }
+    }
+
+    /// Binds a shared [`OracleCache`]: per-architecture routing oracles are
+    /// looked up there (and inserted on miss) instead of in a private
+    /// per-run cache, so concurrent and repeated runs over the same
+    /// architecture amortize one build. Never changes the synthesized chip.
+    #[must_use]
+    pub fn with_oracle_cache(mut self, cache: Arc<OracleCache>) -> Self {
+        self.oracle.cache = Some(cache);
+        self
+    }
+
+    /// Namespaces this run's entries in a shared [`OracleCache`] —
+    /// typically the placement-stage content key, so architectures of
+    /// distinct problems can never collide.
+    #[must_use]
+    pub fn with_oracle_scope(mut self, scope: impl Into<String>) -> Self {
+        self.oracle.scope = Some(scope.into());
+        self
     }
 
     /// Offers a prior result as a warm start (see [`WarmStart`]). The hint
@@ -306,6 +352,13 @@ impl ArchitectureSynthesizer {
         // fit their slack are routed exactly as in a strict pass, and a
         // grown grid rarely resolves a zero-slack port conflict anyway —
         // while each extra pass re-routes tens of thousands of tasks.
+        // Per-architecture routing oracles: resolved through the bound
+        // shared cache when one exists, else a run-private cache — which
+        // still shares one build across this run's grid attempts (the
+        // strict and relaxed passes key identically, since the oracle
+        // reads no routing options).
+        let run_oracles = OracleCache::default();
+        let oracles = self.oracle.cache.as_deref().unwrap_or(&run_oracles);
         let scale_side = crate::segment_index::SCALE_GRID_SIDE;
         let scale = initial >= scale_side;
         let mut attempts: Vec<(usize, bool)> = Vec::new();
@@ -345,7 +398,7 @@ impl ArchitectureSynthesizer {
                 .warm
                 .as_ref()
                 .filter(|w| w.grid_side == size && w.routing == *routing);
-            match self.try_grid(&grid, problem, &tasks, routing, warm) {
+            match self.try_grid(&grid, problem, &tasks, routing, warm, oracles) {
                 Ok((architecture, mut stats, reuse)) => {
                     stats.grids_tried = grids_tried + 1;
                     stats.relaxed_pass = relaxed_pass;
@@ -378,6 +431,7 @@ impl ArchitectureSynthesizer {
         tasks: &[TransportTask],
         routing: &RoutingOptions,
         warm: Option<&WarmStart>,
+        oracles: &OracleCache,
     ) -> Result<(Architecture, SynthesisStats, WarmReuse), ArchError> {
         let threads = self.parallelism.effective_threads();
         let num_devices = problem.devices().len();
@@ -414,7 +468,12 @@ impl ArchitectureSynthesizer {
             }
         };
 
-        let mut router = Router::new(grid, &placement, routing.clone()).with_threads(threads);
+        let (oracle, built) = oracles.get_or_build(self.oracle.scope.as_deref(), grid, &placement);
+        let mut router =
+            Router::with_oracle(grid, &placement, routing.clone(), oracle).with_threads(threads);
+        if built {
+            router.note_oracle_build();
+        }
         let routes = {
             let _span = telemetry::span("pipeline", "route");
             self.route_with_replay(&mut router, tasks, warm, &placement, &mut reuse)

@@ -1,0 +1,165 @@
+//! Property: the routing oracle's assists never change what gets routed.
+//!
+//! The oracle is allowed to *skip* work — reject a search whose destination
+//! provably cannot be entered, snap the admissible bound to ∞ for walled-off
+//! transit nodes, prune store-claim candidates outside the producer's
+//! reachable region — but every skip must be of work the exact search would
+//! have run and discarded. In particular the `OrderedCandidates` lazy merge
+//! must surface candidate windows in the identical order with assists on or
+//! off: the first accepted candidate (the one that becomes the route) and
+//! the count of candidates tried before it are part of the committed
+//! output's provenance.
+//!
+//! Each case routes one randomized task stream twice over the same scale
+//! grid and placement — assists disarmed vs. armed — and demands:
+//!
+//! - bit-identical results per task ([`RoutedTransport`] equality, and
+//!   failures at the same positions with the same message);
+//! - identical `windows_tried`, `segments_priced`, `tasks_routed` and
+//!   `postponed_tasks` (the merge order and acceptance decisions matched);
+//! - assists-side `path_searches` / `nodes_expanded` no higher than the
+//!   baseline (the assists may only remove work, never add it).
+
+use biochip_arch::{
+    place_devices, ConnectionGrid, PlacementOptions, Router, RoutingOptions, TransportKind,
+    TransportTask,
+};
+use biochip_assay::OpId;
+use biochip_schedule::DeviceId;
+use proptest::prelude::*;
+
+const DEVICES: usize = 4;
+
+/// One generated stream step: either a direct transport or a store/fetch
+/// pair between two (forced-distinct) devices, `stride` ticks after the
+/// previous step.
+type Step = (bool, usize, usize, u64, u64);
+
+fn direct_task(sample: usize, from: usize, to: usize, start: u64) -> TransportTask {
+    TransportTask {
+        sample,
+        producer: OpId(0),
+        consumer: OpId(1),
+        from_device: DeviceId(from),
+        to_device: DeviceId(to),
+        kind: TransportKind::Direct,
+        window_start: start,
+        window_end: start + 5,
+        storage_interval: None,
+        earliest_start: start,
+        deadline: start + 25,
+    }
+}
+
+fn store_fetch_pair(
+    sample: usize,
+    from: usize,
+    to: usize,
+    start: u64,
+    hold: u64,
+) -> [TransportTask; 2] {
+    let stored_until = start + 5 + hold;
+    [
+        TransportTask {
+            sample,
+            producer: OpId(0),
+            consumer: OpId(1),
+            from_device: DeviceId(from),
+            to_device: DeviceId(to),
+            kind: TransportKind::Store,
+            window_start: start,
+            window_end: start + 5,
+            storage_interval: Some((start + 5, stored_until)),
+            earliest_start: start,
+            deadline: start + 20,
+        },
+        TransportTask {
+            sample,
+            producer: OpId(0),
+            consumer: OpId(1),
+            from_device: DeviceId(from),
+            to_device: DeviceId(to),
+            kind: TransportKind::Fetch,
+            window_start: stored_until,
+            window_end: stored_until + 5,
+            storage_interval: None,
+            earliest_start: stored_until,
+            deadline: stored_until + 30,
+        },
+    ]
+}
+
+/// Expands the generated steps into a task stream ordered by window start
+/// (the contract of [`Router::route`]; the stable sort keeps every store
+/// ahead of its own fetch, whose window opens strictly later).
+fn build_stream(steps: &[Step]) -> Vec<TransportTask> {
+    let mut tasks = Vec::new();
+    let mut t = 10u64;
+    for (i, &(store, from, to, stride, hold)) in steps.iter().enumerate() {
+        let to = if to == from { (to + 1) % DEVICES } else { to };
+        if store {
+            tasks.extend(store_fetch_pair(i, from, to, t, 20 + hold));
+        } else {
+            tasks.push(direct_task(i, from, to, t));
+        }
+        t += 8 + stride;
+    }
+    tasks.sort_by_key(|task| task.window_start);
+    tasks
+}
+
+/// Routes the stream on a fresh router, returning per-task results (errors
+/// flattened to strings) and the final work counters.
+fn route_stream(
+    grid: &ConnectionGrid,
+    placement: &biochip_arch::Placement,
+    tasks: &[TransportTask],
+    assists: bool,
+) -> (
+    Vec<Result<biochip_arch::RoutedTransport, String>>,
+    biochip_arch::RouterStats,
+) {
+    let mut router =
+        Router::new(grid, placement, RoutingOptions::default()).with_oracle_assists(assists);
+    let results = tasks
+        .iter()
+        .map(|task| router.route(task).map_err(|e| e.to_string()))
+        .collect();
+    (results, router.stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn oracle_assists_never_change_the_routed_stream(
+        steps in proptest::collection::vec((proptest::bool::ANY, 0..DEVICES, 0..DEVICES, 0..24u64, 0..40u64), 6..32),
+    ) {
+        let tasks = build_stream(&steps);
+        // Side 10 ≥ the scale threshold, so the assists genuinely arm.
+        let grid = ConnectionGrid::square(10);
+        let placement = place_devices(&grid, DEVICES, &tasks, &PlacementOptions::default()).unwrap();
+
+        let (baseline, base_stats) = route_stream(&grid, &placement, &tasks, false);
+        let (assisted, oracle_stats) = route_stream(&grid, &placement, &tasks, true);
+
+        // The streams are bit-identical, including any failures.
+        prop_assert_eq!(&assisted, &baseline);
+
+        // The lazy merge surfaced the same candidates in the same order and
+        // the store stage priced the same segments.
+        prop_assert_eq!(oracle_stats.windows_tried, base_stats.windows_tried);
+        prop_assert_eq!(oracle_stats.segments_priced, base_stats.segments_priced);
+        prop_assert_eq!(oracle_stats.tasks_routed, base_stats.tasks_routed);
+        prop_assert_eq!(oracle_stats.postponed_tasks, base_stats.postponed_tasks);
+
+        // Assists only ever remove work.
+        prop_assert!(oracle_stats.path_searches <= base_stats.path_searches);
+        prop_assert!(oracle_stats.nodes_expanded <= base_stats.nodes_expanded);
+
+        // A disarmed router must not report oracle interventions.
+        prop_assert_eq!(base_stats.oracle_rejected_searches, 0);
+        prop_assert_eq!(base_stats.oracle_tightenings, 0);
+        prop_assert_eq!(base_stats.oracle_pruned_candidates, 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Runs the independent route-plan validator against every differential
+//! golden.
+//!
+//! [`validate_route_plan`] re-checks a synthesized chip's committed routes
+//! against calendars rebuilt from scratch — deliberately sharing no code
+//! with the router's `ReservationTable` or with `Architecture::verify`
+//! (see `crates/arch/src/route_plan.rs`, which also carries forged-plan
+//! negative tests). This suite points it at the differential harness's
+//! whole pool — the 50 seeded small assays and the paper's Table 2
+//! benchmarks, synthesized by the current router — so any router
+//! experiment (oracle pruning, replay reuse, calendar fast paths) that
+//! breaks reachability, conflict-freedom or storage exclusivity trips an
+//! independent checker, not just the code it may share a bug with.
+
+use biochip_arch::{
+    extract_transport_tasks, validate_route_plan, ArchitectureSynthesizer, SynthesisOptions,
+};
+use biochip_assay::library;
+use biochip_assay::random::{self, RandomAssayConfig};
+use biochip_schedule::{ListScheduler, Schedule, ScheduleProblem, Scheduler, SchedulingStrategy};
+
+/// The differential harness's seeded pool (same seeds, sizes and knobs as
+/// `differential.rs` — the validator must hold on every golden case).
+fn differential_case(case: u64) -> (ScheduleProblem, Schedule) {
+    const CASE_SIZES: [usize; 10] = [3, 4, 5, 6, 3, 4, 5, 7, 4, 12];
+    let ops = CASE_SIZES[case as usize % CASE_SIZES.len()];
+    let graph = random::generate(&RandomAssayConfig::new(ops, 0xA2C4 + case).with_layer_width(3));
+    let mixers = 1 + (case as usize) % 3;
+    let uc = 1 + case % 7;
+    let problem = ScheduleProblem::new(graph)
+        .with_mixers(mixers)
+        .with_detectors(1)
+        .with_transport_time(uc);
+    let schedule = ListScheduler::new(SchedulingStrategy::StorageAware)
+        .schedule(&problem)
+        .unwrap_or_else(|e| panic!("case {case}: scheduling failed: {e}"));
+    (problem, schedule)
+}
+
+#[test]
+fn every_seeded_differential_golden_has_a_valid_route_plan() {
+    let mut routed_cases = 0;
+    for case in 0..50u64 {
+        let (problem, schedule) = differential_case(case);
+        if extract_transport_tasks(&problem, &schedule).is_empty() {
+            continue;
+        }
+        let arch = ArchitectureSynthesizer::new(SynthesisOptions::default())
+            .synthesize(&problem, &schedule)
+            .unwrap_or_else(|e| panic!("case {case}: synthesis failed: {e}"));
+        validate_route_plan(&arch).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        routed_cases += 1;
+    }
+    assert!(routed_cases > 10, "the pool lost its routed cases");
+}
+
+#[test]
+fn every_paper_benchmark_has_a_valid_route_plan() {
+    for (name, graph) in library::paper_benchmarks() {
+        let problem = ScheduleProblem::new(graph)
+            .with_mixers(4)
+            .with_detectors(2)
+            .with_heaters(1);
+        let schedule = ListScheduler::new(SchedulingStrategy::StorageAware)
+            .schedule(&problem)
+            .unwrap_or_else(|e| panic!("{name}: scheduling failed: {e}"));
+        let arch = ArchitectureSynthesizer::new(SynthesisOptions::default())
+            .synthesize(&problem, &schedule)
+            .unwrap_or_else(|e| panic!("{name}: synthesis failed: {e}"));
+        validate_route_plan(&arch).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}

@@ -55,6 +55,15 @@ pub struct PipelineRow {
     pub place_seconds: f64,
     /// Routing wall seconds (`"route"` spans, all grid attempts).
     pub route_seconds: f64,
+    /// Window-selection share of routing (`"route.window_select"` spans):
+    /// candidate enumeration, oracle early-reject and lazy-merge ordering.
+    pub window_select_seconds: f64,
+    /// Path-search share of routing (`"route.path_search"` spans): the
+    /// oracle-guided A* runs themselves.
+    pub path_search_seconds: f64,
+    /// Commit share of routing (`"route.commit"` spans): reservation
+    /// writes, segment pricing and plan bookkeeping for accepted paths.
+    pub commit_seconds: f64,
     /// Physical-design wall seconds (the `"layout"` span).
     pub layout_seconds: f64,
     /// Replay + dedicated-baseline wall seconds (the `"replay"` span).
@@ -84,6 +93,9 @@ biochip_json::impl_json_struct!(PipelineRow {
     schedule_seconds,
     place_seconds,
     route_seconds,
+    window_select_seconds,
+    path_search_seconds,
+    commit_seconds,
     layout_seconds,
     replay_seconds,
     total_seconds,
@@ -134,6 +146,9 @@ fn run_cold(name: &str, threads: usize, host_threads: usize) -> Result<PipelineR
         schedule_seconds: span_seconds(&events, "schedule"),
         place_seconds: span_seconds(&events, "place"),
         route_seconds: span_seconds(&events, "route"),
+        window_select_seconds: span_seconds(&events, "route.window_select"),
+        path_search_seconds: span_seconds(&events, "route.path_search"),
+        commit_seconds: span_seconds(&events, "route.commit"),
         layout_seconds: span_seconds(&events, "layout"),
         replay_seconds: span_seconds(&events, "replay"),
         total_seconds,
@@ -235,17 +250,20 @@ fn format_speedup(row: &PipelineRow) -> String {
 #[must_use]
 pub fn format_pipeline(rows: &[PipelineRow]) -> String {
     let mut out = String::from(
-        "assay     |O|     thr  t_sched(s)  t_place(s)  t_route(s)  t_layout(s)  t_replay(s)  total(s)  speedup  key\n",
+        "assay     |O|     thr  t_sched(s)  t_place(s)  t_route(s)  t_win(s)    t_path(s)   t_commit(s)  t_layout(s)  t_replay(s)  total(s)  speedup  key\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<9} {:<7} {:<4} {:<11.4} {:<11.4} {:<11.4} {:<12.4} {:<12.4} {:<9.4} {:<8} {}{}\n",
+            "{:<9} {:<7} {:<4} {:<11.4} {:<11.4} {:<11.4} {:<11.4} {:<11.4} {:<12.4} {:<12.4} {:<12.4} {:<9.4} {:<8} {}{}\n",
             r.assay,
             r.operations,
             r.threads,
             r.schedule_seconds,
             r.place_seconds,
             r.route_seconds,
+            r.window_select_seconds,
+            r.path_search_seconds,
+            r.commit_seconds,
             r.layout_seconds,
             r.replay_seconds,
             r.total_seconds,
@@ -261,17 +279,20 @@ pub fn format_pipeline(rows: &[PipelineRow]) -> String {
 #[must_use]
 pub fn pipeline_csv(rows: &[PipelineRow]) -> String {
     let mut out = String::from(
-        "assay,operations,threads,schedule_seconds,place_seconds,route_seconds,layout_seconds,replay_seconds,total_seconds,undersubscribed,speedup_vs_single,output_key,grids_tried\n",
+        "assay,operations,threads,schedule_seconds,place_seconds,route_seconds,window_select_seconds,path_search_seconds,commit_seconds,layout_seconds,replay_seconds,total_seconds,undersubscribed,speedup_vs_single,output_key,grids_tried\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{}\n",
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{}\n",
             r.assay,
             r.operations,
             r.threads,
             r.schedule_seconds,
             r.place_seconds,
             r.route_seconds,
+            r.window_select_seconds,
+            r.path_search_seconds,
+            r.commit_seconds,
             r.layout_seconds,
             r.replay_seconds,
             r.total_seconds,
@@ -316,6 +337,20 @@ mod tests {
         for r in &rows {
             assert!(r.schedule_seconds >= 0.0);
             assert!(r.route_seconds > 0.0, "route span missing: {r:?}");
+            // The router sub-stage spans are disjoint children of the route
+            // span: each is populated and together they cannot exceed it.
+            assert!(
+                r.path_search_seconds > 0.0,
+                "path_search span missing: {r:?}"
+            );
+            assert!(r.window_select_seconds >= 0.0);
+            assert!(r.commit_seconds > 0.0, "commit span missing: {r:?}");
+            let sub_sum = r.window_select_seconds + r.path_search_seconds + r.commit_seconds;
+            assert!(
+                sub_sum <= r.route_seconds * 1.05 + 0.01,
+                "router sub-stages ({sub_sum}s) exceed the route span ({}s)",
+                r.route_seconds
+            );
             let stage_sum = r.schedule_seconds
                 + r.place_seconds
                 + r.route_seconds

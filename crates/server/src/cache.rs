@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use biochip_json::impl_json_struct;
-use biochip_synth::arch::Architecture;
+use biochip_synth::arch::{Architecture, OracleCache};
 use biochip_synth::schedule::Schedule;
 use biochip_synth::{StageStore, SynthesisConfig, SynthesisOutcome, WarmHandoff};
 
@@ -185,6 +185,23 @@ impl_json_struct!(WarmStats {
     entries
 });
 
+/// Routing-oracle cache counters, the `oracle` block of the stage stats.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OracleStats {
+    /// Oracles built from scratch (cache misses).
+    pub builds: usize,
+    /// Lookups served by an already-built oracle.
+    pub hits: usize,
+    /// Oracles currently held.
+    pub entries: usize,
+}
+
+impl_json_struct!(OracleStats {
+    builds,
+    hits,
+    entries
+});
+
 /// Counters of every staged cache, the `stage_cache` block of `GET /stats`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StageCachesStats {
@@ -194,12 +211,16 @@ pub struct StageCachesStats {
     pub architecture: CacheStats,
     /// Warm-start handoff slots (keyed by assay name).
     pub warm: WarmStats,
+    /// Shared routing-oracle cache (keyed by placement stage key + device
+    /// placement).
+    pub oracle: OracleStats,
 }
 
 impl_json_struct!(StageCachesStats {
     schedule,
     architecture,
-    warm
+    warm,
+    oracle
 });
 
 /// The job service's per-stage artifact store: schedule and architecture
@@ -216,6 +237,11 @@ pub struct StageCaches {
     warm_capacity: usize,
     warm_hits: AtomicUsize,
     warm_misses: AtomicUsize,
+    /// Routing oracles shared across every job on this service: jobs that
+    /// resolve to the same placement (same placement stage key, grid and
+    /// device assignment) reuse one build, including concurrent jobs racing
+    /// on the same architecture.
+    oracles: Arc<OracleCache>,
 }
 
 impl std::fmt::Debug for StageCaches {
@@ -239,6 +265,7 @@ impl StageCaches {
             warm_capacity: capacity.max(1),
             warm_hits: AtomicUsize::new(0),
             warm_misses: AtomicUsize::new(0),
+            oracles: Arc::new(OracleCache::default()),
         }
     }
 
@@ -260,6 +287,11 @@ impl StageCaches {
                 hits: self.warm_hits.load(Ordering::Relaxed),
                 misses: self.warm_misses.load(Ordering::Relaxed),
                 entries: self.lock_warm().len(),
+            },
+            oracle: OracleStats {
+                builds: self.oracles.builds() as usize,
+                hits: self.oracles.hits() as usize,
+                entries: self.oracles.len(),
             },
         }
     }
@@ -298,6 +330,10 @@ impl StageStore for StageCaches {
             warm.clear();
         }
         warm.insert(assay.to_owned(), handoff);
+    }
+
+    fn oracle_cache(&self) -> Option<Arc<OracleCache>> {
+        Some(Arc::clone(&self.oracles))
     }
 }
 

@@ -999,6 +999,27 @@ fn metrics_text(shared: &Shared) -> String {
     );
     push_metric(
         &mut out,
+        "biochip_oracle_builds_total",
+        "counter",
+        "Routing oracles built from scratch (shared-cache misses)",
+        &[(plain(), stages.oracle.builds as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_oracle_hits_total",
+        "counter",
+        "Routing-oracle lookups served by an already-built oracle",
+        &[(plain(), stages.oracle.hits as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_oracle_entries",
+        "gauge",
+        "Routing oracles currently held by the shared cache",
+        &[(plain(), stages.oracle.entries as f64)],
+    );
+    push_metric(
+        &mut out,
         "biochip_warm_jobs_total",
         "counter",
         "Jobs whose architecture stage was warm-started from a prior run",

@@ -371,6 +371,83 @@ fn config_edits_reuse_cached_stages_and_warm_start() {
 }
 
 #[test]
+fn jobs_on_one_architecture_share_one_oracle_build() {
+    let (addr, handle, join) = start_server(1);
+
+    // Base: a cold RA30 run synthesizes and, in doing so, builds one routing
+    // oracle per (grid, placement) attempt into the shared cache.
+    let base = client::submit(addr, r#"{"assay": "RA30"}"#).unwrap();
+    wait_done(addr, &base);
+
+    let oracle_stats = |addr: SocketAddr| {
+        let (status, stats) = client::get(addr, "/stats").unwrap();
+        assert_eq!(status, 200);
+        let stats = biochip_json::parse(&stats).unwrap();
+        let block = stats
+            .get("stage_cache")
+            .unwrap()
+            .get("oracle")
+            .unwrap()
+            .clone();
+        let field = |name: &str| block.get(name).unwrap().expect_number().unwrap();
+        (field("builds"), field("hits"), field("entries"))
+    };
+    let (builds, hits, entries) = oracle_stats(addr);
+    assert!(builds >= 1.0, "the cold run must build an oracle: {builds}");
+    assert_eq!(entries, builds, "every build stays cached");
+
+    // Routing-slice edit: the route stage key changes (so the architecture
+    // stage cache cannot answer and the synthesizer runs again), but the
+    // placement key — the oracle scope — is untouched. Widening the window
+    // candidate bound never changes which (grid, placement) pairs are
+    // visited, so the rerun is served entirely from the oracle cache.
+    let mut routing_config = biochip_synth::SynthesisConfig::default();
+    routing_config.synthesis.routing.max_window_candidates += 1;
+    let body = format!(
+        r#"{{"assay": "RA30", "config": {}}}"#,
+        biochip_json::to_string(&routing_config)
+    );
+    let routing_job = client::submit(addr, &body).unwrap();
+    assert_eq!(
+        routing_job.get("cached").unwrap(),
+        &biochip_json::Json::Bool(false),
+        "a routing edit is a new full key: {}",
+        routing_job.to_compact()
+    );
+    wait_done(addr, &routing_job);
+
+    let (builds_after, hits_after, entries_after) = oracle_stats(addr);
+    assert_eq!(
+        builds_after, builds,
+        "the second job must not build a new oracle"
+    );
+    assert_eq!(entries_after, entries);
+    assert!(
+        hits_after > hits,
+        "the second job must hit the shared oracle cache: {hits} -> {hits_after}"
+    );
+
+    // The Prometheus scrape carries the shared-build story too.
+    let (status, metrics) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains(&format!("biochip_oracle_builds_total {builds_after}\n")),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains(&format!("biochip_oracle_hits_total {hits_after}\n")),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains(&format!("biochip_oracle_entries {entries_after}\n")),
+        "{metrics}"
+    );
+
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
 fn jobs_report_live_stages_and_can_be_cancelled() {
     let (addr, handle, join) = start_server(1);
 

@@ -597,7 +597,11 @@ impl SynthesisFlow {
                 // The "place" and "route" spans are recorded inside the
                 // synthesizer, once per grid attempt.
                 let mut synthesizer = ArchitectureSynthesizer::new(self.config.synthesis.clone())
-                    .with_parallelism(self.config.parallelism);
+                    .with_parallelism(self.config.parallelism)
+                    .with_oracle_scope(reuse.keys.placement.clone());
+                if let Some(oracles) = store.oracle_cache() {
+                    synthesizer = synthesizer.with_oracle_cache(oracles);
+                }
                 if let Some(hint) = store.warm_hint(problem.graph().name()) {
                     if let Some(warm) = WarmStart::from_prior(
                         &hint.problem,

@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use biochip_arch::{Architecture, SynthesisOptions};
+use biochip_arch::{Architecture, OracleCache, SynthesisOptions};
 use biochip_schedule::{Schedule, ScheduleProblem};
 
 use crate::flow::{SynthesisConfig, SynthesisOutcome};
@@ -232,6 +232,13 @@ pub trait StageStore {
     /// Offers a finished run as the assay's next warm seed.
     fn put_warm(&self, assay: &str, outcome: &SynthesisOutcome, config: &SynthesisConfig) {
         let _ = (assay, outcome, config);
+    }
+
+    /// A shared [`OracleCache`] for the routing oracles built during
+    /// synthesis, so jobs over the same placement reuse one build. `None`
+    /// (the default) gives every run its own private per-run cache.
+    fn oracle_cache(&self) -> Option<Arc<OracleCache>> {
+        None
     }
 }
 
