@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runs the in-repo static analyzer over every workspace crate and fails on
+# any finding that is neither inline-waived (`// biochip-lint: allow(RULE,
+# "reason")`) nor accepted by ci/lint-baseline.tsv, and on baseline entries
+# whose finding no longer exists (a stale entry means a fix landed without
+# retiring its acceptance — the baseline must shrink with the code).
+#
+# Usage: ci/lint.sh [repo-root]
+set -euo pipefail
+
+root="${1:-.}"
+cd "$root"
+
+cargo build --release -q -p biochip-lint
+./target/release/biochip-lint --root .

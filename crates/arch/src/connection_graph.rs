@@ -1,6 +1,6 @@
 //! The synthesis result: a planar connection graph plus the routed paths.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -350,8 +350,11 @@ impl Architecture {
         // that both of them use, so it suffices to sort each resource's
         // occupations by window start and sweep for overlaps — linear in the
         // total path length instead of quadratic in the number of routes.
-        let mut edge_usage: HashMap<GridEdgeId, Vec<(Interval, usize)>> = HashMap::new();
-        let mut node_usage: HashMap<NodeId, Vec<(Interval, usize)>> = HashMap::new();
+        // BTreeMaps so that when several resources conflict, *which* one is
+        // reported is deterministic (the error text can reach serialized
+        // failure reports).
+        let mut edge_usage: BTreeMap<GridEdgeId, Vec<(Interval, usize)>> = BTreeMap::new();
+        let mut node_usage: BTreeMap<NodeId, Vec<(Interval, usize)>> = BTreeMap::new();
         for (i, route) in self.routes.iter().enumerate() {
             let window = route.path.window;
             if window.is_empty() {

@@ -22,7 +22,7 @@
 //!   may cross it inside that span, and every stored sample is fetched from
 //!   the same segment it was stored into, after it has arrived.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::connection_graph::{Architecture, RoutedTransport};
 use crate::grid::{ConnectionGrid, GridEdgeId, NodeId};
@@ -145,10 +145,13 @@ pub fn validate_route_plan(architecture: &Architecture) -> Result<(), String> {
     let device_nodes = architecture.placement().device_nodes();
     let routes = architecture.routes();
 
-    let mut edge_claims: HashMap<GridEdgeId, Vec<Claim>> = HashMap::new();
-    let mut node_claims: HashMap<NodeId, Vec<Claim>> = HashMap::new();
+    // BTreeMaps: with several violations present, *which* one this
+    // validator reports must not depend on hash order — the differential
+    // suites compare its messages verbatim.
+    let mut edge_claims: BTreeMap<GridEdgeId, Vec<Claim>> = BTreeMap::new();
+    let mut node_claims: BTreeMap<NodeId, Vec<Claim>> = BTreeMap::new();
     // sample id → (route index, cache edge, store window) of its store.
-    let mut stores: HashMap<usize, (usize, GridEdgeId, Interval)> = HashMap::new();
+    let mut stores: BTreeMap<usize, (usize, GridEdgeId, Interval)> = BTreeMap::new();
     // Storage blocks resolved once the matching fetch is seen:
     // (edge, blocked span, store route, fetch route).
     let mut blocks: Vec<(GridEdgeId, Interval, usize, usize)> = Vec::new();

@@ -27,13 +27,18 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to `System` plus one Relaxed counter bump —
+// every GlobalAlloc contract obligation is delegated unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout the caller gave us, forwarded to System.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr/layout come straight from the caller, which got ptr
+        // from our alloc (i.e. from System) with this same layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

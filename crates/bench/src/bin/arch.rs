@@ -8,6 +8,8 @@
 //! `BENCH_arch_baseline.json` (pre-refactor router) for the
 //! routed-tasks/sec trajectory.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let sizes = match biochip_bench::parse_size_args(
         std::env::args().skip(1),

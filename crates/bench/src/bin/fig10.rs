@@ -1,4 +1,6 @@
 //! Regenerates Fig. 10: channel caching vs. a dedicated storage unit.
+
+#![forbid(unsafe_code)]
 fn main() {
     let rows = biochip_bench::fig10_rows();
     println!("Fig. 10: Execution time and valve ratios vs. dedicated storage unit\n");

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 11: execution snapshots of the RA30 chip.
+
+#![forbid(unsafe_code)]
 fn main() {
     let snapshots = biochip_bench::fig11_snapshots();
     println!("Fig. 11: Snapshots of the synthesized chip executing RA30\n");

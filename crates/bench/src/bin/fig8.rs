@@ -1,4 +1,6 @@
 //! Regenerates Fig. 8: edge/valve ratios vs. the full connection grid.
+
+#![forbid(unsafe_code)]
 fn main() {
     let rows = biochip_bench::fig8_rows();
     println!("Fig. 8: Edge and valve ratios vs. the original connection grid\n");

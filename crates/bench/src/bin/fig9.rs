@@ -1,4 +1,6 @@
 //! Regenerates Fig. 9: results with and without storage optimization.
+
+#![forbid(unsafe_code)]
 fn main() {
     let rows = biochip_bench::fig9_rows();
     println!("Fig. 9: Optimize execution time only vs. execution time and storage\n");

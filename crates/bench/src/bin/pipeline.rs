@@ -4,6 +4,8 @@
 //! the host's core count). Exits non-zero when any assay's output differs
 //! across thread counts — the CI gate for bit-identical parallel synthesis.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut defaults = vec![1, host];

@@ -5,6 +5,8 @@
 //! [`biochip_bench::DEFAULT_SCALE_MIXERS`] so the trajectory isolates
 //! graph-size effects.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let sizes = match biochip_bench::parse_size_args(
         std::env::args().skip(1),

@@ -6,6 +6,8 @@
 //! warm number replays the identical submission against the
 //! content-addressed result cache.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut parse_or_usage = |what: &str, default: usize| -> usize {

@@ -1,4 +1,6 @@
 //! Regenerates Table 2 of the paper.
+
+#![forbid(unsafe_code)]
 fn main() {
     let rows = biochip_bench::table2_rows();
     println!("Table 2: Results of Scheduling and Synthesis\n");

@@ -1,5 +1,7 @@
 //! The `biochip` binary: see [`biochip_cli::commands::USAGE`].
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use biochip_cli::CliError;

@@ -29,6 +29,8 @@ commands:
   serve     run the persistent HTTP job service with a result cache
   bench     reproduce the paper's Table 2 / Fig 8-10 numbers + scale sweep
   assays    list the built-in benchmark assays
+  lint      static analysis of the workspace sources (determinism,
+            panic-safety, lock-discipline and unsafe-inventory rules)
 
 run `biochip <command> --help` for the options of one command.
 The global flag --json-errors additionally prints failures as a
@@ -54,6 +56,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "serve" => cmd_serve(rest),
         "bench" => cmd_bench(rest),
         "assays" => cmd_assays(rest),
+        "lint" => cmd_lint(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -1050,6 +1053,104 @@ fn fig9_csv(rows: &[biochip_bench::Fig9Row]) -> String {
 // ---------------------------------------------------------------------------
 // biochip assays
 // ---------------------------------------------------------------------------
+
+fn cmd_lint(argv: &[String]) -> Result<(), CliError> {
+    if help_requested(argv) {
+        println!(
+            "usage: biochip lint [--root DIR] [--baseline FILE] [--list-waived]\n\n\
+             Runs the biochip-lint static analysis over every workspace crate\n\
+             (D1 map-iteration order, D2 wall-clock, D3 RNG sources, P1\n\
+             panic-safety, L1 lock discipline, U1 unsafe inventory). Fails on\n\
+             any finding not suppressed by an inline waiver or the committed\n\
+             baseline, and on baseline entries whose finding no longer exists.\n\
+             `biochip-lint --write-baseline` (the standalone bin) rewrites the\n\
+             baseline."
+        );
+        return Ok(());
+    }
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut baseline_path: Option<std::path::PathBuf> = None;
+    let mut list_waived = false;
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(std::path::PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| CliError::usage("--root needs a value"))?,
+                ));
+            }
+            "--baseline" => {
+                baseline_path =
+                    Some(std::path::PathBuf::from(args.next().ok_or_else(|| {
+                        CliError::usage("--baseline needs a value")
+                    })?));
+            }
+            "--list-waived" => list_waived = true,
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown option `{other}` (see `biochip lint --help`)"
+                )));
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| CliError::runtime(e.to_string()))?;
+            biochip_lint::workspace::find_root(&cwd).ok_or_else(|| {
+                CliError::runtime("no workspace Cargo.toml found above the current directory")
+            })?
+        }
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("ci/lint-baseline.tsv"));
+    let baseline =
+        biochip_lint::baseline::Baseline::load(&baseline_path).map_err(CliError::runtime)?;
+    let report = biochip_lint::workspace::run(&root, &baseline).map_err(CliError::runtime)?;
+
+    if list_waived {
+        for f in &report.waived {
+            println!("waived: {f}");
+        }
+    }
+    for (path, waiver) in &report.unused_waivers {
+        println!(
+            "warning: {path}:{}: unused waiver for {} (\"{}\")",
+            waiver.line, waiver.rule, waiver.reason
+        );
+    }
+    for (finding, _) in &report.new {
+        println!("{finding}");
+    }
+    for entry in &report.stale {
+        println!(
+            "stale baseline entry: {} {} {} ({})",
+            entry.rule, entry.path, entry.key, entry.note
+        );
+    }
+    println!(
+        "biochip lint: {} crates, {} files — {} new finding(s), {} waived, {} baselined, \
+         {} stale baseline entr{}",
+        report.crates,
+        report.files,
+        report.new.len(),
+        report.waived.len(),
+        report.baselined.len(),
+        report.stale.len(),
+        if report.stale.len() == 1 { "y" } else { "ies" },
+    );
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::runtime(format!(
+            "{} new finding(s), {} stale baseline entr{}",
+            report.new.len(),
+            report.stale.len(),
+            if report.stale.len() == 1 { "y" } else { "ies" },
+        )))
+    }
+}
 
 fn cmd_assays(argv: &[String]) -> Result<(), CliError> {
     if help_requested(argv) {

@@ -106,6 +106,7 @@ impl Ord for OrderedNode {
 /// # Ok::<(), biochip_ilp::SolveError>(())
 /// ```
 pub fn solve(model: &Model, options: &SolverOptions) -> Result<MipResult, SolveError> {
+    // biochip-lint: allow(D2, "explicit user-facing solver time budget (--ilp-time-limit); outcomes are status-gated via SolveStatus and the deterministic list scheduler is the default")
     let start = Instant::now();
     if model.num_variables() == 0 {
         return Err(SolveError::EmptyModel);

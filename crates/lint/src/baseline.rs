@@ -1,0 +1,176 @@
+//! The committed baseline of accepted pre-existing findings, and the
+//! stale-entry honesty check.
+//!
+//! Format (hand-editable, line-oriented — no JSON dependency so the lint
+//! stays std-only and the diff stays reviewable):
+//!
+//! ```text
+//! # biochip-lint-baseline/v1
+//! # rule <tab> path <tab> key <tab> note
+//! P1 <tab> crates/server/src/http.rs <tab> a1b2c3d4e5f60718 <tab> bounded by the parse above
+//! ```
+//!
+//! The `key` is the finding's [`crate::Finding::baseline_key`]: an FNV-1a
+//! hash of the trimmed source-line text plus an occurrence index, so the
+//! entry survives unrelated edits (line numbers shifting) but dies with
+//! the code it describes — at which point the runner reports it **stale**
+//! and exits non-zero, mirroring `ci/check_bench_provenance.sh`'s rule
+//! that committed artifacts may not outlive the code they vouch for.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::{Finding, Rule};
+
+/// Magic first line of a baseline file.
+pub const HEADER: &str = "# biochip-lint-baseline/v1";
+
+/// One accepted finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule of the accepted finding.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// [`crate::Finding::baseline_key`] of the accepted finding.
+    pub key: String,
+    /// Why it was accepted (free text, required).
+    pub note: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Loads a baseline file; a missing file is an empty baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unreadable files or malformed lines.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::default()),
+            Err(e) => return Err(format!("cannot read baseline `{}`: {e}", path.display())),
+        };
+        Baseline::parse(&text).map_err(|e| format!("baseline `{}`: {e}", path.display()))
+    }
+
+    /// Parses baseline text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a bad header or malformed entry lines.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(first) if first.trim() == HEADER => {}
+            _ => return Err(format!("first line must be `{HEADER}`")),
+        }
+        let mut entries = Vec::new();
+        for (no, line) in lines.enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(4, '\t');
+            let (rule, path, key, note) = (
+                parts.next().unwrap_or(""),
+                parts.next().unwrap_or(""),
+                parts.next().unwrap_or(""),
+                parts.next().unwrap_or("").trim(),
+            );
+            let rule = Rule::from_name(rule)
+                .ok_or_else(|| format!("line {}: unknown rule `{rule}`", no + 2))?;
+            if path.is_empty() || key.is_empty() || note.is_empty() {
+                return Err(format!(
+                    "line {}: expected `rule<TAB>path<TAB>key<TAB>note` with all fields",
+                    no + 2
+                ));
+            }
+            entries.push(BaselineEntry {
+                rule,
+                path: path.to_owned(),
+                key: key.to_owned(),
+                note: note.to_owned(),
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders the baseline back to its file format.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        out.push_str("# rule\tpath\tkey\tnote\n");
+        for e in &self.entries {
+            out.push_str(&format!("{}\t{}\t{}\t{}\n", e.rule, e.path, e.key, e.note));
+        }
+        out
+    }
+}
+
+/// Outcome of matching findings (already waiver-filtered) against a
+/// baseline.
+#[derive(Debug, Default)]
+pub struct BaselineMatch {
+    /// Findings with no baseline entry (paired with their computed key) —
+    /// these fail the run.
+    pub new: Vec<(Finding, String)>,
+    /// Findings covered by the baseline (paired with their key).
+    pub accepted: Vec<(Finding, String)>,
+    /// Baseline entries that matched nothing — stale; these also fail.
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Matches findings against the baseline. `keys` maps each finding (by
+/// index) to its computed baseline key.
+#[must_use]
+pub fn match_findings(
+    findings: Vec<Finding>,
+    keys: &[String],
+    baseline: &Baseline,
+) -> BaselineMatch {
+    let mut unmatched: HashMap<(Rule, &str, &str), usize> = HashMap::new();
+    for (idx, e) in baseline.entries.iter().enumerate() {
+        unmatched.insert((e.rule, e.path.as_str(), e.key.as_str()), idx);
+    }
+    let mut result = BaselineMatch::default();
+    let mut used = vec![false; baseline.entries.len()];
+    for (finding, key) in findings.into_iter().zip(keys) {
+        let lookup = (finding.rule, finding.path.as_str(), key.as_str());
+        if let Some(&idx) = unmatched.get(&lookup) {
+            used[idx] = true;
+            result.accepted.push((finding, key.clone()));
+        } else {
+            result.new.push((finding, key.clone()));
+        }
+    }
+    for (idx, entry) in baseline.entries.iter().enumerate() {
+        if !used[idx] {
+            result.stale.push(entry.clone());
+        }
+    }
+    result
+}
+
+/// 64-bit FNV-1a.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_continue(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a hash over more bytes.
+#[must_use]
+pub fn fnv1a_continue(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

@@ -1,0 +1,359 @@
+//! A real (if deliberately small) Rust token lexer.
+//!
+//! The rule passes cannot be grep: a `HashMap` inside a string literal, an
+//! `unwrap()` in a doc comment or a `{` in a `format!` template must not
+//! confuse scope tracking or pattern matching. This lexer understands every
+//! token shape that matters for that:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string literals with escapes, byte/C strings, and raw strings with an
+//!   arbitrary number of `#` guards (`r"…"`, `br##"…"##`, `cr#"…"#`),
+//! * the `'a'` char vs `'a` lifetime ambiguity (including `'\''` and
+//!   `'_'`),
+//! * raw identifiers (`r#match`) vs raw strings (`r#"…"#`),
+//! * numbers with suffixes, and single-character punctuation.
+//!
+//! It does not validate Rust — unterminated literals are closed at EOF and
+//! reported as ordinary tokens — because the lint must keep walking a file
+//! even when it is mid-edit.
+
+/// The coarse classification a rule pass needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, stored without the
+    /// `r#` prefix).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (stored without the quote).
+    Lifetime,
+    /// Any string-like literal: `"…"`, `b"…"`, `r#"…"#`, `c"…"`.
+    Str,
+    /// A character or byte-character literal: `'x'`, `b'\n'`.
+    Char,
+    /// A numeric literal (integer or float, suffix included).
+    Number,
+    /// A single punctuation character.
+    Punct,
+    /// `// …` (text stored without the slashes, untrimmed).
+    LineComment,
+    /// `/* … */`, nesting respected (text stored without the delimiters).
+    BlockComment,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Coarse kind; see [`TokenKind`].
+    pub kind: TokenKind,
+    /// Token text. Identifiers/numbers carry their spelling, comments their
+    /// content, strings their *body* (delimiters stripped), puncts the
+    /// single character.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: impl Into<String>, line: u32) -> Self {
+        Token {
+            kind,
+            text: text.into(),
+            line,
+        }
+    }
+}
+
+/// Lexes `source` into a flat token stream (comments included).
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                'r' | 'b' | 'c' if self.literal_prefix() => {}
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.out.push(Token::new(TokenKind::Punct, c, line));
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // consume `//`
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out
+            .push(Token::new(TokenKind::LineComment, text, line));
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out
+            .push(Token::new(TokenKind::BlockComment, text, line));
+    }
+
+    /// Handles the `r` / `b` / `c` prefix family: raw strings (`r"`,
+    /// `r#"`…), byte strings (`b"`), byte chars (`b'`), C strings (`c"`),
+    /// combined prefixes (`br#"`, `cr"`) and raw identifiers (`r#match`).
+    /// Returns `true` when it consumed a literal; `false` leaves the
+    /// identifier path to run.
+    fn literal_prefix(&mut self) -> bool {
+        let line = self.line;
+        let c0 = self.peek(0).unwrap_or(' ');
+        // Longest prefix of [brc] characters that ends at a quote or `#`.
+        let mut prefix_len = 1;
+        if matches!(
+            (c0, self.peek(1)),
+            ('b' | 'c', Some('r')) | ('r', Some('b' | 'c'))
+        ) {
+            prefix_len = 2;
+        }
+        let raw = (0..prefix_len).any(|i| self.peek(i) == Some('r'));
+        let after = self.peek(prefix_len);
+        match after {
+            Some('"') if !raw => {
+                for _ in 0..=prefix_len {
+                    self.bump();
+                }
+                self.string_body(line);
+                true
+            }
+            Some('\'') if c0 == 'b' && prefix_len == 1 => {
+                self.bump();
+                self.bump();
+                self.char_body(line);
+                true
+            }
+            Some('"') | Some('#') if raw => {
+                // Count the `#` guards. `r#ident` (one hash, then an ident
+                // start) is a raw identifier, not a raw string.
+                let mut hashes = 0;
+                while self.peek(prefix_len + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                match self.peek(prefix_len + hashes) {
+                    Some('"') => {
+                        for _ in 0..prefix_len + hashes + 1 {
+                            self.bump();
+                        }
+                        self.raw_string_body(line, hashes);
+                        true
+                    }
+                    Some(c) if hashes == 1 && prefix_len == 1 && is_ident_start(c) => {
+                        // Raw identifier `r#match`.
+                        self.bump(); // r
+                        self.bump(); // #
+                        self.ident(line);
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes a normal (escaped) string body after the opening quote.
+    fn string_body(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    text.push(c);
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.out.push(Token::new(TokenKind::Str, text, line));
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        self.string_body(line);
+    }
+
+    /// Consumes a raw string body after `r#*"`, looking for `"#*`.
+    fn raw_string_body(&mut self, line: u32, hashes: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let closing = (0..hashes).all(|i| self.peek(i) == Some('#'));
+                if closing {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            text.push(c);
+        }
+        self.out.push(Token::new(TokenKind::Str, text, line));
+    }
+
+    /// Consumes a char body after the opening `'` (escapes included).
+    fn char_body(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    text.push(c);
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.out.push(Token::new(TokenKind::Char, text, line));
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            // `'\n'`, `'\''`, `'\u{1F600}'` — escapes are always chars.
+            Some('\\') => self.char_body(line),
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                if self.peek(1) == Some('\'') {
+                    // `'a'` — a one-character char literal.
+                    self.char_body(line);
+                } else {
+                    // `'a`, `'static`, `'_` — a lifetime.
+                    let mut name = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if is_ident_continue(c) {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.out.push(Token::new(TokenKind::Lifetime, name, line));
+                }
+            }
+            // `'('` and friends: a one-character char literal of punctuation.
+            Some(_) if self.peek(1) == Some('\'') => self.char_body(line),
+            _ => {
+                // Stray quote (malformed source) — emit as punctuation and
+                // keep going.
+                self.out.push(Token::new(TokenKind::Punct, '\'', line));
+            }
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.out.push(Token::new(TokenKind::Ident, text, line));
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                // `1.5` yes; `1..10` and `1.method()` no.
+                || (c == '.'
+                    && !text.contains('.')
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if take {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.out.push(Token::new(TokenKind::Number, text, line));
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}

@@ -1,0 +1,166 @@
+//! The `biochip-lint` binary.
+//!
+//! ```text
+//! biochip-lint [--root DIR] [--baseline FILE] [--write-baseline] [--list-waived]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` new unwaived findings or stale baseline
+//! entries, `2` usage / I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use biochip_lint::baseline::{Baseline, BaselineEntry};
+use biochip_lint::workspace;
+
+const USAGE: &str = "usage: biochip-lint [options]
+
+Static analysis over every workspace crate, enforcing the determinism
+(D1 map-iteration order, D2 wall-clock, D3 RNG sources), panic-safety
+(P1), lock-discipline (L1) and unsafe-inventory (U1) contracts.
+
+options:
+  --root DIR        workspace root (default: walk up from the current dir)
+  --baseline FILE   accepted-findings file (default: <root>/ci/lint-baseline.tsv)
+  --write-baseline  rewrite the baseline to accept all current findings
+  --list-waived     also print findings suppressed by inline waivers
+  -h, --help        this help
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("biochip-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut list_waived = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?)),
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a value")?,
+                ));
+            }
+            "--write-baseline" => write_baseline = true,
+            "--list-waived" => list_waived = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            workspace::find_root(&cwd)
+                .ok_or("no workspace Cargo.toml found above the current directory")?
+        }
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("ci/lint-baseline.tsv"));
+    let baseline = Baseline::load(&baseline_path)?;
+
+    let report = workspace::run(&root, &baseline)?;
+
+    if list_waived {
+        for f in &report.waived {
+            println!("waived: {f}");
+        }
+    }
+    for (path, waiver) in &report.unused_waivers {
+        println!(
+            "warning: {path}:{}: unused waiver for {} (\"{}\") — remove it or fix the rule match",
+            waiver.line, waiver.rule, waiver.reason
+        );
+    }
+    for (finding, _) in &report.new {
+        println!("{finding}");
+    }
+    for entry in &report.stale {
+        println!(
+            "stale baseline entry: {} {} {} ({}) — the finding it accepted no longer exists; \
+             remove the entry",
+            entry.rule, entry.path, entry.key, entry.note
+        );
+    }
+
+    if write_baseline {
+        let mut next = Baseline::default();
+        // Keep the notes of still-valid accepted entries, then append the
+        // new findings with a placeholder note to fill in.
+        for (finding, key) in report.baselined.iter().chain(report.new.iter()) {
+            let note = baseline
+                .entries
+                .iter()
+                .find(|e| e.rule == finding.rule && e.path == finding.path && &e.key == key)
+                .map_or("TODO: justify or fix", |e| e.note.as_str());
+            next.entries.push(BaselineEntry {
+                rule: finding.rule,
+                path: finding.path.clone(),
+                key: key.clone(),
+                note: note.to_owned(),
+            });
+        }
+        if let Some(parent) = baseline_path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+        }
+        std::fs::write(&baseline_path, next.render())
+            .map_err(|e| format!("cannot write `{}`: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} entries to {}",
+            next.entries.len(),
+            baseline_path.display()
+        );
+    }
+
+    let by_rule: Vec<String> = report
+        .new_by_rule()
+        .into_iter()
+        .map(|(rule, n)| format!("{rule}:{n}"))
+        .collect();
+    println!(
+        "biochip-lint: {} crates, {} files — {} new finding(s){}{}, {} waived, {} baselined, \
+         {} stale baseline entr{}",
+        report.crates,
+        report.files,
+        report.new.len(),
+        if by_rule.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", by_rule.join(", "))
+        },
+        if report.unused_waivers.is_empty() {
+            String::new()
+        } else {
+            format!(", {} unused waiver(s)", report.unused_waivers.len())
+        },
+        report.waived.len(),
+        report.baselined.len(),
+        report.stale.len(),
+        if report.stale.len() == 1 { "y" } else { "ies" },
+    );
+
+    Ok(report.is_clean() || write_baseline)
+}

@@ -1,0 +1,233 @@
+//! **D1** — unordered `HashMap`/`HashSet` iteration in result-bearing
+//! crates.
+//!
+//! `std`'s hash maps iterate in randomized order (`RandomState` seeds per
+//! process), so any loop over one whose effect can escape into a schedule,
+//! a route, a report or a serialized document is a determinism bug waiting
+//! for a hasher change. The pass:
+//!
+//! 1. collects every name declared or annotated as `HashMap`/`HashSet` in
+//!    the file (lets, fields, params — `name: HashMap<…>` and
+//!    `name = HashMap::new()` shapes),
+//! 2. flags `.iter()` / `.keys()` / `.values()` / `.drain()` /
+//!    `.into_iter()` / `.retain()` calls and `for … in &name` loops on
+//!    those names,
+//! 3. unless the same statement visibly feeds an **order-insensitive
+//!    sink** — a sort, a count/sum/min/max reduction, a membership test,
+//!    or a collect into a `BTreeMap`/`BTreeSet` (or back into a hash
+//!    map).
+//!
+//! Anything genuinely order-safe for a subtler reason takes a waiver with
+//! the reason written down.
+
+use std::collections::HashSet;
+
+use crate::lexer::TokenKind;
+use crate::rules::{is_punct, report};
+use crate::scopes::{next_code, prev_code};
+use crate::{Finding, Rule, SourceFile};
+
+/// Iterator-producing methods whose order is the map's order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Statement-level sinks that make iteration order unobservable.
+const ORDER_INSENSITIVE_SINKS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "count",
+    "sum",
+    "product",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "all",
+    "any",
+    "len",
+    "is_empty",
+    "contains",
+    "contains_key",
+    // Collecting into an ordered (or another unordered) container erases
+    // the iteration order.
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashMap",
+    "HashSet",
+];
+
+/// Runs the pass.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let map_names = collect_map_names(file);
+    if map_names.is_empty() {
+        return;
+    }
+    for i in 0..file.tokens.len() {
+        let tok = &file.tokens[i];
+        if tok.kind != TokenKind::Ident || !map_names.contains(tok.text.as_str()) {
+            continue;
+        }
+        if file.ctx[i].in_test {
+            continue;
+        }
+        // `name.iter()` and friends.
+        if let Some(dot) = next_code(&file.tokens, i + 1) {
+            if is_punct(file, dot, ".") {
+                if let Some(m) = next_code(&file.tokens, dot + 1) {
+                    let method = &file.tokens[m];
+                    if method.kind == TokenKind::Ident
+                        && ITER_METHODS.contains(&method.text.as_str())
+                        && !statement_has_sink(file, m)
+                    {
+                        report(
+                            out,
+                            Rule::D1,
+                            file,
+                            tok.line,
+                            format!(
+                                "iteration over unordered map/set `{}` via `.{}()` — order can \
+                                 escape into results; sort, reduce order-insensitively, or waive \
+                                 with the reason order cannot escape",
+                                tok.text, method.text
+                            ),
+                        );
+                        continue;
+                    }
+                }
+            }
+        }
+        // `for pat in &name {` / `for pat in name {`.
+        if is_for_loop_subject(file, i) {
+            report(
+                out,
+                Rule::D1,
+                file,
+                tok.line,
+                format!(
+                    "`for` loop over unordered map/set `{}` — iteration order can escape into \
+                     results; iterate a sorted view or waive with the reason order cannot escape",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+/// Collects identifiers declared/annotated as `HashMap`/`HashSet` in this
+/// file: `name: [&][mut] [path::]Hash{Map,Set}<…>` and
+/// `name = [path::]Hash{Map,Set}::new/with_capacity/from(…)`.
+fn collect_map_names(file: &SourceFile) -> HashSet<&str> {
+    let mut names = HashSet::new();
+    for i in 0..file.tokens.len() {
+        let tok = &file.tokens[i];
+        if tok.kind != TokenKind::Ident || (tok.text != "HashMap" && tok.text != "HashSet") {
+            continue;
+        }
+        if let Some(name) = binder_before(file, i) {
+            names.insert(name);
+        }
+    }
+    names
+}
+
+/// Walks backwards from a `HashMap`/`HashSet` type token over the path
+/// (`std :: collections ::`) and any `&`/`mut`/lifetime sigils; if the
+/// walk lands on a `name :` annotation or `name =` binding, returns the
+/// bound name.
+fn binder_before(file: &SourceFile, i: usize) -> Option<&str> {
+    let mut j = prev_code(&file.tokens, i)?;
+    loop {
+        let t = &file.tokens[j];
+        // `::` lexes as two `:` puncts; a path pair means skip it and the
+        // segment ident before it (`collections`, `std`…).
+        if is_punct(file, j, ":")
+            && prev_code(&file.tokens, j).is_some_and(|p| is_punct(file, p, ":"))
+        {
+            let first_colon = prev_code(&file.tokens, j)?;
+            let segment = prev_code(&file.tokens, first_colon)?;
+            if file.tokens[segment].kind != TokenKind::Ident {
+                return None;
+            }
+            j = prev_code(&file.tokens, segment)?;
+            continue;
+        }
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "&") | (TokenKind::Ident, "mut") | (TokenKind::Lifetime, _) => {
+                j = prev_code(&file.tokens, j)?;
+            }
+            // `name : HashMap<…>` or `name = HashMap::new()`.
+            (TokenKind::Punct, ":" | "=") => {
+                let p = prev_code(&file.tokens, j)?;
+                let binder = &file.tokens[p];
+                return (binder.kind == TokenKind::Ident && binder.text != "mut")
+                    .then_some(binder.text.as_str());
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Whether the ident at `i` is the subject of a `for … in` loop:
+/// backwards over optional `&`/`mut` sits the keyword `in`.
+fn is_for_loop_subject(file: &SourceFile, i: usize) -> bool {
+    let mut j = i;
+    loop {
+        let Some(p) = prev_code(&file.tokens, j) else {
+            return false;
+        };
+        let t = &file.tokens[p];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "&") | (TokenKind::Ident, "mut") => j = p,
+            (TokenKind::Ident, "in") => return true,
+            _ => return false,
+        }
+    }
+}
+
+/// Scans forward from the iterator-method token to the end of the
+/// statement (`;`, or the `{` opening a loop body) looking for an
+/// order-insensitive sink.
+fn statement_has_sink(file: &SourceFile, from: usize) -> bool {
+    let mut paren_depth = 0i32;
+    for j in from..file.tokens.len().min(from + 160) {
+        let t = &file.tokens[j];
+        match t.kind {
+            TokenKind::Punct => match t.text.as_str() {
+                "(" | "[" => paren_depth += 1,
+                ")" | "]" => {
+                    paren_depth -= 1;
+                    if paren_depth < 0 {
+                        // End of the enclosing call — e.g. the map iter was
+                        // an argument; stop at the expression boundary.
+                        return false;
+                    }
+                }
+                ";" if paren_depth == 0 => return false,
+                "{" if paren_depth == 0 => return false,
+                _ => {}
+            },
+            TokenKind::Ident if ORDER_INSENSITIVE_SINKS.contains(&t.text.as_str()) => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}

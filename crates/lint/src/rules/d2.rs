@@ -1,0 +1,70 @@
+//! **D2** — wall-clock reads in result-bearing crates.
+//!
+//! `Instant::now()` / `SystemTime::now()` inside code whose output is
+//! serialized or content-keyed makes two identical runs produce different
+//! bytes. `telemetry` (whose whole job is timing) and the bench/CLI/server
+//! infrastructure are out of scope by crate; within the result-bearing
+//! crates, the explicitly timing-excluded functions
+//! ([`crate::rules::D2_EXEMPT_FNS`], e.g. `synthesize_timed` whose timings
+//! are stripped before serialization) are skipped; everything else needs a
+//! waiver stating why the clock value cannot reach serialized output.
+
+use crate::lexer::TokenKind;
+use crate::rules::{is_ident, is_punct, report, D2_EXEMPT_FNS};
+use crate::scopes::next_code;
+use crate::{Finding, Rule, SourceFile};
+
+/// Runs the pass.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..file.tokens.len() {
+        let tok = &file.tokens[i];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let clock = match tok.text.as_str() {
+            "Instant" | "SystemTime" => tok.text.as_str(),
+            _ => continue,
+        };
+        // Require the `Type::now(` shape so `Instant` in a type position
+        // (fields, signatures) doesn't fire — storing an instant someone
+        // else read is the *caller's* finding.
+        let Some(c1) = next_code(&file.tokens, i + 1) else {
+            continue;
+        };
+        let Some(c2) = next_code(&file.tokens, c1 + 1) else {
+            continue;
+        };
+        let Some(m) = next_code(&file.tokens, c2 + 1) else {
+            continue;
+        };
+        if !(is_punct(file, c1, ":") && is_punct(file, c2, ":") && is_ident(file, m, "now")) {
+            continue;
+        }
+        let ctx = &file.ctx[i];
+        if ctx.in_test {
+            continue;
+        }
+        if let Some(fn_name) = &ctx.fn_name {
+            if D2_EXEMPT_FNS.contains(&fn_name.as_str()) {
+                continue;
+            }
+        }
+        let where_ = ctx
+            .fn_name
+            .as_deref()
+            .map_or_else(String::new, |f| format!(" in `{f}`"));
+        report(
+            out,
+            Rule::D2,
+            file,
+            tok.line,
+            format!(
+                "wall-clock read `{clock}::now()`{where_} in result-bearing crate \
+                 `{}` — two identical runs diverge; keep clocks in telemetry or \
+                 timing-excluded paths, or waive with the reason the value cannot \
+                 reach serialized output",
+                file.crate_name
+            ),
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! **L1** — lock discipline in `pool` and `server`.
+//!
+//! Two hazards, both deadlock-shaped:
+//!
+//! * **Inconsistent acquisition order** — if one code path locks `jobs`
+//!   then `cache` and another locks `cache` then `jobs`, two threads can
+//!   deadlock. The pass records every nested acquisition (a lock taken
+//!   while another guard is live) per crate and flags pairs that occur in
+//!   both orders.
+//! * **Guard held across a blocking call** — `recv`, `join`, `accept`,
+//!   `sleep`… while holding a mutex stalls every other thread that needs
+//!   it (and can deadlock against the woken side). `Condvar::wait(guard)`
+//!   is the sanctioned exception: it *releases* the guard while parked.
+//!
+//! Guards are tracked per function with statement-level liveness: a
+//! let-bound guard lives until its block closes or an explicit
+//! `drop(guard)`; a temporary (`foo.lock().unwrap().bar`) lives to the end
+//! of its statement.
+
+use std::collections::HashMap;
+
+use crate::lexer::TokenKind;
+use crate::rules::{has_empty_args, is_method_call, is_punct, report};
+use crate::scopes::{next_code, prev_code};
+use crate::{Finding, Rule, SourceFile};
+
+/// Calls that park or block the calling thread.
+const BLOCKING_CALLS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "join",
+    "accept",
+    "sleep",
+    "park",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "read_to_end",
+    "read_to_string",
+];
+
+/// A live guard inside a function walk.
+#[derive(Debug, Clone)]
+struct Guard {
+    receiver: String,
+    /// Binding name for let-bound guards; `None` for temporaries.
+    var: Option<String>,
+    /// Brace depth at the binding (guard dies when depth drops below).
+    depth: u32,
+    /// Temporaries die at the next `;` at their depth.
+    temp: bool,
+    line: u32,
+}
+
+/// Per-file pass: guard-across-blocking-call findings, plus collection of
+/// nested acquisition order into `orders` for the crate-level check.
+fn walk(
+    file: &SourceFile,
+    out: &mut Vec<Finding>,
+    orders: &mut HashMap<(String, String), Vec<(String, u32)>>,
+) {
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut current_fn: Option<String> = None;
+
+    for i in 0..file.tokens.len() {
+        let tok = &file.tokens[i];
+        let ctx = &file.ctx[i];
+        if ctx.in_test {
+            continue;
+        }
+        // Entering a different function resets guard tracking.
+        if ctx.fn_name != current_fn {
+            current_fn = ctx.fn_name.clone();
+            guards.clear();
+        }
+        match tok.kind {
+            TokenKind::Punct if tok.text == "}" => {
+                guards.retain(|g| g.depth < ctx.depth);
+            }
+            TokenKind::Punct if tok.text == ";" => {
+                guards.retain(|g| !(g.temp && g.depth == ctx.depth));
+            }
+            TokenKind::Ident if tok.text == "drop" => {
+                // `drop(guard)` ends a binding's life early.
+                if let Some(open) = next_code(&file.tokens, i + 1) {
+                    if is_punct(file, open, "(") {
+                        if let Some(arg) = next_code(&file.tokens, open + 1) {
+                            let name = &file.tokens[arg].text;
+                            guards.retain(|g| g.var.as_deref() != Some(name.as_str()));
+                        }
+                    }
+                }
+            }
+            TokenKind::Ident
+                if matches!(tok.text.as_str(), "lock" | "read" | "write")
+                    && is_method_call(file, i)
+                    && has_empty_args(file, i) =>
+            {
+                let Some(receiver) = receiver_of(file, i) else {
+                    continue;
+                };
+                // Nested acquisition: record (held, new) order pairs.
+                for held in &guards {
+                    if held.receiver != receiver {
+                        orders
+                            .entry((held.receiver.clone(), receiver.clone()))
+                            .or_default()
+                            .push((file.rel_path.clone(), tok.line));
+                    }
+                }
+                let (var, depth_of_let) = let_binding_of(file, i);
+                guards.push(Guard {
+                    receiver,
+                    temp: var.is_none(),
+                    var,
+                    depth: depth_of_let.unwrap_or(ctx.depth),
+                    line: tok.line,
+                });
+            }
+            TokenKind::Ident
+                if BLOCKING_CALLS.contains(&tok.text.as_str())
+                    && !guards.is_empty()
+                    && is_call(file, i) =>
+            {
+                // Condvar handshake: `cv.wait(guard)` / `cv.wait_timeout(guard, …)`
+                // consumes (and releases) the guard it is passed.
+                if tok.text.starts_with("wait") {
+                    if let Some(arg) = first_arg_ident(file, i) {
+                        if let Some(pos) =
+                            guards.iter().position(|g| g.var.as_deref() == Some(&arg))
+                        {
+                            // The guard is re-acquired on return; liveness
+                            // unchanged, and parking with it is fine.
+                            let _ = pos;
+                            continue;
+                        }
+                    }
+                }
+                let held: Vec<&str> = guards.iter().map(|g| g.receiver.as_str()).collect();
+                report(
+                    out,
+                    Rule::L1,
+                    file,
+                    tok.line,
+                    format!(
+                        "blocking call `{}` while holding lock guard(s) on `{}` (acquired \
+                         line {}) — release the guard first, or waive with the reason the \
+                         block is bounded and deadlock-free",
+                        tok.text,
+                        held.join("`, `"),
+                        guards[0].line
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Per-file entry: emits guard-across-blocking-call findings only (order
+/// consistency needs the whole crate; see [`check_crate`]).
+pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut orders = HashMap::new();
+    walk(file, out, &mut orders);
+}
+
+/// Crate-level entry: re-walks every file collecting nested-acquisition
+/// orders, then flags pairs acquired in both orders anywhere in the crate.
+pub fn check_crate(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let mut orders: HashMap<(String, String), Vec<(String, u32)>> = HashMap::new();
+    let mut sink = Vec::new(); // blocking-call findings already reported per-file
+    for file in files {
+        walk(file, &mut sink, &mut orders);
+    }
+    // Deterministic iteration for reporting: sort the pair keys.
+    let mut pairs: Vec<&(String, String)> = orders.keys().collect();
+    pairs.sort();
+    for pair in pairs {
+        let (a, b) = pair;
+        if a >= b {
+            continue; // visit each unordered pair once, from its (a<b) side
+        }
+        let reverse = (b.clone(), a.clone());
+        if !orders.contains_key(&reverse) {
+            continue;
+        }
+        for (path, line) in orders[pair].iter().chain(orders[&reverse].iter()) {
+            let file = files.iter().find(|f| &f.rel_path == path);
+            if let Some(file) = file {
+                report(
+                    out,
+                    Rule::L1,
+                    file,
+                    *line,
+                    format!(
+                        "inconsistent lock order: `{a}` and `{b}` are acquired in both \
+                         orders in this crate — pick one order (or waive with the reason \
+                         the paths cannot contend)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Normalized receiver of a `.lock()`-style call: the last identifier of
+/// the dotted chain before the method (`self.jobs.lock()` → `jobs`,
+/// `state.lock()` → `state`). `None` when the receiver is not a simple
+/// path (e.g. a call result), where ordering identity is unknowable.
+fn receiver_of(file: &SourceFile, method: usize) -> Option<String> {
+    let dot = prev_code(&file.tokens, method)?;
+    if !is_punct(file, dot, ".") {
+        return None;
+    }
+    let recv = prev_code(&file.tokens, dot)?;
+    let t = &file.tokens[recv];
+    (t.kind == TokenKind::Ident).then(|| t.text.clone())
+}
+
+/// If the lock expression is let-bound (`let [mut] g = …lock()…` or
+/// `[while/if] let Ok(g) = …lock()`), returns the binding name and the
+/// brace depth of the binding.
+fn let_binding_of(file: &SourceFile, method: usize) -> (Option<String>, Option<u32>) {
+    // Walk back a bounded window looking for `let` before any `;`/`{`.
+    let mut names: Vec<(usize, String)> = Vec::new();
+    let mut j = method;
+    for _ in 0..24 {
+        let Some(p) = prev_code(&file.tokens, j) else {
+            break;
+        };
+        let t = &file.tokens[p];
+        match t.kind {
+            TokenKind::Punct if t.text == ";" || t.text == "{" || t.text == "}" => break,
+            TokenKind::Ident if t.text == "let" => {
+                // Binding name: the last plain ident between `let` and `=`
+                // that isn't a pattern constructor.
+                let name = names.iter().rev().find_map(|(_, n)| {
+                    (!matches!(n.as_str(), "Ok" | "Err" | "Some" | "mut")).then(|| n.clone())
+                });
+                return (name, Some(file.ctx[p].depth));
+            }
+            TokenKind::Ident => names.push((p, t.text.clone())),
+            _ => {}
+        }
+        j = p;
+    }
+    (None, None)
+}
+
+/// Whether the ident at `i` is called (followed by `(`), either as a
+/// method or a free function.
+fn is_call(file: &SourceFile, i: usize) -> bool {
+    next_code(&file.tokens, i + 1).is_some_and(|n| is_punct(file, n, "("))
+}
+
+/// First argument of the call at ident `i`, when it is a plain identifier.
+fn first_arg_ident(file: &SourceFile, i: usize) -> Option<String> {
+    let open = next_code(&file.tokens, i + 1)?;
+    if !is_punct(file, open, "(") {
+        return None;
+    }
+    let arg = next_code(&file.tokens, open + 1)?;
+    let t = &file.tokens[arg];
+    (t.kind == TokenKind::Ident).then(|| t.text.clone())
+}

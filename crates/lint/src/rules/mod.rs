@@ -1,0 +1,128 @@
+//! The rule passes and their crate/path scoping.
+//!
+//! Scoping is by *crate directory name* under `crates/` (stable across
+//! renames of the package name) and by path (`src/` vs `tests/`). The
+//! result-bearing set is every crate whose output can reach a serialized
+//! report: the pipeline crates plus their deterministic substrates.
+
+pub mod d1;
+pub mod d2;
+pub mod d3;
+pub mod l1;
+pub mod p1;
+pub mod u1;
+
+use crate::lexer::TokenKind;
+use crate::{Finding, SourceFile};
+
+/// Crates whose map iteration order can leak into results (D1).
+pub const D1_CRATES: &[&str] = &["arch", "schedule", "synth", "layout", "sim"];
+
+/// Crates where wall-clock reads threaten content keys / serialized output
+/// (D2): the result-bearing set plus the deterministic substrates they sit
+/// on. `telemetry` (timing is its job), `bench`/`cli`/`server`/`pool`
+/// (timing-excluded infrastructure) are out of scope by design.
+pub const D2_CRATES: &[&str] = &[
+    "arch", "schedule", "synth", "layout", "sim", "assay", "ilp", "json", "rand",
+];
+
+/// Function names D2 skips: the explicitly timing-excluded paths. Their
+/// timings are stripped before serialization (`SynthesisReport::
+/// without_timings` is the byte-comparison form).
+pub const D2_EXEMPT_FNS: &[&str] = &["synthesize_timed"];
+
+/// Crates whose request-handling / worker paths must not panic (P1, L1).
+pub const PANIC_SAFE_CRATES: &[&str] = &["server", "pool"];
+
+/// Runs every per-file rule that applies to `file`, appending raw findings
+/// (waivers are applied by the caller).
+pub fn run_file_rules(file: &SourceFile, out: &mut Vec<Finding>) {
+    let in_src = is_src_path(&file.rel_path);
+    if in_src && D1_CRATES.contains(&file.crate_name.as_str()) {
+        d1::check(file, out);
+    }
+    if in_src && D2_CRATES.contains(&file.crate_name.as_str()) {
+        d2::check(file, out);
+    }
+    if in_src {
+        d3::check(file, out);
+    }
+    if in_src && PANIC_SAFE_CRATES.contains(&file.crate_name.as_str()) {
+        p1::check(file, out);
+        l1::check_file(file, out);
+    }
+    u1::check_file(file, out);
+}
+
+/// Runs the crate-level rules over all of a crate's parsed files:
+/// L1's cross-file lock-order consistency and U1's `forbid(unsafe_code)`
+/// requirement. `entry_files` indexes the target entry points
+/// (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`) within `files`.
+pub fn run_crate_rules(
+    crate_name: &str,
+    files: &[SourceFile],
+    entry_files: &[usize],
+    out: &mut Vec<Finding>,
+) {
+    if PANIC_SAFE_CRATES.contains(&crate_name) {
+        l1::check_crate(files, out);
+    }
+    u1::check_crate(crate_name, files, entry_files, out);
+}
+
+/// Whether a workspace-relative path is library/binary source (as opposed
+/// to integration tests or benches).
+#[must_use]
+pub fn is_src_path(rel_path: &str) -> bool {
+    rel_path.starts_with("src/") || rel_path.contains("/src/")
+}
+
+/// Whether token `i` is an identifier with exactly this text.
+pub(crate) fn is_ident(file: &SourceFile, i: usize, text: &str) -> bool {
+    file.tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+/// Whether token `i` is this punctuation character.
+pub(crate) fn is_punct(file: &SourceFile, i: usize, ch: &str) -> bool {
+    file.tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == ch)
+}
+
+/// `name.method(` — whether the ident at `i` is a method call on something
+/// (preceded by `.`, followed by `(`).
+pub(crate) fn is_method_call(file: &SourceFile, i: usize) -> bool {
+    let prev = crate::scopes::prev_code(&file.tokens, i);
+    let next = crate::scopes::next_code(&file.tokens, i + 1);
+    prev.is_some_and(|p| is_punct(file, p, ".")) && next.is_some_and(|n| is_punct(file, n, "("))
+}
+
+/// Whether the method call at ident `i` has empty argument parens:
+/// `.lock()` yes, `.read(&mut buf)` no.
+pub(crate) fn has_empty_args(file: &SourceFile, i: usize) -> bool {
+    let Some(open) = crate::scopes::next_code(&file.tokens, i + 1) else {
+        return false;
+    };
+    if !is_punct(file, open, "(") {
+        return false;
+    }
+    crate::scopes::next_code(&file.tokens, open + 1).is_some_and(|close| is_punct(file, close, ")"))
+}
+
+/// Pushes a finding.
+pub(crate) fn report(
+    out: &mut Vec<Finding>,
+    rule: crate::Rule,
+    file: &SourceFile,
+    line: u32,
+    message: String,
+) {
+    out.push(Finding {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        message,
+    });
+}

@@ -1,0 +1,132 @@
+//! **P1** — panic hazards on the server request paths and pool worker
+//! paths.
+//!
+//! PRs 4 and 7 swept these panics twice; this pass keeps them swept. In
+//! `crates/server` and `crates/pool` (outside test code) it flags:
+//!
+//! * `.unwrap()` / `.expect(…)` — a poisoned mutex, a missing job id or a
+//!   malformed request must answer a structured `biochip-error/v1` body,
+//!   not unwind the connection handler (`unwrap_or*` variants are fine);
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!` invocations;
+//! * slice/array indexing (`buf[i]`, `parts[1]`, chained `a[i][j]`) —
+//!   request parsing must bound-check with `.get()`.
+//!
+//! Waivers are for spots where the invariant is locally provable (e.g. an
+//! index produced by `len()` arithmetic two lines up) — write it down.
+
+use crate::lexer::TokenKind;
+use crate::rules::{is_method_call, is_punct, report};
+use crate::scopes::{next_code, prev_code};
+use crate::{Finding, Rule, SourceFile};
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the pass.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..file.tokens.len() {
+        let tok = &file.tokens[i];
+        let ctx = &file.ctx[i];
+        if ctx.in_test {
+            continue;
+        }
+        let in_fn = ctx.fn_name.is_some();
+        match tok.kind {
+            TokenKind::Ident
+                if (tok.text == "unwrap" || tok.text == "expect") && is_method_call(file, i) =>
+            {
+                let fn_part = ctx
+                    .fn_name
+                    .as_deref()
+                    .map_or_else(String::new, |f| format!(" in `{f}`"));
+                report(
+                    out,
+                    Rule::P1,
+                    file,
+                    tok.line,
+                    format!(
+                        "`.{}()`{} on a request/worker path — convert to a structured \
+                         `biochip-error/v1` response or recover; waive only with a written \
+                         proof the value cannot be absent here",
+                        tok.text, fn_part
+                    ),
+                );
+            }
+            TokenKind::Ident if PANIC_MACROS.contains(&tok.text.as_str()) => {
+                // `panic!(` — the macro bang then an opening delimiter.
+                let bang = next_code(&file.tokens, i + 1);
+                let open = bang.and_then(|b| next_code(&file.tokens, b + 1));
+                let is_macro = bang.is_some_and(|b| is_punct(file, b, "!"))
+                    && open.is_some_and(|o| {
+                        is_punct(file, o, "(") || is_punct(file, o, "[") || is_punct(file, o, "{")
+                    });
+                if is_macro {
+                    report(
+                        out,
+                        Rule::P1,
+                        file,
+                        tok.line,
+                        format!(
+                            "`{}!` on a request/worker path — a handler must degrade into a \
+                             structured error, not unwind",
+                            tok.text
+                        ),
+                    );
+                }
+            }
+            // Indexing: `[` whose previous token closes an expression
+            // (ident, `)`, `]`). Attribute brackets have `#` before them,
+            // array types have `:`/`<`/`(`/`=`/`&` — none match.
+            TokenKind::Punct if tok.text == "[" && in_fn => {
+                let Some(p) = prev_code(&file.tokens, i) else {
+                    continue;
+                };
+                let prev = &file.tokens[p];
+                let indexes_expr = match prev.kind {
+                    TokenKind::Ident => !is_keyword(&prev.text),
+                    TokenKind::Punct => prev.text == ")" || prev.text == "]",
+                    _ => false,
+                };
+                if indexes_expr {
+                    report(
+                        out,
+                        Rule::P1,
+                        file,
+                        tok.line,
+                        "slice/array indexing on a request/worker path — prefer `.get()` \
+                         with structured-error handling; waive with the bound proof if the \
+                         index is locally provable"
+                            .to_owned(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`return [a, b]`, `break [x]`…).
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "return"
+            | "break"
+            | "continue"
+            | "else"
+            | "in"
+            | "match"
+            | "if"
+            | "while"
+            | "loop"
+            | "move"
+            | "mut"
+            | "ref"
+            | "box"
+            | "yield"
+            | "await"
+            | "as"
+            | "dyn"
+            | "impl"
+            | "let"
+    )
+}

@@ -1,0 +1,123 @@
+//! **U1** — the `unsafe` inventory.
+//!
+//! The workspace is essentially safe Rust; the only sanctioned `unsafe` is
+//! in test instrumentation (the counting global allocator). The contract:
+//!
+//! * every `unsafe` **block** and `unsafe impl` carries a `// SAFETY:`
+//!   comment on the block or within the three lines above it, stating the
+//!   invariant that makes it sound (`unsafe fn` *declarations* are not
+//!   flagged — their callers' blocks are);
+//! * every crate whose sources contain **no** `unsafe` at all declares
+//!   `#![forbid(unsafe_code)]` in every target entry file (`src/lib.rs`,
+//!   `src/main.rs`, `src/bin/*.rs`), so unsafety cannot creep in without
+//!   tripping the compiler itself.
+
+use crate::lexer::TokenKind;
+use crate::rules::{is_ident, is_punct, report};
+use crate::scopes::next_code;
+use crate::{Finding, Rule, SourceFile};
+
+/// Per-file pass: `SAFETY:` comments on unsafe blocks/impls. Runs over
+/// test code too — an unsound test allocator corrupts the whole suite.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    // Lines whose comments mention SAFETY.
+    let safety_lines: Vec<u32> = file
+        .tokens
+        .iter()
+        .filter(|t| {
+            matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                && t.text.contains("SAFETY")
+        })
+        .map(|t| t.line)
+        .collect();
+    for i in 0..file.tokens.len() {
+        if !is_ident(file, i, "unsafe") {
+            continue;
+        }
+        let tok = &file.tokens[i];
+        let Some(n) = next_code(&file.tokens, i + 1) else {
+            continue;
+        };
+        let shape = if is_punct(file, n, "{") {
+            "block"
+        } else if is_ident(file, n, "impl") {
+            "impl"
+        } else {
+            // `unsafe fn` declarations, `unsafe trait`, fn-pointer types.
+            continue;
+        };
+        let covered = safety_lines
+            .iter()
+            .any(|&l| l <= tok.line && l + 3 >= tok.line);
+        if !covered {
+            report(
+                out,
+                Rule::U1,
+                file,
+                tok.line,
+                format!(
+                    "`unsafe {shape}` without a `// SAFETY:` comment — state the invariant \
+                     that makes it sound on the block or within 3 lines above"
+                ),
+            );
+        }
+    }
+}
+
+/// Crate-level pass: unsafe-free crates must `#![forbid(unsafe_code)]` in
+/// every entry file.
+pub fn check_crate(
+    crate_name: &str,
+    files: &[SourceFile],
+    entry_files: &[usize],
+    out: &mut Vec<Finding>,
+) {
+    let has_unsafe = files.iter().any(|f| {
+        crate::rules::is_src_path(&f.rel_path)
+            && f.tokens
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text == "unsafe")
+    });
+    if has_unsafe {
+        return;
+    }
+    for &idx in entry_files {
+        let file = &files[idx];
+        if !has_forbid_unsafe(file) {
+            report(
+                out,
+                Rule::U1,
+                file,
+                1,
+                format!(
+                    "crate `{crate_name}` is unsafe-free but this target entry file lacks \
+                     `#![forbid(unsafe_code)]`"
+                ),
+            );
+        }
+    }
+}
+
+/// Looks for the token shape `# ! [ forbid ( unsafe_code ) ]`.
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    let toks = &file.tokens;
+    (0..toks.len()).any(|i| {
+        let mut j = i;
+        for expected in ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"] {
+            let Some(k) = next_code(toks, j) else {
+                return false;
+            };
+            let t = &toks[k];
+            let matches = match t.kind {
+                TokenKind::Punct => t.text == expected,
+                TokenKind::Ident => t.text == expected,
+                _ => false,
+            };
+            if !matches || (j == i && t.text != "#") {
+                return false;
+            }
+            j = k + 1;
+        }
+        true
+    })
+}

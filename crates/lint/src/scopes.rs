@@ -1,0 +1,274 @@
+//! Lightweight item/scope parser over the token stream.
+//!
+//! The rule passes need three questions answered per token:
+//!
+//! * am I inside test code (`#[cfg(test)] mod …` or a `#[test]` fn)?
+//! * which function body am I in (so P1 can name the offending handler and
+//!   D2 can honour the timing-excluded allowlist)?
+//! * am I inside an `unsafe` block/fn (U1's inventory)?
+//!
+//! It is *not* a Rust parser: it tracks brace nesting, attributes, `mod`,
+//! `fn` and `unsafe` — exactly enough structure, resilient to everything
+//! else. Strings/comments were already separated by the lexer, so braces in
+//! literals can't desynchronise it.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Per-token scope context, parallel to the token stream.
+#[derive(Debug, Clone, Default)]
+pub struct TokenCtx {
+    /// Inside `#[cfg(test)] mod`, a `#[test]` fn, or a doctest-free test
+    /// helper nested in one.
+    pub in_test: bool,
+    /// Innermost enclosing function name, if any.
+    pub fn_name: Option<String>,
+    /// Inside the braces of an `unsafe` block / `unsafe fn` body.
+    pub in_unsafe: bool,
+    /// Brace nesting depth *before* this token is processed.
+    pub depth: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    Mod { test: bool },
+    Fn { test: bool, is_unsafe: bool },
+    UnsafeBlock,
+    Brace,
+}
+
+struct Frame {
+    kind: FrameKind,
+    fn_name: Option<String>,
+}
+
+/// Computes the scope context of every token. The returned vector has the
+/// same length as `tokens`.
+#[must_use]
+pub fn scan(tokens: &[Token]) -> Vec<TokenCtx> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut stack: Vec<Frame> = Vec::new();
+    // Attribute state that applies to the *next* item.
+    let mut pending_test = false;
+    // `unsafe` seen, waiting for its `{` (or consumed by `fn`/`impl`/`trait`).
+    let mut pending_unsafe = false;
+    // `fn` seen: the next `{` at statement level opens its body.
+    let mut pending_fn: Option<(String, bool, bool)> = None; // (name, test, unsafe)
+                                                             // `mod` seen with a name, waiting for `{` or `;`.
+    let mut pending_mod: Option<bool> = None; // test?
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        // Record context *before* interpreting the token, so `}` is still
+        // attributed to the scope it closes and `{` to the outer scope.
+        out.push(current_ctx(
+            &stack,
+            u32::try_from(stack.len()).unwrap_or(u32::MAX),
+        ));
+
+        match tok.kind {
+            TokenKind::LineComment | TokenKind::BlockComment => {}
+            TokenKind::Punct if tok.text == "#" => {
+                // Attribute: `#[…]` or `#![…]`. Scan the bracket group for
+                // `test` markers without disturbing brace tracking.
+                let (consumed, is_test_attr) = scan_attribute(tokens, i, &mut out);
+                if is_test_attr {
+                    pending_test = true;
+                }
+                i += consumed;
+                continue;
+            }
+            TokenKind::Ident => match tok.text.as_str() {
+                "mod" => {
+                    // `mod name { … }` or `mod name;`
+                    let inherited = in_test(&stack) || pending_test;
+                    pending_mod = Some(inherited);
+                    pending_test = false;
+                }
+                "fn" => {
+                    let name = next_ident(tokens, i + 1).unwrap_or_default();
+                    let test = in_test(&stack) || pending_test;
+                    pending_fn = Some((name, test, pending_unsafe));
+                    pending_test = false;
+                    pending_unsafe = false;
+                }
+                "unsafe" => {
+                    // `unsafe {`, `unsafe fn`, `unsafe impl`, `unsafe trait`.
+                    // Only the first two introduce an unsafe *scope*; impl /
+                    // trait headers don't make their bodies unsafe.
+                    match next_code(tokens, i + 1).map(|j| tokens[j].text.as_str()) {
+                        Some("impl") | Some("trait") => {}
+                        _ => pending_unsafe = true,
+                    }
+                }
+                "impl" | "trait" => {
+                    // `#[cfg(test)] impl …` / `trait …` bodies are test
+                    // code too; scope them like a module. Ignore `impl` in
+                    // return position (`-> impl Trait`) — a pending fn wins
+                    // at the `{` and clears this marker.
+                    if pending_fn.is_none() {
+                        pending_mod = Some(in_test(&stack) || pending_test);
+                    }
+                    pending_test = false;
+                }
+                "struct" | "enum" | "union" | "use" | "static" | "const" | "type" | "extern"
+                | "macro_rules" => {
+                    // Any other item keyword consumes a dangling test
+                    // attribute (e.g. `#[cfg(test)] use …`).
+                    pending_test = false;
+                }
+                _ => {}
+            },
+            TokenKind::Punct if tok.text == "{" => {
+                let kind = if let Some((name, test, is_unsafe)) = pending_fn.take() {
+                    stack.push(Frame {
+                        kind: FrameKind::Fn { test, is_unsafe },
+                        fn_name: Some(name),
+                    });
+                    pending_unsafe = false;
+                    pending_mod = None; // `-> impl Trait` in the signature
+                    i += 1;
+                    continue;
+                } else if let Some(test) = pending_mod.take() {
+                    FrameKind::Mod { test }
+                } else if pending_unsafe {
+                    pending_unsafe = false;
+                    FrameKind::UnsafeBlock
+                } else {
+                    FrameKind::Brace
+                };
+                stack.push(Frame {
+                    kind,
+                    fn_name: None,
+                });
+            }
+            TokenKind::Punct if tok.text == "}" => {
+                stack.pop();
+            }
+            TokenKind::Punct if tok.text == ";" => {
+                // `mod name;`, `unsafe` in fn pointer types, trait method
+                // declarations — all cancel the pending markers.
+                pending_mod = None;
+                pending_fn = None;
+                pending_unsafe = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+fn current_ctx(stack: &[Frame], depth: u32) -> TokenCtx {
+    let mut ctx = TokenCtx {
+        depth,
+        ..TokenCtx::default()
+    };
+    for frame in stack {
+        match frame.kind {
+            FrameKind::Mod { test } => ctx.in_test |= test,
+            FrameKind::Fn { test, is_unsafe } => {
+                ctx.in_test |= test;
+                ctx.in_unsafe |= is_unsafe;
+                if let Some(name) = &frame.fn_name {
+                    ctx.fn_name = Some(name.clone());
+                }
+            }
+            FrameKind::UnsafeBlock => ctx.in_unsafe = true,
+            FrameKind::Brace => {}
+        }
+    }
+    ctx
+}
+
+fn in_test(stack: &[Frame]) -> bool {
+    stack.iter().any(|f| {
+        matches!(
+            f.kind,
+            FrameKind::Mod { test: true } | FrameKind::Fn { test: true, .. }
+        )
+    })
+}
+
+/// Scans an attribute starting at the `#` token. Pushes contexts for the
+/// consumed tokens and returns `(tokens_consumed, mentions_test)`.
+///
+/// `mentions_test` is true for `#[test]` and `#[cfg(test)]` (and any
+/// `cfg(…)` whose predicate mentions `test`, e.g. `cfg(all(test, unix))`).
+fn scan_attribute(tokens: &[Token], start: usize, out: &mut Vec<TokenCtx>) -> (usize, bool) {
+    let mut i = start + 1;
+    // Optional `!` for inner attributes.
+    if i < tokens.len() && tokens[i].kind == TokenKind::Punct && tokens[i].text == "!" {
+        out.push(out.last().cloned().unwrap_or_default());
+        i += 1;
+    }
+    if i >= tokens.len() || tokens[i].text != "[" {
+        return (i - start, false);
+    }
+    let mut bracket_depth = 0usize;
+    let mut mentions_test = false;
+    let mut saw_cfg_or_bare = false;
+    let mut saw_not = false;
+    let mut first_ident: Option<&str> = None;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        out.push(out.last().cloned().unwrap_or_default());
+        match tok.kind {
+            TokenKind::Punct if tok.text == "[" => bracket_depth += 1,
+            TokenKind::Punct if tok.text == "]" => {
+                bracket_depth -= 1;
+                if bracket_depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            TokenKind::Ident => {
+                if first_ident.is_none() {
+                    first_ident = Some(tok.text.as_str());
+                    if tok.text == "cfg" || tok.text == "test" {
+                        saw_cfg_or_bare = true;
+                    }
+                }
+                if tok.text == "not" {
+                    // `#[cfg(not(test))]` is production code, not test code.
+                    saw_not = true;
+                }
+                if tok.text == "test" && saw_cfg_or_bare && !saw_not {
+                    mentions_test = true;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // The caller already pushed one ctx for the `#`; we pushed one per
+    // remaining consumed token, so contexts stay parallel.
+    (i - start, mentions_test)
+}
+
+/// Index of the next non-comment token at or after `i`.
+#[must_use]
+pub fn next_code(tokens: &[Token], i: usize) -> Option<usize> {
+    (i..tokens.len()).find(|&j| {
+        !matches!(
+            tokens[j].kind,
+            TokenKind::LineComment | TokenKind::BlockComment
+        )
+    })
+}
+
+/// Index of the previous non-comment token strictly before `i`.
+#[must_use]
+pub fn prev_code(tokens: &[Token], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| {
+        !matches!(
+            tokens[j].kind,
+            TokenKind::LineComment | TokenKind::BlockComment
+        )
+    })
+}
+
+fn next_ident(tokens: &[Token], i: usize) -> Option<String> {
+    let j = next_code(tokens, i)?;
+    (tokens[j].kind == TokenKind::Ident).then(|| tokens[j].text.clone())
+}

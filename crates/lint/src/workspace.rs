@@ -1,0 +1,214 @@
+//! Walking the workspace and aggregating a lint run.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::{match_findings, Baseline, BaselineEntry, BaselineMatch};
+use crate::rules;
+use crate::{apply_waivers, Finding, Rule, SourceFile, Waiver};
+
+/// Aggregated outcome of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unwaived, non-baselined findings, each with its baseline key — any
+    /// of these fails the run.
+    pub new: Vec<(Finding, String)>,
+    /// Findings accepted by the baseline (with their keys).
+    pub baselined: Vec<(Finding, String)>,
+    /// Findings suppressed by inline waivers.
+    pub waived: Vec<Finding>,
+    /// Waivers that suppressed nothing (reported, non-fatal).
+    pub unused_waivers: Vec<(String, Waiver)>,
+    /// Baseline entries matching nothing — stale; these fail the run.
+    pub stale: Vec<BaselineEntry>,
+    /// Files scanned.
+    pub files: usize,
+    /// Crates scanned.
+    pub crates: usize,
+}
+
+impl Report {
+    /// Whether the run is clean (exit 0).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+
+    /// Per-rule counts of the failing findings.
+    #[must_use]
+    pub fn new_by_rule(&self) -> BTreeMap<Rule, usize> {
+        let mut counts = BTreeMap::new();
+        for (f, _) in &self.new {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// Lints every workspace crate under `root` and matches against
+/// `baseline`.
+///
+/// # Errors
+///
+/// Returns a message when the workspace layout or a source file cannot be
+/// read.
+pub fn run(root: &Path, baseline: &Baseline) -> Result<Report, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read `{}`: {e}", crates_dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut report = Report::default();
+    let mut all_findings: Vec<Finding> = Vec::new();
+    let mut parsed: BTreeMap<String, SourceFile> = BTreeMap::new();
+
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        let mut files: Vec<SourceFile> = Vec::new();
+        let mut entry_files: Vec<usize> = Vec::new();
+        for sub in ["src", "tests"] {
+            let dir = crate_dir.join(sub);
+            if !dir.is_dir() {
+                continue;
+            }
+            for path in rust_files(&dir)? {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let source = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read `{rel}`: {e}"))?;
+                let file = SourceFile::parse(&rel, &crate_name, &source);
+                if is_entry_file(&rel) {
+                    entry_files.push(files.len());
+                }
+                files.push(file);
+            }
+        }
+        report.crates += 1;
+        report.files += files.len();
+
+        let mut raw_crate = Vec::new();
+        for file in &files {
+            rules::run_file_rules(file, &mut raw_crate);
+        }
+        rules::run_crate_rules(&crate_name, &files, &entry_files, &mut raw_crate);
+
+        // Apply waivers file by file.
+        for file in files {
+            let (mine, rest): (Vec<_>, Vec<_>) =
+                raw_crate.into_iter().partition(|f| f.path == file.rel_path);
+            raw_crate = rest;
+            let analysis = apply_waivers(&file, mine);
+            all_findings.extend(analysis.findings);
+            report.waived.extend(analysis.waived);
+            report.unused_waivers.extend(
+                analysis
+                    .unused_waivers
+                    .into_iter()
+                    .map(|w| (file.rel_path.clone(), w)),
+            );
+            parsed.insert(file.rel_path.clone(), file);
+        }
+        // Findings for files we didn't parse can't exist, but keep the
+        // invariant visible: everything must have been partitioned out.
+        debug_assert!(raw_crate.is_empty());
+        all_findings.extend(raw_crate);
+    }
+
+    // Deterministic output order.
+    all_findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    let keys = compute_keys(&all_findings, |path| parsed.get(path));
+    let BaselineMatch {
+        new,
+        accepted,
+        stale,
+    } = match_findings(all_findings, &keys, baseline);
+    report.new = new;
+    report.baselined = accepted;
+    report.stale = stale;
+    Ok(report)
+}
+
+/// Computes [`crate::Finding::baseline_key`]s for a finding list,
+/// disambiguating findings that share (rule, path, line-text) with an
+/// occurrence index.
+fn compute_keys<'a, F>(findings: &[Finding], lookup: F) -> Vec<String>
+where
+    F: Fn(&str) -> Option<&'a SourceFile>,
+{
+    let mut seen: BTreeMap<(Rule, &str, String), usize> = BTreeMap::new();
+    findings
+        .iter()
+        .map(|f| {
+            let text = lookup(&f.path)
+                .map(|file| file.line_text(f.line).to_owned())
+                .unwrap_or_default();
+            let slot = seen
+                .entry((f.rule, f.path.as_str(), text.clone()))
+                .or_insert(0);
+            let key = f.baseline_key(&text, *slot);
+            *slot += 1;
+            key
+        })
+        .collect()
+}
+
+/// Whether a workspace-relative path is a target entry point.
+fn is_entry_file(rel: &str) -> bool {
+    rel.ends_with("/src/lib.rs")
+        || rel.ends_with("/src/main.rs")
+        || (rel.contains("/src/bin/") && rel.ends_with(".rs"))
+}
+
+/// All `.rs` files under `dir`, recursively, sorted. `fixtures/`
+/// directories are skipped: they hold deliberately-violating snippets for
+/// the analyzer's own tests, not workspace code.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&d).map_err(|e| format!("cannot read `{}`: {e}", d.display()))?;
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Finds the workspace root: walks up from `start` to the first directory
+/// whose `Cargo.toml` declares `[workspace]`.
+#[must_use]
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,70 @@
+//! Baseline format, matching semantics, and key stability.
+
+use biochip_lint::baseline::{match_findings, Baseline, HEADER};
+use biochip_lint::{Finding, Rule};
+
+fn finding(rule: Rule, path: &str, line: u32) -> Finding {
+    Finding {
+        rule,
+        path: path.to_owned(),
+        line,
+        message: "m".to_owned(),
+    }
+}
+
+#[test]
+fn parse_render_round_trips() {
+    let text = format!(
+        "{HEADER}\n# rule\tpath\tkey\tnote\nP1\tcrates/server/src/http.rs\tdeadbeefdeadbeef\tbounded above\n"
+    );
+    let baseline = Baseline::parse(&text).unwrap();
+    assert_eq!(baseline.entries.len(), 1);
+    assert_eq!(baseline.entries[0].rule, Rule::P1);
+    assert_eq!(baseline.entries[0].note, "bounded above");
+    let again = Baseline::parse(&baseline.render()).unwrap();
+    assert_eq!(again.entries, baseline.entries);
+}
+
+#[test]
+fn parse_rejects_missing_header_and_empty_fields() {
+    assert!(Baseline::parse("P1\tp\tk\tn\n").is_err());
+    assert!(Baseline::parse(&format!("{HEADER}\nP1\tp\tk\t\n")).is_err());
+    assert!(Baseline::parse(&format!("{HEADER}\nZZ\tp\tk\tn\n")).is_err());
+}
+
+#[test]
+fn matching_partitions_new_accepted_and_stale() {
+    let f1 = finding(Rule::P1, "crates/server/src/a.rs", 10);
+    let f2 = finding(Rule::D1, "crates/synth/src/b.rs", 20);
+    let k1 = f1.baseline_key("x[0]", 0);
+    let k2 = f2.baseline_key("for x in m.iter() {", 0);
+    let text = format!(
+        "{HEADER}\nP1\tcrates/server/src/a.rs\t{k1}\tok\nD2\tcrates/gone/src/c.rs\t0000000000000000\tgone\n"
+    );
+    let baseline = Baseline::parse(&text).unwrap();
+    let result = match_findings(vec![f1, f2], &[k1, k2], &baseline);
+    assert_eq!(result.accepted.len(), 1);
+    assert_eq!(result.accepted[0].0.rule, Rule::P1);
+    assert_eq!(result.new.len(), 1);
+    assert_eq!(result.new[0].0.rule, Rule::D1);
+    assert_eq!(result.stale.len(), 1);
+    assert_eq!(result.stale[0].rule, Rule::D2);
+}
+
+#[test]
+fn keys_are_line_number_independent_but_text_sensitive() {
+    // The same source text at different line numbers keys identically —
+    // edits elsewhere in the file must not invalidate baseline entries.
+    let at_10 = finding(Rule::P1, "p", 10).baseline_key("  parts[1].parse()  ", 0);
+    let at_90 = finding(Rule::P1, "p", 90).baseline_key("parts[1].parse()", 0);
+    assert_eq!(at_10, at_90, "trimmed text + occurrence is the identity");
+    // Changing the text, or being the second occurrence, changes the key.
+    assert_ne!(
+        at_10,
+        finding(Rule::P1, "p", 10).baseline_key("parts[2].parse()", 0)
+    );
+    assert_ne!(
+        at_10,
+        finding(Rule::P1, "p", 10).baseline_key("parts[1].parse()", 1)
+    );
+}

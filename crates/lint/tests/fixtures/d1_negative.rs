@@ -1,0 +1,24 @@
+//! D1 negative: order-insensitive sinks, ordered maps, and test code.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn total(usage: &HashMap<String, u64>) -> u64 {
+    usage.values().sum()
+}
+
+pub fn sorted_view(usage: &HashMap<String, u64>) -> BTreeMap<String, u64> {
+    usage.iter().map(|(k, v)| (k.clone(), *v)).collect::<BTreeMap<String, u64>>()
+}
+
+pub fn ordered_names(order: &BTreeMap<String, u64>) -> Vec<String> {
+    order.keys().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    pub fn scramble(usage: &HashMap<String, u64>) -> Vec<String> {
+        usage.keys().cloned().collect()
+    }
+}

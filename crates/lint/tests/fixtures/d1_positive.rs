@@ -1,0 +1,15 @@
+//! D1 positive: unordered iteration whose order escapes into results.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn usage_report(usage: &HashMap<String, u64>) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (device, uses) in usage.iter() {
+        lines.push(format!("{device}: {uses}"));
+    }
+    lines
+}
+
+pub fn first_seen(seen: &HashSet<u32>) -> Option<u32> {
+    seen.iter().next().copied()
+}

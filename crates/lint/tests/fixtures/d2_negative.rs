@@ -1,0 +1,22 @@
+//! D2 negative: the exempt function, type positions, and test code.
+
+use std::time::Instant;
+
+pub fn synthesize_timed() -> f64 {
+    let started = Instant::now();
+    started.elapsed().as_secs_f64()
+}
+
+pub struct Timing {
+    pub started: Instant,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_smoke() {
+        let _ = Instant::now();
+    }
+}

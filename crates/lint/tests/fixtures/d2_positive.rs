@@ -1,0 +1,8 @@
+//! D2 positive: a wall-clock read in a result-bearing crate.
+
+use std::time::Instant;
+
+pub fn stamped_cost() -> f64 {
+    let started = Instant::now();
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,6 @@
+//! D3 positive: RNG construction from the environment.
+
+pub fn scrambled() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}

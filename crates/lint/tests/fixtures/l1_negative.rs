@@ -1,0 +1,17 @@
+//! L1 negative: receive before locking, and the condvar handshake.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Condvar, Mutex};
+
+pub fn drain(queue: &Mutex<Vec<u64>>, inbox: &Receiver<u64>) {
+    let next = inbox.recv().unwrap_or_default();
+    let mut pending = queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    pending.push(next);
+}
+
+pub fn park_until_ready(lot: &Mutex<bool>, cv: &Condvar) {
+    let mut ready = lot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    while !*ready {
+        ready = cv.wait(ready).unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}

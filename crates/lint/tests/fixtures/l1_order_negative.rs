@@ -1,0 +1,22 @@
+//! L1 crate-level negative: both paths agree on jobs-then-cache.
+
+use std::sync::Mutex;
+
+pub struct State {
+    pub jobs: Mutex<Vec<u64>>,
+    pub cache: Mutex<Vec<u64>>,
+}
+
+pub fn submit(state: &State) {
+    let jobs = state.jobs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let cache = state.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    drop(cache);
+    drop(jobs);
+}
+
+pub fn evict(state: &State) {
+    let jobs = state.jobs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let cache = state.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    drop(cache);
+    drop(jobs);
+}

@@ -1,0 +1,10 @@
+//! L1 positive: a channel receive while holding a mutex guard.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub fn drain(queue: &Mutex<Vec<u64>>, inbox: &Receiver<u64>) {
+    let mut pending = queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let next = inbox.recv().unwrap_or_default();
+    pending.push(next);
+}

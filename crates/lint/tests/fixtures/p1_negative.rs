@@ -1,0 +1,21 @@
+//! P1 negative: structured errors on the request path; tests are free.
+
+pub fn handle(parts: &[&str], body: &str) -> Result<String, String> {
+    let raw = parts.get(1).ok_or("missing id")?;
+    let id: u64 = raw.parse().map_err(|_| "bad id".to_owned())?;
+    if body.is_empty() {
+        return Err("empty body".to_owned());
+    }
+    Ok(format!("{id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let parts = ["a", "b"];
+        assert_eq!(parts[1], "b");
+        let n: u64 = "7".parse().unwrap();
+        assert_eq!(n, 7);
+    }
+}

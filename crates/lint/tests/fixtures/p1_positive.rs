@@ -1,0 +1,9 @@
+//! P1 positive: unwrap, panic! and raw indexing on a request path.
+
+pub fn handle(parts: &[&str], body: &str) -> String {
+    let id: u64 = parts[1].parse().unwrap();
+    if body.is_empty() {
+        panic!("empty body");
+    }
+    format!("{id}")
+}

@@ -1,0 +1,7 @@
+//! U1 crate-level negative: the entry file forbids unsafe code.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,5 @@
+//! U1 crate-level positive: an unsafe-free entry file with no forbid.
+
+pub fn answer() -> u32 {
+    42
+}

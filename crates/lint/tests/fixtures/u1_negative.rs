@@ -1,0 +1,13 @@
+//! U1 negative: every unsafe site states its invariant.
+
+pub struct Token(*mut u8);
+
+// SAFETY: the pointer is only dereferenced on the owning thread; ownership
+// transfers wholesale with the value.
+unsafe impl Send for Token {}
+
+pub fn relabel(bytes: [u8; 4]) -> u32 {
+    // SAFETY: u32 and [u8; 4] have identical size and alignment, and every
+    // bit pattern is a valid u32.
+    unsafe { std::mem::transmute(bytes) }
+}

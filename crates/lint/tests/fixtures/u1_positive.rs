@@ -1,0 +1,14 @@
+//! U1 positive: unsafe block and unsafe impl without SAFETY comments.
+
+pub struct Token(*mut u8);
+
+unsafe impl Send for Token {}
+
+static mut COUNTER: u64 = 0;
+
+pub fn bump() -> u64 {
+    unsafe {
+        COUNTER += 1;
+        COUNTER
+    }
+}

@@ -1,0 +1,15 @@
+//! Waiver behaviour: one used waiver, one stale waiver.
+
+use std::collections::HashMap;
+
+pub fn total(usage: &HashMap<String, u64>) -> u64 {
+    let mut total = 0;
+    // biochip-lint: allow(D1, "summed into one counter; order cannot escape")
+    for (_, uses) in usage.iter() {
+        total += uses;
+    }
+    total
+}
+
+// biochip-lint: allow(D2, "stale: nothing on the next line reads a clock")
+pub fn quiet() {}

@@ -1,0 +1,94 @@
+//! Lexer edge cases: the token shapes that would turn the rule passes into
+//! grep if mishandled.
+
+use biochip_lint::lexer::{lex, TokenKind};
+
+fn idents(source: &str) -> Vec<String> {
+    lex(source)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn code_inside_strings_is_not_tokenized() {
+    // `unwrap` and `HashMap` appear only inside literals — no Ident tokens.
+    let source = r###"let msg = "call .unwrap() on a HashMap";"###;
+    let names = idents(source);
+    assert_eq!(names, vec!["let", "msg"], "{names:?}");
+}
+
+#[test]
+fn raw_strings_with_hash_guards_are_opaque() {
+    let source = "let a = r#\"an \"inner\" unwrap()\"#; let b = br##\"panic!(\"x\")\"##;";
+    let tokens = lex(source);
+    let strings: Vec<&str> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Str)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(strings.len(), 2, "{strings:?}");
+    assert!(strings[0].contains("\"inner\""), "{:?}", strings[0]);
+    assert!(!idents(source).contains(&"unwrap".to_owned()));
+    assert!(!idents(source).contains(&"panic".to_owned()));
+}
+
+#[test]
+fn raw_identifiers_are_idents_not_strings() {
+    // `r#match` is a raw identifier; `r#"…"#` is a raw string. One `#`
+    // apart in spelling, different token kinds.
+    let tokens = lex("let r#match = r#\"text\"#;");
+    assert!(tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text == "match"));
+    assert!(tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Str && t.text == "text"));
+}
+
+#[test]
+fn nested_block_comments_close_at_matching_depth() {
+    let source = "/* outer /* inner */ still comment */ fn after() {}";
+    let tokens = lex(source);
+    assert_eq!(
+        tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::BlockComment)
+            .count(),
+        1
+    );
+    let names = idents(source);
+    assert_eq!(names, vec!["fn", "after"], "{names:?}");
+}
+
+#[test]
+fn chars_and_lifetimes_disambiguate() {
+    let tokens = lex("fn f<'a>(x: &'a u8) { let c = 'a'; let q = '\\''; let u = '_'; }");
+    let lifetimes: Vec<&str> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    let chars = tokens.iter().filter(|t| t.kind == TokenKind::Char).count();
+    assert_eq!(lifetimes, vec!["a", "a"], "{lifetimes:?}");
+    assert_eq!(chars, 3, "'a', '\\'' and '_' are char literals");
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    let source = "const A: u8 = 1;\n/* two\nlines */\nconst B: u8 = 2;\n";
+    let tokens = lex(source);
+    let b = tokens
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && t.text == "B")
+        .expect("B token");
+    assert_eq!(b.line, 4);
+}
+
+#[test]
+fn doc_comments_are_comments() {
+    let source = "/// call unwrap() here\n//! or panic!\nfn documented() {}";
+    let names = idents(source);
+    assert_eq!(names, vec!["fn", "documented"], "{names:?}");
+}

@@ -1,0 +1,284 @@
+//! Per-rule positive/negative fixture tests for the analyzer.
+//!
+//! Each fixture under `fixtures/` is a small Rust source snippet (lexed and
+//! analyzed as text, never compiled) exercising one rule. Positive fixtures
+//! must fire the rule; negative fixtures must stay silent — including the
+//! escape hatches (test code, exempt functions, order-insensitive sinks,
+//! the condvar handshake).
+
+use biochip_lint::rules::run_crate_rules;
+use biochip_lint::{analyze_source, Finding, Rule, SourceFile};
+
+/// Lines on which `rule` fired for `source` analyzed under the given
+/// crate/path identity.
+fn fire_lines(rel_path: &str, crate_name: &str, source: &str, rule: Rule) -> Vec<u32> {
+    analyze_source(rel_path, crate_name, source)
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn d1_fires_on_unordered_iteration_reaching_results() {
+    let lines = fire_lines(
+        "crates/synth/src/fixture.rs",
+        "synth",
+        include_str!("fixtures/d1_positive.rs"),
+        Rule::D1,
+    );
+    assert_eq!(
+        lines.len(),
+        2,
+        "the for-loop and the .iter().next(): {lines:?}"
+    );
+}
+
+#[test]
+fn d1_ignores_sinks_btreemaps_and_tests() {
+    let lines = fire_lines(
+        "crates/synth/src/fixture.rs",
+        "synth",
+        include_str!("fixtures/d1_negative.rs"),
+        Rule::D1,
+    );
+    assert!(lines.is_empty(), "unexpected D1 findings: {lines:?}");
+}
+
+#[test]
+fn d1_is_scoped_to_result_bearing_crates() {
+    // The same source in a non-result-bearing crate is out of scope.
+    let lines = fire_lines(
+        "crates/telemetry/src/fixture.rs",
+        "telemetry",
+        include_str!("fixtures/d1_positive.rs"),
+        Rule::D1,
+    );
+    assert!(
+        lines.is_empty(),
+        "D1 must not fire outside its crates: {lines:?}"
+    );
+}
+
+#[test]
+fn d2_fires_on_wall_clock_reads() {
+    let lines = fire_lines(
+        "crates/schedule/src/fixture.rs",
+        "schedule",
+        include_str!("fixtures/d2_positive.rs"),
+        Rule::D2,
+    );
+    assert_eq!(lines.len(), 1, "{lines:?}");
+}
+
+#[test]
+fn d2_skips_exempt_fns_type_positions_and_tests() {
+    let lines = fire_lines(
+        "crates/schedule/src/fixture.rs",
+        "schedule",
+        include_str!("fixtures/d2_negative.rs"),
+        Rule::D2,
+    );
+    assert!(lines.is_empty(), "unexpected D2 findings: {lines:?}");
+}
+
+#[test]
+fn d3_fires_on_environment_rng() {
+    let lines = fire_lines(
+        "crates/cli/src/fixture.rs",
+        "cli",
+        include_str!("fixtures/d3_positive.rs"),
+        Rule::D3,
+    );
+    assert_eq!(lines.len(), 1, "{lines:?}");
+}
+
+#[test]
+fn d3_allows_seeded_streams_and_test_entropy() {
+    let lines = fire_lines(
+        "crates/cli/src/fixture.rs",
+        "cli",
+        include_str!("fixtures/d3_negative.rs"),
+        Rule::D3,
+    );
+    assert!(lines.is_empty(), "unexpected D3 findings: {lines:?}");
+}
+
+#[test]
+fn p1_fires_on_unwrap_panic_and_indexing() {
+    let findings = analyze_source(
+        "crates/server/src/fixture.rs",
+        "server",
+        include_str!("fixtures/p1_positive.rs"),
+    )
+    .findings;
+    let p1: Vec<&Finding> = findings.iter().filter(|f| f.rule == Rule::P1).collect();
+    assert_eq!(p1.len(), 3, "indexing + unwrap + panic!: {p1:?}");
+    assert!(p1.iter().any(|f| f.message.contains("unwrap")));
+    assert!(p1.iter().any(|f| f.message.contains("panic")));
+    assert!(p1.iter().any(|f| f.message.contains("indexing")));
+}
+
+#[test]
+fn p1_accepts_structured_errors_and_test_code() {
+    let lines = fire_lines(
+        "crates/server/src/fixture.rs",
+        "server",
+        include_str!("fixtures/p1_negative.rs"),
+        Rule::P1,
+    );
+    assert!(lines.is_empty(), "unexpected P1 findings: {lines:?}");
+}
+
+#[test]
+fn p1_is_scoped_to_server_and_pool() {
+    let lines = fire_lines(
+        "crates/synth/src/fixture.rs",
+        "synth",
+        include_str!("fixtures/p1_positive.rs"),
+        Rule::P1,
+    );
+    assert!(
+        lines.is_empty(),
+        "P1 must not fire outside server/pool: {lines:?}"
+    );
+}
+
+#[test]
+fn l1_fires_on_blocking_call_under_guard() {
+    let findings = analyze_source(
+        "crates/pool/src/fixture.rs",
+        "pool",
+        include_str!("fixtures/l1_positive.rs"),
+    )
+    .findings;
+    let l1: Vec<&Finding> = findings.iter().filter(|f| f.rule == Rule::L1).collect();
+    assert_eq!(l1.len(), 1, "{l1:?}");
+    assert!(l1[0].message.contains("recv"), "{:?}", l1[0].message);
+}
+
+#[test]
+fn l1_accepts_ordered_release_and_condvar_wait() {
+    let lines = fire_lines(
+        "crates/pool/src/fixture.rs",
+        "pool",
+        include_str!("fixtures/l1_negative.rs"),
+        Rule::L1,
+    );
+    assert!(lines.is_empty(), "unexpected L1 findings: {lines:?}");
+}
+
+#[test]
+fn l1_crate_pass_fires_on_inconsistent_lock_order() {
+    let file = SourceFile::parse(
+        "crates/pool/src/fixture.rs",
+        "pool",
+        include_str!("fixtures/l1_order_positive.rs"),
+    );
+    let mut out = Vec::new();
+    run_crate_rules("pool", std::slice::from_ref(&file), &[], &mut out);
+    let l1: Vec<&Finding> = out.iter().filter(|f| f.rule == Rule::L1).collect();
+    assert_eq!(l1.len(), 2, "one finding per acquisition site: {l1:?}");
+    assert!(l1.iter().all(|f| f.message.contains("both orders")));
+}
+
+#[test]
+fn l1_crate_pass_accepts_a_consistent_order() {
+    let file = SourceFile::parse(
+        "crates/pool/src/fixture.rs",
+        "pool",
+        include_str!("fixtures/l1_order_negative.rs"),
+    );
+    let mut out = Vec::new();
+    run_crate_rules("pool", std::slice::from_ref(&file), &[], &mut out);
+    assert!(
+        out.iter().all(|f| f.rule != Rule::L1),
+        "unexpected L1 findings: {out:?}"
+    );
+}
+
+#[test]
+fn u1_fires_on_uncommented_unsafe_even_in_tests() {
+    // A tests/ path: only U1 applies there, and it must still fire.
+    let lines = fire_lines(
+        "crates/arch/tests/fixture.rs",
+        "arch",
+        include_str!("fixtures/u1_positive.rs"),
+        Rule::U1,
+    );
+    assert_eq!(lines.len(), 2, "unsafe impl + unsafe block: {lines:?}");
+}
+
+#[test]
+fn u1_accepts_safety_commented_unsafe() {
+    let lines = fire_lines(
+        "crates/arch/tests/fixture.rs",
+        "arch",
+        include_str!("fixtures/u1_negative.rs"),
+        Rule::U1,
+    );
+    assert!(lines.is_empty(), "unexpected U1 findings: {lines:?}");
+}
+
+#[test]
+fn u1_crate_pass_requires_forbid_in_unsafe_free_entry_files() {
+    let bare = SourceFile::parse(
+        "crates/json/src/lib.rs",
+        "json",
+        include_str!("fixtures/u1_forbid_positive.rs"),
+    );
+    let mut out = Vec::new();
+    run_crate_rules("json", std::slice::from_ref(&bare), &[0], &mut out);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert!(
+        out[0].message.contains("forbid(unsafe_code)"),
+        "{:?}",
+        out[0].message
+    );
+
+    let forbidding = SourceFile::parse(
+        "crates/json/src/lib.rs",
+        "json",
+        include_str!("fixtures/u1_forbid_negative.rs"),
+    );
+    let mut out = Vec::new();
+    run_crate_rules("json", std::slice::from_ref(&forbidding), &[0], &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn waivers_suppress_with_reason_and_report_stale_ones() {
+    let analysis = analyze_source(
+        "crates/synth/src/fixture.rs",
+        "synth",
+        include_str!("fixtures/waiver.rs"),
+    );
+    assert!(
+        analysis.findings.is_empty(),
+        "the D1 hit must be waived: {:?}",
+        analysis.findings
+    );
+    assert_eq!(analysis.waived.len(), 1, "{:?}", analysis.waived);
+    assert_eq!(analysis.waived[0].rule, Rule::D1);
+    assert_eq!(
+        analysis.unused_waivers.len(),
+        1,
+        "{:?}",
+        analysis.unused_waivers
+    );
+    assert_eq!(analysis.unused_waivers[0].rule, Rule::D2);
+}
+
+#[test]
+fn waivers_require_a_nonempty_reason() {
+    // A reasonless waiver is malformed, so it suppresses nothing.
+    let source = "use std::collections::HashMap;\n\
+                  pub fn leak(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+                  // biochip-lint: allow(D1, \"\")\n\
+                  m.keys().copied().collect()\n\
+                  }\n";
+    let analysis = analyze_source("crates/synth/src/fixture.rs", "synth", source);
+    assert_eq!(analysis.findings.len(), 1, "{:?}", analysis.findings);
+    assert_eq!(analysis.findings[0].rule, Rule::D1);
+}

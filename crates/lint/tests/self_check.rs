@@ -1,0 +1,34 @@
+//! The analyzer's own acceptance gate: the workspace it ships in must lint
+//! clean against the committed baseline, with every inline waiver earning
+//! its keep. This is the same check `ci/lint.sh` runs, expressed as a test
+//! so `cargo test` alone catches a new violation.
+
+use std::path::Path;
+
+use biochip_lint::baseline::Baseline;
+use biochip_lint::workspace;
+
+#[test]
+fn workspace_lints_clean_against_the_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    let baseline = Baseline::load(&root.join("ci/lint-baseline.tsv")).expect("baseline loads");
+    let report = workspace::run(root, &baseline).expect("workspace walk succeeds");
+
+    assert!(report.crates >= 18, "walked {} crates", report.crates);
+    let new: Vec<String> = report.new.iter().map(|(f, _)| f.to_string()).collect();
+    assert!(new.is_empty(), "unwaived findings:\n{}", new.join("\n"));
+    assert!(
+        report.stale.is_empty(),
+        "stale baseline entries: {:?}",
+        report.stale
+    );
+    let unused: Vec<String> = report
+        .unused_waivers
+        .iter()
+        .map(|(p, w)| format!("{p}:{} {}", w.line, w.rule))
+        .collect();
+    assert!(unused.is_empty(), "unused waivers:\n{}", unused.join("\n"));
+}

@@ -149,9 +149,11 @@ pub fn run_batch(jobs: Vec<BatchJob>, threads: usize) -> BatchReport {
                     break;
                 };
                 let result = run_one(job, worker);
+                // run_one catches panics, so poisoning should be
+                // impossible; recover instead of unwinding the worker.
                 results
                     .lock()
-                    .expect("batch results mutex never poisoned: run_one catches panics")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .push(result);
             });
         }
@@ -159,7 +161,7 @@ pub fn run_batch(jobs: Vec<BatchJob>, threads: usize) -> BatchReport {
 
     let mut results = results
         .into_inner()
-        .expect("batch results mutex never poisoned: run_one catches panics");
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     results.sort_by_key(|r| r.id);
 
     let succeeded = results.iter().filter(|r| r.status == JobStatus::Ok).count();

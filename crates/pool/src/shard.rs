@@ -71,11 +71,15 @@ impl<T> Shared<T> {
     /// shuts down. Jobs still queued at shutdown are drained (a submitted
     /// job is a promise).
     fn next_job(&self, shard: usize) -> Option<T> {
+        // biochip-lint: allow(P1, "worker index is always < shards.len(): workers and shards are created 1:1")
         let shard = &self.shards[shard];
+        // Handlers run under catch_unwind, so poisoning should be
+        // impossible; recover instead of unwinding the worker anyway — a
+        // VecDeque is structurally sound after any interrupted push/pop.
         let mut queue = shard
             .queue
             .lock()
-            .expect("shard queue never poisoned: handlers run under catch_unwind");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if let Some(job) = queue.pop_front() {
                 return Some(job);
@@ -86,7 +90,7 @@ impl<T> Shared<T> {
             queue = shard
                 .available
                 .wait(queue)
-                .expect("shard queue never poisoned: handlers run under catch_unwind");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -143,6 +147,7 @@ impl<T: Send + 'static> ShardedPool<T> {
                         while let Some(job) = shared.next_job(index) {
                             let started = Instant::now();
                             let outcome = catch_unwind(AssertUnwindSafe(|| handler(index, job)));
+                            // biochip-lint: allow(P1, "worker index is always < busy_micros.len(): one slot per spawned worker")
                             shared.busy_micros[index]
                                 .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
                             match outcome {
@@ -151,6 +156,7 @@ impl<T: Send + 'static> ShardedPool<T> {
                             };
                         }
                     })
+                    // biochip-lint: allow(P1, "pool construction runs at startup, before any request is accepted; failing to spawn OS threads at boot is fatal by design")
                     .expect("worker threads can always be spawned")
             })
             .collect();
@@ -175,11 +181,12 @@ impl<T: Send + 'static> ShardedPool<T> {
             return false;
         }
         let index = (key % self.workers.len() as u64) as usize;
+        // biochip-lint: allow(P1, "index = key % shards.len() is always in bounds")
         let shard = &self.shared.shards[index];
         shard
             .queue
             .lock()
-            .expect("shard queue never poisoned: handlers run under catch_unwind")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push_back(job);
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         shard.available.notify_one();
@@ -196,7 +203,7 @@ impl<T: Send + 'static> ShardedPool<T> {
             .map(|s| {
                 s.queue
                     .lock()
-                    .expect("shard queue never poisoned: handlers run under catch_unwind")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .len()
             })
             .sum();

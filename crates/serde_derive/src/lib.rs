@@ -14,6 +14,8 @@
 //! error. The generated impls target the traits re-exported by the in-repo
 //! `serde` facade (i.e. `biochip_json::{Serialize, Deserialize}`).
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` (the `biochip_json` flavour).

@@ -110,11 +110,13 @@ fn read_line(reader: &mut impl BufRead, deadline: Instant) -> Result<String, Htt
         match reader.read(&mut byte) {
             Ok(0) => break,
             Ok(_) => {
-                if byte[0] == b'\n' {
+                // biochip-lint: allow(P1, "byte is a fixed [u8; 1]; index 0 always exists")
+                let b = byte[0];
+                if b == b'\n' {
                     break;
                 }
-                if byte[0] != b'\r' {
-                    line.push(byte[0]);
+                if b != b'\r' {
+                    line.push(b);
                 }
                 if line.len() > MAX_LINE_BYTES {
                     return Err(HttpError::new(400, "header line too long"));
@@ -185,9 +187,11 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             return Err(HttpError::new(408, "request body took too long"));
         }
         let take = remaining.min(chunk.len());
+        // biochip-lint: allow(P1, "take = remaining.min(chunk.len()) is always within the buffer")
         match reader.read(&mut chunk[..take]) {
             Ok(0) => return Err(HttpError::new(400, "truncated body: connection closed")),
             Ok(n) => {
+                // biochip-lint: allow(P1, "n <= take <= chunk.len() by the Read contract")
                 body.extend_from_slice(&chunk[..n]);
                 remaining -= n;
             }

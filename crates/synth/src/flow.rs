@@ -288,6 +288,7 @@ impl Default for FlowController {
         FlowController {
             stage: AtomicU8::new(0),
             cancelled: AtomicBool::new(false),
+            // biochip-lint: allow(D2, "controller birth time feeds the live job timeline only, never a report or content key")
             created: Instant::now(),
             entered_micros: Default::default(),
         }
@@ -565,10 +566,12 @@ impl SynthesisFlow {
         controller: &FlowController,
         store: &dyn StageStore,
     ) -> Result<(SynthesisOutcome, StageReuse), FlowError> {
+        // biochip-lint: allow(D2, "stage wall times live in FlowTiming, excluded from output_key; without_timings is the byte-comparison form")
         let run_start = Instant::now();
         let mut reuse = StageReuse::new(StageKeys::derive(&self.config, &problem));
 
         controller.enter(FlowStage::Scheduling)?;
+        // biochip-lint: allow(D2, "stage wall times live in FlowTiming, excluded from output_key; without_timings is the byte-comparison form")
         let schedule_start = Instant::now();
         let schedule = match store.get_schedule(&reuse.keys.schedule) {
             Some(cached) => {
@@ -587,6 +590,7 @@ impl SynthesisFlow {
         let scheduling_time = schedule_start.elapsed();
 
         controller.enter(FlowStage::Architecture)?;
+        // biochip-lint: allow(D2, "stage wall times live in FlowTiming, excluded from output_key; without_timings is the byte-comparison form")
         let arch_start = Instant::now();
         let architecture = match store.get_architecture(&reuse.keys.route) {
             Some(cached) => {
@@ -628,6 +632,7 @@ impl SynthesisFlow {
         let architecture_time = arch_start.elapsed();
 
         controller.enter(FlowStage::Layout)?;
+        // biochip-lint: allow(D2, "stage wall times live in FlowTiming, excluded from output_key; without_timings is the byte-comparison form")
         let layout_start = Instant::now();
         let layout = {
             let _span = telemetry::span("pipeline", "layout");
