@@ -1,10 +1,18 @@
-//! Runs the job-service warm-vs-cold loopback bench and writes
-//! `BENCH_serve.json`.
+//! Runs the job-service benches and writes `BENCH_serve.json`.
 //!
-//! Usage: `serve [WARM_JOBS] [WORKERS]` — defaults: 200 warm submissions,
-//! 2 workers. The cold number is one full RA1K synthesis over HTTP; the
-//! warm number replays the identical submission against the
-//! content-addressed result cache.
+//! Two phases share one artifact:
+//!
+//! 1. Warm vs. cold: one full RA1K synthesis over HTTP, then `WARM_JOBS`
+//!    replays of the identical submission against the content-addressed
+//!    result cache.
+//! 2. Load: `CLIENTS` concurrent clients (distinct identities) drive a
+//!    mixed cold/warm stream against a durable server, the server is
+//!    drained and restarted on the same data directory mid-run, and a
+//!    strictly-limited server is overloaded to confirm structured 429s
+//!    and zero 5xx.
+//!
+//! Usage: `serve [WARM_JOBS] [WORKERS] [CLIENTS]` — defaults: 200 warm
+//! submissions, 2 workers, 200 concurrent clients.
 
 #![forbid(unsafe_code)]
 
@@ -17,7 +25,7 @@ fn main() {
                 Ok(n) if n > 0 => n,
                 _ => {
                     eprintln!(
-                        "invalid {what} `{raw}`\nusage: serve [WARM_JOBS] [WORKERS]   (positive integers)"
+                        "invalid {what} `{raw}`\nusage: serve [WARM_JOBS] [WORKERS] [CLIENTS]   (positive integers)"
                     );
                     std::process::exit(2);
                 }
@@ -26,16 +34,28 @@ fn main() {
     };
     let warm_jobs = parse_or_usage("warm-job count", 200);
     let workers = parse_or_usage("worker count", 2);
+    let clients = parse_or_usage("client count", 200);
 
-    match biochip_bench::run_serve_bench(warm_jobs, workers) {
-        Ok(report) => {
-            println!("Job-service loopback bench (cold synthesis vs. cached resubmission)\n");
-            print!("{}", biochip_bench::format_serve(&report));
-            biochip_bench::write_bench_json("serve", &report);
-        }
+    let warm_cold = match biochip_bench::run_serve_bench(warm_jobs, workers) {
+        Ok(report) => report,
         Err(message) => {
             eprintln!("serve bench failed: {message}");
             std::process::exit(1);
         }
-    }
+    };
+    println!("Job-service loopback bench (cold synthesis vs. cached resubmission)\n");
+    print!("{}", biochip_bench::format_serve(&warm_cold));
+
+    let load = match biochip_bench::run_serve_load(clients, workers, true) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("serve load bench failed: {message}");
+            std::process::exit(1);
+        }
+    };
+    println!("\nJob-service load bench (concurrent clients, restart, overload)\n");
+    print!("{}", biochip_bench::format_serve_load(&load));
+
+    let doc = biochip_bench::ServeBenchDoc { warm_cold, load };
+    biochip_bench::write_bench_json("serve", &doc);
 }

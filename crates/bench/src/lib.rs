@@ -31,7 +31,10 @@ pub use pipeline::{
 pub use scale::{
     format_scale, scale_csv, scale_rows, ScaleRow, DEFAULT_SCALE_MIXERS, DEFAULT_SCALE_SIZES,
 };
-pub use serve_bench::{format_serve, run_serve_bench, ServeBenchReport};
+pub use serve_bench::{
+    format_serve, format_serve_load, run_serve_bench, run_serve_load, ServeBenchDoc,
+    ServeBenchReport, ServeLoadReport,
+};
 
 use std::fmt;
 

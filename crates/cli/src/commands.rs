@@ -725,15 +725,37 @@ fn cmd_serve(argv: &[String]) -> Result<(), CliError> {
             takes_value: true,
             help: "scoring threads per cold job (default 0 = borrow idle workers; capped at 2x cores / workers)",
         },
+        OptionSpec {
+            name: "--data-dir",
+            takes_value: true,
+            help: "directory for the crash-safe result store and job journal (default: memory only)",
+        },
+        OptionSpec {
+            name: "--store-mb",
+            takes_value: true,
+            help: "byte budget of the on-disk result store, in MiB (default 256)",
+        },
+        OptionSpec {
+            name: "--max-queue",
+            takes_value: true,
+            help: "cold submissions answer 429 once this many jobs are queued (default 1024)",
+        },
+        OptionSpec {
+            name: "--max-inflight",
+            takes_value: true,
+            help: "per-client in-flight job quota before a 429 (default 256)",
+        },
     ];
     if help_requested(argv) {
         print_help(
             "serve",
             "Runs the persistent synthesis job service: POST /jobs,\n\
              GET /jobs/:id, DELETE /jobs/:id, GET /results/:id, GET /stats,\n\
-             GET /metrics (Prometheus text), GET /healthz.\n\
+             GET /metrics (Prometheus text), GET /healthz, POST /shutdown.\n\
              Results are cached under the canonical hash of the\n\
-             (problem, config) pair, so identical submissions are lookups.",
+             (problem, config) pair, so identical submissions are lookups.\n\
+             With --data-dir, results persist across restarts (crash-safe\n\
+             store + job journal) and SIGTERM drains gracefully.",
             &specs,
         );
         return Ok(());
@@ -755,12 +777,27 @@ fn cmd_serve(argv: &[String]) -> Result<(), CliError> {
     if let Some(threads) = parsed.parse_value::<usize>("--threads")? {
         options.threads_per_job = threads;
     }
+    if let Some(dir) = parsed.value("--data-dir") {
+        options.data_dir = Some(dir.to_owned());
+    }
+    if let Some(mib) = parsed.parse_value::<u64>("--store-mb")? {
+        options.store_bytes = mib.saturating_mul(1024 * 1024);
+    }
+    if let Some(depth) = parsed.parse_value::<usize>("--max-queue")? {
+        options.max_queue_depth = depth;
+    }
+    if let Some(quota) = parsed.parse_value::<usize>("--max-inflight")? {
+        options.max_inflight_per_client = quota;
+    }
 
     let server = biochip_server::Server::bind(&options)
         .map_err(|e| CliError::runtime(format!("cannot bind `{}`: {e}", options.addr)))?;
     let addr = server
         .local_addr()
         .map_err(|e| CliError::runtime(format!("cannot read bound address: {e}")))?;
+    if let Err(err) = server.drain_on_term_signal() {
+        eprintln!("biochip serve: no graceful SIGTERM drain ({err})");
+    }
     eprintln!(
         "biochip serve: listening on http://{addr} \
          (POST /jobs, GET /jobs/:id, GET /results/:id, GET /stats, GET /metrics)"

@@ -1,0 +1,169 @@
+//! Fault injection against the real binary: SIGKILL the serve process
+//! mid-job, restart it on the same data directory, and check what survived.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use biochip_server::client;
+
+/// RA1K can take a while in debug builds; be generous.
+const JOB_TIMEOUT: Duration = Duration::from_secs(300);
+
+struct Serve {
+    child: Child,
+    addr: SocketAddr,
+}
+
+/// Spawns `biochip serve` on a free port and waits for its listening line.
+/// The rest of stderr keeps draining on a thread — a full pipe would wedge
+/// the server, and the server writing to a closed pipe would kill it.
+fn spawn_serve(data_dir: &str) -> Serve {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_biochip"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--data-dir",
+            data_dir,
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary must spawn");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut reader = BufReader::new(stderr);
+    let mut addr = None;
+    let mut line = String::new();
+    while reader.read_line(&mut line).unwrap_or(0) > 0 {
+        if let Some(rest) = line.split("listening on http://").nth(1) {
+            addr = rest
+                .split_whitespace()
+                .next()
+                .and_then(|a| a.parse::<SocketAddr>().ok());
+            break;
+        }
+        line.clear();
+    }
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).unwrap_or(0) > 0 {
+            sink.clear();
+        }
+    });
+    let addr = addr.expect("serve must print its listening address");
+    Serve { child, addr }
+}
+
+fn data_dir() -> String {
+    let mut path = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    path.push(format!("serve-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    std::fs::create_dir_all(&path).unwrap();
+    path.to_str().unwrap().to_owned()
+}
+
+#[test]
+fn sigkill_mid_job_then_restart_recovers_results_and_reruns_the_victim() {
+    let dir = data_dir();
+
+    // Incarnation 1: one completed job, one job caught mid-flight.
+    let mut serve = spawn_serve(&dir);
+    let addr = serve.addr;
+
+    let first = client::submit(addr, r#"{"assay": "RA1K"}"#).unwrap();
+    let first_id = client::job_id(&first).unwrap();
+    let done = client::wait_for_job(addr, first_id, JOB_TIMEOUT).unwrap();
+    assert_eq!(
+        done.get("status").unwrap().expect_str().unwrap(),
+        "done",
+        "{}",
+        done.to_compact()
+    );
+    let (status, first_result) = client::get(addr, &format!("/results/{first_id}")).unwrap();
+    assert_eq!(status, 200);
+
+    // A different cold job (a config edit changes the content key); kill
+    // the server once a worker has picked it up.
+    let mut config = biochip_synth::SynthesisConfig::default();
+    config.layout.channel_pitch += 1;
+    let victim_body = format!(
+        r#"{{"assay": "RA1K", "config": {}}}"#,
+        biochip_json::to_string(&config)
+    );
+    let victim = client::submit(addr, &victim_body).unwrap();
+    let victim_id = client::job_id(&victim).unwrap();
+    let deadline = std::time::Instant::now() + JOB_TIMEOUT;
+    loop {
+        let (status, body) = client::get(addr, &format!("/jobs/{victim_id}")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let doc = biochip_json::parse(&body).unwrap();
+        if doc.get("status").unwrap().expect_str().unwrap() != "queued" {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "{body}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    serve.child.kill().expect("SIGKILL the server");
+    serve.child.wait().expect("reap the killed server");
+
+    // Incarnation 2 on the same data dir.
+    let mut serve = spawn_serve(&dir);
+    let addr = serve.addr;
+
+    // The completed job survived the crash: same status, same bytes.
+    let (status, body) = client::get(addr, &format!("/jobs/{first_id}")).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let recovered = biochip_json::parse(&body).unwrap();
+    assert_eq!(
+        recovered.get("status").unwrap().expect_str().unwrap(),
+        "done",
+        "{body}"
+    );
+    assert_eq!(
+        recovered.get("recovered"),
+        Some(&biochip_json::Json::Bool(true)),
+        "{body}"
+    );
+    let (status, recovered_result) = client::get(addr, &format!("/results/{first_id}")).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        first_result, recovered_result,
+        "the recovered result must be byte-identical"
+    );
+
+    // The interrupted job was re-enqueued under its original id and runs
+    // to completion (or, if it had just finished before the kill, its
+    // stored result was restored) — either way it ends `done`.
+    let rerun = client::wait_for_job(addr, victim_id, JOB_TIMEOUT).unwrap();
+    assert_eq!(
+        rerun.get("status").unwrap().expect_str().unwrap(),
+        "done",
+        "{}",
+        rerun.to_compact()
+    );
+    assert_eq!(
+        rerun.get("recovered"),
+        Some(&biochip_json::Json::Bool(true)),
+        "{}",
+        rerun.to_compact()
+    );
+
+    // Resubmitting the first job is warm even though the process died.
+    let resubmitted = client::submit(addr, r#"{"assay": "RA1K"}"#).unwrap();
+    assert_eq!(
+        resubmitted.get("cached"),
+        Some(&biochip_json::Json::Bool(true)),
+        "{}",
+        resubmitted.to_compact()
+    );
+
+    serve.child.kill().expect("stop the second server");
+    serve.child.wait().expect("reap the second server");
+    let _ = std::fs::remove_dir_all(&dir);
+}

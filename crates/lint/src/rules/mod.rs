@@ -32,7 +32,7 @@ pub const D2_CRATES: &[&str] = &[
 pub const D2_EXEMPT_FNS: &[&str] = &["synthesize_timed"];
 
 /// Crates whose request-handling / worker paths must not panic (P1, L1).
-pub const PANIC_SAFE_CRATES: &[&str] = &["server", "pool"];
+pub const PANIC_SAFE_CRATES: &[&str] = &["server", "pool", "store"];
 
 /// Runs every per-file rule that applies to `file`, appending raw findings
 /// (waivers are applied by the caller).

@@ -12,24 +12,57 @@ use std::time::{Duration, Instant};
 
 use biochip_json::Json;
 
-/// Sends one request and returns `(status, body)`.
+/// A parsed response: status code, raw header block and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The raw header block (status line included), for header inspection.
+    pub head: String,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// The value of a response header, matched case-insensitively.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.head.lines().find_map(|line| {
+            let (header, value) = line.split_once(':')?;
+            header
+                .trim()
+                .eq_ignore_ascii_case(name)
+                .then(|| value.trim())
+        })
+    }
+}
+
+/// Sends one request with extra headers and returns the parsed [`Response`].
 ///
 /// # Errors
 ///
 /// Propagates connection and read failures, and reports malformed response
 /// heads as [`io::ErrorKind::InvalidData`].
-pub fn request(
+pub fn request_with(
     addr: SocketAddr,
     method: &str,
     path: &str,
+    headers: &[(&str, &str)],
     body: Option<&str>,
-) -> io::Result<(u16, String)> {
+) -> io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
     let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n",
         body.len(),
     );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()?;
@@ -49,7 +82,26 @@ pub fn request(
                 format!("bad status line `{head}`"),
             )
         })?;
-    Ok((status, body.to_owned()))
+    Ok(Response {
+        status,
+        head: head.to_owned(),
+        body: body.to_owned(),
+    })
+}
+
+/// Sends one request and returns `(status, body)`.
+///
+/// # Errors
+///
+/// See [`request_with`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let response = request_with(addr, method, path, &[], body)?;
+    Ok((response.status, response.body))
 }
 
 /// `GET path` → `(status, body)`.
@@ -91,14 +143,54 @@ pub fn submit(addr: SocketAddr, body: &str) -> Result<Json, String> {
     Ok(value)
 }
 
+/// First pause of the [`poll_backoff`] schedule, in milliseconds.
+const BACKOFF_BASE_MS: u64 = 2;
+
+/// Ceiling of the [`poll_backoff`] schedule, in milliseconds.
+const BACKOFF_CAP_MS: u64 = 200;
+
+/// The deterministic exponential backoff schedule used between status
+/// polls: 2 ms doubling per attempt (2, 4, 8, …) and capped at 200 ms.
+/// A pure function of the attempt index, so tests can assert the exact
+/// request budget of a poll loop.
+#[must_use]
+pub fn poll_backoff(attempt: u32) -> Duration {
+    let ms = BACKOFF_BASE_MS
+        .saturating_mul(1u64 << attempt.min(16))
+        .min(BACKOFF_CAP_MS);
+    Duration::from_millis(ms)
+}
+
+/// Upper bound on the number of `GET /jobs/:id` requests a
+/// [`wait_for_job`] with this timeout can issue: the poll loop sleeps
+/// `poll_backoff(0..)` between requests, so once the cumulative sleep
+/// passes the timeout no further request is sent (plus one final
+/// deadline-check request).
+#[must_use]
+pub fn max_polls(timeout: Duration) -> usize {
+    let mut slept = Duration::ZERO;
+    let mut polls = 1usize;
+    for attempt in 0.. {
+        slept += poll_backoff(attempt);
+        polls += 1;
+        if slept >= timeout {
+            break;
+        }
+    }
+    polls
+}
+
 /// Polls `GET /jobs/:id` until the job reaches a terminal state, returning
-/// the final status document.
+/// the final status document. Polls back off exponentially per
+/// [`poll_backoff`] instead of spinning, so a long cold job costs a bounded
+/// number of requests (see [`max_polls`]).
 ///
 /// # Errors
 ///
 /// Returns an error string on timeout, I/O failure or malformed bodies.
 pub fn wait_for_job(addr: SocketAddr, id: u64, timeout: Duration) -> Result<Json, String> {
     let deadline = Instant::now() + timeout;
+    let mut attempt = 0u32;
     loop {
         let (status, body) = get(addr, &format!("/jobs/{id}")).map_err(|e| e.to_string())?;
         if status != 200 {
@@ -113,7 +205,8 @@ pub fn wait_for_job(addr: SocketAddr, id: u64, timeout: Duration) -> Result<Json
         if Instant::now() >= deadline {
             return Err(format!("job {id} still not terminal after {timeout:?}"));
         }
-        std::thread::sleep(Duration::from_millis(5));
+        std::thread::sleep(poll_backoff(attempt));
+        attempt = attempt.saturating_add(1);
     }
 }
 
@@ -128,4 +221,34 @@ pub fn job_id(document: &Json) -> Result<u64, String> {
         .and_then(|v| v.expect_number().ok())
         .map(|n| n as u64)
         .ok_or_else(|| format!("document without an `id`: {}", document.to_compact()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let schedule: Vec<u64> = (0..10)
+            .map(|a| poll_backoff(a).as_millis() as u64)
+            .collect();
+        assert_eq!(schedule, vec![2, 4, 8, 16, 32, 64, 128, 200, 200, 200]);
+        // Huge attempt indices must not overflow the shift.
+        assert_eq!(poll_backoff(u32::MAX), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn poll_count_is_bounded_for_a_given_timeout() {
+        // The first 7 pauses sum to 254 ms, then 200 ms each: a 60 s wait
+        // costs at most 7 + ceil((60000-254)/200) + 2 ≈ 308 requests. The
+        // old fixed 5 ms spin would have issued ~12000.
+        let bound = max_polls(Duration::from_secs(60));
+        assert!(bound <= 310, "poll budget too large: {bound}");
+        // And the schedule still covers the whole timeout: cumulative
+        // sleep across the budgeted polls reaches the deadline.
+        let slept: Duration = (0..bound as u32).map(poll_backoff).sum();
+        assert!(slept >= Duration::from_secs(60));
+        // Short timeouts stay snappy.
+        assert!(max_polls(Duration::from_millis(20)) <= 6);
+    }
 }

@@ -35,6 +35,9 @@ pub struct Request {
     pub path: String,
     /// The request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Client identity from the `x-biochip-client` header, if sent. The
+    /// server falls back to the peer IP for per-client admission quotas.
+    pub client: Option<String>,
 }
 
 /// A failure while reading a request, carrying the status code to answer
@@ -69,6 +72,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -153,6 +157,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     }
 
     let mut content_length = 0usize;
+    let mut client = None;
     loop {
         let line = read_line(&mut reader, deadline)?;
         if line.is_empty() {
@@ -168,6 +173,14 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
                     format!("bad content-length `{}`", sanitize_echo(value.trim())),
                 )
             })?;
+        } else if name.trim().eq_ignore_ascii_case("x-biochip-client") {
+            let value = value.trim();
+            if !value.is_empty() {
+                // Sanitized on arrival: the identity only keys a quota map
+                // and may be echoed in logs, so it must stay printable and
+                // bounded no matter what the client sent.
+                client = Some(sanitize_echo(value));
+            }
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -203,21 +216,41 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         method: method.to_uppercase(),
         path: path.to_owned(),
         body,
+        client,
     })
 }
 
-/// Writes a response with the given content type and flushes. Write errors
-/// are ignored — the peer hanging up mid-response is its problem, not a
-/// server failure.
-pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+/// Writes a response with the given content type plus any extra headers,
+/// then flushes. Write errors are ignored — the peer hanging up
+/// mid-response is its problem, not a server failure.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
         reason_phrase(status),
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
+}
+
+/// Writes a response with the given content type and flushes (see
+/// [`write_response_with`]).
+pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    write_response_with(stream, status, content_type, &[], body);
 }
 
 /// Writes a JSON response and flushes (see [`write_response`]).
@@ -234,32 +267,58 @@ mod tests {
     use std::net::{TcpListener, TcpStream};
 
     fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let mut client = TcpStream::connect(addr).unwrap();
-        client.write_all(raw).unwrap();
-        client.flush().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+        let addr = listener.local_addr().expect("listener address");
+        let mut client = TcpStream::connect(addr).expect("connect to listener");
+        client.write_all(raw).expect("send raw request");
+        client.flush().expect("flush raw request");
         // Half-close so a truncated-body read sees EOF instead of blocking.
-        client.shutdown(std::net::Shutdown::Write).unwrap();
-        let (mut server_side, _) = listener.accept().unwrap();
+        client
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close client side");
+        let (mut server_side, _) = listener.accept().expect("accept connection");
         read_request(&mut server_side)
     }
 
     #[test]
     fn parses_a_post_with_body() {
         let request =
-            roundtrip(b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+            roundtrip(b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+                .expect("parse POST");
         assert_eq!(request.method, "POST");
         assert_eq!(request.path, "/jobs");
         assert_eq!(request.body, b"hello");
+        assert_eq!(request.client, None);
     }
 
     #[test]
     fn parses_a_get_without_body() {
-        let request = roundtrip(b"GET /stats HTTP/1.1\r\n\r\n").unwrap();
+        let request = roundtrip(b"GET /stats HTTP/1.1\r\n\r\n").expect("parse GET");
         assert_eq!(request.method, "GET");
         assert_eq!(request.path, "/stats");
         assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn captures_the_client_identity_header_sanitized() {
+        let request = roundtrip(b"GET /stats HTTP/1.1\r\nX-Biochip-Client: loadgen-7\r\n\r\n")
+            .expect("parse GET with client header");
+        assert_eq!(request.client.as_deref(), Some("loadgen-7"));
+        // Hostile identities are escaped and truncated, never stored raw.
+        let hostile = format!(
+            "GET / HTTP/1.1\r\nx-biochip-client: a\x1b[2J{}\r\n\r\n",
+            "b".repeat(500)
+        );
+        let request = roundtrip(hostile.as_bytes()).expect("parse hostile client header");
+        let client = request.client.expect("client captured");
+        assert!(client.contains("\\u{1b}"), "{client:?}");
+        // Truncated to MAX_ECHO_CHARS *input* characters (escapes may
+        // expand each into a few output characters) plus the ellipsis.
+        assert!(client.ends_with('…'), "{client:?}");
+        assert!(
+            client.chars().filter(|c| *c == 'b').count() < MAX_ECHO_CHARS,
+            "{client:?}"
+        );
     }
 
     #[test]
@@ -314,8 +373,32 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_the_api_statuses() {
-        for status in [200, 201, 202, 400, 404, 405, 408, 409, 413, 500, 503] {
+        for status in [200, 201, 202, 400, 404, 405, 408, 409, 413, 429, 500, 503] {
             assert_ne!(reason_phrase(status), "Unknown", "{status}");
         }
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_in_the_response_head() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+        let addr = listener.local_addr().expect("listener address");
+        let mut client = TcpStream::connect(addr).expect("connect to listener");
+        let (mut server_side, _) = listener.accept().expect("accept connection");
+        write_response_with(
+            &mut server_side,
+            429,
+            "application/json",
+            &[("retry-after", "1")],
+            "{}",
+        );
+        drop(server_side);
+        let mut response = String::new();
+        client.read_to_string(&mut response).expect("read response");
+        assert!(
+            response.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{response}"
+        );
+        assert!(response.contains("retry-after: 1\r\n"), "{response}");
+        assert!(response.ends_with("\r\n\r\n{}"), "{response}");
     }
 }

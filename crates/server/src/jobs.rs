@@ -85,6 +85,9 @@ pub struct JobRecord {
     pub state: JobState,
     /// Whether the result came from the cache instead of a synthesis run.
     pub cached: bool,
+    /// Whether this record was rebuilt from the journal after a restart
+    /// (resolved from the disk store or re-enqueued).
+    pub recovered: bool,
     /// Live stage handle (shared with the worker running the job).
     pub controller: Arc<FlowController>,
     /// The result, once available.
@@ -111,6 +114,7 @@ impl JobRecord {
             ("assay", Json::String(self.assay.clone())),
             ("status", Json::String(self.state.name().to_owned())),
             ("cached", Json::Bool(self.cached)),
+            ("recovered", Json::Bool(self.recovered)),
             (
                 "stage",
                 Json::String(self.controller.stage().name().to_owned()),
@@ -264,6 +268,7 @@ mod tests {
             assay: "PCR".to_owned(),
             state,
             cached: false,
+            recovered: false,
             controller: Arc::new(FlowController::new()),
             result: None,
             error: None,

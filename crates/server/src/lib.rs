@@ -22,20 +22,38 @@
 //!   `DELETE /jobs/:id` cancels at the next stage boundary;
 //!   `GET /results/:id` returns the full `biochip-serve/v1` result
 //!   document.
+//! * **Durability** — with a `--data-dir`, results write through to a
+//!   crash-safe on-disk store ([`biochip_store::DiskStore`]) and every job
+//!   transition is journaled; on restart, completed jobs resolve from the
+//!   store (`GET /jobs/:id` survives the crash) and interrupted jobs
+//!   re-enqueue. See [`durable`].
+//! * **Admission control** — a bounded queue and per-client in-flight
+//!   quotas answer structured `429 Too Many Requests` (with `Retry-After`)
+//!   under overload; SIGTERM or `POST /shutdown` drains in-flight jobs and
+//!   answers `503` to new submissions meanwhile.
 //!
 //! The HTTP layer is hand-rolled on `std::net` (the build is offline — no
 //! hyper/axum), implementing exactly the subset the API needs; see
 //! [`http`].
 
-#![forbid(unsafe_code)]
+// `signals` declares the one libc symbol (`signal`) the SIGTERM drain hook
+// needs, so the crate cannot forbid unsafe wholesale; the single unsafe
+// block is `// SAFETY:`-documented and U1-linted.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
+pub mod durable;
 pub mod http;
 pub mod jobs;
 pub mod server;
+#[allow(unsafe_code)]
+pub mod signals;
 
 pub use cache::{CacheStats, ResultCache, StageCaches, StageCachesStats, WarmStats};
+pub use durable::JournalStats;
 pub use jobs::{JobRecord, JobState, JobStore, ResultDoc};
-pub use server::{error_body, ServeOptions, ServeStats, Server, ServerHandle, ERROR_SCHEMA};
+pub use server::{
+    error_body, AdmissionStats, ServeOptions, ServeStats, Server, ServerHandle, ERROR_SCHEMA,
+};

@@ -15,10 +15,14 @@ use biochip_synth::{FlowController, FlowError, ReuseKind, SynthesisConfig, Synth
 use biochip_telemetry as telemetry;
 
 use crate::cache::{CacheStats, ResultCache, StageCaches, StageCachesStats};
+use crate::durable::{Durable, JournalStats, RecoveredJob};
 use crate::http::{
-    read_request, write_json_response, write_response, HttpError, Request, PROMETHEUS_CONTENT_TYPE,
+    read_request, write_json_response, write_response, write_response_with, HttpError, Request,
+    PROMETHEUS_CONTENT_TYPE,
 };
 use crate::jobs::{JobRecord, JobState, JobStore, ResultDoc};
+use crate::signals;
+use biochip_store::StoreStats;
 
 /// Schema tag of structured error bodies.
 pub const ERROR_SCHEMA: &str = "biochip-error/v1";
@@ -40,6 +44,18 @@ pub struct ServeOptions {
     /// `workers × threads` stays within 2× the host's cores. Never changes
     /// job results, only their latency.
     pub threads_per_job: usize,
+    /// Data directory for the on-disk result store and job journal.
+    /// `None` (the default) keeps everything in memory, exactly as before
+    /// durability existed.
+    pub data_dir: Option<String>,
+    /// Byte budget of the on-disk store's LRU (default 256 MiB).
+    pub store_bytes: u64,
+    /// Cold submissions answered `429` once this many jobs are already
+    /// waiting for a worker.
+    pub max_queue_depth: usize,
+    /// Cold submissions answered `429` once one client identity has this
+    /// many jobs queued or running.
+    pub max_inflight_per_client: usize,
 }
 
 impl Default for ServeOptions {
@@ -49,9 +65,36 @@ impl Default for ServeOptions {
             workers: 0,
             cache_capacity: 64,
             threads_per_job: 0,
+            data_dir: None,
+            store_bytes: 256 * 1024 * 1024,
+            max_queue_depth: 1024,
+            max_inflight_per_client: 256,
         }
     }
 }
+
+/// Admission-control counters and limits, part of `GET /stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Cold submissions answered `429` because the queue was full.
+    pub rejected_queue_full: usize,
+    /// Cold submissions answered `429` because the client was over quota.
+    pub rejected_client_quota: usize,
+    /// Submissions answered `503` while draining.
+    pub rejected_draining: usize,
+    /// The configured queue-depth bound.
+    pub max_queue_depth: usize,
+    /// The configured per-client in-flight bound.
+    pub max_inflight_per_client: usize,
+}
+
+impl_json_struct!(AdmissionStats {
+    rejected_queue_full,
+    rejected_client_quota,
+    rejected_draining,
+    max_queue_depth,
+    max_inflight_per_client,
+});
 
 /// Aggregate service counters, the body of `GET /stats`.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +129,15 @@ pub struct ServeStats {
     pub stage_cache: StageCachesStats,
     /// Worker-pool counters.
     pub pool: PoolStats,
+    /// On-disk result-store counters (disabled placeholder without
+    /// `--data-dir`).
+    pub store: StoreStats,
+    /// Job-journal and crash-recovery counters.
+    pub journal: JournalStats,
+    /// Admission-control counters and limits.
+    pub admission: AdmissionStats,
+    /// Whether the server is draining (shutting down gracefully).
+    pub draining: bool,
 }
 
 impl_json_struct!(ServeStats {
@@ -103,6 +155,10 @@ impl_json_struct!(ServeStats {
     cache,
     stage_cache,
     pool,
+    store,
+    journal,
+    admission,
+    draining,
 });
 
 /// Request-latency bucket bounds in seconds. Most of the API answers from
@@ -128,6 +184,7 @@ const ENDPOINTS: &[&str] = &[
     "stats",
     "metrics",
     "healthz",
+    "shutdown",
     "other",
 ];
 
@@ -192,6 +249,9 @@ struct QueuedJob {
     config: SynthesisConfig,
     controller: Arc<FlowController>,
     submitted: Instant,
+    /// Client identity charged for this job's in-flight quota (`None` for
+    /// jobs re-enqueued by crash recovery).
+    client: Option<String>,
 }
 
 /// Memoized content key of a `(named assay, config)` submission.
@@ -226,6 +286,21 @@ struct ServerState {
     name_keys: std::sync::Mutex<std::collections::HashMap<String, NameKeyMemo>>,
     started: Instant,
     metrics: Metrics,
+    /// The durability layer: on-disk result store + job journal (both
+    /// no-ops without `--data-dir`).
+    durable: Durable,
+    /// Set by `POST /shutdown` or SIGTERM: stop accepting, finish running
+    /// jobs, flush the journal, then stop the accept loop.
+    draining: AtomicBool,
+    /// Cold submissions answered `429` once this many jobs are waiting.
+    max_queue_depth: usize,
+    /// Per-client in-flight bound for cold submissions.
+    max_inflight_per_client: usize,
+    /// In-flight (queued + running) cold jobs per client identity.
+    clients: std::sync::Mutex<std::collections::HashMap<String, usize>>,
+    rejected_queue_full: AtomicU64,
+    rejected_client_quota: AtomicU64,
+    rejected_draining: AtomicU64,
 }
 
 impl ServerState {
@@ -240,12 +315,50 @@ impl ServerState {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
+
+    /// Locks the per-client in-flight map (same poison-recovery rationale
+    /// as the name-key memo: the map is consistent after any single call).
+    fn lock_clients(&self) -> std::sync::MutexGuard<'_, std::collections::HashMap<String, usize>> {
+        self.clients
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Charges one in-flight job to `client` unless it is at its quota.
+    /// Returns `false` (and counts the rejection) at the quota.
+    fn try_charge_client(&self, client: &str) -> bool {
+        let mut clients = self.lock_clients();
+        let inflight = clients.entry(client.to_owned()).or_insert(0);
+        if *inflight >= self.max_inflight_per_client {
+            self.rejected_client_quota.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        *inflight += 1;
+        true
+    }
+
+    /// Releases one in-flight charge when a job reaches a terminal state.
+    fn release_client(&self, client: Option<&str>) {
+        let Some(client) = client else {
+            return;
+        };
+        let mut clients = self.lock_clients();
+        if let Some(inflight) = clients.get_mut(client) {
+            *inflight = inflight.saturating_sub(1);
+            if *inflight == 0 {
+                clients.remove(client);
+            }
+        }
+    }
 }
 
 struct Shared {
     state: Arc<ServerState>,
     pool: ShardedPool<QueuedJob>,
     next_id: AtomicU64,
+    /// The server's own stop handle, so `POST /shutdown` and the SIGTERM
+    /// watcher can end the accept loop once the drain finishes.
+    handle: ServerHandle,
 }
 
 /// Handle for stopping a running server from another thread.
@@ -313,6 +426,16 @@ impl Server {
         } else {
             options.threads_per_job
         };
+        // Open the durability layer (store + journal) and replay whatever
+        // the previous incarnation left behind before accepting traffic.
+        let (durable, recovery) = match &options.data_dir {
+            Some(dir) => {
+                let (durable, recovery) =
+                    Durable::open(std::path::Path::new(dir), options.store_bytes);
+                (durable, Some(recovery))
+            }
+            None => (Durable::disabled(), None),
+        };
         let state = Arc::new(ServerState {
             jobs: JobStore::default(),
             cache: ResultCache::new(options.cache_capacity),
@@ -326,6 +449,14 @@ impl Server {
             name_keys: std::sync::Mutex::new(std::collections::HashMap::new()),
             started: Instant::now(),
             metrics: Metrics::new(),
+            durable,
+            draining: AtomicBool::new(false),
+            max_queue_depth: options.max_queue_depth.max(1),
+            max_inflight_per_client: options.max_inflight_per_client.max(1),
+            clients: std::sync::Mutex::new(std::collections::HashMap::new()),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_client_quota: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
         });
         let pool = {
             let state = Arc::clone(&state);
@@ -333,14 +464,24 @@ impl Server {
                 run_job(&state, worker, job);
             })
         };
+        let stopping = Arc::new(AtomicBool::new(false));
+        let handle = ServerHandle {
+            addr: listener.local_addr()?,
+            stopping: Arc::clone(&stopping),
+        };
+        let next_id = recovery.as_ref().map_or(1, |r| r.next_id);
+        if let Some(recovery) = recovery {
+            restore_recovered_jobs(&state, &pool, recovery.jobs);
+        }
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 state,
                 pool,
-                next_id: AtomicU64::new(1),
+                next_id: AtomicU64::new(next_id),
+                handle,
             }),
-            stopping: Arc::new(AtomicBool::new(false)),
+            stopping,
         })
     }
 
@@ -363,6 +504,36 @@ impl Server {
             addr: self.listener.local_addr()?,
             stopping: Arc::clone(&self.stopping),
         })
+    }
+
+    /// Installs a SIGTERM handler that drains the server gracefully: stop
+    /// accepting new jobs, finish the running and queued ones, flush the
+    /// journal, then stop the accept loop. Call once before [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the platform cannot install the handler or the watcher
+    /// thread cannot be spawned.
+    pub fn drain_on_term_signal(&self) -> io::Result<()> {
+        if !signals::install_term_handler() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "cannot install a SIGTERM handler on this platform",
+            ));
+        }
+        let state = Arc::clone(&self.shared.state);
+        let handle = self.shared.handle.clone();
+        std::thread::Builder::new()
+            .name("biochip-sigterm".to_owned())
+            .spawn(move || loop {
+                if signals::term_requested() {
+                    eprintln!("biochip serve: SIGTERM received, draining");
+                    begin_drain(&state, &handle);
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            })?;
+        Ok(())
     }
 
     /// Serves until [`ServerHandle::stop`] is called. Each connection is
@@ -415,10 +586,184 @@ pub fn error_body(status: u16, message: &str) -> String {
     .to_pretty()
 }
 
+/// Renders a structured admission-rejection body: the uniform error fields
+/// plus a machine-readable `reason` and the `Retry-After` value mirrored
+/// into the body.
+fn admission_body(status: u16, reason: &str, message: &str) -> String {
+    Json::object([
+        ("schema", Json::String(ERROR_SCHEMA.to_owned())),
+        ("code", Json::Number(f64::from(status))),
+        ("error", Json::String(message.to_owned())),
+        ("reason", Json::String(reason.to_owned())),
+        ("retry_after_seconds", Json::Number(1.0)),
+    ])
+    .to_pretty()
+}
+
+/// Starts the graceful drain unless one is already under way: mark the
+/// server draining (new submissions answer 503), wait for the queued and
+/// running jobs to reach terminal states, fsync the journal, then stop the
+/// accept loop. The wait happens on a detached thread so the caller (a
+/// request handler or the SIGTERM watcher) returns immediately.
+fn begin_drain(state: &Arc<ServerState>, handle: &ServerHandle) -> bool {
+    if state.draining.swap(true, Ordering::SeqCst) {
+        return false;
+    }
+    let waiter_state = Arc::clone(state);
+    let waiter_handle = handle.clone();
+    let spawned = std::thread::Builder::new()
+        .name("biochip-drain".to_owned())
+        .spawn(move || {
+            loop {
+                let counts = waiter_state.jobs.counts();
+                if counts.queued + counts.running == 0 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            waiter_state.durable.sync();
+            waiter_handle.stop();
+        });
+    if spawned.is_err() {
+        // No thread to wait on the jobs: flush and stop immediately rather
+        // than hanging the drain forever (queued jobs still finish — the
+        // pool drains its queues before joining).
+        state.durable.sync();
+        handle.stop();
+    }
+    true
+}
+
+/// Reinstates the jobs reconstructed from the journal: terminal records are
+/// inserted as-is (results also promoted into the memory cache), and
+/// interrupted jobs are re-enqueued under their original ids.
+fn restore_recovered_jobs(
+    state: &Arc<ServerState>,
+    pool: &ShardedPool<QueuedJob>,
+    jobs: Vec<RecoveredJob>,
+) {
+    for job in jobs {
+        match job {
+            RecoveredJob::Terminal {
+                id,
+                key,
+                assay,
+                state: job_state,
+                error,
+                result,
+            } => {
+                if let Some(result) = &result {
+                    state.cache.insert(&key, Arc::clone(result));
+                }
+                state.jobs.insert(JobRecord {
+                    id,
+                    key,
+                    assay,
+                    state: job_state,
+                    cached: result.is_some(),
+                    recovered: true,
+                    controller: Arc::new(FlowController::finished()),
+                    result,
+                    error,
+                    wall_seconds: 0.0,
+                    worker: None,
+                });
+            }
+            RecoveredJob::Requeue { id, submission, .. } => {
+                requeue_recovered(state, pool, id, &submission);
+            }
+        }
+    }
+}
+
+/// Re-parses a journaled submission and enqueues it under its original id.
+/// Any failure (the submission no longer parses, the pool is shutting
+/// down) becomes an honest `failed` record, never a panic.
+fn requeue_recovered(
+    state: &Arc<ServerState>,
+    pool: &ShardedPool<QueuedJob>,
+    id: u64,
+    submission: &Json,
+) {
+    let text = submission.to_compact();
+    let resolved = parse_submission(text.as_bytes())
+        .and_then(|submission| resolve_key(submission, state))
+        .and_then(|resolved| {
+            let problem = match (resolved.problem, resolved.canonical) {
+                (Some(problem), _) => problem,
+                (None, Some(canonical)) => named_problem(canonical, &resolved.config)?,
+                (None, None) => {
+                    return Err("journaled submission resolved without a problem".to_owned())
+                }
+            };
+            Ok((
+                resolved.key,
+                resolved.key_hex,
+                resolved.assay,
+                resolved.config,
+                problem,
+            ))
+        });
+    match resolved {
+        Ok((key, key_hex, assay, config, problem)) => {
+            let controller = Arc::new(FlowController::new());
+            state.jobs.insert(JobRecord {
+                id,
+                key: key_hex.clone(),
+                assay: assay.clone(),
+                state: JobState::Queued,
+                cached: false,
+                recovered: true,
+                controller: Arc::clone(&controller),
+                result: None,
+                error: None,
+                wall_seconds: 0.0,
+                worker: None,
+            });
+            let accepted = pool.submit_keyed(
+                key,
+                QueuedJob {
+                    id,
+                    key: key_hex,
+                    assay,
+                    problem,
+                    config,
+                    controller,
+                    submitted: Instant::now(),
+                    client: None,
+                },
+            );
+            if !accepted {
+                state.jobs.with(id, |job| {
+                    job.state = JobState::Failed;
+                    job.error = Some("server shut down before the re-enqueued job ran".to_owned());
+                });
+            }
+        }
+        Err(message) => {
+            state.jobs.insert(JobRecord {
+                id,
+                key: String::new(),
+                assay: String::new(),
+                state: JobState::Failed,
+                cached: false,
+                recovered: true,
+                controller: Arc::new(FlowController::finished()),
+                result: None,
+                error: Some(format!(
+                    "interrupted by a restart and could not be re-enqueued: {message}"
+                )),
+                wall_seconds: 0.0,
+                worker: None,
+            });
+        }
+    }
+}
+
 fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
     let started = Instant::now();
     let metrics = &shared.state.metrics;
-    let request = match read_request(stream) {
+    let mut request = match read_request(stream) {
         Ok(request) => request,
         Err(HttpError { status, message }) => {
             write_json_response(stream, status, &error_body(status, &message));
@@ -426,10 +771,24 @@ fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
             return;
         }
     };
+    // Quotas key on the `x-biochip-client` header when present, else the
+    // peer IP — anonymous clients on one host share one bucket.
+    if request.client.is_none() {
+        request.client = stream.peer_addr().ok().map(|addr| addr.ip().to_string());
+    }
     let endpoint = endpoint_label(&request);
     let (status, body) = route(&request, shared);
     if endpoint == "metrics" && status == 200 {
         write_response(stream, status, PROMETHEUS_CONTENT_TYPE, &body);
+    } else if status == 429 || status == 503 {
+        // Backpressure answers tell clients when to come back.
+        write_response_with(
+            stream,
+            status,
+            "application/json",
+            &[("retry-after", "1")],
+            &body,
+        );
     } else {
         write_json_response(stream, status, &body);
     }
@@ -456,6 +815,7 @@ fn endpoint_label(request: &Request) -> &'static str {
         ("GET", ["stats"]) => "stats",
         ("GET", ["metrics"]) => "metrics",
         ("GET", ["healthz"]) => "healthz",
+        ("POST", ["shutdown"]) => "shutdown",
         _ => "other",
     }
 }
@@ -476,13 +836,15 @@ fn route(request: &Request, shared: &Shared) -> (u16, String) {
         ("GET", ["results", id]) => with_job_id(id, |id| job_result(id, shared)),
         ("GET", ["stats"]) => (200, stats_body(shared)),
         ("GET", ["metrics"]) => (200, metrics_text(shared)),
-        ("GET", ["healthz"]) => (200, Json::object([("ok", Json::Bool(true))]).to_pretty()),
+        ("GET", ["healthz"]) => (200, healthz_body(shared)),
+        ("POST", ["shutdown"]) => shutdown(shared),
         (method, ["jobs"])
         | (method, ["jobs", _])
         | (method, ["results", _])
         | (method, ["stats"])
         | (method, ["metrics"])
-        | (method, ["healthz"]) => (
+        | (method, ["healthz"])
+        | (method, ["shutdown"]) => (
             405,
             error_body(405, &format!("method {method} not allowed here")),
         ),
@@ -491,10 +853,52 @@ fn route(request: &Request, shared: &Shared) -> (u16, String) {
             error_body(
                 404,
                 "unknown path (the API is POST /jobs, GET /jobs/:id, DELETE /jobs/:id, \
-                 GET /results/:id, GET /stats, GET /metrics, GET /healthz)",
+                 GET /results/:id, GET /stats, GET /metrics, GET /healthz, POST /shutdown)",
             ),
         ),
     }
+}
+
+/// The `GET /healthz` body. Always 200 while the process serves — a
+/// degraded store demotes `store` to `"degraded"` (memory-only operation),
+/// it does not fail the health check.
+fn healthz_body(shared: &Shared) -> String {
+    let state = &shared.state;
+    Json::object([
+        ("ok", Json::Bool(true)),
+        (
+            "draining",
+            Json::Bool(state.draining.load(Ordering::SeqCst)),
+        ),
+        (
+            "store",
+            Json::String(state.durable.store_state().to_owned()),
+        ),
+        (
+            "journal",
+            Json::String(state.durable.journal_state().to_owned()),
+        ),
+    ])
+    .to_pretty()
+}
+
+/// `POST /shutdown`: start (or observe) the graceful drain. Answers 202
+/// immediately; the accept loop stops once the last job finishes.
+fn shutdown(shared: &Shared) -> (u16, String) {
+    let started = begin_drain(&shared.state, &shared.handle);
+    let counts = shared.state.jobs.counts();
+    (
+        202,
+        Json::object([
+            ("draining", Json::Bool(true)),
+            ("already_draining", Json::Bool(!started)),
+            (
+                "jobs_remaining",
+                Json::Number((counts.queued + counts.running) as f64),
+            ),
+        ])
+        .to_pretty(),
+    )
 }
 
 fn with_job_id(raw: &str, f: impl FnOnce(u64) -> (u16, String)) -> (u16, String) {
@@ -690,8 +1094,77 @@ fn resolve_key(submission: Submission, state: &ServerState) -> Result<ResolvedJo
     })
 }
 
+/// The submission document journaled for crash recovery: small for named
+/// assays (name + config), the full problem document otherwise.
+fn journaled_submission(
+    canonical: Option<&'static str>,
+    problem: &ScheduleProblem,
+    config: &SynthesisConfig,
+) -> Json {
+    match canonical {
+        Some(name) => Json::object([
+            ("assay", Json::String(name.to_owned())),
+            ("config", config.to_json()),
+        ]),
+        None => Json::object([("problem", problem.to_json()), ("config", config.to_json())]),
+    }
+}
+
+/// Answers a warm hit: record the job as done-from-cache, journal it as
+/// born-terminal (the result is already in the store for recovery) and
+/// return the 201 body.
+fn answer_warm(
+    shared: &Shared,
+    key_hex: String,
+    assay: String,
+    result: Arc<ResultDoc>,
+    started: Instant,
+) -> (u16, String) {
+    shared.state.cached_hits.fetch_add(1, Ordering::Relaxed);
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    shared
+        .state
+        .durable
+        .journal_submitted(id, &key_hex, &assay, None, Some(JobState::Done));
+    let record = JobRecord {
+        id,
+        key: key_hex,
+        assay,
+        state: JobState::Done,
+        cached: true,
+        recovered: false,
+        controller: Arc::new(FlowController::finished()),
+        result: Some(result),
+        error: None,
+        wall_seconds: 0.0,
+        worker: None,
+    };
+    let body = record.status_json().to_pretty();
+    shared.state.jobs.insert(record);
+    shared
+        .state
+        .metrics
+        .job_warm_seconds
+        .observe(started.elapsed().as_secs_f64());
+    (201, body)
+}
+
 fn submit(request: &Request, shared: &Shared) -> (u16, String) {
     let started = Instant::now();
+    if shared.state.draining.load(Ordering::SeqCst) {
+        shared
+            .state
+            .rejected_draining
+            .fetch_add(1, Ordering::Relaxed);
+        return (
+            503,
+            admission_body(
+                503,
+                "draining",
+                "server is draining; not accepting new jobs",
+            ),
+        );
+    }
     let submission = match parse_submission(&request.body) {
         Ok(parsed) => parsed,
         Err(message) => return (400, error_body(400, &message)),
@@ -707,54 +1180,88 @@ fn submit(request: &Request, shared: &Shared) -> (u16, String) {
         Ok(resolved) => resolved,
         Err(message) => return (500, error_body(500, &message)),
     };
-    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
 
+    // Warm tier 1: the in-memory result cache.
     if let Some(result) = shared.state.cache.get(&key_hex) {
-        shared.state.cached_hits.fetch_add(1, Ordering::Relaxed);
-        let record = JobRecord {
-            id,
-            key: key_hex,
-            assay,
-            state: JobState::Done,
-            cached: true,
-            controller: Arc::new(FlowController::finished()),
-            result: Some(result),
-            error: None,
-            wall_seconds: 0.0,
-            worker: None,
-        };
-        let body = record.status_json().to_pretty();
-        shared.state.jobs.insert(record);
-        shared
-            .state
-            .metrics
-            .job_warm_seconds
-            .observe(started.elapsed().as_secs_f64());
-        return (201, body);
+        return answer_warm(shared, key_hex, assay, result, started);
     }
 
-    // Cache miss: a worker must synthesize, so a problem document is needed
-    // now. It is absent only on the memo fast path (named assay with a
-    // known key whose result was evicted) — rebuild it from the name. Both
-    // "absent without a name" and "name fails to resolve" are server-side
-    // inconsistencies: answer a structured 500, never panic the handler.
+    // Warm tier 2: the on-disk store (results that survived a restart or
+    // aged out of the memory LRU). A hit is promoted back into memory.
+    if let Some(result) = shared.state.durable.store_get(&key_hex) {
+        shared.state.cache.insert(&key_hex, Arc::clone(&result));
+        return answer_warm(shared, key_hex, assay, result, started);
+    }
+
+    // Cold path: admission control. Bounded queue depth first, then the
+    // per-client in-flight quota (charged only once both checks pass).
+    let counts = shared.state.jobs.counts();
+    if counts.queued >= shared.state.max_queue_depth {
+        shared
+            .state
+            .rejected_queue_full
+            .fetch_add(1, Ordering::Relaxed);
+        return (
+            429,
+            admission_body(
+                429,
+                "queue_full",
+                &format!(
+                    "{} jobs already queued (bound {}); retry shortly",
+                    counts.queued, shared.state.max_queue_depth
+                ),
+            ),
+        );
+    }
+    let client = request.client.clone().unwrap_or_else(|| "anon".to_owned());
+    if !shared.state.try_charge_client(&client) {
+        return (
+            429,
+            admission_body(
+                429,
+                "client_quota",
+                &format!(
+                    "client `{client}` already has {} jobs in flight; wait for one to finish",
+                    shared.state.max_inflight_per_client
+                ),
+            ),
+        );
+    }
+
+    // A worker must synthesize, so a problem document is needed now. It is
+    // absent only on the memo fast path (named assay with a known key whose
+    // result was evicted) — rebuild it from the name. Both "absent without
+    // a name" and "name fails to resolve" are server-side inconsistencies:
+    // answer a structured 500, never panic the handler.
     let problem = match (problem, canonical) {
         (Some(problem), _) => problem,
         (None, Some(canonical)) => match named_problem(canonical, &config) {
             Ok(problem) => problem,
-            Err(message) => return (500, error_body(500, &message)),
+            Err(message) => {
+                shared.state.release_client(Some(&client));
+                return (500, error_body(500, &message));
+            }
         },
         (None, None) => {
+            shared.state.release_client(Some(&client));
             return (
                 500,
                 error_body(
                     500,
                     "submission resolved without a problem document or an assay name",
                 ),
-            )
+            );
         }
     };
 
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    shared.state.durable.journal_submitted(
+        id,
+        &key_hex,
+        &assay,
+        Some(&journaled_submission(canonical, &problem, &config)),
+        None,
+    );
     let controller = Arc::new(FlowController::new());
     let record = JobRecord {
         id,
@@ -762,6 +1269,7 @@ fn submit(request: &Request, shared: &Shared) -> (u16, String) {
         assay: assay.clone(),
         state: JobState::Queued,
         cached: false,
+        recovered: false,
         controller: Arc::clone(&controller),
         result: None,
         error: None,
@@ -780,9 +1288,16 @@ fn submit(request: &Request, shared: &Shared) -> (u16, String) {
             config,
             controller,
             submitted: Instant::now(),
+            client: Some(client.clone()),
         },
     );
     if !accepted {
+        shared.state.release_client(Some(&client));
+        shared.state.durable.journal_terminal(
+            id,
+            JobState::Failed,
+            Some("server is shutting down"),
+        );
         shared.state.jobs.with(id, |job| {
             job.state = JobState::Failed;
             job.error = Some("server is shutting down".to_owned());
@@ -1106,6 +1621,132 @@ fn metrics_text(shared: &Shared) -> String {
         "Wall seconds each worker has spent inside job handlers",
         &busy,
     );
+    let store = state.durable.store_stats();
+    push_metric(
+        &mut out,
+        "biochip_store_hits_total",
+        "counter",
+        "Disk-store lookups that found a valid entry",
+        &[(plain(), store.hits as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_store_misses_total",
+        "counter",
+        "Disk-store lookups that found nothing",
+        &[(plain(), store.misses as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_store_corrupt_total",
+        "counter",
+        "Disk-store entries quarantined as unreadable or corrupt",
+        &[(plain(), store.corrupt as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_store_evictions_total",
+        "counter",
+        "Disk-store entries evicted by the size-capped LRU policy",
+        &[(plain(), store.evictions as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_store_write_errors_total",
+        "counter",
+        "Disk-store writes that failed (the store degrades to memory-only)",
+        &[(plain(), store.write_errors as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_store_entries",
+        "gauge",
+        "Disk-store entries currently held",
+        &[(plain(), store.entries as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_store_bytes",
+        "gauge",
+        "Bytes the disk store currently holds",
+        &[(plain(), store.bytes as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_store_available",
+        "gauge",
+        "1 when the disk store accepts reads and writes, 0 when degraded or disabled",
+        &[(
+            plain(),
+            f64::from(u8::from(store.enabled && store.available)),
+        )],
+    );
+    let journal = state.durable.journal_stats();
+    push_metric(
+        &mut out,
+        "biochip_journal_appends_total",
+        "counter",
+        "Job-journal records appended since startup",
+        &[(plain(), journal.appends as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_journal_append_errors_total",
+        "counter",
+        "Job-journal appends that failed (journaling stops until restart)",
+        &[(plain(), journal.append_errors as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_journal_replayed_total",
+        "counter",
+        "Journal records replayed at the last startup",
+        &[(plain(), journal.replayed as f64)],
+    );
+    push_metric(
+        &mut out,
+        "biochip_jobs_recovered_total",
+        "counter",
+        "Jobs resolved from the journal at startup, by outcome",
+        &[
+            (
+                "{outcome=\"recovered\"}".to_owned(),
+                journal.recovered as f64,
+            ),
+            ("{outcome=\"requeued\"}".to_owned(), journal.requeued as f64),
+            ("{outcome=\"lost\"}".to_owned(), journal.lost as f64),
+        ],
+    );
+    push_metric(
+        &mut out,
+        "biochip_admission_rejected_total",
+        "counter",
+        "Submissions rejected by admission control, by reason",
+        &[
+            (
+                "{reason=\"queue_full\"}".to_owned(),
+                state.rejected_queue_full.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "{reason=\"client_quota\"}".to_owned(),
+                state.rejected_client_quota.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "{reason=\"draining\"}".to_owned(),
+                state.rejected_draining.load(Ordering::Relaxed) as f64,
+            ),
+        ],
+    );
+    push_metric(
+        &mut out,
+        "biochip_draining",
+        "gauge",
+        "1 while the server drains in-flight jobs before shutdown",
+        &[(
+            plain(),
+            f64::from(u8::from(state.draining.load(Ordering::SeqCst))),
+        )],
+    );
     out
 }
 
@@ -1127,6 +1768,16 @@ fn stats(shared: &Shared) -> ServeStats {
         cache: state.cache.stats(),
         stage_cache: state.stages.stats(),
         pool: shared.pool.stats(),
+        store: state.durable.store_stats(),
+        journal: state.durable.journal_stats(),
+        admission: AdmissionStats {
+            rejected_queue_full: state.rejected_queue_full.load(Ordering::Relaxed) as usize,
+            rejected_client_quota: state.rejected_client_quota.load(Ordering::Relaxed) as usize,
+            rejected_draining: state.rejected_draining.load(Ordering::Relaxed) as usize,
+            max_queue_depth: state.max_queue_depth,
+            max_inflight_per_client: state.max_inflight_per_client,
+        },
+        draining: state.draining.load(Ordering::SeqCst),
     }
 }
 
@@ -1148,7 +1799,9 @@ fn run_job(state: &ServerState, worker: usize, job: QueuedJob) {
         config,
         controller,
         submitted,
+        client,
     } = job;
+    let client = client.as_deref();
 
     if controller.is_cancelled() {
         state.jobs.with(id, |record| {
@@ -1156,6 +1809,10 @@ fn run_job(state: &ServerState, worker: usize, job: QueuedJob) {
             record.error = Some("cancelled while queued".to_owned());
             record.wall_seconds = submitted.elapsed().as_secs_f64();
         });
+        state
+            .durable
+            .journal_terminal(id, JobState::Cancelled, Some("cancelled while queued"));
+        state.release_client(client);
         state
             .metrics
             .job_cold_seconds
@@ -1167,6 +1824,7 @@ fn run_job(state: &ServerState, worker: usize, job: QueuedJob) {
         record.state = JobState::Running;
         record.worker = Some(worker);
     });
+    state.durable.journal_started(id);
 
     // Identical submissions shard to the same worker, so by the time a
     // duplicate reaches the front of the queue the original has usually
@@ -1174,20 +1832,27 @@ fn run_job(state: &ServerState, worker: usize, job: QueuedJob) {
     if let Some(result) = state.cache.peek(&key) {
         state.cached_hits.fetch_add(1, Ordering::Relaxed);
         let wall = submitted.elapsed().as_secs_f64();
-        state.jobs.with(id, |record| {
-            // Checked inside the store lock: cancel_job flips the flag
-            // under this same lock, so the 202 it answered and this
-            // terminal transition are strictly ordered.
-            if record.controller.is_cancelled() {
-                record.state = JobState::Cancelled;
-                record.error = Some("cancelled".to_owned());
-            } else {
-                record.state = JobState::Done;
-                record.cached = true;
-                record.result = Some(result);
-            }
-            record.wall_seconds = wall;
-        });
+        let terminal = state
+            .jobs
+            .with(id, |record| {
+                // Checked inside the store lock: cancel_job flips the flag
+                // under this same lock, so the 202 it answered and this
+                // terminal transition are strictly ordered.
+                if record.controller.is_cancelled() {
+                    record.state = JobState::Cancelled;
+                    record.error = Some("cancelled".to_owned());
+                } else {
+                    record.state = JobState::Done;
+                    record.cached = true;
+                    record.result = Some(result);
+                }
+                record.wall_seconds = wall;
+                record.state
+            })
+            .unwrap_or(JobState::Done);
+        let error = (terminal == JobState::Cancelled).then_some("cancelled");
+        state.durable.journal_terminal(id, terminal, error);
+        state.release_client(client);
         state.metrics.job_warm_seconds.observe(wall);
         return;
     }
@@ -1237,48 +1902,69 @@ fn run_job(state: &ServerState, worker: usize, job: QueuedJob) {
                 execution: outcome.execution,
             });
             state.cache.insert(&key, Arc::clone(&result));
-            state.jobs.with(id, |record| {
-                // Checked inside the store lock (see the cache-peek path).
-                if record.controller.is_cancelled() {
-                    record.state = JobState::Cancelled;
-                    record.error = Some(
-                        "cancelled (the synthesis had already completed; its result \
+            // Write-through to the disk store *before* journaling `done`,
+            // so a crash between the two re-runs the job instead of
+            // resolving a `done` journal entry against a missing entry.
+            state.durable.store_put(&key, &result);
+            let terminal = state
+                .jobs
+                .with(id, |record| {
+                    // Checked inside the store lock (see the cache-peek path).
+                    if record.controller.is_cancelled() {
+                        record.state = JobState::Cancelled;
+                        record.error = Some(
+                            "cancelled (the synthesis had already completed; its result \
                               is cached for future submissions)"
-                            .to_owned(),
-                    );
-                } else {
-                    record.state = JobState::Done;
-                    record.result = Some(result);
-                }
-                record.wall_seconds = wall;
-            });
+                                .to_owned(),
+                        );
+                    } else {
+                        record.state = JobState::Done;
+                        record.result = Some(result);
+                    }
+                    record.wall_seconds = wall;
+                    record.state
+                })
+                .unwrap_or(JobState::Done);
+            let error = (terminal == JobState::Cancelled).then_some("cancelled");
+            state.durable.journal_terminal(id, terminal, error);
         }
         Ok(Err(error)) => {
             let cancelled = matches!(error, FlowError::Cancelled(_));
-            state.jobs.with(id, |record| {
-                // An acknowledged cancel wins even over a coincident flow
-                // error: the client was told "cancelled", so that is the
-                // terminal state it finds.
-                record.state = if cancelled || record.controller.is_cancelled() {
-                    JobState::Cancelled
-                } else {
-                    JobState::Failed
-                };
-                record.error = Some(error.to_string());
-                record.wall_seconds = wall;
-            });
+            let message = error.to_string();
+            let terminal = state
+                .jobs
+                .with(id, |record| {
+                    // An acknowledged cancel wins even over a coincident flow
+                    // error: the client was told "cancelled", so that is the
+                    // terminal state it finds.
+                    record.state = if cancelled || record.controller.is_cancelled() {
+                        JobState::Cancelled
+                    } else {
+                        JobState::Failed
+                    };
+                    record.error = Some(message.clone());
+                    record.wall_seconds = wall;
+                    record.state
+                })
+                .unwrap_or(JobState::Failed);
+            state.durable.journal_terminal(id, terminal, Some(&message));
         }
         Err(payload) => {
             let message = biochip_pool::panic_message(payload.as_ref())
                 .unwrap_or("job panicked")
                 .to_owned();
+            let message = format!("synthesis panicked: {message}");
             state.jobs.with(id, |record| {
                 record.state = JobState::Failed;
-                record.error = Some(format!("synthesis panicked: {message}"));
+                record.error = Some(message.clone());
                 record.wall_seconds = wall;
             });
+            state
+                .durable
+                .journal_terminal(id, JobState::Failed, Some(&message));
         }
     }
+    state.release_client(client);
 }
 
 #[cfg(test)]
@@ -1299,7 +1985,30 @@ mod tests {
             name_keys: std::sync::Mutex::new(std::collections::HashMap::new()),
             started: Instant::now(),
             metrics: Metrics::new(),
+            durable: Durable::disabled(),
+            draining: AtomicBool::new(false),
+            max_queue_depth: 4,
+            max_inflight_per_client: 2,
+            clients: std::sync::Mutex::new(std::collections::HashMap::new()),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_client_quota: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
         }
+    }
+
+    #[test]
+    fn client_quota_charges_and_releases() {
+        let state = test_state();
+        assert!(state.try_charge_client("alice"));
+        assert!(state.try_charge_client("alice"));
+        assert!(!state.try_charge_client("alice"), "quota is 2");
+        assert!(state.try_charge_client("bob"), "quotas are per-client");
+        state.release_client(Some("alice"));
+        assert!(state.try_charge_client("alice"), "release frees a slot");
+        // Releasing an uncharged or unknown client must not underflow.
+        state.release_client(Some("nobody"));
+        state.release_client(None);
+        assert_eq!(state.rejected_client_quota.load(Ordering::Relaxed), 1);
     }
 
     #[test]

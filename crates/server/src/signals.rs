@@ -1,0 +1,62 @@
+//! A minimal SIGTERM hook without any libc crate.
+//!
+//! The offline build has no `signal-hook`/`libc` to lean on, so this module
+//! declares the one libc symbol it needs (`signal`) and keeps the handler
+//! to the async-signal-safe minimum: storing a relaxed atomic flag. A
+//! watcher thread polls [`term_requested`] and runs the actual drain logic
+//! in ordinary Rust — nothing allocates or locks inside the handler.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; polled by the drain watcher thread.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERM;
+    use std::sync::atomic::Ordering;
+
+    /// `SIGTERM` on every Unix the workspace targets (Linux, macOS, BSDs).
+    const SIGTERM: i32 = 15;
+
+    /// `SIG_ERR`, the error return of `signal(2)`, is `(void (*)(int)) -1`.
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" fn on_term(_signum: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        TERM.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        /// The C library's `signal(2)`. Taking and returning the handler as
+        /// `usize` sidesteps declaring a C function-pointer type.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() -> bool {
+        // SAFETY: `signal` is the C library's signal(2); a valid signal
+        // number and an `extern "C" fn(i32)` handler address match its
+        // contract, and the handler body is async-signal-safe (one store).
+        let previous = unsafe { signal(SIGTERM, on_term as *const () as usize) };
+        previous != SIG_ERR
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Installs the SIGTERM handler. Returns `false` when the platform has no
+/// signals or the installation failed — the caller simply skips the drain
+/// watcher then.
+pub fn install_term_handler() -> bool {
+    imp::install()
+}
+
+/// Whether a SIGTERM has arrived since the handler was installed.
+pub fn term_requested() -> bool {
+    TERM.load(Ordering::Relaxed)
+}

@@ -1,0 +1,30 @@
+//! Crash-safe persistence for `biochip serve`.
+//!
+//! Two building blocks, both dependency-free and both designed to *degrade*
+//! rather than fail:
+//!
+//! * [`DiskStore`] — a content-addressed result store under a `--data-dir`.
+//!   One file per content key, written via temp-file + atomic rename and
+//!   wrapped in a versioned `biochip-store/v1` envelope. Corruption of any
+//!   kind (truncation, garbage, a foreign schema, a key mismatch) is treated
+//!   as a cache miss: the entry is quarantined and counted, never panicked
+//!   over. A startup scan rebuilds the LRU index so warm hits survive
+//!   restarts, and a byte-budget evicts least-recently-used entries.
+//! * [`Journal`] — an append-only JSON-lines job journal. Replay after a
+//!   crash classifies every job as terminal (resolve its result from the
+//!   store) or in flight (re-enqueue it), so `GET /jobs/:id` keeps answering
+//!   across a kill -9.
+//!
+//! Every I/O failure flips an `available` flag instead of propagating: the
+//! server keeps serving from memory and reports the degradation through
+//! `/healthz` and `/metrics`. This crate is covered by the biochip-lint P1
+//! panic-safety rule — no `unwrap`/`expect`/indexing outside tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disk;
+mod journal;
+
+pub use disk::{DiskStore, StoreStats, STORE_SCHEMA};
+pub use journal::{Journal, JournalReplay, JOURNAL_SCHEMA};

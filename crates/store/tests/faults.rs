@@ -1,0 +1,132 @@
+//! Injected I/O faults against the disk store: every corruption or
+//! environment failure must read as a miss (with the right counter bumped)
+//! or flip the store to degraded — never panic, never serve bad bytes.
+
+use std::fs;
+use std::path::PathBuf;
+
+use biochip_json::Json;
+use biochip_store::{DiskStore, STORE_SCHEMA};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("biochip-store-faults-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn payload() -> Json {
+    Json::object([("report", Json::String("synthesis result".to_owned()))])
+}
+
+/// Writes an entry, mangles its file with `tamper`, reopens the store and
+/// asserts the read is a quarantined miss.
+fn assert_corrupt_entry_is_miss(tag: &str, tamper: impl FnOnce(&PathBuf)) {
+    let dir = temp_dir(tag);
+    let key = "feedc0de";
+    {
+        let store = DiskStore::open(&dir, 1 << 20);
+        store.put(key, &payload());
+        assert!(store.get(key).is_some());
+    }
+    let entry = dir.join("store").join(format!("{key}.json"));
+    tamper(&entry);
+
+    let store = DiskStore::open(&dir, 1 << 20);
+    assert_eq!(store.get(key), None, "{tag}: corrupt entry must be a miss");
+    let stats = store.stats();
+    assert_eq!(stats.corrupt, 1, "{tag}: corruption must be counted");
+    assert_eq!(stats.hits, 0);
+    // The bad bytes were moved aside for post-mortem, not deleted silently.
+    let quarantined = fs::read_dir(dir.join("quarantine"))
+        .expect("quarantine dir")
+        .count();
+    assert_eq!(quarantined, 1, "{tag}: entry must be quarantined");
+    // A rewrite heals the key.
+    store.put(key, &payload());
+    assert!(store.get(key).is_some(), "{tag}: rewrite must heal the key");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_entry_is_a_miss() {
+    assert_corrupt_entry_is_miss("truncated", |entry| {
+        let text = fs::read_to_string(entry).expect("read entry");
+        fs::write(entry, &text[..text.len() / 2]).expect("truncate entry");
+    });
+}
+
+#[test]
+fn bad_envelope_version_is_a_miss() {
+    assert_corrupt_entry_is_miss("badversion", |entry| {
+        let text = fs::read_to_string(entry).expect("read entry");
+        let swapped = text.replace(STORE_SCHEMA, "biochip-store/v999");
+        assert_ne!(text, swapped, "tamper must change the schema tag");
+        fs::write(entry, swapped).expect("rewrite entry");
+    });
+}
+
+#[test]
+fn wrong_key_content_is_a_miss() {
+    // The envelope parses fine but belongs to a different content key —
+    // e.g. a file copied or renamed by hand. Hash mismatch ⇒ quarantine.
+    assert_corrupt_entry_is_miss("wrongkey", |entry| {
+        let text = fs::read_to_string(entry).expect("read entry");
+        let swapped = text.replace("feedc0de", "deadbeef");
+        fs::write(entry, swapped).expect("rewrite entry");
+    });
+}
+
+#[test]
+fn garbage_bytes_are_a_miss() {
+    assert_corrupt_entry_is_miss("garbage", |entry| {
+        fs::write(entry, b"\x00\xffnot json at all").expect("scribble entry");
+    });
+}
+
+#[test]
+fn unwritable_data_dir_degrades_to_memory_only() {
+    // The data dir path runs through a regular file, so creating
+    // `<data-dir>/store` fails with ENOTDIR no matter who runs the test
+    // (a chmod-based read-only dir would not stop root, which CI runs as).
+    let blocker = temp_dir("unwritable").join("blocker");
+    fs::write(&blocker, b"not a directory").expect("write blocker file");
+    let store = DiskStore::open(&blocker.join("data"), 1 << 20);
+
+    let stats = store.stats();
+    assert!(stats.enabled);
+    assert!(!stats.available, "store must come up degraded");
+    store.put("abc123", &payload());
+    assert_eq!(store.get("abc123"), None, "degraded put must not serve");
+    let after = store.stats();
+    assert!(after.write_errors >= 1);
+    assert!(!after.available);
+    let _ = fs::remove_dir_all(blocker.parent().expect("parent"));
+}
+
+#[test]
+fn write_failure_mid_run_flips_available_and_recovers() {
+    let dir = temp_dir("flip");
+    let store = DiskStore::open(&dir, 1 << 20);
+    store.put("aaaa", &payload());
+    assert!(store.is_available());
+
+    // Replace the tmp dir with a regular file: atomic writes now fail.
+    let tmp = dir.join("tmp");
+    fs::remove_dir_all(&tmp).expect("drop tmp dir");
+    fs::write(&tmp, b"blocker").expect("block tmp dir");
+    store.put("bbbb", &payload());
+    assert!(!store.is_available(), "failed write must flip availability");
+    assert!(store.stats().write_errors >= 1);
+    // Previously written entries still serve.
+    assert!(store.get("aaaa").is_some());
+
+    // Restore the directory: the next write self-heals.
+    fs::remove_file(&tmp).expect("unblock tmp dir");
+    fs::create_dir_all(&tmp).expect("recreate tmp dir");
+    store.put("cccc", &payload());
+    assert!(store.is_available(), "successful write must restore");
+    assert!(store.get("cccc").is_some());
+    let _ = fs::remove_dir_all(&dir);
+}
